@@ -1,0 +1,311 @@
+//! Discretized matrix min-max baselines (Asudeh et al., SIGMOD 2017).
+//!
+//! Both algorithms discretize the utility space into `N` sampled
+//! directions and work on the regret matrix `R[p][u] = 1 −
+//! ⟨u, p⟩ / ω(u, P)` over the skyline. Selecting `r` rows to minimise
+//! `max_u min_{p ∈ Q} R[p][u]` is the discretized 1-RMS.
+//!
+//! * [`DmmRrms`] binary-searches the optimal threshold among the matrix
+//!   entries; feasibility of a threshold `ε` is a set-cover question
+//!   ("can `r` tuples cover every direction within regret `ε`?") answered
+//!   greedily.
+//! * [`DmmGreedy`] greedily adds the row that most reduces the current
+//!   max-min column regret.
+//!
+//! The paper observes both suffer at `d > 7` (the discretization becomes
+//! too sparse) and at `r ≥ 50`; the matrix of `|skyline| × N` entries is
+//! also the memory hog the paper reports. Our implementation keeps those
+//! characteristics.
+
+use crate::StaticRms;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rms_geom::{with_basis_prefix, Point};
+
+/// Builds the regret matrix: `mat[row][col] = rr(u_col, {p_row})` over the
+/// candidate tuples, plus each column's top-score for normalisation.
+fn regret_matrix(candidates: &[Point], n_dirs: usize, seed: u64) -> Vec<Vec<f64>> {
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let d = candidates[0].dim();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dirs = with_basis_prefix(&mut rng, d, n_dirs.max(d));
+    let mut omega = vec![0.0f64; dirs.len()];
+    let mut scores = vec![vec![0.0f64; dirs.len()]; candidates.len()];
+    for (j, u) in dirs.iter().enumerate() {
+        for (i, p) in candidates.iter().enumerate() {
+            let s = u.score(p);
+            scores[i][j] = s;
+            if s > omega[j] {
+                omega[j] = s;
+            }
+        }
+    }
+    for row in &mut scores {
+        for (j, cell) in row.iter_mut().enumerate() {
+            *cell = if omega[j] <= 0.0 {
+                0.0
+            } else {
+                (1.0 - *cell / omega[j]).max(0.0)
+            };
+        }
+    }
+    scores
+}
+
+/// Greedy set cover feasibility: can `r` rows bring every column within
+/// `eps`? Returns the chosen row indices when feasible.
+fn cover_within(mat: &[Vec<f64>], eps: f64, r: usize) -> Option<Vec<usize>> {
+    let n_cols = mat.first().map_or(0, Vec::len);
+    let mut uncovered: Vec<bool> = vec![true; n_cols];
+    let mut remaining = n_cols;
+    let mut chosen = Vec::new();
+    while remaining > 0 {
+        if chosen.len() == r {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None; // (row, gain)
+        for (i, row) in mat.iter().enumerate() {
+            if chosen.contains(&i) {
+                continue;
+            }
+            let gain = row
+                .iter()
+                .zip(uncovered.iter())
+                .filter(|(&v, &u)| u && v <= eps)
+                .count();
+            if best.is_none_or(|(_, g)| gain > g) {
+                best = Some((i, gain));
+            }
+        }
+        let (row, gain) = best?;
+        if gain == 0 {
+            return None;
+        }
+        for (j, u) in uncovered.iter_mut().enumerate() {
+            if *u && mat[row][j] <= eps {
+                *u = false;
+                remaining -= 1;
+            }
+        }
+        chosen.push(row);
+    }
+    Some(chosen)
+}
+
+/// DMM-RRMS: optimal threshold on the discretized matrix via binary search
+/// over the distinct matrix entries.
+#[derive(Debug, Clone)]
+pub struct DmmRrms {
+    /// Number of discretized directions `N`.
+    pub directions: usize,
+    /// RNG seed for direction sampling.
+    pub seed: u64,
+}
+
+impl Default for DmmRrms {
+    fn default() -> Self {
+        Self {
+            directions: 1000,
+            seed: 0xD33,
+        }
+    }
+}
+
+impl StaticRms for DmmRrms {
+    fn name(&self) -> &'static str {
+        "DMM-RRMS"
+    }
+
+    fn supports_k(&self, k: usize) -> bool {
+        k == 1
+    }
+
+    fn compute(&self, skyline: &[Point], _full: &[Point], _k: usize, r: usize) -> Vec<Point> {
+        if skyline.is_empty() || r == 0 {
+            return Vec::new();
+        }
+        let mat = regret_matrix(skyline, self.directions, self.seed);
+        // Candidate thresholds: all distinct matrix values (the optimum is
+        // always attained at one of them).
+        let mut values: Vec<f64> = mat.iter().flatten().copied().collect();
+        values.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        // Binary search the smallest feasible threshold.
+        let (mut lo, mut hi) = (0usize, values.len() - 1);
+        let mut best: Option<Vec<usize>> = None;
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            match cover_within(&mat, values[mid], r) {
+                Some(rows) => {
+                    best = Some(rows);
+                    if mid == 0 {
+                        break;
+                    }
+                    hi = mid - 1;
+                }
+                None => {
+                    lo = mid + 1;
+                }
+            }
+        }
+        best.map(|rows| rows.into_iter().map(|i| skyline[i].clone()).collect())
+            .unwrap_or_else(|| skyline.iter().take(r).cloned().collect())
+    }
+}
+
+/// DMM-GREEDY: greedy row selection on the discretized matrix.
+#[derive(Debug, Clone)]
+pub struct DmmGreedy {
+    /// Number of discretized directions `N`.
+    pub directions: usize,
+    /// RNG seed for direction sampling.
+    pub seed: u64,
+}
+
+impl Default for DmmGreedy {
+    fn default() -> Self {
+        Self {
+            directions: 1000,
+            seed: 0xD33,
+        }
+    }
+}
+
+impl StaticRms for DmmGreedy {
+    fn name(&self) -> &'static str {
+        "DMM-Greedy"
+    }
+
+    fn supports_k(&self, k: usize) -> bool {
+        k == 1
+    }
+
+    fn compute(&self, skyline: &[Point], _full: &[Point], _k: usize, r: usize) -> Vec<Point> {
+        if skyline.is_empty() || r == 0 {
+            return Vec::new();
+        }
+        let mat = regret_matrix(skyline, self.directions, self.seed);
+        let n_cols = mat[0].len();
+        // col_min[j] = min over chosen rows of mat[row][j].
+        let mut col_min = vec![f64::INFINITY; n_cols];
+        let mut chosen: Vec<usize> = Vec::with_capacity(r);
+        for _ in 0..r.min(mat.len()) {
+            // Pick the row minimising the resulting max over columns.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, row) in mat.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                let new_max = row
+                    .iter()
+                    .zip(col_min.iter())
+                    .map(|(&v, &m)| v.min(m))
+                    .fold(0.0f64, f64::max);
+                if best.is_none_or(|(_, b)| new_max < b) {
+                    best = Some((i, new_max));
+                }
+            }
+            let Some((row, _)) = best else { break };
+            for (j, m) in col_min.iter_mut().enumerate() {
+                *m = m.min(mat[row][j]);
+            }
+            chosen.push(row);
+            if col_min.iter().all(|&m| m <= 1e-12) {
+                break;
+            }
+        }
+        chosen.into_iter().map(|i| skyline[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_eval::RegretEstimator;
+    use rms_skyline::skyline;
+
+    fn random_db(seed: u64, n: usize, d: usize) -> Vec<Point> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Point::new_unchecked(i as u64, (0..d).map(|_| rng.gen()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn matrix_entries_are_regrets() {
+        let db = random_db(1, 40, 3);
+        let mat = regret_matrix(&db, 100, 7);
+        assert_eq!(mat.len(), 40);
+        for row in &mat {
+            assert_eq!(row.len(), 100);
+            assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+        // Every column has some tuple with zero regret (the top-1).
+        let n_cols = mat[0].len();
+        for j in 0..n_cols {
+            let best = mat.iter().map(|r| r[j]).fold(f64::INFINITY, f64::min);
+            assert!(best < 1e-9, "column {j}: best {best}");
+        }
+    }
+
+    #[test]
+    fn cover_within_respects_budget() {
+        let mat = vec![
+            vec![0.0, 0.5, 0.5],
+            vec![0.5, 0.0, 0.5],
+            vec![0.5, 0.5, 0.0],
+        ];
+        assert!(cover_within(&mat, 0.01, 2).is_none());
+        assert_eq!(cover_within(&mat, 0.01, 3).unwrap().len(), 3);
+        assert!(cover_within(&mat, 0.6, 1).is_some());
+    }
+
+    #[test]
+    fn dmm_rrms_quality() {
+        let db = random_db(3, 150, 3);
+        let sky = skyline(&db);
+        let q = DmmRrms {
+            directions: 300,
+            seed: 5,
+        }
+        .compute(&sky, &db, 1, 10);
+        assert!(q.len() <= 10);
+        let est = RegretEstimator::new(3, 5_000, 2);
+        let mrr = est.mrr(&db, &q, 1);
+        assert!(mrr < 0.15, "mrr {mrr}");
+    }
+
+    #[test]
+    fn dmm_greedy_quality_and_monotonicity() {
+        let db = random_db(4, 150, 3);
+        let sky = skyline(&db);
+        let est = RegretEstimator::new(3, 5_000, 2);
+        let algo = DmmGreedy {
+            directions: 300,
+            seed: 5,
+        };
+        let mut prev = 1.0f64;
+        for r in [2, 5, 10] {
+            let q = algo.compute(&sky, &db, 1, r);
+            assert!(q.len() <= r);
+            let mrr = est.mrr(&db, &q, 1);
+            assert!(mrr <= prev + 0.02, "r={r}");
+            prev = mrr;
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(DmmRrms::default().compute(&[], &[], 1, 5).is_empty());
+        assert!(DmmGreedy::default().compute(&[], &[], 1, 5).is_empty());
+    }
+
+    #[test]
+    fn k_support() {
+        assert!(!DmmRrms::default().supports_k(2));
+        assert!(!DmmGreedy::default().supports_k(2));
+    }
+}

@@ -1,0 +1,202 @@
+//! The hitting-set baseline (HS).
+
+use crate::StaticRms;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rms_geom::{with_basis_prefix, Point};
+
+/// HS (Agarwal et al., SEA 2017; Kumar & Sintos, ALENEX 2018).
+///
+/// The min-size k-RMS is transformed into a hitting-set instance: sample
+/// utility vectors, and for a quality target ε let each tuple `p` "hit"
+/// the vectors whose ε-approximate top-k contains `p`; the smallest
+/// hitting set (equivalently, set cover on the transposed system, solved
+/// greedily) is a `(k, ε)`-regret set. Following Section IV-A, the
+/// size-budget adaptation binary-searches ε in `(0, 1)` for the smallest
+/// value whose greedy cover fits `r`.
+///
+/// This is the *static* ancestor of FD-RMS's transform — the paper's
+/// experiments show it matching FD-RMS's quality while being orders of
+/// magnitude slower, because every database update recomputes everything.
+#[derive(Debug, Clone)]
+pub struct HittingSet {
+    /// Number of sampled utility vectors.
+    pub samples: usize,
+    /// Binary-search resolution on ε.
+    pub eps_steps: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HittingSet {
+    fn default() -> Self {
+        Self {
+            samples: 1500,
+            eps_steps: 20,
+            seed: 0x45,
+        }
+    }
+}
+
+impl HittingSet {
+    /// Greedy cover of the sampled vectors by tuples within quality ε;
+    /// `None` when more than `r` tuples are needed.
+    fn try_cover(
+        &self,
+        full: &[Point],
+        omegas: &[f64],
+        scores: &[Vec<f64>],
+        eps: f64,
+        r: usize,
+    ) -> Option<Vec<usize>> {
+        let n_u = omegas.len();
+        let mut uncovered = vec![true; n_u];
+        let mut remaining = n_u;
+        let mut chosen: Vec<usize> = Vec::new();
+        while remaining > 0 {
+            if chosen.len() == r {
+                return None;
+            }
+            let mut best: Option<(usize, usize)> = None;
+            for (i, row) in scores.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                let gain = (0..n_u)
+                    .filter(|&j| uncovered[j] && row[j] >= (1.0 - eps) * omegas[j])
+                    .count();
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((i, gain));
+                }
+            }
+            let (row, gain) = best?;
+            if gain == 0 {
+                return None;
+            }
+            for j in 0..n_u {
+                if uncovered[j] && scores[row][j] >= (1.0 - eps) * omegas[j] {
+                    uncovered[j] = false;
+                    remaining -= 1;
+                }
+            }
+            chosen.push(row);
+        }
+        let _ = full;
+        Some(chosen)
+    }
+}
+
+impl StaticRms for HittingSet {
+    fn name(&self) -> &'static str {
+        "HS"
+    }
+
+    fn supports_k(&self, _k: usize) -> bool {
+        true
+    }
+
+    fn compute(&self, skyline: &[Point], full: &[Point], k: usize, r: usize) -> Vec<Point> {
+        // Candidate tuples: skyline suffices for k = 1; the ω_k reference
+        // always uses the full database (the paper stresses HS "must
+        // consider all tuples … to validate that the maximum k-regret
+        // ratio is at most ε when k > 1").
+        let candidates = if k == 1 { skyline } else { full };
+        if candidates.is_empty() || r == 0 {
+            return Vec::new();
+        }
+        let d = candidates[0].dim();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let dirs = with_basis_prefix(&mut rng, d, self.samples.max(d));
+
+        // ω_k per sampled direction over the FULL database.
+        let omegas: Vec<f64> = dirs
+            .iter()
+            .map(|u| {
+                rms_geom::kth_score(full, u, k.min(full.len()))
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        // Candidate × direction score matrix.
+        let scores: Vec<Vec<f64>> = candidates
+            .iter()
+            .map(|p| dirs.iter().map(|u| u.score(p)).collect())
+            .collect();
+
+        // Binary search ε ∈ (0, 1): smaller ε is harder; find the
+        // smallest feasible one.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        let mut best: Option<Vec<usize>> = self.try_cover(full, &omegas, &scores, 1.0, r);
+        for _ in 0..self.eps_steps {
+            let mid = 0.5 * (lo + hi);
+            match self.try_cover(full, &omegas, &scores, mid, r) {
+                Some(rows) => {
+                    best = Some(rows);
+                    hi = mid;
+                }
+                None => {
+                    lo = mid;
+                }
+            }
+        }
+        best.map(|rows| rows.into_iter().map(|i| candidates[i].clone()).collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_eval::RegretEstimator;
+    use rms_skyline::skyline;
+
+    fn random_db(seed: u64, n: usize, d: usize) -> Vec<Point> {
+        use rand::Rng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| Point::new_unchecked(i as u64, (0..d).map(|_| rng.gen()).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn hs_fits_budget_with_quality() {
+        let db = random_db(1, 250, 3);
+        let sky = skyline(&db);
+        let est = RegretEstimator::new(3, 5_000, 1);
+        for r in [5, 10, 20] {
+            let q = HittingSet::default().compute(&sky, &db, 1, r);
+            assert!(q.len() <= r);
+            let mrr = est.mrr(&db, &q, 1);
+            assert!(mrr < 0.2, "r={r}: mrr {mrr}");
+        }
+    }
+
+    #[test]
+    fn hs_supports_k_above_one() {
+        let db = random_db(2, 200, 3);
+        let sky = skyline(&db);
+        let est = RegretEstimator::new(3, 5_000, 1);
+        for k in [2, 4] {
+            let q = HittingSet::default().compute(&sky, &db, k, 10);
+            assert!(q.len() <= 10);
+            let mrr = est.mrr(&db, &q, k);
+            assert!(mrr < 0.2, "k={k}: mrr {mrr}");
+        }
+    }
+
+    #[test]
+    fn hs_quality_improves_with_r() {
+        let db = random_db(3, 200, 4);
+        let sky = skyline(&db);
+        let est = RegretEstimator::new(4, 5_000, 2);
+        let m_small = est.mrr(&db, &HittingSet::default().compute(&sky, &db, 1, 4), 1);
+        let m_large = est.mrr(&db, &HittingSet::default().compute(&sky, &db, 1, 24), 1);
+        assert!(m_large <= m_small + 0.02, "{m_large} > {m_small}");
+    }
+
+    #[test]
+    fn hs_empty() {
+        assert!(HittingSet::default().compute(&[], &[], 1, 5).is_empty());
+        assert!(HittingSet::default().supports_k(4));
+    }
+}

@@ -1,0 +1,270 @@
+//! Exact 1-RMS for two-dimensional databases.
+//!
+//! The paper's related-work taxonomy lists "dynamic programming algorithms
+//! for k-RMS on two-dimensional data" ([4], [10], [11]) as the first class
+//! of exact methods: 1-RMS is polynomial when `d = 2`. This module
+//! implements the classic angular sweep formulation:
+//!
+//! For `d = 2` every utility vector is `u(θ) = (cos θ, sin θ)`,
+//! `θ ∈ [0, π/2]`. For a fixed quality target ε, each tuple `p` satisfies
+//! `rr(u(θ), {p}) ≤ ε` on a *contiguous* arc of angles (the predicate
+//! `⟨u(θ), p⟩ ≥ (1 − ε)·ω(u(θ), P)` has at most one feasible interval
+//! because both sides are single-crossing along the sweep). A set `Q` is a
+//! `(1, ε)`-regret set iff its arcs cover `[0, π/2]`, so the smallest `Q`
+//! for a given ε is a minimum interval cover — solvable greedily — and
+//! the optimal ε for a budget `r` is found by binary search on ε.
+//!
+//! The arcs are evaluated on a dense angular grid rather than through
+//! algebraic breakpoint computation; the grid resolution bounds the error
+//! (window `π/2 / resolution`), which the tests size appropriately. This
+//! gives an *effectively exact* reference for 2-D experiments and lets
+//! integration tests compare FD-RMS against the true optimum.
+
+use crate::StaticRms;
+use rms_geom::Point;
+
+/// Exact (grid-resolution-bounded) 1-RMS for `d = 2` via angular sweep +
+/// interval covering + binary search on ε.
+#[derive(Debug, Clone)]
+pub struct TwoDSweep {
+    /// Number of angular grid steps over `[0, π/2]`.
+    pub resolution: usize,
+    /// Binary-search iterations on ε.
+    pub eps_steps: usize,
+}
+
+impl Default for TwoDSweep {
+    fn default() -> Self {
+        Self {
+            resolution: 4096,
+            eps_steps: 40,
+        }
+    }
+}
+
+impl TwoDSweep {
+    /// The per-angle maxima `ω(u(θ), P)` over the grid.
+    fn envelope(&self, points: &[Point]) -> Vec<f64> {
+        let mut env = vec![0.0f64; self.resolution + 1];
+        for (g, e) in env.iter_mut().enumerate() {
+            let theta = std::f64::consts::FRAC_PI_2 * g as f64 / self.resolution as f64;
+            let (c, s) = (theta.cos(), theta.sin());
+            for p in points {
+                let score = c * p.coord(0) + s * p.coord(1);
+                if score > *e {
+                    *e = score;
+                }
+            }
+        }
+        env
+    }
+
+    /// For quality `eps`, the arc `[lo, hi]` (grid indices, inclusive) on
+    /// which `p` is an ε-approximate top-1, or `None` if empty.
+    fn arc(&self, p: &Point, env: &[f64], eps: f64) -> Option<(usize, usize)> {
+        let mut lo = None;
+        let mut hi = None;
+        for (g, &e) in env.iter().enumerate() {
+            let theta = std::f64::consts::FRAC_PI_2 * g as f64 / self.resolution as f64;
+            let score = theta.cos() * p.coord(0) + theta.sin() * p.coord(1);
+            if score >= (1.0 - eps) * e - 1e-12 {
+                if lo.is_none() {
+                    lo = Some(g);
+                }
+                hi = Some(g);
+            } else if lo.is_some() {
+                break; // single-crossing: the feasible arc is contiguous
+            }
+        }
+        lo.zip(hi)
+    }
+
+    /// Minimum number of arcs covering the whole grid, greedily; returns
+    /// the chosen tuple indices or `None` if the grid cannot be covered.
+    fn min_cover(arcs: &[(usize, usize)], grid_end: usize) -> Option<Vec<usize>> {
+        let mut chosen = Vec::new();
+        let mut covered_to: isize = -1;
+        while covered_to < grid_end as isize {
+            // Among arcs starting at or before covered_to + 1, take the one
+            // reaching farthest.
+            let need = (covered_to + 1) as usize;
+            let best = arcs
+                .iter()
+                .enumerate()
+                .filter(|(_, &(lo, _))| lo <= need)
+                .max_by_key(|(_, &(_, hi))| hi);
+            match best {
+                Some((i, &(_, hi))) if hi as isize > covered_to => {
+                    chosen.push(i);
+                    covered_to = hi as isize;
+                }
+                _ => return None,
+            }
+        }
+        Some(chosen)
+    }
+
+    /// The minimum-size `(1, eps)`-regret set for fixed ε (2-D only).
+    pub fn min_size(&self, points: &[Point], eps: f64) -> Option<Vec<Point>> {
+        if points.is_empty() {
+            return Some(Vec::new());
+        }
+        assert!(points.iter().all(|p| p.dim() == 2), "TwoDSweep needs d = 2");
+        let env = self.envelope(points);
+        let mut owners = Vec::new();
+        let mut arcs = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            if let Some(arc) = self.arc(p, &env, eps) {
+                owners.push(i);
+                arcs.push(arc);
+            }
+        }
+        let chosen = Self::min_cover(&arcs, self.resolution)?;
+        Some(chosen.into_iter().map(|i| points[owners[i]].clone()).collect())
+    }
+
+    /// The optimal (up to grid/binary-search resolution) maximum regret
+    /// ratio attainable with `r` tuples, and a witnessing subset.
+    pub fn optimal(&self, points: &[Point], r: usize) -> (f64, Vec<Point>) {
+        if points.is_empty() || r == 0 {
+            return (if points.is_empty() { 0.0 } else { 1.0 }, Vec::new());
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        let mut best: Option<(f64, Vec<Point>)> = None;
+        for _ in 0..self.eps_steps {
+            let mid = 0.5 * (lo + hi);
+            match self.min_size(points, mid) {
+                Some(q) if q.len() <= r => {
+                    best = Some((mid, q));
+                    hi = mid;
+                }
+                _ => lo = mid,
+            }
+        }
+        best.unwrap_or_else(|| {
+            let q = self.min_size(points, 1.0).expect("eps = 1 covers trivially");
+            (1.0, q.into_iter().take(r).collect())
+        })
+    }
+}
+
+impl StaticRms for TwoDSweep {
+    fn name(&self) -> &'static str {
+        "2D-Sweep"
+    }
+
+    fn supports_k(&self, k: usize) -> bool {
+        k == 1
+    }
+
+    fn compute(&self, skyline: &[Point], _full: &[Point], _k: usize, r: usize) -> Vec<Point> {
+        self.optimal(skyline, r).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_eval::RegretEstimator;
+    use rms_skyline::skyline;
+
+    fn fig1() -> Vec<Point> {
+        [
+            (1, 0.2, 1.0),
+            (2, 0.6, 0.8),
+            (3, 0.7, 0.5),
+            (4, 1.0, 0.1),
+            (5, 0.4, 0.3),
+            (6, 0.2, 0.7),
+            (7, 0.3, 0.9),
+            (8, 0.6, 0.6),
+        ]
+        .iter()
+        .map(|&(id, x, y)| Point::new_unchecked(id, vec![x, y]))
+        .collect()
+    }
+
+    #[test]
+    fn paper_example2_exact_optimum() {
+        // Example 2: RMS(2,2) has Q* = {p1, p4} with ε* ≈ 0.05. For k = 1
+        // on the same data the optimal 2-subset is also {p1, p4}: the
+        // extreme tuples on both axes. Verify the sweep finds a 2-subset
+        // with near-optimal 1-regret.
+        let db = fig1();
+        let (eps, q) = TwoDSweep::default().optimal(&db, 2);
+        assert_eq!(q.len(), 2);
+        let est = RegretEstimator::new(2, 50_000, 1);
+        let mrr = est.mrr(&db, &q, 1);
+        assert!((mrr - eps).abs() < 0.01, "sweep eps {eps} vs measured {mrr}");
+        // Brute-force all 2-subsets to confirm optimality.
+        let mut best = 1.0f64;
+        for i in 0..db.len() {
+            for j in i + 1..db.len() {
+                let cand = vec![db[i].clone(), db[j].clone()];
+                best = best.min(est.mrr(&db, &cand, 1));
+            }
+        }
+        assert!(mrr <= best + 0.01, "sweep {mrr} vs brute {best}");
+    }
+
+    #[test]
+    fn full_skyline_has_zero_optimum() {
+        let db = fig1();
+        let sky = skyline(&db);
+        let (eps, q) = TwoDSweep::default().optimal(&db, sky.len());
+        assert!(eps < 1e-6, "eps {eps}");
+        assert!(q.len() <= sky.len());
+    }
+
+    #[test]
+    fn min_size_monotone_in_eps() {
+        let db = fig1();
+        let sweep = TwoDSweep::default();
+        let mut prev = usize::MAX;
+        for eps in [0.0, 0.02, 0.05, 0.2, 0.5] {
+            let q = sweep.min_size(&db, eps).unwrap();
+            assert!(q.len() <= prev, "eps {eps}: {} > {prev}", q.len());
+            prev = q.len();
+        }
+        assert_eq!(sweep.min_size(&db, 0.9999).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn beats_or_matches_greedy() {
+        use crate::Greedy;
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let db: Vec<Point> = (0..200)
+            .map(|i| Point::new_unchecked(i, vec![rng.gen(), rng.gen()]))
+            .collect();
+        let sky = skyline(&db);
+        let est = RegretEstimator::new(2, 20_000, 5);
+        for r in [2, 4, 8] {
+            let exact = est.mrr(&db, &TwoDSweep::default().compute(&sky, &db, 1, r), 1);
+            let greedy = est.mrr(&db, &Greedy.compute(&sky, &db, 1, r), 1);
+            assert!(
+                exact <= greedy + 0.01,
+                "r={r}: exact {exact} > greedy {greedy}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_edge() {
+        let sweep = TwoDSweep::default();
+        assert!(sweep.compute(&[], &[], 1, 3).is_empty());
+        let one = vec![Point::new_unchecked(0, vec![0.5, 0.5])];
+        assert_eq!(sweep.compute(&one, &one, 1, 3).len(), 1);
+        let (eps, q) = sweep.optimal(&one, 0);
+        assert_eq!(eps, 1.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs d = 2")]
+    fn rejects_higher_dimensions() {
+        let db = vec![Point::new_unchecked(0, vec![0.1, 0.2, 0.3])];
+        let _ = TwoDSweep::default().min_size(&db, 0.1);
+    }
+}

@@ -1,0 +1,66 @@
+//! Recompute-latency benches for the static baselines plus skyline
+//! computation (`table1_skyline` group: the substrate behind Table I /
+//! Fig. 4).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rms_baselines::{
+    DmmGreedy, DmmRrms, EpsKernel, Greedy, GreedyStar, HittingSet, Sphere, StaticRms,
+};
+use rms_data::generators;
+use rms_geom::Point;
+use rms_skyline::{skyline, skyline_bnl};
+
+fn db(seed: u64, n: usize, d: usize) -> Vec<Point> {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    generators::anticorrelated(&mut rng, n, d)
+}
+
+fn bench_table1_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_skyline");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[5_000usize, 20_000] {
+        let points = db(1, n, 6);
+        group.bench_with_input(BenchmarkId::new("sfs", n), &n, |b, _| {
+            b.iter(|| black_box(skyline(&points).len()))
+        });
+        if n <= 5_000 {
+            group.bench_with_input(BenchmarkId::new("bnl", n), &n, |b, _| {
+                b.iter(|| black_box(skyline_bnl(&points).len()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_static_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_recompute");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let points = db(2, 3_000, 4);
+    let sky = skyline(&points);
+    let r = 20;
+    eprintln!("baseline_recompute: |skyline| = {}", sky.len());
+
+    let algos: Vec<Box<dyn StaticRms>> = vec![
+        Box::new(Greedy),
+        Box::new(GreedyStar::default()),
+        Box::new(DmmRrms::default()),
+        Box::new(DmmGreedy::default()),
+        Box::new(EpsKernel::default()),
+        Box::new(HittingSet::default()),
+        Box::new(Sphere::default()),
+    ];
+    for algo in algos {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| black_box(algo.compute(&sky, &points, 1, r).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1_skyline, bench_static_recompute);
+criterion_main!(benches);

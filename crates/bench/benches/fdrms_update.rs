@@ -1,0 +1,181 @@
+//! FD-RMS update-latency benches, grouped by the paper figure whose hot
+//! path they isolate: `fig5_eps` (effect of ε), `fig6_r` (effect of r),
+//! `fig7_k` (effect of k), `fig8_scale` (effect of d and n).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdrms::FdRms;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rms_data::generators;
+use rms_geom::Point;
+
+fn build_fd(
+    seed: u64,
+    n: usize,
+    d: usize,
+    k: usize,
+    r: usize,
+    eps: f64,
+    max_m: usize,
+) -> (FdRms, StdRng) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points = generators::independent(&mut rng, n, d);
+    let fd = FdRms::builder(d)
+        .k(k)
+        .r(r)
+        .epsilon(eps)
+        .max_utilities(max_m)
+        .seed(seed)
+        .build(points)
+        .unwrap();
+    (fd, rng)
+}
+
+/// One insert + one delete (steady-state churn), the figure panels' x-axis
+/// varied per group below.
+fn churn_once(fd: &mut FdRms, rng: &mut StdRng, next: &mut u64, d: usize) {
+    let p = Point::new_unchecked(*next, (0..d).map(|_| rng.gen()).collect());
+    *next += 1;
+    fd.insert(p).unwrap();
+    // Delete a uniformly random live tuple via the result of a probe id
+    // sweep (ids 0..n are the initial tuples; recycle through them).
+    let victim = *next - 1; // delete what we just inserted half the time
+    if victim % 2 == 0 {
+        fd.delete(victim).unwrap();
+    } else {
+        // remove an old tuple if still present, else the fresh one
+        let old = victim % 5_000;
+        if fd.contains(old) {
+            fd.delete(old).unwrap();
+        } else {
+            fd.delete(victim).unwrap();
+        }
+    }
+}
+
+fn bench_fig5_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_eps");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &eps in &[0.0001f64, 0.0064, 0.0512] {
+        group.bench_with_input(BenchmarkId::from_parameter(eps), &eps, |b, &eps| {
+            let (mut fd, mut rng) = build_fd(1, 5_000, 6, 1, 50, eps, 1 << 12);
+            let mut next = 1_000_000u64;
+            b.iter(|| {
+                churn_once(&mut fd, &mut rng, &mut next, 6);
+                black_box(fd.m())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig6_r(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_r");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &r in &[10usize, 40, 70, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(r), &r, |b, &r| {
+            let (mut fd, mut rng) = build_fd(2, 5_000, 6, 1, r, 0.02, 1 << 12);
+            let mut next = 1_000_000u64;
+            b.iter(|| {
+                churn_once(&mut fd, &mut rng, &mut next, 6);
+                black_box(fd.m())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_k");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &k in &[1usize, 2, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let (mut fd, mut rng) = build_fd(3, 5_000, 6, k, 50, 0.02, 1 << 12);
+            let mut next = 1_000_000u64;
+            b.iter(|| {
+                churn_once(&mut fd, &mut rng, &mut next, 6);
+                black_box(fd.m())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig8_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_scale");
+    for &d in &[4usize, 6, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let (mut fd, mut rng) = build_fd(4, 5_000, d, 1, 50, 0.02, 1 << 12);
+            let mut next = 1_000_000u64;
+            b.iter(|| {
+                churn_once(&mut fd, &mut rng, &mut next, d);
+                black_box(fd.m())
+            })
+        });
+    }
+    for &n in &[2_000usize, 10_000, 50_000] {
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            let (mut fd, mut rng) = build_fd(5, n, 6, 1, 50, 0.02, 1 << 12);
+            let mut next = 1_000_000u64;
+            b.iter(|| {
+                churn_once(&mut fd, &mut rng, &mut next, 6);
+                black_box(fd.m())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: stability maintenance versus greedy-from-scratch after every
+/// operation — quantifies what the paper's dynamic set cover buys over
+/// the naive "rerun greedy on the maintained set system" strategy.
+fn bench_ablation_stability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_stability");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("maintained", |b| {
+        let (mut fd, mut rng) = build_fd(6, 5_000, 6, 1, 50, 0.02, 1 << 11);
+        let mut next = 1_000_000u64;
+        b.iter(|| {
+            churn_once(&mut fd, &mut rng, &mut next, 6);
+            black_box(fd.result_ids().len())
+        })
+    });
+    group.bench_function("rebuild_from_scratch", |b| {
+        // The honest static comparison: rebuild the whole FD-RMS state
+        // (top-k results + greedy cover) per operation.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut points = generators::independent(&mut rng, 2_000, 6);
+        let mut next = 1_000_000u64;
+        b.iter(|| {
+            let p = Point::new_unchecked(next, (0..6).map(|_| rng.gen()).collect());
+            next += 1;
+            points.push(p);
+            points.swap_remove(rng.gen_range(0..points.len()));
+            let fd = FdRms::builder(6)
+                .r(50)
+                .epsilon(0.02)
+                .max_utilities(1 << 11)
+                .build(points.clone())
+                .unwrap();
+            black_box(fd.result_ids().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig5_eps,
+    bench_fig6_r,
+    bench_fig7_k,
+    bench_fig8_scale,
+    bench_ablation_stability
+);
+criterion_main!(benches);

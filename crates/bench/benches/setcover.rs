@@ -1,0 +1,133 @@
+//! Micro-benchmarks for the dynamic set cover (the paper's core device)
+//! and the `ablation_stability` / `ablation_level_base` studies.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rms_setcover::{DynamicSetCover, ElemId, LevelBase, SetId};
+
+/// Builds a random instance: `n_sets` sets over `n_elems` elements with
+/// the given membership probability, all elements in the universe.
+fn random_instance(
+    seed: u64,
+    n_sets: SetId,
+    n_elems: ElemId,
+    p: f64,
+    base: LevelBase,
+) -> DynamicSetCover {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = DynamicSetCover::new(base);
+    c.insert_set(u64::MAX, 0..n_elems).unwrap(); // safety net set
+    for s in 0..n_sets {
+        let members: Vec<ElemId> = (0..n_elems).filter(|_| rng.gen_bool(p)).collect();
+        c.insert_set(s, members).unwrap();
+    }
+    for u in 0..n_elems {
+        c.insert_element(u).unwrap();
+    }
+    c.greedy().unwrap();
+    c
+}
+
+fn bench_greedy_init(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setcover_greedy");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &m in &[256u32, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let cover = random_instance(7, 200, m, 0.05, LevelBase::TWO);
+            b.iter_batched(
+                || cover.clone(),
+                |mut cov| {
+                    cov.greedy().unwrap();
+                    black_box(cov.solution_size())
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_element_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setcover_element_churn");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("remove_insert_cycle_m1024", |b| {
+        let cover = random_instance(11, 200, 1024, 0.05, LevelBase::TWO);
+        let mut i = 0u32;
+        b.iter_batched(
+            || cover.clone(),
+            |mut cov| {
+                let u = i % 1024;
+                i += 1;
+                cov.remove_element(u).unwrap();
+                cov.insert_element(u).unwrap();
+                black_box(cov.solution_size())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_membership_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("setcover_membership_churn");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("set_remove_reinsert_m1024", |b| {
+        let cover = random_instance(13, 200, 1024, 0.05, LevelBase::TWO);
+        b.iter_batched(
+            || cover.clone(),
+            |mut cov| {
+                // Remove a mid-sized set and re-add it: triggers
+                // reassignments plus stabilisation.
+                let _ = cov.remove_set(100).unwrap();
+                let members: Vec<ElemId> = (0..1024).filter(|u| u % 7 == 3).collect();
+                cov.insert_set(100, members).unwrap();
+                black_box(cov.solution_size())
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+/// Ablation: level base (paper footnote 2 allows any base > 1). Larger
+/// bases mean fewer levels (smaller |C| bound constant) but coarser
+/// stability, i.e. more element moves per violation.
+fn bench_ablation_level_base(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_level_base");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &base in &[1.5f64, 2.0, 3.0, 4.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(base), &base, |b, &base| {
+            b.iter_batched(
+                || random_instance(17, 150, 512, 0.06, LevelBase::new(base)),
+                |mut cov| {
+                    for u in 0..64u32 {
+                        cov.remove_element(u).unwrap();
+                    }
+                    for u in 0..64u32 {
+                        cov.insert_element(u).unwrap();
+                    }
+                    black_box((cov.solution_size(), cov.stabilize_moves()))
+                },
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_greedy_init,
+    bench_element_churn,
+    bench_membership_churn,
+    bench_ablation_level_base
+);
+criterion_main!(benches);

@@ -1,0 +1,492 @@
+//! Shared harness for regenerating the paper's tables and figures.
+//!
+//! Each `src/bin/*.rs` binary reproduces one table or figure (see
+//! `DESIGN.md` §4 for the index); this library holds the common plumbing:
+//! scale handling, the dynamic-workload experiment runner for FD-RMS and
+//! every static baseline, and parallel execution of independent cells.
+//!
+//! ## Scaling
+//!
+//! The paper's full experiments run on databases up to 1 M tuples with a
+//! 500 K-vector regret test set — hours of compute for the slow baselines.
+//! Every binary therefore runs at a *reduced default scale* and prints the
+//! scale it used; pass `--full` for paper scale or `--scale <f>` /
+//! `--ops <n>` / `--eval <n>` to tune. Trends and orderings (who wins,
+//! where the crossovers sit) are preserved; absolute numbers shrink.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rms_baselines::{
+    DmmGreedy, DmmRrms, DynamicAdapter, EpsKernel, GeoGreedy, Greedy, GreedyStar, HittingSet,
+    Sphere, StaticRms,
+};
+use rms_data::{paper_workload, DatasetSpec, Operation, WorkloadConfig};
+use rms_eval::{ExperimentRecord, RegretEstimator, UpdateTimer};
+use rms_geom::Point;
+
+/// Harness-wide scale knobs parsed from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Dataset cardinality fraction (1.0 = paper scale).
+    pub frac: f64,
+    /// Number of regret-evaluation vectors (paper: 500 000).
+    pub eval_vectors: usize,
+    /// Upper bound M on FD-RMS utility vectors.
+    pub max_m: usize,
+    /// Cap on the number of workload operations measured per cell.
+    pub ops: usize,
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self {
+            frac: 0.02,
+            eval_vectors: 20_000,
+            max_m: 1 << 12,
+            ops: 400,
+        }
+    }
+}
+
+impl Scale {
+    /// Parses `--full`, `--scale f`, `--eval n`, `--ops n`, `--max-m n`
+    /// from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut s = Self::default();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => {
+                    s.frac = 1.0;
+                    s.eval_vectors = 500_000;
+                    s.max_m = 1 << 20;
+                    s.ops = usize::MAX;
+                }
+                "--scale" => {
+                    i += 1;
+                    s.frac = args[i].parse().expect("--scale takes a float");
+                }
+                "--eval" => {
+                    i += 1;
+                    s.eval_vectors = args[i].parse().expect("--eval takes an int");
+                }
+                "--ops" => {
+                    i += 1;
+                    s.ops = args[i].parse().expect("--ops takes an int");
+                }
+                "--max-m" => {
+                    i += 1;
+                    s.max_m = args[i].parse().expect("--max-m takes an int");
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        s
+    }
+
+    /// Human-readable banner describing the scale.
+    pub fn banner(&self) -> String {
+        format!(
+            "scale: frac={}, eval_vectors={}, max_m={}, ops_cap={}",
+            self.frac,
+            self.eval_vectors,
+            self.max_m,
+            if self.ops == usize::MAX {
+                "none".to_string()
+            } else {
+                self.ops.to_string()
+            }
+        )
+    }
+}
+
+/// The algorithms of Section IV-A, as harness-selectable variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's contribution.
+    FdRms,
+    /// GREEDY [22].
+    Greedy,
+    /// GEOGREEDY [23].
+    GeoGreedy,
+    /// GREEDY* [11].
+    GreedyStar,
+    /// DMM-RRMS [4].
+    DmmRrms,
+    /// DMM-GREEDY [4].
+    DmmGreedy,
+    /// ε-KERNEL [3], [10].
+    EpsKernel,
+    /// HS [3].
+    Hs,
+    /// SPHERE [32].
+    Sphere,
+}
+
+impl Algo {
+    /// Every algorithm, FD-RMS first (the order of the paper's legends).
+    pub const ALL: [Algo; 9] = [
+        Algo::FdRms,
+        Algo::Greedy,
+        Algo::GeoGreedy,
+        Algo::GreedyStar,
+        Algo::DmmRrms,
+        Algo::DmmGreedy,
+        Algo::EpsKernel,
+        Algo::Hs,
+        Algo::Sphere,
+    ];
+
+    /// The algorithms compared in Fig. 7 (the only ones defined for k>1).
+    pub const K_CAPABLE: [Algo; 4] = [Algo::FdRms, Algo::GreedyStar, Algo::EpsKernel, Algo::Hs];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::FdRms => "FD-RMS",
+            Algo::Greedy => "Greedy",
+            Algo::GeoGreedy => "GeoGreedy",
+            Algo::GreedyStar => "Greedy*",
+            Algo::DmmRrms => "DMM-RRMS",
+            Algo::DmmGreedy => "DMM-Greedy",
+            Algo::EpsKernel => "eps-Kernel",
+            Algo::Hs => "HS",
+            Algo::Sphere => "Sphere",
+        }
+    }
+
+    /// Boxes the corresponding static baseline (panics on
+    /// [`Algo::FdRms`], which is not a static algorithm).
+    pub fn static_algo(self) -> Box<dyn StaticRms + Send> {
+        match self {
+            Algo::FdRms => panic!("FD-RMS is not a static baseline"),
+            Algo::Greedy => Box::new(Greedy),
+            Algo::GeoGreedy => Box::new(GeoGreedy),
+            Algo::GreedyStar => Box::new(GreedyStar::default()),
+            Algo::DmmRrms => Box::new(DmmRrms::default()),
+            Algo::DmmGreedy => Box::new(DmmGreedy::default()),
+            Algo::EpsKernel => Box::new(EpsKernel::default()),
+            Algo::Hs => Box::new(HittingSet::default()),
+            Algo::Sphere => Box::new(Sphere::default()),
+        }
+    }
+
+    /// Parses `--algos a,b,c` from the process arguments; `None` when the
+    /// flag is absent (caller uses its figure-specific default list).
+    pub fn filter_from_args() -> Option<Vec<Algo>> {
+        let args: Vec<String> = std::env::args().collect();
+        let pos = args.iter().position(|a| a == "--algos")?;
+        let list = args.get(pos + 1)?;
+        Some(
+            list.split(',')
+                .filter_map(|name| {
+                    Algo::ALL
+                        .into_iter()
+                        .find(|a| a.name().eq_ignore_ascii_case(name))
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Parameters of one experiment cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Experiment id (e.g. `"fig6"`).
+    pub experiment: String,
+    /// Dataset recipe (already scaled).
+    pub spec: DatasetSpec,
+    /// Algorithm under test.
+    pub algo: Algo,
+    /// Rank depth.
+    pub k: usize,
+    /// Result size budget.
+    pub r: usize,
+    /// FD-RMS ε (ignored by baselines).
+    pub eps: f64,
+    /// Name of the varied parameter, for the record.
+    pub param: String,
+    /// Value of the varied parameter, for the record.
+    pub value: f64,
+}
+
+/// Runs the paper's dynamic workload for one cell and reports the average
+/// update time and the mean of the checkpointed regret ratios.
+pub fn run_cell(cell: &Cell, scale: Scale) -> ExperimentRecord {
+    use rand::{rngs::StdRng, SeedableRng};
+    let points = cell.spec.generate();
+    let d = cell.spec.d;
+    let mut rng = StdRng::seed_from_u64(cell.spec.seed ^ 0xABCD);
+    let mut workload = paper_workload(&mut rng, points, WorkloadConfig::default());
+    if workload.operations.len() > scale.ops {
+        workload.operations.truncate(scale.ops);
+        let total = workload.operations.len().max(1);
+        workload.checkpoints = (1..=10).map(|i| (total * i / 10).max(1) - 1).collect();
+    }
+    let est = RegretEstimator::new(d, scale.eval_vectors.max(d), 0x7E57);
+
+    let (timer, mrrs) = match cell.algo {
+        Algo::FdRms => run_fdrms(cell, scale, &workload, &est),
+        _ => run_static(cell, &workload, &est),
+    };
+
+    ExperimentRecord {
+        experiment: cell.experiment.clone(),
+        dataset: cell.spec.dataset.name().to_string(),
+        algorithm: cell.algo.name().to_string(),
+        param: cell.param.clone(),
+        value: cell.value,
+        update_ms: timer.avg_ms(),
+        mrr: if mrrs.is_empty() {
+            f64::NAN
+        } else {
+            mrrs.iter().sum::<f64>() / mrrs.len() as f64
+        },
+    }
+}
+
+fn run_fdrms(
+    cell: &Cell,
+    scale: Scale,
+    workload: &rms_data::Workload,
+    est: &RegretEstimator,
+) -> (UpdateTimer, Vec<f64>) {
+    let mut fd = fdrms::FdRms::builder(cell.spec.d)
+        .k(cell.k)
+        .r(cell.r)
+        .epsilon(cell.eps)
+        .max_utilities(scale.max_m)
+        .seed(cell.spec.seed)
+        .build(workload.initial.clone())
+        .expect("valid cell configuration");
+    let mut live: Vec<Point> = workload.initial.clone();
+    let mut timer = UpdateTimer::new();
+    let mut mrrs = Vec::new();
+    let mut next_cp = 0usize;
+    for (i, op) in workload.operations.iter().enumerate() {
+        match op {
+            Operation::Insert(p) => {
+                live.push(p.clone());
+                timer.record(|| fd.insert(p.clone()).expect("workload ids are fresh"));
+            }
+            Operation::Delete(id) => {
+                live.retain(|q| q.id() != *id);
+                timer.record(|| fd.delete(*id).expect("workload deletes live ids"));
+            }
+        }
+        if next_cp < workload.checkpoints.len() && workload.checkpoints[next_cp] == i {
+            mrrs.push(est.mrr(&live, &fd.result(), cell.k));
+            next_cp += 1;
+        }
+    }
+    (timer, mrrs)
+}
+
+fn run_static(
+    cell: &Cell,
+    workload: &rms_data::Workload,
+    est: &RegretEstimator,
+) -> (UpdateTimer, Vec<f64>) {
+    let algo = cell.algo.static_algo();
+    let mut ad = DynamicAdapter::new(
+        BoxedStatic(algo),
+        cell.k,
+        cell.r,
+        workload.initial.clone(),
+    )
+    .expect("workload initial state is valid");
+    let mut live: Vec<Point> = workload.initial.clone();
+    let mut timer = UpdateTimer::new();
+    let mut mrrs = Vec::new();
+    let mut next_cp = 0usize;
+    for (i, op) in workload.operations.iter().enumerate() {
+        // Skyline maintenance is untimed (Section IV-A: "we only took the
+        // time for k-RMS computation into account").
+        let needs = match op {
+            Operation::Insert(p) => {
+                live.push(p.clone());
+                ad.insert_lazy(p.clone()).expect("fresh ids")
+            }
+            Operation::Delete(id) => {
+                live.retain(|q| q.id() != *id);
+                ad.delete_lazy(*id).expect("live ids")
+            }
+        };
+        if needs {
+            timer.record(|| ad.recompute());
+        } else {
+            timer.add(std::time::Duration::ZERO);
+        }
+        if next_cp < workload.checkpoints.len() && workload.checkpoints[next_cp] == i {
+            mrrs.push(est.mrr(&live, ad.result(), cell.k));
+            next_cp += 1;
+        }
+    }
+    (timer, mrrs)
+}
+
+/// Adapter shim: `DynamicAdapter` is generic over `StaticRms`, the harness
+/// holds trait objects.
+struct BoxedStatic(Box<dyn StaticRms + Send>);
+
+impl StaticRms for BoxedStatic {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn supports_k(&self, k: usize) -> bool {
+        self.0.supports_k(k)
+    }
+    fn compute(&self, skyline: &[Point], full: &[Point], k: usize, r: usize) -> Vec<Point> {
+        self.0.compute(skyline, full, k, r)
+    }
+}
+
+/// Runs independent cells in parallel (one worker per CPU, crossbeam
+/// scoped threads) and returns records in the input order.
+pub fn run_cells(cells: Vec<Cell>, scale: Scale) -> Vec<ExperimentRecord> {
+    let n = cells.len();
+    let results: Vec<parking_lot::Mutex<Option<ExperimentRecord>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n.max(1));
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let rec = run_cell(&cells[i], scale);
+                eprintln!(
+                    "  done: {} / {} / {}={}",
+                    rec.dataset, rec.algorithm, rec.param, rec.value
+                );
+                *results[i].lock() = Some(rec);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("all cells ran"))
+        .collect()
+}
+
+/// Writes records to `results/<name>.tsv` when `--save` was passed.
+pub fn maybe_save(name: &str, records: &[ExperimentRecord]) {
+    if !std::env::args().any(|a| a == "--save") {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("results dir");
+    let mut out = String::from(ExperimentRecord::HEADER);
+    out.push('\n');
+    for r in records {
+        out.push_str(&r.to_row());
+        out.push('\n');
+    }
+    let path = dir.join(format!("{name}.tsv"));
+    std::fs::write(&path, out).expect("write results");
+    eprintln!("saved {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_data::NamedDataset;
+
+    #[test]
+    fn default_scale_is_reduced() {
+        let s = Scale::default();
+        assert!(s.frac < 1.0);
+        assert!(s.eval_vectors < 500_000);
+    }
+
+    #[test]
+    fn algo_filter_and_names() {
+        assert_eq!(Algo::ALL.len(), 9);
+        let names: std::collections::HashSet<_> =
+            Algo::ALL.iter().map(|a| a.name()).collect();
+        assert_eq!(names.len(), 9);
+        for a in Algo::K_CAPABLE {
+            assert!(a == Algo::FdRms || a.static_algo().supports_k(3));
+        }
+    }
+
+    #[test]
+    fn run_cell_fdrms_smoke() {
+        let cell = Cell {
+            experiment: "smoke".into(),
+            spec: NamedDataset::Indep.spec().with_n(400).with_d(3),
+            algo: Algo::FdRms,
+            k: 1,
+            r: 5,
+            eps: 0.05,
+            param: "r".into(),
+            value: 5.0,
+        };
+        let scale = Scale {
+            frac: 1.0,
+            eval_vectors: 1_000,
+            max_m: 256,
+            ops: 60,
+        };
+        let rec = run_cell(&cell, scale);
+        assert_eq!(rec.algorithm, "FD-RMS");
+        assert!(rec.update_ms >= 0.0);
+        assert!((0.0..=1.0).contains(&rec.mrr));
+    }
+
+    #[test]
+    fn run_cell_static_smoke() {
+        let cell = Cell {
+            experiment: "smoke".into(),
+            spec: NamedDataset::Indep.spec().with_n(300).with_d(3),
+            algo: Algo::Sphere,
+            k: 1,
+            r: 5,
+            eps: 0.05,
+            param: "r".into(),
+            value: 5.0,
+        };
+        let scale = Scale {
+            frac: 1.0,
+            eval_vectors: 1_000,
+            max_m: 256,
+            ops: 40,
+        };
+        let rec = run_cell(&cell, scale);
+        assert_eq!(rec.algorithm, "Sphere");
+        assert!((0.0..=1.0).contains(&rec.mrr));
+    }
+
+    #[test]
+    fn run_cells_parallel_smoke() {
+        let mk = |algo| Cell {
+            experiment: "smoke".into(),
+            spec: NamedDataset::Indep.spec().with_n(200).with_d(2),
+            algo,
+            k: 1,
+            r: 4,
+            eps: 0.05,
+            param: "r".into(),
+            value: 4.0,
+        };
+        let scale = Scale {
+            frac: 1.0,
+            eval_vectors: 500,
+            max_m: 128,
+            ops: 20,
+        };
+        let recs = run_cells(vec![mk(Algo::FdRms), mk(Algo::Greedy)], scale);
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].algorithm, "FD-RMS");
+        assert_eq!(recs[1].algorithm, "Greedy");
+    }
+}

@@ -1,0 +1,917 @@
+//! The FD-RMS maintenance algorithm (Algorithms 2–4 of the paper).
+
+use crate::builder::{FdRmsBuilder, FdRmsError};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rms_geom::{with_basis_prefix, Point, PointId, RankedPoint, Utility};
+use rms_index::{ConeTree, KdTree};
+use rms_setcover::{DynamicSetCover, ElemId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Per-utility top-k maintenance state.
+///
+/// `exact` holds the exact top-k ranking (descending score, id-ascending
+/// tie-break), `tau = (1 − ε)·ω_k` is the admission threshold of the
+/// ε-approximate result `Φ_{k,ε}`; while fewer than `k` tuples exist the
+/// threshold is 0 and `Φ` is the whole database.
+#[derive(Debug, Clone, Default)]
+struct TopKState {
+    exact: Vec<RankedPoint>,
+    tau: f64,
+}
+
+impl TopKState {
+    fn recompute_tau(&mut self, k: usize, eps: f64) {
+        self.tau = if self.exact.len() < k {
+            0.0
+        } else {
+            (1.0 - eps) * self.exact[k - 1].score
+        };
+    }
+}
+
+/// Descending-score, ascending-id ordering used by the exact top-k lists.
+#[inline]
+fn rank_before(a_score: f64, a_id: PointId, b: &RankedPoint) -> bool {
+    match a_score.partial_cmp(&b.score).expect("finite scores") {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a_id < b.id,
+    }
+}
+
+/// Fully dynamic k-RMS maintenance (see the crate docs for the scheme).
+#[derive(Debug)]
+pub struct FdRms {
+    d: usize,
+    k: usize,
+    r: usize,
+    eps: f64,
+    /// Upper bound `M` on the universe size.
+    cap_m: usize,
+    /// Current number of utility vectors in the set-cover universe.
+    m: usize,
+    utilities: Vec<Utility>,
+    topk: Vec<TopKState>,
+    kd: KdTree,
+    cone: ConeTree,
+    cover: DynamicSetCover,
+    points: HashMap<PointId, Point>,
+    /// Universe indices `< m` that were dropped as uncoverable (only
+    /// possible while the database is empty); re-admitted on insertion.
+    pending: BTreeSet<ElemId>,
+    /// Operation counter (diagnostics).
+    ops: u64,
+    /// Per-structure instrumentation.
+    stats: UpdateStats,
+}
+
+/// Cumulative instrumentation counters exposed for the ablation benches
+/// and for production observability.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Total utility vectors whose top-k result changed (`Σ u(Δ_t)` in the
+    /// paper's complexity analysis).
+    pub affected_utilities: u64,
+    /// Total tuples evicted from some `Φ_{k,ε}` because a threshold rose.
+    pub evictions: u64,
+    /// Total tuples admitted into some `Φ_{k,ε}` because a threshold fell.
+    pub admissions: u64,
+    /// Exact top-k re-queries issued against the tuple index.
+    pub topk_requeries: u64,
+    /// Times UPDATE-M grew the universe.
+    pub m_grow_steps: u64,
+    /// Times UPDATE-M shrank the universe.
+    pub m_shrink_steps: u64,
+}
+
+impl FdRms {
+    /// Starts building an FD-RMS instance over `d`-dimensional tuples.
+    pub fn builder(d: usize) -> FdRmsBuilder {
+        FdRmsBuilder::new(d)
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 2: INITIALIZATION
+    // ------------------------------------------------------------------
+
+    pub(crate) fn initialize(
+        cfg: FdRmsBuilder,
+        initial: Vec<Point>,
+    ) -> Result<Self, FdRmsError> {
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let utilities = with_basis_prefix(&mut rng, cfg.d, cfg.max_utilities);
+        let kd = KdTree::build(cfg.d, initial.clone()).map_err(|e| match e {
+            rms_index::KdTreeError::DuplicateId(id) => FdRmsError::DuplicateId(id),
+            rms_index::KdTreeError::DimensionMismatch { expected, got } => {
+                FdRmsError::DimensionMismatch { expected, got }
+            }
+            rms_index::KdTreeError::UnknownId(id) => FdRmsError::UnknownId(id),
+        })?;
+        let cone = ConeTree::build(utilities.clone());
+        let mut fd = Self {
+            d: cfg.d,
+            k: cfg.k,
+            r: cfg.r,
+            eps: cfg.epsilon,
+            cap_m: cfg.max_utilities,
+            m: cfg.r,
+            utilities,
+            topk: vec![TopKState::default(); cfg.max_utilities],
+            kd,
+            cone,
+            cover: DynamicSetCover::new(cfg.level_base),
+            points: initial.iter().map(|p| (p.id(), p.clone())).collect(),
+            pending: BTreeSet::new(),
+            ops: 0,
+            stats: UpdateStats::default(),
+        };
+
+        // Compute Φ_{k,ε}(u_i, P0) for every i ∈ [1, M] and build the full
+        // membership (tuple → utilities it approximates).
+        let mut memberships: HashMap<PointId, Vec<ElemId>> =
+            initial.iter().map(|p| (p.id(), Vec::new())).collect();
+        for i in 0..fd.cap_m {
+            let (phi, _omega) = fd.kd.top_k_approx(&fd.utilities[i], fd.k, fd.eps);
+            let exact_len = fd.k.min(phi.len());
+            fd.topk[i].exact = phi[..exact_len].to_vec();
+            fd.topk[i].recompute_tau(fd.k, fd.eps);
+            fd.cone.set_threshold(i, fd.topk[i].tau);
+            for rp in &phi {
+                memberships
+                    .get_mut(&rp.id)
+                    .expect("Φ members are live tuples")
+                    .push(i as ElemId);
+            }
+        }
+        for (pid, members) in memberships {
+            fd.cover
+                .insert_set(pid, members)
+                .expect("fresh tuple ids are unique");
+        }
+
+        // Binary search m ∈ [r, M] so that the greedy cover has size r
+        // (Lines 3–14). |C| grows with m; we keep the largest probe whose
+        // cover size does not exceed r.
+        if fd.points.is_empty() {
+            fd.m = cfg.r;
+            fd.cover.reset_universe(std::iter::empty());
+            fd.pending = (0..cfg.r as ElemId).collect();
+            return Ok(fd);
+        }
+        let (mut lo, mut hi) = (cfg.r, cfg.max_utilities);
+        let mut best_m = cfg.r;
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            fd.cover.reset_universe(0..mid as ElemId);
+            fd.cover.greedy().expect("every utility has a top-1 tuple");
+            let size = fd.cover.solution_size();
+            if size < fd.r {
+                best_m = mid;
+                lo = mid + 1;
+            } else if size > fd.r {
+                hi = mid - 1;
+            } else {
+                best_m = mid;
+                break;
+            }
+        }
+        if fd.cover.universe_size() != best_m {
+            fd.cover.reset_universe(0..best_m as ElemId);
+            fd.cover.greedy().expect("every utility has a top-1 tuple");
+        }
+        fd.m = best_m;
+        Ok(fd)
+    }
+
+    // ------------------------------------------------------------------
+    // Read access
+    // ------------------------------------------------------------------
+
+    /// The current k-RMS result `Q_t` (tuples whose sets form the cover),
+    /// sorted by id.
+    pub fn result(&self) -> Vec<Point> {
+        let mut out: Vec<Point> = self
+            .cover
+            .solution()
+            .map(|pid| self.points[&pid].clone())
+            .collect();
+        out.sort_unstable_by_key(Point::id);
+        out
+    }
+
+    /// Ids of the current result.
+    pub fn result_ids(&self) -> Vec<PointId> {
+        let mut out: Vec<PointId> = self.cover.solution().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of live tuples `n_t`.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The configured dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.d
+    }
+
+    /// The rank depth `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The result size budget `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// The top-k approximation factor ε.
+    pub fn epsilon(&self) -> f64 {
+        self.eps
+    }
+
+    /// The current universe size `m` (number of utility vectors the cover
+    /// is defined over).
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The upper bound `M` on `m`.
+    pub fn max_utilities(&self) -> usize {
+        self.cap_m
+    }
+
+    /// Whether tuple `id` is live.
+    pub fn contains(&self, id: PointId) -> bool {
+        self.points.contains_key(&id)
+    }
+
+    /// Number of operations applied since construction.
+    pub fn operations(&self) -> u64 {
+        self.ops
+    }
+
+    /// Cumulative STABILIZE element moves (ablation instrumentation).
+    pub fn stabilize_moves(&self) -> u64 {
+        self.cover.stabilize_moves()
+    }
+
+    /// Cumulative instrumentation counters.
+    pub fn stats(&self) -> UpdateStats {
+        self.stats
+    }
+
+    /// Replaces the attributes of a live tuple: the paper models an
+    /// update as a deletion followed by an insertion (Section II-B), and
+    /// so does this method. The tuple keeps its id.
+    pub fn update(&mut self, p: Point) -> Result<(), FdRmsError> {
+        if !self.points.contains_key(&p.id()) {
+            return Err(FdRmsError::UnknownId(p.id()));
+        }
+        if p.dim() != self.d {
+            return Err(FdRmsError::DimensionMismatch {
+                expected: self.d,
+                got: p.dim(),
+            });
+        }
+        self.delete(p.id()).expect("checked live above");
+        self.insert(p).expect("id just freed");
+        Ok(())
+    }
+
+    /// Solves the **min-size** variant referenced in the related work
+    /// ([3], [19]): the smallest subset whose maximum k-regret ratio is at
+    /// most ε (with respect to the full sampled net of `M` utility
+    /// vectors, not just the tuned prefix `m`). Runs greedy set cover on
+    /// a clone of the maintained system, so the dynamic state is
+    /// untouched. Cost is one greedy pass — `O(r'·n)` — so call it on
+    /// demand, not per update.
+    pub fn min_size_result(&self) -> Vec<Point> {
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut cover = self.cover.clone();
+        cover.reset_universe(0..self.cap_m as ElemId);
+        cover.greedy().expect("every utility has a top-1 tuple");
+        let mut out: Vec<Point> = cover
+            .solution()
+            .map(|pid| self.points[&pid].clone())
+            .collect();
+        out.sort_unstable_by_key(Point::id);
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 3: UPDATE — insertion
+    // ------------------------------------------------------------------
+
+    /// Applies `Δ_t = 〈p, +〉` and re-balances the result to size `r`.
+    pub fn insert(&mut self, p: Point) -> Result<(), FdRmsError> {
+        if p.dim() != self.d {
+            return Err(FdRmsError::DimensionMismatch {
+                expected: self.d,
+                got: p.dim(),
+            });
+        }
+        if self.points.contains_key(&p.id()) {
+            return Err(FdRmsError::DuplicateId(p.id()));
+        }
+        self.ops += 1;
+        let pid = p.id();
+        self.kd.insert(p.clone()).expect("id vetted above");
+        self.points.insert(pid, p.clone());
+
+        // Utilities whose ε-approximate top-k admits p (the cone tree
+        // prunes the scan; thresholds are 0 while fewer than k tuples
+        // exist, so those utilities always appear).
+        let affected = self.cone.affected_by(&p);
+        self.stats.affected_utilities += affected.len() as u64;
+
+        // p joins Φ_{k,ε}(u_i) for every affected i: register S(p) first
+        // so evicted utilities can be reassigned into it.
+        self.cover
+            .insert_set(pid, affected.iter().map(|&i| i as ElemId))
+            .expect("id vetted above");
+
+        for &i in &affected {
+            let score = self.utilities[i].score(&p);
+            let k = self.k;
+            let st = &mut self.topk[i];
+            // Does p enter the exact top-k?
+            let enters = st.exact.len() < k
+                || rank_before(score, pid, &st.exact[st.exact.len() - 1]);
+            if enters {
+                let pos = st
+                    .exact
+                    .partition_point(|e| rank_before(e.score, e.id, &RankedPoint { id: pid, score }));
+                st.exact.insert(pos, RankedPoint { id: pid, score });
+                st.exact.truncate(k);
+                let old_tau = st.tau;
+                st.recompute_tau(k, self.eps);
+                let new_tau = st.tau;
+                if new_tau > old_tau {
+                    // ω_k increased: evict Φ members that fell below the
+                    // new threshold (the "series of deletions" of the
+                    // insertion path, Lines 5–8 of Algorithm 3).
+                    let members: Vec<PointId> = self
+                        .cover
+                        .sets_containing(i as ElemId)
+                        .map(|s| s.iter().copied().collect())
+                        .unwrap_or_default();
+                    for q_id in members {
+                        if q_id == pid {
+                            continue;
+                        }
+                        let q_score = self.utilities[i].score(&self.points[&q_id]);
+                        if q_score < new_tau {
+                            self.stats.evictions += 1;
+                            let kept = self
+                                .cover
+                                .remove_from_set(i as ElemId, q_id)
+                                .expect("member sets exist");
+                            debug_assert!(
+                                kept || (i as usize) >= self.m,
+                                "universe element lost its last set during insert"
+                            );
+                        }
+                    }
+                    self.cone.set_threshold(i, new_tau);
+                }
+            }
+        }
+
+        // Re-admit any pending universe elements now that coverage exists.
+        self.readmit_pending();
+
+        if self.cover.solution_size() != self.r {
+            self.update_m();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 3: UPDATE — deletion
+    // ------------------------------------------------------------------
+
+    /// Applies `Δ_t = 〈p, −〉` and re-balances the result to size `r`.
+    pub fn delete(&mut self, pid: PointId) -> Result<(), FdRmsError> {
+        let Some(_p) = self.points.remove(&pid) else {
+            return Err(FdRmsError::UnknownId(pid));
+        };
+        self.ops += 1;
+        self.kd.delete(pid).expect("points map and kd agree");
+
+        // Utilities whose Φ contained p — exactly the members of S(p).
+        let affected: Vec<usize> = self
+            .cover
+            .members(pid)
+            .map(|m| m.iter().map(|&u| u as usize).collect())
+            .unwrap_or_default();
+        self.stats.affected_utilities += affected.len() as u64;
+
+        for &i in &affected {
+            let was_exact = self.topk[i].exact.iter().any(|e| e.id == pid);
+            if !was_exact {
+                // p sat only in the ε-band: Φ loses p (handled by the set
+                // removal below); thresholds are unchanged.
+                continue;
+            }
+            // ω_k may drop: recompute the exact top-k from the tree and
+            // admit the tuples that now clear the lower threshold (the
+            // "series of insertions" of the deletion path, Lines 9–12).
+            self.stats.topk_requeries += 1;
+            let exact = self.kd.top_k(&self.utilities[i], self.k);
+            let st = &mut self.topk[i];
+            st.exact = exact;
+            st.recompute_tau(self.k, self.eps);
+            let new_tau = st.tau;
+            let entrants = self.kd.above_threshold(&self.utilities[i], new_tau);
+            for rp in entrants {
+                if !self.cover.set_contains(rp.id, i as ElemId) {
+                    self.stats.admissions += 1;
+                    self.cover
+                        .add_to_set(i as ElemId, rp.id)
+                        .expect("entrant tuples are live");
+                }
+            }
+            self.cone.set_threshold(i, new_tau);
+        }
+
+        // Remove S(p); covered utilities are reassigned to the sets that
+        // now contain them. Drops only happen when the database emptied.
+        let dropped = self.cover.remove_set(pid).expect("set registered at insert");
+        for u in dropped {
+            debug_assert!(self.points.is_empty(), "drop with nonempty database");
+            self.pending.insert(u);
+        }
+        if self.points.is_empty() {
+            for i in 0..self.cap_m {
+                self.topk[i] = TopKState::default();
+                self.cone.set_threshold(i, 0.0);
+            }
+            return Ok(());
+        }
+
+        if self.cover.solution_size() != self.r {
+            self.update_m();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Algorithm 4: UPDATE-M
+    // ------------------------------------------------------------------
+
+    /// Grows or shrinks the universe one utility vector at a time until
+    /// the cover size returns to `r` (or the bounds `r ≤ m ≤ M` bind).
+    fn update_m(&mut self) {
+        if self.points.is_empty() {
+            return;
+        }
+        if self.cover.solution_size() < self.r {
+            while self.m < self.cap_m && self.cover.solution_size() < self.r {
+                let u = self.m as ElemId;
+                self.m += 1;
+                self.stats.m_grow_steps += 1;
+                self.admit(u);
+            }
+        } else if self.cover.solution_size() > self.r {
+            while self.cover.solution_size() > self.r && self.m > self.r {
+                self.m -= 1;
+                self.stats.m_shrink_steps += 1;
+                let u = self.m as ElemId;
+                if self.pending.remove(&u) {
+                    continue;
+                }
+                self.cover
+                    .remove_element(u)
+                    .expect("universe elements ≤ m are admitted or pending");
+            }
+        }
+    }
+
+    /// Adds utility index `u` to the set-cover universe (its memberships
+    /// are maintained for all `M` vectors, so admission is just an element
+    /// insertion).
+    fn admit(&mut self, u: ElemId) {
+        match self.cover.insert_element(u) {
+            Ok(()) => {}
+            Err(rms_setcover::CoverError::UncoverableElement(_)) => {
+                // Database must be empty for a top-k result to be empty;
+                // remember the element for later.
+                self.pending.insert(u);
+            }
+            Err(e) => unreachable!("admit({u}): {e}"),
+        }
+    }
+
+    /// Re-admits pending universe elements whose coverage returned.
+    fn readmit_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let m = self.m as ElemId;
+        let candidates: Vec<ElemId> = self.pending.range(..m).copied().collect();
+        for u in candidates {
+            if self
+                .cover
+                .sets_containing(u)
+                .is_some_and(|s| !s.is_empty())
+            {
+                self.pending.remove(&u);
+                self.admit(u);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Verification
+    // ------------------------------------------------------------------
+
+    /// Exhaustive internal-consistency check for tests: top-k states match
+    /// brute-force recomputation, memberships match Φ, the cover is
+    /// stable, and the universe is `{0..m} \ pending`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let all: Vec<Point> = self.points.values().cloned().collect();
+        for i in 0..self.cap_m {
+            let u = &self.utilities[i];
+            let want_exact = rms_geom::top_k(&all, u, self.k);
+            if self.topk[i].exact != want_exact {
+                return Err(format!("utility {i}: exact top-k out of date"));
+            }
+            let want_tau = if want_exact.len() < self.k {
+                0.0
+            } else {
+                (1.0 - self.eps) * want_exact[self.k - 1].score
+            };
+            if (self.topk[i].tau - want_tau).abs() > 1e-9 {
+                return Err(format!(
+                    "utility {i}: tau {} != {want_tau}",
+                    self.topk[i].tau
+                ));
+            }
+            // Membership = Φ_{k,ε}.
+            let want_phi: std::collections::HashSet<PointId> =
+                rms_geom::top_k_approx(&all, u, self.k, self.eps)
+                    .into_iter()
+                    .map(|rp| rp.id)
+                    .collect();
+            for p in &all {
+                let has = self.cover.set_contains(p.id(), i as ElemId);
+                let want = want_phi.contains(&p.id());
+                if has != want {
+                    return Err(format!(
+                        "utility {i}, tuple {}: membership {has}, want {want}",
+                        p.id()
+                    ));
+                }
+            }
+        }
+        // Universe book-keeping.
+        let want_universe = self.m - self.pending.range(..self.m as ElemId).count();
+        if self.cover.universe_size() != want_universe {
+            return Err(format!(
+                "universe size {} != m − pending = {want_universe}",
+                self.cover.universe_size()
+            ));
+        }
+        if !self.points.is_empty() && !self.pending.is_empty() {
+            return Err("pending elements with nonempty database".into());
+        }
+        self.cover.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn fig1_points() -> Vec<Point> {
+        [
+            (1, 0.2, 1.0),
+            (2, 0.6, 0.8),
+            (3, 0.7, 0.5),
+            (4, 1.0, 0.1),
+            (5, 0.4, 0.3),
+            (6, 0.2, 0.7),
+            (7, 0.3, 0.9),
+            (8, 0.6, 0.6),
+        ]
+        .iter()
+        .map(|&(id, x, y)| Point::new_unchecked(id, vec![x, y]))
+        .collect()
+    }
+
+    fn random_points(seed: u64, n: usize, d: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                Point::new_unchecked(i as u64, (0..d).map(|_| rng.gen()).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn example3_shape_on_fig1() {
+        // The paper's Example 3 runs RMS(1, 3) on the Fig. 1 data with
+        // m up to 9 and gets Q0 = {p1, p2, p4}. Our sampled utilities
+        // differ, but the result must be 3 skyline tuples with near-zero
+        // 1-regret.
+        let fd = FdRms::builder(2)
+            .k(1)
+            .r(3)
+            .epsilon(0.002)
+            .max_utilities(64)
+            .seed(1)
+            .build(fig1_points())
+            .unwrap();
+        let q = fd.result();
+        assert!(q.len() <= 3);
+        fd.check_invariants().unwrap();
+        let mrr = rms_eval::max_regret_ratio(&fig1_points(), &q, 1, 10_000, 9);
+        assert!(mrr < 0.1, "mrr {mrr}");
+    }
+
+    #[test]
+    fn initialization_respects_r() {
+        let pts = random_points(3, 300, 3);
+        for r in [3, 5, 10] {
+            let fd = FdRms::builder(3)
+                .r(r)
+                .max_utilities(512)
+                .build(pts.clone())
+                .unwrap();
+            assert!(fd.result().len() <= r, "r={r}");
+            fd.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn insert_maintains_invariants() {
+        let pts = random_points(5, 120, 3);
+        let mut fd = FdRms::builder(3)
+            .r(5)
+            .max_utilities(256)
+            .build(pts)
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(6);
+        for i in 0..40 {
+            let p = Point::new_unchecked(1000 + i, (0..3).map(|_| rng.gen()).collect());
+            fd.insert(p).unwrap();
+            if i % 10 == 0 {
+                fd.check_invariants().unwrap();
+            }
+        }
+        fd.check_invariants().unwrap();
+        assert_eq!(fd.len(), 160);
+        assert!(fd.result().len() <= 5);
+    }
+
+    #[test]
+    fn delete_maintains_invariants() {
+        let pts = random_points(7, 150, 3);
+        let mut fd = FdRms::builder(3)
+            .r(5)
+            .max_utilities(256)
+            .build(pts.clone())
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut live: Vec<PointId> = pts.iter().map(|p| p.id()).collect();
+        for i in 0..60 {
+            let idx = rng.gen_range(0..live.len());
+            let id = live.swap_remove(idx);
+            fd.delete(id).unwrap();
+            if i % 15 == 0 {
+                fd.check_invariants().unwrap();
+            }
+        }
+        fd.check_invariants().unwrap();
+        assert_eq!(fd.len(), 90);
+    }
+
+    #[test]
+    fn mixed_workload_quality_tracks_recompute() {
+        // After many updates, the maintained result must stay close (in
+        // mrr) to a from-scratch rebuild with identical parameters.
+        let pts = random_points(11, 200, 3);
+        let mut fd = FdRms::builder(3)
+            .r(8)
+            .epsilon(0.05)
+            .max_utilities(512)
+            .seed(3)
+            .build(pts.clone())
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut live = pts;
+        let mut next_id = 10_000u64;
+        for _ in 0..120 {
+            if live.len() < 20 || rng.gen_bool(0.55) {
+                let p =
+                    Point::new_unchecked(next_id, (0..3).map(|_| rng.gen()).collect());
+                next_id += 1;
+                live.push(p.clone());
+                fd.insert(p).unwrap();
+            } else {
+                let idx = rng.gen_range(0..live.len());
+                let id = live.swap_remove(idx).id();
+                fd.delete(id).unwrap();
+            }
+        }
+        fd.check_invariants().unwrap();
+        let maintained = fd.result();
+        let rebuilt = FdRms::builder(3)
+            .r(8)
+            .epsilon(0.05)
+            .max_utilities(512)
+            .seed(3)
+            .build(live.clone())
+            .unwrap()
+            .result();
+        let est = rms_eval::RegretEstimator::new(3, 20_000, 5);
+        let mrr_maint = est.mrr(&live, &maintained, 1);
+        let mrr_rebuild = est.mrr(&live, &rebuilt, 1);
+        assert!(
+            mrr_maint <= mrr_rebuild + 0.1,
+            "maintained {mrr_maint} vs rebuilt {mrr_rebuild}"
+        );
+    }
+
+    #[test]
+    fn drain_to_empty_and_refill() {
+        let pts = random_points(21, 30, 2);
+        let mut fd = FdRms::builder(2)
+            .r(3)
+            .max_utilities(64)
+            .build(pts.clone())
+            .unwrap();
+        for p in &pts {
+            fd.delete(p.id()).unwrap();
+        }
+        assert!(fd.is_empty());
+        assert!(fd.result().is_empty());
+        fd.check_invariants().unwrap();
+        // Refill.
+        for p in &pts {
+            fd.insert(p.clone()).unwrap();
+        }
+        fd.check_invariants().unwrap();
+        assert_eq!(fd.len(), 30);
+        assert!(!fd.result().is_empty());
+        assert!(fd.result().len() <= 3);
+    }
+
+    #[test]
+    fn update_errors() {
+        let pts = random_points(31, 20, 2);
+        let mut fd = FdRms::builder(2)
+            .r(3)
+            .max_utilities(64)
+            .build(pts.clone())
+            .unwrap();
+        assert_eq!(
+            fd.insert(pts[0].clone()),
+            Err(FdRmsError::DuplicateId(pts[0].id()))
+        );
+        assert_eq!(fd.delete(999), Err(FdRmsError::UnknownId(999)));
+        assert_eq!(
+            fd.insert(Point::new_unchecked(500, vec![0.1, 0.2, 0.3])),
+            Err(FdRmsError::DimensionMismatch { expected: 2, got: 3 })
+        );
+        assert_eq!(fd.operations(), 0);
+    }
+
+    #[test]
+    fn k_greater_than_one() {
+        let pts = random_points(41, 150, 3);
+        let mut fd = FdRms::builder(3)
+            .k(3)
+            .r(6)
+            .epsilon(0.05)
+            .max_utilities(256)
+            .build(pts.clone())
+            .unwrap();
+        fd.check_invariants().unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in 0..30 {
+            let p = Point::new_unchecked(5000 + i, (0..3).map(|_| rng.gen()).collect());
+            fd.insert(p).unwrap();
+        }
+        for id in 0..30u64 {
+            fd.delete(id).unwrap();
+        }
+        fd.check_invariants().unwrap();
+        assert!(fd.result().len() <= 6);
+    }
+
+    #[test]
+    fn update_replaces_attributes_in_place() {
+        let pts = random_points(61, 80, 2);
+        let mut fd = FdRms::builder(2)
+            .r(3)
+            .max_utilities(64)
+            .build(pts.clone())
+            .unwrap();
+        // Update tuple 0 to dominate everything: it must enter the result.
+        fd.update(Point::new_unchecked(0, vec![1.0, 1.0])).unwrap();
+        fd.check_invariants().unwrap();
+        assert!(fd.result_ids().contains(&0));
+        assert_eq!(fd.len(), 80);
+        // Unknown id and wrong dimension are rejected.
+        assert_eq!(
+            fd.update(Point::new_unchecked(9999, vec![0.5, 0.5])),
+            Err(FdRmsError::UnknownId(9999))
+        );
+        assert_eq!(
+            fd.update(Point::new_unchecked(0, vec![0.5])),
+            Err(FdRmsError::DimensionMismatch { expected: 2, got: 1 })
+        );
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let pts = random_points(71, 100, 3);
+        let mut fd = FdRms::builder(3)
+            .r(4)
+            .max_utilities(128)
+            .build(pts.clone())
+            .unwrap();
+        assert_eq!(fd.stats(), UpdateStats::default());
+        let mut rng = StdRng::seed_from_u64(72);
+        for i in 0..20 {
+            fd.insert(Point::new_unchecked(
+                1000 + i,
+                (0..3).map(|_| rng.gen()).collect(),
+            ))
+            .unwrap();
+            fd.delete(i).unwrap();
+        }
+        let s = fd.stats();
+        assert!(s.affected_utilities > 0);
+        assert!(s.topk_requeries > 0);
+    }
+
+    #[test]
+    fn min_size_result_has_eps_quality() {
+        let pts = random_points(81, 150, 3);
+        let eps = 0.08;
+        let fd = FdRms::builder(3)
+            .r(3)
+            .epsilon(eps)
+            .max_utilities(256)
+            .build(pts.clone())
+            .unwrap();
+        let q = fd.min_size_result();
+        assert!(!q.is_empty());
+        // Quality over the sampled net: by construction the set covers all
+        // M utilities within eps; the Monte-Carlo estimate over *fresh*
+        // directions should be near eps (allow net-resolution slack).
+        let mrr = rms_eval::max_regret_ratio(&pts, &q, 1, 5_000, 9);
+        assert!(mrr < eps + 0.1, "min-size mrr {mrr}");
+        // The maintained (size-capped) state is untouched.
+        fd.check_invariants().unwrap();
+        assert!(fd.result().len() <= 3);
+    }
+
+    #[test]
+    fn result_is_subset_of_live_points() {
+        let pts = random_points(51, 100, 2);
+        let mut fd = FdRms::builder(2)
+            .r(4)
+            .max_utilities(128)
+            .build(pts.clone())
+            .unwrap();
+        for id in 0..50u64 {
+            fd.delete(id).unwrap();
+            for p in fd.result() {
+                assert!(fd.contains(p.id()));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_initialization() {
+        let mut fd = FdRms::builder(2)
+            .r(2)
+            .max_utilities(32)
+            .build(Vec::new())
+            .unwrap();
+        assert!(fd.is_empty());
+        assert!(fd.result().is_empty());
+        fd.insert(Point::new_unchecked(0, vec![0.5, 0.5])).unwrap();
+        fd.insert(Point::new_unchecked(1, vec![0.9, 0.1])).unwrap();
+        fd.check_invariants().unwrap();
+        assert_eq!(fd.result().len().min(2), fd.result().len());
+        assert!(!fd.result().is_empty());
+    }
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+}

@@ -1,0 +1,161 @@
+//! Compact binary serialization of datasets.
+//!
+//! Large benchmark datasets (up to 581 012 × 8 at full scale) are expensive
+//! to regenerate on every harness run, so the bench crate caches them on
+//! disk. The format is a minimal little-endian layout built with `bytes`:
+//!
+//! ```text
+//! magic  u32  = 0x4B524D53 ("KRMS")
+//! n      u64
+//! d      u32
+//! then n records: id u64, d × f64 coordinates
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use rms_geom::Point;
+
+/// Magic number guarding against decoding foreign files.
+const MAGIC: u32 = 0x4B52_4D53;
+
+/// Errors from decoding a dataset buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the KRMS magic number.
+    BadMagic,
+    /// The buffer ended before the declared number of records.
+    Truncated,
+    /// Header declared zero dimensions.
+    ZeroDimensions,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a KRMS dataset buffer"),
+            DecodeError::Truncated => write!(f, "dataset buffer is truncated"),
+            DecodeError::ZeroDimensions => write!(f, "dataset header declares d = 0"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes a dataset into the compact binary format.
+///
+/// Panics if the points do not all share one dimensionality.
+pub fn encode(points: &[Point]) -> Bytes {
+    let d = points.first().map_or(0, |p| p.dim());
+    let mut buf = BytesMut::with_capacity(16 + points.len() * (8 + d * 8));
+    buf.put_u32_le(MAGIC);
+    buf.put_u64_le(points.len() as u64);
+    buf.put_u32_le(d as u32);
+    for p in points {
+        assert_eq!(p.dim(), d, "mixed dimensionality in dataset");
+        buf.put_u64_le(p.id());
+        for &c in p.coords() {
+            buf.put_f64_le(c);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a dataset previously produced by [`encode`].
+pub fn decode(mut buf: Bytes) -> Result<Vec<Point>, DecodeError> {
+    if buf.remaining() < 16 {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let n = buf.get_u64_le() as usize;
+    let d = buf.get_u32_le() as usize;
+    if n > 0 && d == 0 {
+        return Err(DecodeError::ZeroDimensions);
+    }
+    let record = 8 + d * 8;
+    if buf.remaining() < n * record {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = buf.get_u64_le();
+        let coords: Vec<f64> = (0..d).map(|_| buf.get_f64_le()).collect();
+        out.push(Point::new_unchecked(id, coords));
+    }
+    Ok(out)
+}
+
+/// Writes an encoded dataset to `path` (creating parent directories).
+pub fn save(path: &std::path::Path, points: &[Point]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, encode(points))
+}
+
+/// Loads a dataset from `path`, returning `None` when the file is absent
+/// or fails to decode (callers regenerate in that case).
+pub fn load(path: &std::path::Path) -> Option<Vec<Point>> {
+    let raw = std::fs::read(path).ok()?;
+    decode(Bytes::from(raw)).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Point> {
+        vec![
+            Point::new_unchecked(3, vec![0.1, 0.2, 0.3]),
+            Point::new_unchecked(9, vec![1.0, 0.0, 0.5]),
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let pts = sample();
+        assert_eq!(decode(encode(&pts)).unwrap(), pts);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        assert_eq!(decode(encode(&[])).unwrap(), Vec::<Point>::new());
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = BytesMut::new();
+        raw.put_u32_le(0xDEAD_BEEF);
+        raw.put_u64_le(0);
+        raw.put_u32_le(2);
+        assert_eq!(decode(raw.freeze()), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let full = encode(&sample());
+        let cut = full.slice(0..full.len() - 4);
+        assert_eq!(decode(cut), Err(DecodeError::Truncated));
+        assert_eq!(decode(Bytes::new()), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn rejects_zero_dims_with_records() {
+        let mut raw = BytesMut::new();
+        raw.put_u32_le(MAGIC);
+        raw.put_u64_le(5);
+        raw.put_u32_le(0);
+        assert_eq!(decode(raw.freeze()), Err(DecodeError::ZeroDimensions));
+    }
+
+    #[test]
+    fn save_and_load_via_tempfile() {
+        let dir = std::env::temp_dir().join("krms-cache-test");
+        let path = dir.join("ds.krms");
+        let pts = sample();
+        save(&path, &pts).unwrap();
+        assert_eq!(load(&path).unwrap(), pts);
+        std::fs::remove_file(&path).ok();
+        assert!(load(&path).is_none());
+    }
+}

@@ -1,0 +1,234 @@
+//! Dynamic workloads: sequences of tuple insertions and deletions.
+//!
+//! Implements the experimental protocol of Section IV-A: "First, we
+//! randomly picked 50% of tuples as the initial dataset P0; Second, we
+//! inserted the remaining 50% of tuples one by one …; Third, we randomly
+//! deleted 50% of tuples one by one …. The k-RMS results were recorded 10
+//! times when 10%, 20%, …, 100% of the operations were performed."
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rms_geom::{Point, PointId};
+
+/// A single database update `Δ_t` (Section II-B).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operation {
+    /// `Δ_t = 〈p, +〉`: insert tuple `p`.
+    Insert(Point),
+    /// `Δ_t = 〈p, −〉`: delete the tuple with this id.
+    Delete(PointId),
+}
+
+impl Operation {
+    /// `true` for insertions.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, Operation::Insert(_))
+    }
+}
+
+/// Tuning knobs for workload generation.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadConfig {
+    /// Fraction of tuples in the initial database `P0` (paper: 0.5).
+    pub initial_fraction: f64,
+    /// Fraction of tuples deleted in the deletion phase (paper: 0.5).
+    pub delete_fraction: f64,
+    /// Number of evenly spaced checkpoints at which results are recorded
+    /// (paper: 10).
+    pub checkpoints: usize,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            initial_fraction: 0.5,
+            delete_fraction: 0.5,
+            checkpoints: 10,
+        }
+    }
+}
+
+/// A fully materialised dynamic workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The initial database `P0`.
+    pub initial: Vec<Point>,
+    /// The operation sequence `Δ` applied after `P0`.
+    pub operations: Vec<Operation>,
+    /// Indices into `operations` *after which* a result should be recorded
+    /// (the last one equals `operations.len() − 1`).
+    pub checkpoints: Vec<usize>,
+}
+
+impl Workload {
+    /// Number of insert operations in the sequence.
+    pub fn num_inserts(&self) -> usize {
+        self.operations.iter().filter(|o| o.is_insert()).count()
+    }
+
+    /// Number of delete operations in the sequence.
+    pub fn num_deletes(&self) -> usize {
+        self.operations.len() - self.num_inserts()
+    }
+
+    /// Replays the workload against a plain vector, returning the database
+    /// state after every operation was applied. Used by tests as ground
+    /// truth for dynamic data structures.
+    pub fn final_state(&self) -> Vec<Point> {
+        let mut db: Vec<Point> = self.initial.clone();
+        for op in &self.operations {
+            match op {
+                Operation::Insert(p) => db.push(p.clone()),
+                Operation::Delete(id) => {
+                    let pos = db
+                        .iter()
+                        .position(|p| p.id() == *id)
+                        .expect("workload deletes only live tuples");
+                    db.swap_remove(pos);
+                }
+            }
+        }
+        db
+    }
+}
+
+/// Generates the paper's insert-then-delete workload over `points`.
+///
+/// The tuple order is shuffled with `rng`; deletions are drawn uniformly
+/// from all tuples present at deletion time (both initial and inserted
+/// ones), as in the paper's "randomly deleted 50% of tuples".
+pub fn paper_workload<R: Rng + ?Sized>(
+    rng: &mut R,
+    points: Vec<Point>,
+    config: WorkloadConfig,
+) -> Workload {
+    assert!((0.0..=1.0).contains(&config.initial_fraction));
+    assert!((0.0..=1.0).contains(&config.delete_fraction));
+    let mut points = points;
+    points.shuffle(rng);
+    let n = points.len();
+    let n_init = ((n as f64) * config.initial_fraction).round() as usize;
+    let initial: Vec<Point> = points[..n_init].to_vec();
+    let inserts: Vec<Point> = points[n_init..].to_vec();
+
+    let mut operations: Vec<Operation> =
+        inserts.into_iter().map(Operation::Insert).collect();
+
+    // Deletions target a random delete_fraction of the full tuple set.
+    let n_del = ((n as f64) * config.delete_fraction).round() as usize;
+    let mut all_ids: Vec<PointId> = points.iter().map(|p| p.id()).collect();
+    all_ids.shuffle(rng);
+    operations.extend(all_ids.into_iter().take(n_del).map(Operation::Delete));
+
+    let total = operations.len();
+    let checkpoints = if total == 0 || config.checkpoints == 0 {
+        Vec::new()
+    } else {
+        (1..=config.checkpoints)
+            .map(|i| (total * i / config.checkpoints).max(1) - 1)
+            .collect()
+    };
+
+    Workload {
+        initial,
+        operations,
+        checkpoints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rms_geom::Point;
+
+    fn points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new_unchecked(i as u64, vec![i as f64 / n as f64, 0.5]))
+            .collect()
+    }
+
+    #[test]
+    fn paper_split_is_50_50() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = paper_workload(&mut rng, points(1000), WorkloadConfig::default());
+        assert_eq!(w.initial.len(), 500);
+        assert_eq!(w.num_inserts(), 500);
+        assert_eq!(w.num_deletes(), 500);
+        assert_eq!(w.checkpoints.len(), 10);
+        assert_eq!(*w.checkpoints.last().unwrap(), w.operations.len() - 1);
+    }
+
+    #[test]
+    fn deletes_only_live_tuples_in_order() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let w = paper_workload(&mut rng, points(200), WorkloadConfig::default());
+        // Replaying must never panic (the expect() in final_state asserts
+        // deletions always hit live tuples: inserts all precede deletes).
+        let fin = w.final_state();
+        assert_eq!(fin.len(), 100); // 200 − 50% deleted
+    }
+
+    #[test]
+    fn inserts_precede_deletes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = paper_workload(&mut rng, points(100), WorkloadConfig::default());
+        let first_delete = w
+            .operations
+            .iter()
+            .position(|o| !o.is_insert())
+            .unwrap();
+        assert!(w.operations[..first_delete].iter().all(|o| o.is_insert()));
+        assert!(w.operations[first_delete..].iter().all(|o| !o.is_insert()));
+    }
+
+    #[test]
+    fn checkpoints_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let w = paper_workload(&mut rng, points(333), WorkloadConfig::default());
+        for pair in w.checkpoints.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+
+    #[test]
+    fn custom_config_fractions() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let cfg = WorkloadConfig {
+            initial_fraction: 0.8,
+            delete_fraction: 0.1,
+            checkpoints: 4,
+        };
+        let w = paper_workload(&mut rng, points(100), cfg);
+        assert_eq!(w.initial.len(), 80);
+        assert_eq!(w.num_inserts(), 20);
+        assert_eq!(w.num_deletes(), 10);
+        assert_eq!(w.checkpoints.len(), 4);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_workload() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = paper_workload(&mut rng, Vec::new(), WorkloadConfig::default());
+        assert!(w.initial.is_empty());
+        assert!(w.operations.is_empty());
+        assert!(w.checkpoints.is_empty());
+    }
+
+    #[test]
+    fn workload_is_seed_deterministic() {
+        let w1 = paper_workload(
+            &mut StdRng::seed_from_u64(9),
+            points(50),
+            WorkloadConfig::default(),
+        );
+        let w2 = paper_workload(
+            &mut StdRng::seed_from_u64(9),
+            points(50),
+            WorkloadConfig::default(),
+        );
+        assert_eq!(w1.initial, w2.initial);
+        assert_eq!(w1.operations, w2.operations);
+    }
+}

@@ -1,0 +1,19 @@
+//! Evaluation layer: maximum k-regret ratio estimation and experiment
+//! bookkeeping.
+//!
+//! The paper measures result quality as the maximum k-regret ratio
+//! `mrr_k(Q)` estimated over "a test set of 500K random utility vectors"
+//! (Section IV-A) and efficiency as the average wall-clock update time per
+//! operation. This crate provides both measurement tools plus the record
+//! types the bench harness prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod record;
+mod regret;
+mod timer;
+
+pub use record::{format_table, ExperimentRecord};
+pub use regret::{max_regret_ratio, RegretEstimator};
+pub use timer::{Stopwatch, UpdateTimer};

@@ -1,0 +1,156 @@
+//! Experiment result records and table formatting.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured data point of an experiment: a (dataset, algorithm,
+/// parameter) cell of a paper figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"fig6"`.
+    pub experiment: String,
+    /// Dataset name, e.g. `"AntiCor"`.
+    pub dataset: String,
+    /// Algorithm name, e.g. `"FD-RMS"`.
+    pub algorithm: String,
+    /// The varied parameter's name (`"r"`, `"k"`, `"d"`, `"n"`, `"eps"`).
+    pub param: String,
+    /// The varied parameter's value.
+    pub value: f64,
+    /// Average update time in milliseconds.
+    pub update_ms: f64,
+    /// Estimated maximum k-regret ratio of the reported result.
+    pub mrr: f64,
+}
+
+impl ExperimentRecord {
+    /// Tab-separated header matching [`ExperimentRecord::to_row`].
+    pub const HEADER: &'static str = "experiment\tdataset\talgorithm\tparam\tvalue\tupdate_ms\tmrr";
+
+    /// Serialises to a tab-separated row (no external CSV crate offline).
+    pub fn to_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{:.6}\t{:.6}",
+            self.experiment,
+            self.dataset,
+            self.algorithm,
+            self.param,
+            self.value,
+            self.update_ms,
+            self.mrr
+        )
+    }
+
+    /// Parses a row produced by [`ExperimentRecord::to_row`].
+    pub fn from_row(row: &str) -> Option<Self> {
+        let mut it = row.split('\t');
+        Some(Self {
+            experiment: it.next()?.to_string(),
+            dataset: it.next()?.to_string(),
+            algorithm: it.next()?.to_string(),
+            param: it.next()?.to_string(),
+            value: it.next()?.parse().ok()?,
+            update_ms: it.next()?.parse().ok()?,
+            mrr: it.next()?.parse().ok()?,
+        })
+    }
+}
+
+/// Formats records as an aligned text table grouped the way the paper's
+/// figures are: one block per dataset, one row per parameter value, one
+/// column pair (time, mrr) per algorithm.
+pub fn format_table(records: &[ExperimentRecord]) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    // dataset -> value -> algorithm -> (time, mrr)
+    let mut by_ds: BTreeMap<&str, BTreeMap<u64, BTreeMap<&str, (f64, f64)>>> = BTreeMap::new();
+    let mut algos: Vec<&str> = Vec::new();
+    for r in records {
+        if !algos.contains(&r.algorithm.as_str()) {
+            algos.push(&r.algorithm);
+        }
+        by_ds
+            .entry(&r.dataset)
+            .or_default()
+            .entry(r.value.to_bits())
+            .or_default()
+            .insert(&r.algorithm, (r.update_ms, r.mrr));
+    }
+    for (ds, rows) in by_ds {
+        let param = records
+            .iter()
+            .find(|r| r.dataset == ds)
+            .map(|r| r.param.as_str())
+            .unwrap_or("x");
+        out.push_str(&format!("== {ds} ==\n{param:>10}"));
+        for a in &algos {
+            out.push_str(&format!(" | {a:>14} ms {a:>10} mrr"));
+        }
+        out.push('\n');
+        for (bits, cells) in rows {
+            let v = f64::from_bits(bits);
+            out.push_str(&format!("{v:>10.4}"));
+            for a in &algos {
+                match cells.get(a) {
+                    Some((t, m)) => {
+                        out.push_str(&format!(" | {t:>17.4} {m:>14.4}"))
+                    }
+                    None => out.push_str(&format!(" | {:>17} {:>14}", "-", "-")),
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ds: &str, algo: &str, v: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            experiment: "fig6".into(),
+            dataset: ds.into(),
+            algorithm: algo.into(),
+            param: "r".into(),
+            value: v,
+            update_ms: 1.25,
+            mrr: 0.05,
+        }
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let r = rec("Indep", "FD-RMS", 50.0);
+        let parsed = ExperimentRecord::from_row(&r.to_row()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn malformed_rows_rejected() {
+        assert!(ExperimentRecord::from_row("only\ttwo").is_none());
+        assert!(ExperimentRecord::from_row("a\tb\tc\td\tnot_a_number\t1\t2").is_none());
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let recs = vec![
+            rec("Indep", "FD-RMS", 10.0),
+            rec("Indep", "Greedy", 10.0),
+            rec("AntiCor", "FD-RMS", 10.0),
+        ];
+        let table = format_table(&recs);
+        assert!(table.contains("== Indep =="));
+        assert!(table.contains("== AntiCor =="));
+        assert!(table.contains("FD-RMS"));
+        assert!(table.contains("Greedy"));
+        // Missing cell rendered as dash.
+        assert!(table.contains('-'));
+    }
+
+    #[test]
+    fn serde_traits_derive() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<ExperimentRecord>();
+    }
+}

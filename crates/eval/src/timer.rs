@@ -1,0 +1,148 @@
+//! Wall-clock measurement helpers.
+
+use std::time::{Duration, Instant};
+
+/// A simple stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds as a float.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Restarts and returns the lap duration.
+    pub fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let lap = now - self.start;
+        self.start = now;
+        lap
+    }
+}
+
+/// Accumulates per-operation update times and reports the paper's
+/// "average update time" metric.
+#[derive(Debug, Default, Clone)]
+pub struct UpdateTimer {
+    total: Duration,
+    count: u64,
+    max: Duration,
+}
+
+impl UpdateTimer {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times a single update closure and records it.
+    pub fn record<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        self.add(t.elapsed());
+        out
+    }
+
+    /// Adds an externally measured duration.
+    pub fn add(&mut self, d: Duration) {
+        self.total += d;
+        self.count += 1;
+        if d > self.max {
+            self.max = d;
+        }
+    }
+
+    /// Number of recorded operations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Average update time in milliseconds (0 when nothing recorded).
+    pub fn avg_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total.as_secs_f64() * 1e3 / self.count as f64
+        }
+    }
+
+    /// Worst single update in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max.as_secs_f64() * 1e3
+    }
+
+    /// Total accumulated time.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &UpdateTimer) {
+        self.total += other.total;
+        self.count += other.count;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_something() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sw.elapsed_ms() >= 4.0);
+        let lap = sw.lap();
+        assert!(lap.as_millis() >= 4);
+        assert!(sw.elapsed_ms() < 5.0);
+    }
+
+    #[test]
+    fn update_timer_averages() {
+        let mut t = UpdateTimer::new();
+        assert_eq!(t.avg_ms(), 0.0);
+        t.add(Duration::from_millis(10));
+        t.add(Duration::from_millis(20));
+        assert_eq!(t.count(), 2);
+        assert!((t.avg_ms() - 15.0).abs() < 0.01);
+        assert!((t.max_ms() - 20.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn record_returns_closure_value() {
+        let mut t = UpdateTimer::new();
+        let v = t.record(|| 42);
+        assert_eq!(v, 42);
+        assert_eq!(t.count(), 1);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = UpdateTimer::new();
+        a.add(Duration::from_millis(1));
+        let mut b = UpdateTimer::new();
+        b.add(Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.avg_ms() - 2.0).abs() < 0.01);
+        assert!((a.max_ms() - 3.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,119 @@
+//! Pareto dominance between tuples (the skyline's core predicate).
+
+use crate::point::Point;
+
+/// The outcome of comparing two points under Pareto dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DominanceRelation {
+    /// The left point dominates the right one.
+    Dominates,
+    /// The right point dominates the left one.
+    DominatedBy,
+    /// Neither dominates the other (they are incomparable or equal).
+    Incomparable,
+    /// The two points have identical coordinates.
+    Equal,
+}
+
+/// Returns `true` iff `p` dominates `q`: `p` is at least as good on every
+/// attribute and strictly better on at least one (Section I; "as good"
+/// means larger, since larger attribute values are preferred after the
+/// `[0,1]` scaling).
+#[inline]
+pub fn dominates(p: &Point, q: &Point) -> bool {
+    debug_assert_eq!(p.dim(), q.dim());
+    let mut strictly_better = false;
+    for (a, b) in p.coords().iter().zip(q.coords().iter()) {
+        if a < b {
+            return false;
+        }
+        if a > b {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Full three-way comparison of two points under Pareto dominance.
+pub fn strictly_dominates(p: &Point, q: &Point) -> DominanceRelation {
+    debug_assert_eq!(p.dim(), q.dim());
+    let mut p_better = false;
+    let mut q_better = false;
+    for (a, b) in p.coords().iter().zip(q.coords().iter()) {
+        if a > b {
+            p_better = true;
+        } else if b > a {
+            q_better = true;
+        }
+        if p_better && q_better {
+            return DominanceRelation::Incomparable;
+        }
+    }
+    match (p_better, q_better) {
+        (true, false) => DominanceRelation::Dominates,
+        (false, true) => DominanceRelation::DominatedBy,
+        (false, false) => DominanceRelation::Equal,
+        (true, true) => unreachable!("early-returned above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(coords: &[f64]) -> Point {
+        Point::new_unchecked(0, coords.to_vec())
+    }
+
+    #[test]
+    fn basic_dominance() {
+        assert!(dominates(&p(&[0.5, 0.5]), &p(&[0.4, 0.5])));
+        assert!(dominates(&p(&[0.5, 0.6]), &p(&[0.4, 0.5])));
+        assert!(!dominates(&p(&[0.5, 0.4]), &p(&[0.4, 0.5])));
+        assert!(!dominates(&p(&[0.4, 0.5]), &p(&[0.4, 0.5]))); // equal
+    }
+
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric() {
+        let a = p(&[0.3, 0.7, 0.1]);
+        let b = p(&[0.3, 0.8, 0.2]);
+        assert!(!dominates(&a, &a));
+        assert!(dominates(&b, &a));
+        assert!(!dominates(&a, &b));
+    }
+
+    #[test]
+    fn three_way_relation() {
+        assert_eq!(
+            strictly_dominates(&p(&[1.0, 1.0]), &p(&[0.0, 0.0])),
+            DominanceRelation::Dominates
+        );
+        assert_eq!(
+            strictly_dominates(&p(&[0.0, 0.0]), &p(&[1.0, 1.0])),
+            DominanceRelation::DominatedBy
+        );
+        assert_eq!(
+            strictly_dominates(&p(&[1.0, 0.0]), &p(&[0.0, 1.0])),
+            DominanceRelation::Incomparable
+        );
+        assert_eq!(
+            strictly_dominates(&p(&[0.5, 0.5]), &p(&[0.5, 0.5])),
+            DominanceRelation::Equal
+        );
+    }
+
+    #[test]
+    fn paper_example_fig1() {
+        // In Fig. 1, p5 = (0.4, 0.3) is dominated by p8 = (0.6, 0.6);
+        // p1 = (0.2, 1.0) and p4 = (1.0, 0.1) are incomparable.
+        let p5 = p(&[0.4, 0.3]);
+        let p8 = p(&[0.6, 0.6]);
+        let p1 = p(&[0.2, 1.0]);
+        let p4 = p(&[1.0, 0.1]);
+        assert!(dominates(&p8, &p5));
+        assert_eq!(
+            strictly_dominates(&p1, &p4),
+            DominanceRelation::Incomparable
+        );
+    }
+}

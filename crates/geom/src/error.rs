@@ -1,0 +1,83 @@
+//! Error type for constructing geometric objects from raw user data.
+
+use std::fmt;
+
+/// Errors raised when validating tuples and utility vectors.
+///
+/// The k-RMS formulation requires every attribute to be a finite,
+/// nonnegative number and every utility vector to be a nonnegative unit
+/// vector; these are the ways raw input can violate that contract.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeomError {
+    /// A coordinate was NaN or infinite.
+    NonFiniteCoordinate {
+        /// Index of the offending dimension.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A coordinate was negative (tuples live in the nonnegative orthant).
+    NegativeCoordinate {
+        /// Index of the offending dimension.
+        dim: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A point or utility vector had zero dimensions.
+    EmptyDimensions,
+    /// Two objects that must agree on dimensionality did not.
+    DimensionMismatch {
+        /// Dimensionality of the left operand.
+        left: usize,
+        /// Dimensionality of the right operand.
+        right: usize,
+    },
+    /// A utility vector had (near-)zero norm and cannot be normalised.
+    ZeroNorm,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::NonFiniteCoordinate { dim, value } => {
+                write!(f, "coordinate {dim} is not finite: {value}")
+            }
+            GeomError::NegativeCoordinate { dim, value } => {
+                write!(f, "coordinate {dim} is negative: {value}")
+            }
+            GeomError::EmptyDimensions => write!(f, "objects must have at least one dimension"),
+            GeomError::DimensionMismatch { left, right } => {
+                write!(f, "dimension mismatch: {left} vs {right}")
+            }
+            GeomError::ZeroNorm => write!(f, "utility vector has zero norm"),
+        }
+    }
+}
+
+impl std::error::Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GeomError::NonFiniteCoordinate {
+            dim: 2,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("coordinate 2"));
+        let e = GeomError::NegativeCoordinate { dim: 0, value: -1.0 };
+        assert!(e.to_string().contains("negative"));
+        let e = GeomError::DimensionMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains("3 vs 5"));
+        assert!(GeomError::EmptyDimensions.to_string().contains("dimension"));
+        assert!(GeomError::ZeroNorm.to_string().contains("zero norm"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>() {}
+        assert_err::<GeomError>();
+    }
+}

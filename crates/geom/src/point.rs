@@ -1,0 +1,219 @@
+//! Database tuples as points in the nonnegative orthant.
+
+use crate::error::GeomError;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a tuple in a database.
+///
+/// Ids are assigned by data generators / loaders and are stable across
+/// insertions and deletions; the whole workspace breaks score ties by id
+/// (ascending), which implements the paper's "any consistent rule" for
+/// tie-breaking.
+pub type PointId = u64;
+
+/// A tuple with `d` nonnegative numeric attributes (Section II-A).
+///
+/// `Point` is immutable after construction: a tuple *update* in the dynamic
+/// model is represented as a deletion followed by an insertion, exactly as
+/// in the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    id: PointId,
+    coords: Box<[f64]>,
+}
+
+impl Point {
+    /// Creates a point after validating that every coordinate is finite and
+    /// nonnegative and that the dimensionality is positive.
+    pub fn new(id: PointId, coords: Vec<f64>) -> Result<Self, GeomError> {
+        if coords.is_empty() {
+            return Err(GeomError::EmptyDimensions);
+        }
+        for (dim, &value) in coords.iter().enumerate() {
+            if !value.is_finite() {
+                return Err(GeomError::NonFiniteCoordinate { dim, value });
+            }
+            if value < 0.0 {
+                return Err(GeomError::NegativeCoordinate { dim, value });
+            }
+        }
+        Ok(Self {
+            id,
+            coords: coords.into_boxed_slice(),
+        })
+    }
+
+    /// Creates a point without validation.
+    ///
+    /// Intended for generators that construct coordinates already known to
+    /// be finite and nonnegative; debug builds still assert the contract.
+    pub fn new_unchecked(id: PointId, coords: Vec<f64>) -> Self {
+        debug_assert!(!coords.is_empty());
+        debug_assert!(coords.iter().all(|c| c.is_finite() && *c >= 0.0));
+        Self {
+            id,
+            coords: coords.into_boxed_slice(),
+        }
+    }
+
+    /// The tuple identifier.
+    #[inline]
+    pub fn id(&self) -> PointId {
+        self.id
+    }
+
+    /// The number of attributes `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The attribute values.
+    #[inline]
+    pub fn coords(&self) -> &[f64] {
+        &self.coords
+    }
+
+    /// The value of attribute `i` (`p[i]` in the paper, zero-indexed here).
+    #[inline]
+    pub fn coord(&self, i: usize) -> f64 {
+        self.coords[i]
+    }
+
+    /// Euclidean norm `‖p‖`.
+    pub fn norm(&self) -> f64 {
+        self.coords.iter().map(|c| c * c).sum::<f64>().sqrt()
+    }
+
+    /// Returns a copy of this point with a different id.
+    ///
+    /// Useful for re-inserting a logically identical tuple under a fresh
+    /// identity in streaming workloads.
+    pub fn with_id(&self, id: PointId) -> Self {
+        Self {
+            id,
+            coords: self.coords.clone(),
+        }
+    }
+}
+
+/// Rescales a set of raw tuples so that every attribute spans `[0, 1]`.
+///
+/// The paper assumes "the range of values on each dimension is scaled to
+/// `[0, 1]`" (Section II-A, footnote 1: the maximum k-regret ratio is
+/// scale-invariant, so this loses no generality). Dimensions that are
+/// constant across the input are mapped to `1.0` so that they do not
+/// distort scores.
+///
+/// Returns an error when `points` mixes dimensionalities.
+pub fn normalize_to_unit_box(points: &[Point]) -> Result<Vec<Point>, GeomError> {
+    let Some(first) = points.first() else {
+        return Ok(Vec::new());
+    };
+    let d = first.dim();
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for p in points {
+        if p.dim() != d {
+            return Err(GeomError::DimensionMismatch {
+                left: d,
+                right: p.dim(),
+            });
+        }
+        for (i, &c) in p.coords().iter().enumerate() {
+            lo[i] = lo[i].min(c);
+            hi[i] = hi[i].max(c);
+        }
+    }
+    let mut out = Vec::with_capacity(points.len());
+    for p in points {
+        let coords = p
+            .coords()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let span = hi[i] - lo[i];
+                if span <= f64::EPSILON {
+                    1.0
+                } else {
+                    (c - lo[i]) / span
+                }
+            })
+            .collect();
+        out.push(Point::new_unchecked(p.id(), coords));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_validates_coordinates() {
+        assert!(Point::new(0, vec![0.1, 0.2]).is_ok());
+        assert_eq!(Point::new(0, vec![]), Err(GeomError::EmptyDimensions));
+        assert!(matches!(
+            Point::new(0, vec![0.1, f64::NAN]),
+            Err(GeomError::NonFiniteCoordinate { dim: 1, .. })
+        ));
+        assert!(matches!(
+            Point::new(0, vec![-0.5]),
+            Err(GeomError::NegativeCoordinate { dim: 0, .. })
+        ));
+        assert!(matches!(
+            Point::new(0, vec![f64::INFINITY]),
+            Err(GeomError::NonFiniteCoordinate { dim: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn accessors_roundtrip() {
+        let p = Point::new(7, vec![0.25, 0.5, 1.0]).unwrap();
+        assert_eq!(p.id(), 7);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.coords(), &[0.25, 0.5, 1.0]);
+        assert_eq!(p.coord(1), 0.5);
+        assert!((p.norm() - (0.0625f64 + 0.25 + 1.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_id_preserves_coords() {
+        let p = Point::new(1, vec![0.3, 0.4]).unwrap();
+        let q = p.with_id(99);
+        assert_eq!(q.id(), 99);
+        assert_eq!(q.coords(), p.coords());
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_box() {
+        let pts = vec![
+            Point::new(0, vec![10.0, 5.0]).unwrap(),
+            Point::new(1, vec![20.0, 5.0]).unwrap(),
+            Point::new(2, vec![15.0, 5.0]).unwrap(),
+        ];
+        let norm = normalize_to_unit_box(&pts).unwrap();
+        assert_eq!(norm[0].coords(), &[0.0, 1.0]); // constant dim -> 1.0
+        assert_eq!(norm[1].coords(), &[1.0, 1.0]);
+        assert_eq!(norm[2].coords(), &[0.5, 1.0]);
+    }
+
+    #[test]
+    fn normalize_empty_and_mismatched() {
+        assert!(normalize_to_unit_box(&[]).unwrap().is_empty());
+        let pts = vec![
+            Point::new(0, vec![1.0]).unwrap(),
+            Point::new(1, vec![1.0, 2.0]).unwrap(),
+        ];
+        assert!(matches!(
+            normalize_to_unit_box(&pts),
+            Err(GeomError::DimensionMismatch { left: 1, right: 2 })
+        ));
+    }
+
+    #[test]
+    fn point_implements_serde_traits() {
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<Point>();
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the geometry substrate.
+
+use proptest::prelude::*;
+use rms_geom::{
+    dominates, kth_score, normalize_to_unit_box, sample_utilities, top1, top_k, top_k_approx,
+    Point, Utility,
+};
+
+fn arb_point(d: usize, id: u64) -> impl Strategy<Value = Point> {
+    prop::collection::vec(0.0f64..=1.0, d).prop_map(move |c| Point::new_unchecked(id, c))
+}
+
+fn arb_points(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..=1.0, d), n).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, c)| Point::new_unchecked(i as u64, c))
+            .collect()
+    })
+}
+
+fn arb_utility(d: usize) -> impl Strategy<Value = Utility> {
+    prop::collection::vec(0.01f64..=1.0, d).prop_map(|w| Utility::new(w).unwrap())
+}
+
+proptest! {
+    /// Dominance is transitive on random triples (when the premises hold).
+    #[test]
+    fn dominance_transitive(
+        a in arb_point(4, 0),
+        b in arb_point(4, 1),
+        c in arb_point(4, 2),
+    ) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    /// A dominating point never scores lower under any nonnegative utility.
+    #[test]
+    fn dominance_implies_score_order(
+        a in arb_point(3, 0),
+        b in arb_point(3, 1),
+        u in arb_utility(3),
+    ) {
+        if dominates(&a, &b) {
+            prop_assert!(u.score(&a) >= u.score(&b) - 1e-12);
+        }
+    }
+
+    /// top_k returns ranks in consistent order and agrees with a full sort.
+    #[test]
+    fn topk_agrees_with_sort(
+        pts in arb_points(3, 1..40),
+        u in arb_utility(3),
+        k in 1usize..10,
+    ) {
+        let got = top_k(&pts, &u, k);
+        let mut all: Vec<(f64, u64)> =
+            pts.iter().map(|p| (u.score(p), p.id())).collect();
+        all.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap().then(x.1.cmp(&y.1)));
+        let want: Vec<u64> = all.iter().take(k).map(|r| r.1).collect();
+        let got_ids: Vec<u64> = got.iter().map(|r| r.id).collect();
+        prop_assert_eq!(got_ids, want);
+    }
+
+    /// ω_k is monotone nonincreasing in k.
+    #[test]
+    fn kth_score_monotone(pts in arb_points(4, 3..30), u in arb_utility(4)) {
+        let mut prev = f64::INFINITY;
+        for k in 1..=pts.len() {
+            let s = kth_score(&pts, &u, k).unwrap();
+            prop_assert!(s <= prev + 1e-12);
+            prev = s;
+        }
+    }
+
+    /// The ε-approximate top-k always contains the exact top-k and only
+    /// points above the threshold.
+    #[test]
+    fn approx_topk_sandwich(
+        pts in arb_points(3, 2..40),
+        u in arb_utility(3),
+        k in 1usize..5,
+        eps in 0.0f64..0.5,
+    ) {
+        let k = k.min(pts.len());
+        let exact: Vec<u64> = top_k(&pts, &u, k).iter().map(|r| r.id).collect();
+        let approx = top_k_approx(&pts, &u, k, eps);
+        let omega_k = kth_score(&pts, &u, k).unwrap();
+        for id in &exact {
+            prop_assert!(approx.iter().any(|r| r.id == *id));
+        }
+        for r in &approx {
+            prop_assert!(r.score >= (1.0 - eps) * omega_k - 1e-12);
+        }
+    }
+
+    /// Normalisation maps every coordinate into [0, 1] and keeps ids.
+    #[test]
+    fn normalization_bounds(rows in prop::collection::vec(
+        prop::collection::vec(-50.0f64..50.0, 3), 1..30)
+    ) {
+        let pts: Vec<Point> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| Point::new_unchecked(i as u64, r.iter().map(|x| x.abs()).collect()))
+            .collect();
+        let norm = normalize_to_unit_box(&pts).unwrap();
+        prop_assert_eq!(norm.len(), pts.len());
+        for (orig, n) in pts.iter().zip(&norm) {
+            prop_assert_eq!(orig.id(), n.id());
+            for &c in n.coords() {
+                prop_assert!((-1e-12..=1.0 + 1e-12).contains(&c));
+            }
+        }
+    }
+
+    /// top1 equals top_k(1) on nonempty input.
+    #[test]
+    fn top1_is_topk1(pts in arb_points(2, 1..20), u in arb_utility(2)) {
+        let t1 = top1(&pts, &u).unwrap();
+        let tk = top_k(&pts, &u, 1);
+        prop_assert_eq!(t1, tk[0].clone());
+    }
+
+    /// Sampled utilities stay on the unit sphere in the positive orthant.
+    #[test]
+    fn sampling_invariants(seed in 0u64..1000, d in 2usize..8) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in sample_utilities(&mut rng, d, 16) {
+            let norm: f64 = u.weights().iter().map(|w| w * w).sum::<f64>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-9);
+            prop_assert!(u.weights().iter().all(|&w| w >= 0.0));
+        }
+    }
+}

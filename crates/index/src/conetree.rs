@@ -1,0 +1,459 @@
+//! The utility index UI: a cone tree over sampled utility vectors.
+//!
+//! FD-RMS maintains the ε-approximate top-k of `M` fixed utility vectors.
+//! When a tuple `p` is inserted, the vectors whose result changes are
+//! exactly those with `⟨u, p⟩ ≥ τ_u`, where `τ_u = (1 − ε)·ω_k(u, P)` is
+//! the per-vector admission threshold. Scanning all `M` vectors per
+//! insertion is the brute-force alternative (see the `ablation_dualtree`
+//! bench); the cone tree prunes whole clusters of vectors using the
+//! maximum-inner-product bound of Ram & Gray (KDD 2012):
+//!
+//! ```text
+//! max_{u ∈ cone(c, φ)} ⟨u, p⟩ ≤ ‖p‖ · cos(max(0, θ(c, p) − φ))
+//! ```
+//!
+//! where `c` is the cone's unit centre and `φ` its half-angle. A subtree
+//! can be skipped when this bound is below the *minimum* threshold stored
+//! in the subtree.
+
+use rms_geom::{Point, Utility};
+
+/// Leaf capacity of the cone tree.
+const LEAF_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// Unit-norm centre of the cone.
+        center: Box<[f64]>,
+        /// cos of the cone half-angle (cosine is cheaper than the angle).
+        cos_half_angle: f64,
+        /// Minimum threshold over the subtree's vectors.
+        min_threshold: f64,
+        left: usize,
+        right: usize,
+        parent: Option<usize>,
+    },
+    Leaf {
+        center: Box<[f64]>,
+        cos_half_angle: f64,
+        min_threshold: f64,
+        /// Indices into the utility pool.
+        members: Vec<usize>,
+        parent: Option<usize>,
+    },
+}
+
+impl Node {
+    fn min_threshold(&self) -> f64 {
+        match self {
+            Node::Internal { min_threshold, .. } | Node::Leaf { min_threshold, .. } => {
+                *min_threshold
+            }
+        }
+    }
+    fn set_min_threshold(&mut self, v: f64) {
+        match self {
+            Node::Internal { min_threshold, .. } | Node::Leaf { min_threshold, .. } => {
+                *min_threshold = v
+            }
+        }
+    }
+    fn parent(&self) -> Option<usize> {
+        match self {
+            Node::Internal { parent, .. } | Node::Leaf { parent, .. } => *parent,
+        }
+    }
+}
+
+/// A cone tree over a fixed pool of utility vectors with per-vector
+/// thresholds.
+#[derive(Debug, Clone)]
+pub struct ConeTree {
+    utilities: Vec<Utility>,
+    thresholds: Vec<f64>,
+    /// Leaf node holding each utility.
+    leaf_of: Vec<usize>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl ConeTree {
+    /// Builds the tree over `utilities` with all thresholds set to
+    /// `+∞` (no vector reports as affected until its threshold is set).
+    ///
+    /// Panics when `utilities` is empty or dimensionalities disagree.
+    pub fn build(utilities: Vec<Utility>) -> Self {
+        assert!(!utilities.is_empty(), "cone tree needs at least one vector");
+        let d = utilities[0].dim();
+        assert!(
+            utilities.iter().all(|u| u.dim() == d),
+            "mixed dimensionality"
+        );
+        let mut tree = Self {
+            thresholds: vec![f64::INFINITY; utilities.len()],
+            leaf_of: vec![usize::MAX; utilities.len()],
+            utilities,
+            nodes: Vec::new(),
+            root: 0,
+        };
+        let all: Vec<usize> = (0..tree.utilities.len()).collect();
+        tree.root = tree.build_rec(all, None);
+        for (idx, node) in tree.nodes.iter().enumerate() {
+            if let Node::Leaf { members, .. } = node {
+                for &m in members {
+                    tree.leaf_of[m] = idx;
+                }
+            }
+        }
+        tree
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.utilities.len()
+    }
+
+    /// `true` when the pool is empty (cannot happen post-build).
+    pub fn is_empty(&self) -> bool {
+        self.utilities.is_empty()
+    }
+
+    /// The utility vector at `idx`.
+    pub fn utility(&self, idx: usize) -> &Utility {
+        &self.utilities[idx]
+    }
+
+    /// The current threshold of vector `idx`.
+    pub fn threshold(&self, idx: usize) -> f64 {
+        self.thresholds[idx]
+    }
+
+    fn build_rec(&mut self, members: Vec<usize>, parent: Option<usize>) -> usize {
+        let (center, cos_half_angle) = self.cone_of(&members);
+        if members.len() <= LEAF_CAPACITY {
+            self.nodes.push(Node::Leaf {
+                center,
+                cos_half_angle,
+                min_threshold: f64::INFINITY,
+                members,
+                parent,
+            });
+            return self.nodes.len() - 1;
+        }
+        // Two-pivot angular split (Ram & Gray): pick the vector farthest
+        // from an arbitrary seed, then the vector farthest from it; assign
+        // members to the closer pivot by cosine.
+        let seed = members[0];
+        let a = *members
+            .iter()
+            .max_by(|&&x, &&y| {
+                let cx = self.utilities[seed].cosine(&self.utilities[x]);
+                let cy = self.utilities[seed].cosine(&self.utilities[y]);
+                cy.partial_cmp(&cx).expect("finite") // farthest = min cosine
+            })
+            .expect("nonempty");
+        let b = *members
+            .iter()
+            .max_by(|&&x, &&y| {
+                let cx = self.utilities[a].cosine(&self.utilities[x]);
+                let cy = self.utilities[a].cosine(&self.utilities[y]);
+                cy.partial_cmp(&cx).expect("finite")
+            })
+            .expect("nonempty");
+        let mut left_members = Vec::new();
+        let mut right_members = Vec::new();
+        for &m in &members {
+            let ca = self.utilities[a].cosine(&self.utilities[m]);
+            let cb = self.utilities[b].cosine(&self.utilities[m]);
+            if ca >= cb {
+                left_members.push(m);
+            } else {
+                right_members.push(m);
+            }
+        }
+        // Degenerate split (all vectors identical): force a half split so
+        // recursion terminates.
+        if left_members.is_empty() || right_members.is_empty() {
+            let mut all = members;
+            let mid = all.len() / 2;
+            right_members = all.split_off(mid);
+            left_members = all;
+        }
+        let placeholder = self.nodes.len();
+        self.nodes.push(Node::Internal {
+            center,
+            cos_half_angle,
+            min_threshold: f64::INFINITY,
+            left: usize::MAX,
+            right: usize::MAX,
+            parent,
+        });
+        let l = self.build_rec(left_members, Some(placeholder));
+        let r = self.build_rec(right_members, Some(placeholder));
+        if let Node::Internal { left, right, .. } = &mut self.nodes[placeholder] {
+            *left = l;
+            *right = r;
+        }
+        placeholder
+    }
+
+    /// Computes the unit centre (normalised mean) and cos of the
+    /// half-angle covering `members`.
+    fn cone_of(&self, members: &[usize]) -> (Box<[f64]>, f64) {
+        let d = self.utilities[0].dim();
+        let mut center = vec![0.0f64; d];
+        for &m in members {
+            for (c, w) in center.iter_mut().zip(self.utilities[m].weights()) {
+                *c += w;
+            }
+        }
+        let norm = center.iter().map(|c| c * c).sum::<f64>().sqrt();
+        if norm > f64::EPSILON {
+            for c in &mut center {
+                *c /= norm;
+            }
+        } else if !center.is_empty() {
+            center[0] = 1.0;
+        }
+        let mut cos_half = 1.0f64;
+        for &m in members {
+            let cos = center
+                .iter()
+                .zip(self.utilities[m].weights())
+                .map(|(c, w)| c * w)
+                .sum::<f64>()
+                .clamp(-1.0, 1.0);
+            cos_half = cos_half.min(cos);
+        }
+        (center.into_boxed_slice(), cos_half)
+    }
+
+    /// Sets the threshold of vector `idx` and repairs the subtree minima
+    /// along the path to the root.
+    pub fn set_threshold(&mut self, idx: usize, tau: f64) {
+        self.thresholds[idx] = tau;
+        let mut node = Some(self.leaf_of[idx]);
+        while let Some(n) = node {
+            let new_min = match &self.nodes[n] {
+                Node::Leaf { members, .. } => members
+                    .iter()
+                    .map(|&m| self.thresholds[m])
+                    .fold(f64::INFINITY, f64::min),
+                Node::Internal { left, right, .. } => self.nodes[*left]
+                    .min_threshold()
+                    .min(self.nodes[*right].min_threshold()),
+            };
+            if (new_min - self.nodes[n].min_threshold()).abs() == 0.0 {
+                // Unchanged minimum: ancestors cannot change either, but
+                // only if the stored value already matched. Cheap early
+                // exit for the common case of a non-minimal leaf update.
+                self.nodes[n].set_min_threshold(new_min);
+                node = self.nodes[n].parent();
+                continue;
+            }
+            self.nodes[n].set_min_threshold(new_min);
+            node = self.nodes[n].parent();
+        }
+    }
+
+    /// Upper bound of `⟨u, p⟩` over a cone with the given centre and cos
+    /// half-angle.
+    fn cone_bound(center: &[f64], cos_half: f64, p: &Point, p_norm: f64) -> f64 {
+        if p_norm <= f64::EPSILON {
+            return 0.0;
+        }
+        let cos_cp = center
+            .iter()
+            .zip(p.coords())
+            .map(|(c, x)| c * x)
+            .sum::<f64>()
+            / p_norm;
+        let cos_cp = cos_cp.clamp(-1.0, 1.0);
+        let theta = cos_cp.acos();
+        let phi = cos_half.clamp(-1.0, 1.0).acos();
+        if theta <= phi {
+            p_norm
+        } else {
+            p_norm * (theta - phi).cos()
+        }
+    }
+
+    /// Returns every vector index `i` with `⟨u_i, p⟩ ≥ τ_i` — the vectors
+    /// whose ε-approximate top-k result admits the newly inserted tuple.
+    /// Exact scores are checked at the leaves; internal cones are pruned
+    /// by the inner-product bound against the subtree's minimum threshold.
+    pub fn affected_by(&self, p: &Point) -> Vec<usize> {
+        let mut out = Vec::new();
+        let p_norm = p.norm();
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n] {
+                Node::Internal {
+                    center,
+                    cos_half_angle,
+                    min_threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    if Self::cone_bound(center, *cos_half_angle, p, p_norm) >= *min_threshold {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                }
+                Node::Leaf {
+                    center,
+                    cos_half_angle,
+                    min_threshold,
+                    members,
+                    ..
+                } => {
+                    if Self::cone_bound(center, *cos_half_angle, p, p_norm) < *min_threshold {
+                        continue;
+                    }
+                    for &m in members {
+                        if self.utilities[m].score(p) >= self.thresholds[m] {
+                            out.push(m);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Brute-force reference for [`ConeTree::affected_by`]; public for the
+    /// ablation bench and tests.
+    pub fn affected_by_scan(&self, p: &Point) -> Vec<usize> {
+        (0..self.utilities.len())
+            .filter(|&i| self.utilities[i].score(p) >= self.thresholds[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rms_geom::sample_utilities;
+
+    fn tree_with_thresholds(seed: u64, d: usize, m: usize) -> (ConeTree, StdRng) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let us = sample_utilities(&mut rng, d, m);
+        let mut tree = ConeTree::build(us);
+        for i in 0..m {
+            let tau: f64 = rng.gen_range(0.3..1.2);
+            tree.set_threshold(i, tau);
+        }
+        (tree, rng)
+    }
+
+    #[test]
+    fn affected_matches_scan() {
+        let (tree, mut rng) = tree_with_thresholds(1, 4, 300);
+        for _ in 0..50 {
+            let p = Point::new_unchecked(0, (0..4).map(|_| rng.gen()).collect());
+            assert_eq!(tree.affected_by(&p), tree.affected_by_scan(&p));
+        }
+    }
+
+    #[test]
+    fn affected_after_threshold_updates() {
+        let (mut tree, mut rng) = tree_with_thresholds(2, 3, 200);
+        for step in 0..200 {
+            let i = rng.gen_range(0..tree.len());
+            tree.set_threshold(i, rng.gen_range(0.1..1.5));
+            if step % 10 == 0 {
+                let p = Point::new_unchecked(0, (0..3).map(|_| rng.gen()).collect());
+                assert_eq!(tree.affected_by(&p), tree.affected_by_scan(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_thresholds_report_nothing() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let us = sample_utilities(&mut rng, 3, 64);
+        let tree = ConeTree::build(us);
+        let p = Point::new_unchecked(0, vec![1.0, 1.0, 1.0]);
+        assert!(tree.affected_by(&p).is_empty());
+    }
+
+    #[test]
+    fn zero_thresholds_report_everything() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let us = sample_utilities(&mut rng, 3, 64);
+        let mut tree = ConeTree::build(us);
+        for i in 0..tree.len() {
+            tree.set_threshold(i, 0.0);
+        }
+        let p = Point::new_unchecked(0, vec![0.5, 0.5, 0.5]);
+        assert_eq!(tree.affected_by(&p).len(), 64);
+    }
+
+    #[test]
+    fn cone_bound_is_sound() {
+        // For every node the bound must dominate every member's score.
+        let mut rng = StdRng::seed_from_u64(5);
+        let us = sample_utilities(&mut rng, 5, 128);
+        let tree = ConeTree::build(us.clone());
+        for _ in 0..20 {
+            let p = Point::new_unchecked(0, (0..5).map(|_| rng.gen()).collect());
+            let p_norm = p.norm();
+            for node in &tree.nodes {
+                let (center, cos_half, members): (&[f64], f64, Vec<usize>) = match node {
+                    Node::Leaf {
+                        center,
+                        cos_half_angle,
+                        members,
+                        ..
+                    } => (center, *cos_half_angle, members.clone()),
+                    Node::Internal {
+                        center,
+                        cos_half_angle,
+                        ..
+                    } => (center, *cos_half_angle, Vec::new()),
+                };
+                let bound = ConeTree::cone_bound(center, cos_half, &p, p_norm);
+                for m in members {
+                    assert!(
+                        us[m].score(&p) <= bound + 1e-9,
+                        "member {m} exceeds its cone bound"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_vector_tree() {
+        let u = Utility::new(vec![0.6, 0.8]).unwrap();
+        let mut tree = ConeTree::build(vec![u]);
+        tree.set_threshold(0, 0.5);
+        let hit = Point::new_unchecked(0, vec![1.0, 1.0]);
+        let miss = Point::new_unchecked(1, vec![0.1, 0.1]);
+        assert_eq!(tree.affected_by(&hit), vec![0]);
+        assert!(tree.affected_by(&miss).is_empty());
+    }
+
+    #[test]
+    fn identical_vectors_split_terminates() {
+        let us: Vec<Utility> = (0..100)
+            .map(|_| Utility::new(vec![1.0, 1.0]).unwrap())
+            .collect();
+        let mut tree = ConeTree::build(us);
+        for i in 0..100 {
+            tree.set_threshold(i, 0.1);
+        }
+        let p = Point::new_unchecked(0, vec![0.5, 0.5]);
+        assert_eq!(tree.affected_by(&p).len(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one vector")]
+    fn empty_pool_panics() {
+        let _ = ConeTree::build(Vec::new());
+    }
+}

@@ -1,0 +1,735 @@
+//! The tuple index TI: a dynamic k-d tree with branch-and-bound top-k.
+
+use rms_geom::{Point, PointId, RankedPoint, Utility};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Maximum number of points in a leaf before it splits.
+const LEAF_CAPACITY: usize = 24;
+
+/// Fraction of stale (deleted or box-loosening) operations that triggers a
+/// full rebuild. Swept by the `ablation_kd_rebuild` bench.
+const DEFAULT_REBUILD_FRACTION: f64 = 0.5;
+
+/// Errors from dynamic k-d tree updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KdTreeError {
+    /// Insertion of an id that is already present.
+    DuplicateId(PointId),
+    /// Deletion of an id that is not present.
+    UnknownId(PointId),
+    /// Point dimensionality differs from the tree's.
+    DimensionMismatch {
+        /// The tree's dimensionality.
+        expected: usize,
+        /// The point's dimensionality.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for KdTreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KdTreeError::DuplicateId(id) => write!(f, "point {id} already indexed"),
+            KdTreeError::UnknownId(id) => write!(f, "point {id} not indexed"),
+            KdTreeError::DimensionMismatch { expected, got } => {
+                write!(f, "expected dimension {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KdTreeError {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        split_dim: usize,
+        split_val: f64,
+        /// Componentwise max over the subtree (upper-bound corner).
+        hi: Box<[f64]>,
+        left: usize,
+        right: usize,
+    },
+    Leaf {
+        hi: Box<[f64]>,
+        points: Vec<Point>,
+    },
+}
+
+impl Node {
+    fn hi(&self) -> &[f64] {
+        match self {
+            Node::Internal { hi, .. } | Node::Leaf { hi, .. } => hi,
+        }
+    }
+}
+
+/// A dynamic k-d tree over database tuples supporting branch-and-bound
+/// top-k and threshold queries for nonnegative linear scoring.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dim: usize,
+    nodes: Vec<Node>,
+    root: usize,
+    len: usize,
+    /// Leaf index per point id (for O(depth)-free deletion).
+    leaf_of: HashMap<PointId, usize>,
+    /// Operations since the last build that may have loosened boxes.
+    stale_ops: usize,
+    rebuild_fraction: f64,
+}
+
+/// Max-heap ordering for (score, id): larger score first, then smaller id.
+#[inline]
+fn better(a_score: f64, a_id: PointId, b_score: f64, b_id: PointId) -> bool {
+    match a_score.partial_cmp(&b_score).expect("finite scores") {
+        Ordering::Greater => true,
+        Ordering::Less => false,
+        Ordering::Equal => a_id < b_id,
+    }
+}
+
+impl KdTree {
+    /// Bulk-loads a tree from `points`. `dim` must be positive and all
+    /// points must match it.
+    pub fn build(dim: usize, points: Vec<Point>) -> Result<Self, KdTreeError> {
+        Self::build_with_rebuild_fraction(dim, points, DEFAULT_REBUILD_FRACTION)
+    }
+
+    /// [`KdTree::build`] with an explicit lazy-rebuild threshold: the tree
+    /// rebuilds itself once `stale_ops > rebuild_fraction × len`.
+    pub fn build_with_rebuild_fraction(
+        dim: usize,
+        points: Vec<Point>,
+        rebuild_fraction: f64,
+    ) -> Result<Self, KdTreeError> {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(rebuild_fraction > 0.0, "rebuild fraction must be positive");
+        let mut tree = Self {
+            dim,
+            nodes: Vec::new(),
+            root: 0,
+            len: 0,
+            leaf_of: HashMap::new(),
+            stale_ops: 0,
+            rebuild_fraction,
+        };
+        for p in &points {
+            if p.dim() != dim {
+                return Err(KdTreeError::DimensionMismatch {
+                    expected: dim,
+                    got: p.dim(),
+                });
+            }
+        }
+        {
+            let mut ids: Vec<PointId> = points.iter().map(|p| p.id()).collect();
+            ids.sort_unstable();
+            for w in ids.windows(2) {
+                if w[0] == w[1] {
+                    return Err(KdTreeError::DuplicateId(w[0]));
+                }
+            }
+        }
+        tree.rebuild_from(points);
+        Ok(tree)
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The tree's dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Whether `id` is indexed.
+    pub fn contains(&self, id: PointId) -> bool {
+        self.leaf_of.contains_key(&id)
+    }
+
+    /// All indexed points (unspecified order). Used for rebuilds and tests.
+    pub fn points(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len);
+        for node in &self.nodes {
+            if let Node::Leaf { points, .. } = node {
+                out.extend(points.iter().cloned());
+            }
+        }
+        out
+    }
+
+    fn rebuild_from(&mut self, points: Vec<Point>) {
+        self.nodes.clear();
+        self.leaf_of.clear();
+        self.len = points.len();
+        self.stale_ops = 0;
+        let mut pts = points;
+        self.root = self.build_rec(&mut pts, 0);
+        // `build_rec` consumed pts via split; register leaf membership.
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if let Node::Leaf { points, .. } = node {
+                for p in points {
+                    self.leaf_of.insert(p.id(), idx);
+                }
+            }
+        }
+    }
+
+    fn build_rec(&mut self, points: &mut Vec<Point>, depth: usize) -> usize {
+        let hi = self.compute_hi(points);
+        if points.len() <= LEAF_CAPACITY {
+            self.nodes.push(Node::Leaf {
+                hi,
+                points: std::mem::take(points),
+            });
+            return self.nodes.len() - 1;
+        }
+        // Split on the widest dimension (more robust than depth cycling on
+        // skewed data); median split.
+        let split_dim = self.widest_dim(points).unwrap_or(depth % self.dim);
+        let mid = points.len() / 2;
+        points.select_nth_unstable_by(mid, |a, b| {
+            a.coord(split_dim)
+                .partial_cmp(&b.coord(split_dim))
+                .expect("finite")
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        let split_val = points[mid].coord(split_dim);
+        let mut right: Vec<Point> = points.split_off(mid);
+        // Degenerate guard: all coordinates equal on split_dim — fall back
+        // to an arbitrary half split, which the code above already did.
+        let left_idx = self.build_rec(points, depth + 1);
+        let right_idx = self.build_rec(&mut right, depth + 1);
+        self.nodes.push(Node::Internal {
+            split_dim,
+            split_val,
+            hi,
+            left: left_idx,
+            right: right_idx,
+        });
+        self.nodes.len() - 1
+    }
+
+    fn compute_hi(&self, points: &[Point]) -> Box<[f64]> {
+        let mut hi = vec![0.0f64; self.dim];
+        for p in points {
+            for (h, &c) in hi.iter_mut().zip(p.coords()) {
+                if c > *h {
+                    *h = c;
+                }
+            }
+        }
+        hi.into_boxed_slice()
+    }
+
+    fn widest_dim(&self, points: &[Point]) -> Option<usize> {
+        if points.is_empty() {
+            return None;
+        }
+        let mut lo = vec![f64::INFINITY; self.dim];
+        let mut hi = vec![f64::NEG_INFINITY; self.dim];
+        for p in points {
+            for i in 0..self.dim {
+                lo[i] = lo[i].min(p.coord(i));
+                hi[i] = hi[i].max(p.coord(i));
+            }
+        }
+        (0..self.dim).max_by(|&a, &b| {
+            (hi[a] - lo[a])
+                .partial_cmp(&(hi[b] - lo[b]))
+                .expect("finite")
+        })
+    }
+
+    /// Inserts a point, expanding bounding boxes along the descent path.
+    pub fn insert(&mut self, p: Point) -> Result<(), KdTreeError> {
+        if p.dim() != self.dim {
+            return Err(KdTreeError::DimensionMismatch {
+                expected: self.dim,
+                got: p.dim(),
+            });
+        }
+        if self.leaf_of.contains_key(&p.id()) {
+            return Err(KdTreeError::DuplicateId(p.id()));
+        }
+        if self.nodes.is_empty() {
+            self.rebuild_from(vec![p]);
+            return Ok(());
+        }
+        let mut idx = self.root;
+        loop {
+            // Expand this node's hi to cover p.
+            match &mut self.nodes[idx] {
+                Node::Internal {
+                    hi,
+                    split_dim,
+                    split_val,
+                    left,
+                    right,
+                } => {
+                    for (h, &c) in hi.iter_mut().zip(p.coords()) {
+                        if c > *h {
+                            *h = c;
+                        }
+                    }
+                    idx = if p.coord(*split_dim) < *split_val {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+                Node::Leaf { hi, points } => {
+                    for (h, &c) in hi.iter_mut().zip(p.coords()) {
+                        if c > *h {
+                            *h = c;
+                        }
+                    }
+                    self.leaf_of.insert(p.id(), idx);
+                    points.push(p);
+                    self.len += 1;
+                    if points.len() > 2 * LEAF_CAPACITY {
+                        self.split_leaf(idx);
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Splits an over-full leaf in place (the leaf node is replaced by an
+    /// internal node with two fresh leaves).
+    fn split_leaf(&mut self, idx: usize) {
+        let Node::Leaf { points, .. } = &mut self.nodes[idx] else {
+            unreachable!("split_leaf on internal node")
+        };
+        let mut pts = std::mem::take(points);
+        let split_dim = self.widest_dim(&pts).unwrap_or(0);
+        let mid = pts.len() / 2;
+        pts.select_nth_unstable_by(mid, |a, b| {
+            a.coord(split_dim)
+                .partial_cmp(&b.coord(split_dim))
+                .expect("finite")
+                .then_with(|| a.id().cmp(&b.id()))
+        });
+        let split_val = pts[mid].coord(split_dim);
+        let right: Vec<Point> = pts.split_off(mid);
+        let left = pts;
+
+        let left_hi = self.compute_hi(&left);
+        let right_hi = self.compute_hi(&right);
+        let mut hi = vec![0.0f64; self.dim];
+        for i in 0..self.dim {
+            hi[i] = left_hi[i].max(right_hi[i]);
+        }
+        let left_idx = self.nodes.len();
+        for p in &left {
+            self.leaf_of.insert(p.id(), left_idx);
+        }
+        self.nodes.push(Node::Leaf {
+            hi: left_hi,
+            points: left,
+        });
+        let right_idx = self.nodes.len();
+        for p in &right {
+            self.leaf_of.insert(p.id(), right_idx);
+        }
+        self.nodes.push(Node::Leaf {
+            hi: right_hi,
+            points: right,
+        });
+        self.nodes[idx] = Node::Internal {
+            split_dim,
+            split_val,
+            hi: hi.into_boxed_slice(),
+            left: left_idx,
+            right: right_idx,
+        };
+    }
+
+    /// Deletes a point by id. Bounding boxes are left conservative; once
+    /// `stale_ops` exceeds the rebuild fraction of the current size, the
+    /// tree rebuilds itself.
+    pub fn delete(&mut self, id: PointId) -> Result<(), KdTreeError> {
+        let Some(leaf_idx) = self.leaf_of.remove(&id) else {
+            return Err(KdTreeError::UnknownId(id));
+        };
+        let Node::Leaf { points, .. } = &mut self.nodes[leaf_idx] else {
+            unreachable!("leaf_of points at an internal node")
+        };
+        let pos = points
+            .iter()
+            .position(|p| p.id() == id)
+            .expect("leaf_of is consistent");
+        points.swap_remove(pos);
+        self.len -= 1;
+        self.stale_ops += 1;
+        if (self.stale_ops as f64) > self.rebuild_fraction * (self.len.max(1) as f64) {
+            let pts = self.points();
+            self.rebuild_from(pts);
+        }
+        Ok(())
+    }
+
+    /// Upper bound of `⟨u, q⟩` over the subtree at `node` (valid because
+    /// `u ≥ 0`, so the box's upper corner maximises the inner product).
+    #[inline]
+    fn node_bound(&self, node: usize, u: &Utility) -> f64 {
+        self.nodes[node]
+            .hi()
+            .iter()
+            .zip(u.weights())
+            .map(|(h, w)| h * w)
+            .sum()
+    }
+
+    /// Exact top-k query via best-first branch-and-bound. Results are in
+    /// descending score order with the workspace tie-breaking (id
+    /// ascending).
+    pub fn top_k(&self, u: &Utility, k: usize) -> Vec<RankedPoint> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Max-heap over node upper bounds.
+        let mut frontier: std::collections::BinaryHeap<HeapEntry> =
+            std::collections::BinaryHeap::new();
+        frontier.push(HeapEntry {
+            bound: self.node_bound(self.root, u),
+            node: self.root,
+        });
+        // Current k best (score, id); `worst` tracks the kth best.
+        let mut best: Vec<RankedPoint> = Vec::with_capacity(k + 1);
+        while let Some(HeapEntry { bound, node }) = frontier.pop() {
+            if best.len() == k {
+                let kth = &best[k - 1];
+                // Even a tie cannot improve: equal score only displaces on
+                // smaller id, which the bound cannot attest. Allow ties
+                // through to preserve exact id-based ranking.
+                if bound < kth.score {
+                    break;
+                }
+            }
+            match &self.nodes[node] {
+                Node::Internal { left, right, .. } => {
+                    frontier.push(HeapEntry {
+                        bound: self.node_bound(*left, u),
+                        node: *left,
+                    });
+                    frontier.push(HeapEntry {
+                        bound: self.node_bound(*right, u),
+                        node: *right,
+                    });
+                }
+                Node::Leaf { points, .. } => {
+                    for p in points {
+                        let score = u.score(p);
+                        let candidate_better = best.len() < k || {
+                            let kth = &best[k - 1];
+                            better(score, p.id(), kth.score, kth.id)
+                        };
+                        if candidate_better {
+                            let rp = RankedPoint { id: p.id(), score };
+                            let pos = best
+                                .binary_search_by(|probe| {
+                                    if better(probe.score, probe.id, rp.score, rp.id) {
+                                        Ordering::Less
+                                    } else {
+                                        Ordering::Greater
+                                    }
+                                })
+                                .unwrap_err();
+                            best.insert(pos, rp);
+                            if best.len() > k {
+                                best.pop();
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// All points with score `≥ threshold`, in descending score order.
+    pub fn above_threshold(&self, u: &Utility, threshold: f64) -> Vec<RankedPoint> {
+        let mut out = Vec::new();
+        if self.len == 0 {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            if self.node_bound(node, u) < threshold {
+                continue;
+            }
+            match &self.nodes[node] {
+                Node::Internal { left, right, .. } => {
+                    stack.push(*left);
+                    stack.push(*right);
+                }
+                Node::Leaf { points, .. } => {
+                    for p in points {
+                        let score = u.score(p);
+                        if score >= threshold {
+                            out.push(RankedPoint { id: p.id(), score });
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by(|a, b| {
+            if better(a.score, a.id, b.score, b.id) {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }
+        });
+        out
+    }
+
+    /// The ε-approximate top-k `Φ_{k,ε}(u, P)`: all points with score at
+    /// least `(1 − ε)·ω_k(u, P)`, descending. Also returns `ω_k` (the
+    /// exact kth score) as the second component, or `None` when fewer than
+    /// `k` points exist (then every point is returned).
+    pub fn top_k_approx(
+        &self,
+        u: &Utility,
+        k: usize,
+        eps: f64,
+    ) -> (Vec<RankedPoint>, Option<f64>) {
+        let exact = self.top_k(u, k);
+        if exact.len() < k {
+            return (exact, None);
+        }
+        let omega_k = exact[k - 1].score;
+        (
+            self.above_threshold(u, (1.0 - eps) * omega_k),
+            Some(omega_k),
+        )
+    }
+}
+
+/// Frontier entry ordered by bound (max-heap).
+struct HeapEntry {
+    bound: f64,
+    node: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .partial_cmp(&other.bound)
+            .expect("finite bounds")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rms_geom::{sample_utilities, top_k as brute_top_k, top_k_approx as brute_approx};
+
+    fn random_points(rng: &mut StdRng, n: usize, d: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let c: Vec<f64> = (0..d).map(|_| rng.gen()).collect();
+                Point::new_unchecked(i as u64, c)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn topk_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = random_points(&mut rng, 500, 4);
+        let tree = KdTree::build(4, pts.clone()).unwrap();
+        for u in sample_utilities(&mut rng, 4, 30) {
+            for k in [1, 3, 10] {
+                let got = tree.top_k(&u, k);
+                let want = brute_top_k(&pts, &u, k);
+                assert_eq!(got, want, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = random_points(&mut rng, 300, 3);
+        let tree = KdTree::build(3, pts.clone()).unwrap();
+        for u in sample_utilities(&mut rng, 3, 10) {
+            let tau = 0.8;
+            let got: Vec<_> = tree.above_threshold(&u, tau);
+            let mut want: Vec<_> = pts
+                .iter()
+                .map(|p| RankedPoint {
+                    id: p.id(),
+                    score: u.score(p),
+                })
+                .filter(|r| r.score >= tau)
+                .collect();
+            want.sort_unstable_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap()
+                    .then(a.id.cmp(&b.id))
+            });
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn approx_topk_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = random_points(&mut rng, 400, 5);
+        let tree = KdTree::build(5, pts.clone()).unwrap();
+        for u in sample_utilities(&mut rng, 5, 10) {
+            for (k, eps) in [(1, 0.05), (5, 0.01), (10, 0.2)] {
+                let (got, omega) = tree.top_k_approx(&u, k, eps);
+                let want = brute_approx(&pts, &u, k, eps);
+                assert_eq!(got, want, "k={k} eps={eps}");
+                assert!(omega.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn inserts_keep_queries_exact() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let initial = random_points(&mut rng, 100, 3);
+        let mut all = initial.clone();
+        let mut tree = KdTree::build(3, initial).unwrap();
+        for i in 0..300 {
+            let p = Point::new_unchecked(
+                1_000 + i,
+                (0..3).map(|_| rng.gen()).collect(),
+            );
+            all.push(p.clone());
+            tree.insert(p).unwrap();
+        }
+        assert_eq!(tree.len(), 400);
+        for u in sample_utilities(&mut rng, 3, 10) {
+            assert_eq!(tree.top_k(&u, 7), brute_top_k(&all, &u, 7));
+        }
+    }
+
+    #[test]
+    fn deletes_keep_queries_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pts = random_points(&mut rng, 400, 4);
+        let mut all = pts.clone();
+        let mut tree = KdTree::build(4, pts).unwrap();
+        // Delete 300 random points (triggers at least one rebuild).
+        for _ in 0..300 {
+            let i = rng.gen_range(0..all.len());
+            let id = all.swap_remove(i).id();
+            tree.delete(id).unwrap();
+        }
+        assert_eq!(tree.len(), 100);
+        for u in sample_utilities(&mut rng, 4, 10) {
+            assert_eq!(tree.top_k(&u, 5), brute_top_k(&all, &u, 5));
+        }
+    }
+
+    #[test]
+    fn mixed_workload_consistency() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut tree = KdTree::build(3, Vec::new()).unwrap();
+        let mut all: Vec<Point> = Vec::new();
+        let mut next = 0u64;
+        for _ in 0..1500 {
+            if all.is_empty() || rng.gen_bool(0.6) {
+                let p = Point::new_unchecked(next, (0..3).map(|_| rng.gen()).collect());
+                next += 1;
+                all.push(p.clone());
+                tree.insert(p).unwrap();
+            } else {
+                let i = rng.gen_range(0..all.len());
+                let id = all.swap_remove(i).id();
+                tree.delete(id).unwrap();
+            }
+        }
+        assert_eq!(tree.len(), all.len());
+        let u = Utility::new(vec![0.3, 0.5, 0.2]).unwrap();
+        assert_eq!(tree.top_k(&u, 10), brute_top_k(&all, &u, 10));
+    }
+
+    #[test]
+    fn error_paths() {
+        let mut tree = KdTree::build(2, vec![Point::new_unchecked(0, vec![0.1, 0.2])]).unwrap();
+        assert_eq!(
+            tree.insert(Point::new_unchecked(0, vec![0.5, 0.5])),
+            Err(KdTreeError::DuplicateId(0))
+        );
+        assert_eq!(tree.delete(7), Err(KdTreeError::UnknownId(7)));
+        assert_eq!(
+            tree.insert(Point::new_unchecked(1, vec![0.5])),
+            Err(KdTreeError::DimensionMismatch { expected: 2, got: 1 })
+        );
+        let dup = KdTree::build(
+            2,
+            vec![
+                Point::new_unchecked(3, vec![0.0, 0.0]),
+                Point::new_unchecked(3, vec![0.0, 0.1]),
+            ],
+        );
+        assert_eq!(dup.err(), Some(KdTreeError::DuplicateId(3)));
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = KdTree::build(3, Vec::new()).unwrap();
+        let u = Utility::new(vec![1.0, 1.0, 1.0]).unwrap();
+        assert!(tree.top_k(&u, 5).is_empty());
+        assert!(tree.above_threshold(&u, 0.0).is_empty());
+        let (approx, omega) = tree.top_k_approx(&u, 3, 0.1);
+        assert!(approx.is_empty());
+        assert!(omega.is_none());
+    }
+
+    #[test]
+    fn duplicate_coordinates_tie_break() {
+        let pts = vec![
+            Point::new_unchecked(9, vec![0.5, 0.5]),
+            Point::new_unchecked(1, vec![0.5, 0.5]),
+            Point::new_unchecked(5, vec![0.5, 0.5]),
+        ];
+        let tree = KdTree::build(2, pts).unwrap();
+        let u = Utility::new(vec![1.0, 1.0]).unwrap();
+        let ids: Vec<PointId> = tree.top_k(&u, 2).iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![1, 5]);
+    }
+
+    #[test]
+    fn fewer_than_k_points() {
+        let pts = vec![
+            Point::new_unchecked(0, vec![0.1, 0.9]),
+            Point::new_unchecked(1, vec![0.9, 0.1]),
+        ];
+        let tree = KdTree::build(2, pts).unwrap();
+        let u = Utility::new(vec![1.0, 0.0]).unwrap();
+        assert_eq!(tree.top_k(&u, 10).len(), 2);
+        let (approx, omega) = tree.top_k_approx(&u, 5, 0.1);
+        assert_eq!(approx.len(), 2);
+        assert!(omega.is_none());
+    }
+}

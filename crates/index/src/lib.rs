@@ -1,0 +1,29 @@
+//! Dual-tree indexes for maintaining many (approximate) top-k results over
+//! a dynamic database (Section III-C of the paper).
+//!
+//! * [`KdTree`] — the **tuple index TI**: a bulk-loaded k-d tree over the
+//!   database supporting exact top-k queries and score-threshold queries
+//!   under nonnegative linear utilities via branch-and-bound (the upper
+//!   bound of a box for `u ≥ 0` is `⟨u, hi⟩`). Insertions descend and
+//!   expand bounding boxes exactly; deletions leave conservative boxes and
+//!   trigger a full rebuild once enough staleness accumulates (the paper
+//!   uses "standard top-down methods" for construction plus
+//!   branch-and-bound search; lazy rebuilding is our documented
+//!   equivalent for the update path — see the `ablation_kd_rebuild`
+//!   bench).
+//! * [`ConeTree`] — the **utility index UI** (Ram & Gray, KDD 2012): an
+//!   angular space-partitioning tree over the sampled utility vectors.
+//!   Each node is a cone (unit centre, half-angle) with the minimum
+//!   per-utility threshold of its subtree; on a tuple insertion it reports
+//!   exactly the utilities whose threshold the new tuple reaches, pruning
+//!   whole cones by the maximum-inner-product bound
+//!   `⟨u, p⟩ ≤ ‖p‖·cos(max(0, θ(c, p) − φ))`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conetree;
+mod kdtree;
+
+pub use conetree::ConeTree;
+pub use kdtree::{KdTree, KdTreeError};

@@ -1,0 +1,93 @@
+//! Property-based tests: index queries always agree with brute force.
+
+use proptest::prelude::*;
+use rms_geom::{top_k as brute_top_k, Point, Utility};
+use rms_index::{ConeTree, KdTree};
+
+fn arb_points(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(prop::collection::vec(0.0f64..=1.0, d), n).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, c)| Point::new_unchecked(i as u64, c))
+            .collect()
+    })
+}
+
+fn arb_utility(d: usize) -> impl Strategy<Value = Utility> {
+    prop::collection::vec(0.01f64..=1.0, d).prop_map(|w| Utility::new(w).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn kdtree_topk_equals_bruteforce(
+        pts in arb_points(3, 1..120),
+        u in arb_utility(3),
+        k in 1usize..12,
+    ) {
+        let tree = KdTree::build(3, pts.clone()).unwrap();
+        prop_assert_eq!(tree.top_k(&u, k), brute_top_k(&pts, &u, k));
+    }
+
+    #[test]
+    fn kdtree_threshold_equals_filter(
+        pts in arb_points(4, 1..80),
+        u in arb_utility(4),
+        tau in 0.0f64..2.0,
+    ) {
+        let tree = KdTree::build(4, pts.clone()).unwrap();
+        let got: Vec<u64> = tree.above_threshold(&u, tau).iter().map(|r| r.id).collect();
+        let mut want: Vec<(f64, u64)> = pts
+            .iter()
+            .filter_map(|p| {
+                let s = u.score(p);
+                (s >= tau).then_some((s, p.id()))
+            })
+            .collect();
+        want.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        let want: Vec<u64> = want.into_iter().map(|(_, id)| id).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_survives_edit_scripts(
+        pts in arb_points(3, 1..60),
+        script in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, any::<bool>()), 0..60),
+        u in arb_utility(3),
+    ) {
+        let mut all = pts.clone();
+        let mut tree = KdTree::build(3, pts).unwrap();
+        let mut next = 10_000u64;
+        for (x, y, z, insert) in script {
+            if insert || all.is_empty() {
+                let p = Point::new_unchecked(next, vec![x, y, z]);
+                next += 1;
+                all.push(p.clone());
+                tree.insert(p).unwrap();
+            } else {
+                let idx = (x * all.len() as f64) as usize % all.len();
+                let id = all.swap_remove(idx).id();
+                tree.delete(id).unwrap();
+            }
+        }
+        prop_assert_eq!(tree.len(), all.len());
+        prop_assert_eq!(tree.top_k(&u, 8), brute_top_k(&all, &u, 8));
+    }
+
+    #[test]
+    fn conetree_affected_equals_scan(
+        dirs in prop::collection::vec(prop::collection::vec(0.05f64..=1.0, 3), 1..100),
+        taus in prop::collection::vec(0.0f64..=1.6, 100),
+        probe in prop::collection::vec(0.0f64..=1.0, 3),
+    ) {
+        let us: Vec<Utility> = dirs.into_iter().map(|w| Utility::new(w).unwrap()).collect();
+        let n = us.len();
+        let mut tree = ConeTree::build(us);
+        for (i, tau) in taus.into_iter().take(n).enumerate() {
+            tree.set_threshold(i, tau);
+        }
+        let p = Point::new_unchecked(0, probe);
+        prop_assert_eq!(tree.affected_by(&p), tree.affected_by_scan(&p));
+    }
+}

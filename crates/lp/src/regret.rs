@@ -1,0 +1,273 @@
+//! Regret-ratio computations as linear programs.
+//!
+//! For `k = 1` the maximum regret ratio of a set `Q` against a witness
+//! tuple `p` has an exact LP characterisation (Nanongkai et al., PVLDB
+//! 2010). Normalising `⟨u, p⟩ = 1` (the regret ratio is scale-invariant):
+//!
+//! ```text
+//! maximize   x
+//! subject to ⟨u, q⟩ ≤ 1 − x          for every q ∈ Q
+//!            ⟨u, p⟩ = 1
+//!            u ≥ 0, x ≥ 0
+//! ```
+//!
+//! The optimum equals `max_u max(0, 1 − ω(u, Q) / ⟨u, p⟩)` restricted to
+//! utilities that score `p` positively; maximising over all witnesses
+//! `p ∈ P` yields the exact `mrr_1(Q)`.
+
+use crate::simplex::{LpOutcome, Relation, Simplex};
+use rms_geom::Point;
+
+/// Exact worst-case 1-regret ratio of `Q` against the witness tuple `p`:
+/// `max_u (1 − ω(u,Q)/⟨u,p⟩)` clamped to `[0, 1]`.
+///
+/// Returns 0 when `p ∈ Q` by identity of coordinates (some `q` matches `p`
+/// on every attribute) or when no utility makes `p` beat all of `Q`.
+pub fn max_regret_lp(p: &Point, q_set: &[Point]) -> f64 {
+    let d = p.dim();
+    debug_assert!(q_set.iter().all(|q| q.dim() == d));
+    // Variables: u[0..d], x. Objective: maximize x.
+    let mut objective = vec![0.0; d + 1];
+    objective[d] = 1.0;
+    let mut lp = Simplex::maximize(objective)
+        .constraint(
+            p.coords().iter().copied().chain(std::iter::once(0.0)).collect(),
+            Relation::Eq,
+            1.0,
+        )
+        // x ≤ 1 keeps the program bounded even for empty Q.
+        .constraint(
+            std::iter::repeat(0.0).take(d).chain(std::iter::once(1.0)).collect(),
+            Relation::Le,
+            1.0,
+        );
+    for q in q_set {
+        // ⟨u, q⟩ + x ≤ 1
+        let coeffs: Vec<f64> = q
+            .coords()
+            .iter()
+            .copied()
+            .chain(std::iter::once(1.0))
+            .collect();
+        lp = lp.constraint(coeffs, Relation::Le, 1.0);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => sol.value.clamp(0.0, 1.0),
+        // Infeasible: no nonnegative u with ⟨u,p⟩ = 1 (p = 0) — regret 0.
+        LpOutcome::Infeasible => 0.0,
+        LpOutcome::Unbounded => unreachable!("x ≤ 1 bounds the objective"),
+    }
+}
+
+/// Exact maximum 1-regret ratio `mrr_1(Q)` of `Q` over the database
+/// `points`, computed with one witness LP per tuple.
+///
+/// Callers typically pass only the skyline of `P`, since the maximum is
+/// always attained at a skyline tuple.
+pub fn mrr1_exact(points: &[Point], q_set: &[Point]) -> f64 {
+    points
+        .iter()
+        .map(|p| max_regret_lp(p, q_set))
+        .fold(0.0, f64::max)
+}
+
+/// Like [`mrr1_exact`], but also returns the witness tuple attaining the
+/// maximum (ties broken by first occurrence). `None` on an empty database.
+pub fn mrr1_witness(points: &[Point], q_set: &[Point]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, p) in points.iter().enumerate() {
+        let rr = max_regret_lp(p, q_set);
+        if best.is_none_or(|(_, b)| rr > b) {
+            best = Some((i, rr));
+        }
+    }
+    best
+}
+
+/// Whether `p` is a *happy point*: the top-1 tuple for at least one
+/// nonnegative utility vector, i.e. a vertex of the upper convex hull of
+/// the database. GEOGREEDY restricts its candidate set to happy points.
+///
+/// LP formulation: maximize `x` s.t. `⟨u, p − q⟩ ≥ x` for all other `q`,
+/// `Σ u_i = 1`, `u ≥ 0`. `p` is happy iff the optimum is `≥ −tol`
+/// (strictly positive means uniquely optimal for some direction; zero
+/// means ties, which we accept, matching the paper's consistent
+/// tie-breaking).
+pub fn is_happy_point(p: &Point, others: &[Point]) -> bool {
+    let d = p.dim();
+    // Variables: u[0..d], x (x is a *shifted* slack: x' = x + 1 ≥ 0 so that
+    // slightly negative optima remain representable). We use x' ∈ [0, 2].
+    let mut objective = vec![0.0; d + 1];
+    objective[d] = 1.0;
+    let mut lp = Simplex::maximize(objective)
+        .constraint(
+            std::iter::repeat(1.0).take(d).chain(std::iter::once(0.0)).collect(),
+            Relation::Eq,
+            1.0,
+        )
+        .constraint(
+            std::iter::repeat(0.0).take(d).chain(std::iter::once(1.0)).collect(),
+            Relation::Le,
+            2.0,
+        );
+    for q in others {
+        if q.id() == p.id() {
+            continue;
+        }
+        // ⟨u, p − q⟩ − (x' − 1) ≥ 0  ⇔  ⟨u, q − p⟩ + x' ≤ 1
+        let coeffs: Vec<f64> = q
+            .coords()
+            .iter()
+            .zip(p.coords())
+            .map(|(qc, pc)| qc - pc)
+            .chain(std::iter::once(1.0))
+            .collect();
+        lp = lp.constraint(coeffs, Relation::Le, 1.0);
+    }
+    match lp.solve() {
+        LpOutcome::Optimal(sol) => sol.value - 1.0 >= -1e-7,
+        LpOutcome::Infeasible => false,
+        LpOutcome::Unbounded => unreachable!("x' ≤ 2 bounds the objective"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rms_geom::{sample_utilities, top1, Utility};
+
+    fn fig1() -> Vec<Point> {
+        [
+            (1, 0.2, 1.0),
+            (2, 0.6, 0.8),
+            (3, 0.7, 0.5),
+            (4, 1.0, 0.1),
+            (5, 0.4, 0.3),
+            (6, 0.2, 0.7),
+            (7, 0.3, 0.9),
+            (8, 0.6, 0.6),
+        ]
+        .iter()
+        .map(|&(id, x, y)| Point::new_unchecked(id, vec![x, y]))
+        .collect()
+    }
+
+    #[test]
+    fn regret_zero_when_p_in_q() {
+        let db = fig1();
+        let q = vec![db[0].clone(), db[3].clone()];
+        assert_eq!(max_regret_lp(&db[0], &q), 0.0);
+    }
+
+    #[test]
+    fn paper_example_mrr_q1() {
+        // Example 1: mrr_1 of Q1 = {p3, p4} is attained at u = (0, 1) with
+        // 1 − 0.5/1.0 = 0.5 (for k=1 the witness is p1 with y=1.0).
+        let db = fig1();
+        let q1 = vec![db[2].clone(), db[3].clone()];
+        let mrr = mrr1_exact(&db, &q1);
+        assert!((mrr - 0.5).abs() < 1e-6, "mrr {mrr}");
+    }
+
+    #[test]
+    fn paper_example_zero_regret_set() {
+        // Example 1: Q2 = {p1, p2, p4} is a (1,0)-regret set… for k=2 in
+        // the paper; for k=1 the skyline also contains p3 and p7, so check
+        // the true k=1 zero-regret property of the full skyline instead.
+        let db = fig1();
+        let sky: Vec<Point> = [1, 2, 3, 4, 7]
+            .iter()
+            .map(|&i| db[i - 1].clone())
+            .collect();
+        let mrr = mrr1_exact(&db, &sky);
+        assert!(mrr < 1e-7, "skyline must have zero 1-regret, got {mrr}");
+    }
+
+    #[test]
+    fn lp_matches_sampling_estimate() {
+        // The LP's exact mrr must upper-bound (and closely match) a
+        // Monte-Carlo estimate over many utilities.
+        use rand::{rngs::StdRng, SeedableRng};
+        let db = fig1();
+        let q = vec![db[0].clone(), db[3].clone()]; // {p1, p4}
+        let exact = mrr1_exact(&db, &q);
+        let mut rng = StdRng::seed_from_u64(5);
+        let est = sample_utilities(&mut rng, 2, 20_000)
+            .iter()
+            .map(|u| {
+                let top_p = top1(&db, u).unwrap().score;
+                let top_q = top1(&q, u).unwrap().score;
+                ((top_p - top_q) / top_p).max(0.0)
+            })
+            .fold(0.0, f64::max);
+        assert!(exact >= est - 1e-9, "exact {exact} < estimate {est}");
+        assert!(exact - est < 0.02, "exact {exact} far from estimate {est}");
+    }
+
+    #[test]
+    fn witness_is_argmax() {
+        let db = fig1();
+        let q = vec![db[3].clone()]; // {p4}
+        let (idx, rr) = mrr1_witness(&db, &q).unwrap();
+        assert!(rr > 0.0);
+        let brute = mrr1_exact(&db, &q);
+        assert!((rr - brute).abs() < 1e-9);
+        // Witness should be p1 (the best y-tuple, regret 1 − 0.1/1.0 = 0.9).
+        assert_eq!(db[idx].id(), 1);
+        assert!((rr - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn happy_points_are_exactly_hull_vertices() {
+        let db = fig1();
+        // Upper-hull vertices in Fig. 1: p1 (0.2,1), p2 (0.6,0.8),
+        // p4 (1,0.1). p3 (0.7,0.5) is on the skyline but below the
+        // p2–p4 segment: at x=0.7, segment y = 0.8 − 0.7/0.4*(0.7−0.6)
+        // = 0.625 > 0.5 ⇒ p3 is never top-1. p7 (0.3,0.9) is below the
+        // p1–p2 segment (y = 0.95 at x=0.3).
+        let happy: Vec<u64> = db
+            .iter()
+            .filter(|p| is_happy_point(p, &db))
+            .map(|p| p.id())
+            .collect();
+        assert_eq!(happy, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn happy_point_agrees_with_sampled_top1() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let db = fig1();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut top_ids: Vec<u64> = sample_utilities(&mut rng, 2, 5000)
+            .iter()
+            .map(|u| top1(&db, u).unwrap().id)
+            .collect();
+        top_ids.sort_unstable();
+        top_ids.dedup();
+        for p in &db {
+            if top_ids.contains(&p.id()) {
+                assert!(is_happy_point(p, &db), "sampled top-1 {} not happy", p.id());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_q_has_full_regret() {
+        let db = fig1();
+        // With Q empty the LP maximum is x = 1 (clamped): total regret.
+        assert_eq!(max_regret_lp(&db[0], &[]), 1.0);
+    }
+
+    #[test]
+    fn basis_utilities_regret_consistency() {
+        // For Q = {p4} and the y-axis utility, regret = 1 − 0.1/1.0 = 0.9;
+        // LP max must be ≥ that.
+        let db = fig1();
+        let q = vec![db[3].clone()];
+        let u = Utility::basis(2, 1);
+        let top_p = top1(&db, &u).unwrap().score;
+        let top_q = top1(&q, &u).unwrap().score;
+        let rr = 1.0 - top_q / top_p;
+        assert!(max_regret_lp(&db[0], &q) >= rr - 1e-9);
+    }
+}

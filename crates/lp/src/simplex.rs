@@ -1,0 +1,495 @@
+//! Dense two-phase simplex.
+//!
+//! Solves `maximize c·x subject to A x {≤,=,≥} b, x ≥ 0` for small dense
+//! systems. Phase 1 minimises the sum of artificial variables to find a
+//! basic feasible solution; phase 2 optimises the real objective. Bland's
+//! rule (smallest-index entering/leaving) prevents cycling; the problem
+//! sizes here (tens of variables) make its slower convergence irrelevant.
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x = rhs`
+    Eq,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+}
+
+/// A single linear constraint.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Coefficients, one per structural variable.
+    pub coeffs: Vec<f64>,
+    /// Constraint sense.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<f64>, relation: Relation, rhs: f64) -> Self {
+        Self {
+            coeffs,
+            relation,
+            rhs,
+        }
+    }
+}
+
+/// Result of an LP solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal(LpSolution),
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+/// An optimal solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpSolution {
+    /// Optimal values of the structural variables.
+    pub x: Vec<f64>,
+    /// Optimal objective value.
+    pub value: f64,
+}
+
+/// Numerical tolerance for pivoting and feasibility decisions.
+const TOL: f64 = 1e-9;
+
+/// A maximisation LP over nonnegative structural variables.
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    num_vars: usize,
+    objective: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl Simplex {
+    /// Creates a problem `maximize objective · x` with `x ≥ 0` and no
+    /// constraints yet.
+    ///
+    /// Panics if `objective` is empty.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        assert!(!objective.is_empty(), "objective must have variables");
+        Self {
+            num_vars: objective.len(),
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Adds a constraint; coefficient vectors shorter than the variable
+    /// count are zero-padded.
+    ///
+    /// Panics if more coefficients than variables are supplied.
+    pub fn constraint(mut self, mut coeffs: Vec<f64>, relation: Relation, rhs: f64) -> Self {
+        assert!(
+            coeffs.len() <= self.num_vars,
+            "constraint has more coefficients than variables"
+        );
+        coeffs.resize(self.num_vars, 0.0);
+        self.constraints.push(Constraint::new(coeffs, relation, rhs));
+        self
+    }
+
+    /// Solves the LP.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::build(self).solve()
+    }
+}
+
+/// Internal simplex tableau.
+///
+/// Layout: `cols = num_vars structural + num_slack + num_artificial + 1
+/// (rhs)`. One row per constraint plus one objective row (kept separately).
+struct Tableau {
+    rows: Vec<Vec<f64>>,
+    /// Basis: for each constraint row, the index of its basic column.
+    basis: Vec<usize>,
+    num_vars: usize,
+    /// Total structural + slack columns (artificials start here).
+    non_artificial: usize,
+    num_cols: usize,
+    objective: Vec<f64>,
+}
+
+impl Tableau {
+    fn build(lp: &Simplex) -> Self {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+
+        // Normalise rows to nonnegative rhs, count slacks/artificials.
+        let mut norm: Vec<(Vec<f64>, Relation, f64)> = lp
+            .constraints
+            .iter()
+            .map(|c| {
+                if c.rhs < 0.0 {
+                    let coeffs = c.coeffs.iter().map(|v| -v).collect();
+                    let rel = match c.relation {
+                        Relation::Le => Relation::Ge,
+                        Relation::Ge => Relation::Le,
+                        Relation::Eq => Relation::Eq,
+                    };
+                    (coeffs, rel, -c.rhs)
+                } else {
+                    (c.coeffs.clone(), c.relation, c.rhs)
+                }
+            })
+            .collect();
+
+        let num_slack = norm
+            .iter()
+            .filter(|(_, rel, _)| !matches!(rel, Relation::Eq))
+            .count();
+        let num_art = norm
+            .iter()
+            .filter(|(_, rel, _)| !matches!(rel, Relation::Le))
+            .count();
+        let non_artificial = n + num_slack;
+        let num_cols = non_artificial + num_art + 1; // + rhs
+
+        let mut rows = vec![vec![0.0; num_cols]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut slack_at = n;
+        let mut art_at = non_artificial;
+
+        for (i, (coeffs, rel, rhs)) in norm.drain(..).enumerate() {
+            rows[i][..n].copy_from_slice(&coeffs);
+            rows[i][num_cols - 1] = rhs;
+            match rel {
+                Relation::Le => {
+                    rows[i][slack_at] = 1.0;
+                    basis[i] = slack_at;
+                    slack_at += 1;
+                }
+                Relation::Ge => {
+                    rows[i][slack_at] = -1.0; // surplus
+                    slack_at += 1;
+                    rows[i][art_at] = 1.0;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+                Relation::Eq => {
+                    rows[i][art_at] = 1.0;
+                    basis[i] = art_at;
+                    art_at += 1;
+                }
+            }
+        }
+
+        Self {
+            rows,
+            basis,
+            num_vars: n,
+            non_artificial,
+            num_cols,
+            objective: lp.objective.clone(),
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        let has_artificials = self.num_cols - 1 > self.non_artificial;
+        if has_artificials {
+            // Phase 1: minimise the sum of artificials, i.e. maximise the
+            // negated sum. Objective row expressed over the current basis.
+            let mut obj = vec![0.0; self.num_cols];
+            for col in self.non_artificial..self.num_cols - 1 {
+                obj[col] = -1.0;
+            }
+            // Price out basic artificial columns.
+            let mut zrow = obj.clone();
+            for (row, &b) in self.basis.iter().enumerate() {
+                if b >= self.non_artificial {
+                    let coef = zrow[b];
+                    if coef != 0.0 {
+                        for col in 0..self.num_cols {
+                            zrow[col] -= coef * self.rows[row][col];
+                        }
+                    }
+                }
+            }
+            match self.run_simplex(&mut zrow, self.num_cols - 1) {
+                SimplexRun::Unbounded => {
+                    // Phase-1 objective is bounded by 0; cannot happen.
+                    unreachable!("phase-1 objective is bounded above by zero")
+                }
+                SimplexRun::Optimal => {}
+            }
+            // Objective value of phase 1 = −(sum of artificials).
+            let p1 = -zrow[self.num_cols - 1];
+            if p1.abs() > 1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Drive remaining artificials out of the basis where possible.
+            for row in 0..self.rows.len() {
+                if self.basis[row] >= self.non_artificial {
+                    if let Some(col) = (0..self.non_artificial)
+                        .find(|&c| self.rows[row][c].abs() > TOL)
+                    {
+                        self.pivot(row, col);
+                    }
+                    // If no pivot column exists the row is all-zero
+                    // (redundant constraint) and can stay as is.
+                }
+            }
+        }
+
+        // Phase 2: maximise the real objective over non-artificial columns.
+        let mut zrow = vec![0.0; self.num_cols];
+        for (i, &c) in self.objective.iter().enumerate() {
+            zrow[i] = c;
+        }
+        // Price out the basic columns.
+        for (row, &b) in self.basis.iter().enumerate() {
+            if b < self.num_cols && zrow[b].abs() > 0.0 {
+                let coef = zrow[b];
+                for col in 0..self.num_cols {
+                    zrow[col] -= coef * self.rows[row][col];
+                }
+            }
+        }
+        match self.run_simplex(&mut zrow, self.non_artificial) {
+            SimplexRun::Unbounded => return LpOutcome::Unbounded,
+            SimplexRun::Optimal => {}
+        }
+
+        let mut x = vec![0.0; self.num_vars];
+        for (row, &b) in self.basis.iter().enumerate() {
+            if b < self.num_vars {
+                x[b] = self.rows[row][self.num_cols - 1];
+            }
+        }
+        let value = self
+            .objective
+            .iter()
+            .zip(x.iter())
+            .map(|(c, v)| c * v)
+            .sum();
+        LpOutcome::Optimal(LpSolution { x, value })
+    }
+
+    /// Runs simplex iterations on the current tableau with the given
+    /// objective row, considering entering columns `< col_limit`.
+    fn run_simplex(&mut self, zrow: &mut [f64], col_limit: usize) -> SimplexRun {
+        loop {
+            // Bland's rule: smallest-index column with positive reduced cost.
+            let Some(enter) = (0..col_limit).find(|&c| zrow[c] > TOL) else {
+                return SimplexRun::Optimal;
+            };
+            // Ratio test; Bland: among ties, smallest basis index leaves.
+            let mut leave: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for row in 0..self.rows.len() {
+                let a = self.rows[row][enter];
+                if a > TOL {
+                    let ratio = self.rows[row][self.num_cols - 1] / a;
+                    if ratio < best - TOL
+                        || (ratio < best + TOL
+                            && leave.is_some_and(|l| self.basis[row] < self.basis[l]))
+                    {
+                        best = ratio;
+                        leave = Some(row);
+                    }
+                }
+            }
+            let Some(leave) = leave else {
+                return SimplexRun::Unbounded;
+            };
+            self.pivot(leave, enter);
+            // Update the objective row.
+            let coef = zrow[enter];
+            if coef.abs() > 0.0 {
+                for col in 0..self.num_cols {
+                    zrow[col] -= coef * self.rows[leave][col];
+                }
+            }
+        }
+    }
+
+    /// Pivots so that column `col` becomes basic in row `row`.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let pivot = self.rows[row][col];
+        debug_assert!(pivot.abs() > TOL, "pivot too small: {pivot}");
+        let inv = 1.0 / pivot;
+        for v in &mut self.rows[row] {
+            *v *= inv;
+        }
+        for r in 0..self.rows.len() {
+            if r != row {
+                let factor = self.rows[r][col];
+                if factor.abs() > 0.0 {
+                    for c in 0..self.num_cols {
+                        self.rows[r][c] -= factor * self.rows[row][c];
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+enum SimplexRun {
+    Optimal,
+    Unbounded,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(outcome: LpOutcome) -> LpSolution {
+        match outcome {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable() {
+        // max 3x + 5y s.t. x ≤ 4; 2y ≤ 12; 3x + 2y ≤ 18 → x=2, y=6, z=36.
+        let sol = optimal(
+            Simplex::maximize(vec![3.0, 5.0])
+                .constraint(vec![1.0, 0.0], Relation::Le, 4.0)
+                .constraint(vec![0.0, 2.0], Relation::Le, 12.0)
+                .constraint(vec![3.0, 2.0], Relation::Le, 18.0)
+                .solve(),
+        );
+        assert!((sol.value - 36.0).abs() < 1e-7);
+        assert!((sol.x[0] - 2.0).abs() < 1e-7);
+        assert!((sol.x[1] - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraint_requires_phase1() {
+        // max x + y s.t. x + y = 1, x ≤ 0.3 → y = 0.7, z = 1.
+        let sol = optimal(
+            Simplex::maximize(vec![1.0, 1.0])
+                .constraint(vec![1.0, 1.0], Relation::Eq, 1.0)
+                .constraint(vec![1.0, 0.0], Relation::Le, 0.3)
+                .solve(),
+        );
+        assert!((sol.value - 1.0).abs() < 1e-7);
+        assert!((sol.x[0] + sol.x[1] - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        // min x + 2y s.t. x + y ≥ 3, y ≥ 1 (as max of negative).
+        let sol = optimal(
+            Simplex::maximize(vec![-1.0, -2.0])
+                .constraint(vec![1.0, 1.0], Relation::Ge, 3.0)
+                .constraint(vec![0.0, 1.0], Relation::Ge, 1.0)
+                .solve(),
+        );
+        // Optimal: y = 1, x = 2 → objective −4.
+        assert!((sol.value + 4.0).abs() < 1e-7, "value {}", sol.value);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let out = Simplex::maximize(vec![1.0])
+            .constraint(vec![1.0], Relation::Le, 1.0)
+            .constraint(vec![1.0], Relation::Ge, 2.0)
+            .solve();
+        assert_eq!(out, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let out = Simplex::maximize(vec![1.0, 0.0])
+            .constraint(vec![0.0, 1.0], Relation::Le, 1.0)
+            .solve();
+        assert_eq!(out, LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // x ≥ 0 with constraint −x ≤ −2 ⇔ x ≥ 2; max −x → x = 2.
+        let sol = optimal(
+            Simplex::maximize(vec![-1.0])
+                .constraint(vec![-1.0], Relation::Le, -2.0)
+                .solve(),
+        );
+        assert!((sol.x[0] - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // Classic degeneracy: multiple constraints active at the origin.
+        let sol = optimal(
+            Simplex::maximize(vec![0.75, -150.0, 0.02, -6.0])
+                .constraint(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0)
+                .constraint(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0)
+                .constraint(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0)
+                .solve(),
+        );
+        // Known optimum of Beale's cycling example: 0.05.
+        assert!((sol.value - 0.05).abs() < 1e-6, "value {}", sol.value);
+    }
+
+    #[test]
+    fn zero_padded_coefficients() {
+        let sol = optimal(
+            Simplex::maximize(vec![1.0, 1.0, 1.0])
+                .constraint(vec![1.0], Relation::Le, 5.0) // padded to (1,0,0)
+                .constraint(vec![0.0, 1.0, 1.0], Relation::Le, 3.0)
+                .solve(),
+        );
+        assert!((sol.value - 8.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 1 stated twice: phase 1 must cope with the redundant row.
+        let sol = optimal(
+            Simplex::maximize(vec![1.0, 0.0])
+                .constraint(vec![1.0, 1.0], Relation::Eq, 1.0)
+                .constraint(vec![1.0, 1.0], Relation::Eq, 1.0)
+                .solve(),
+        );
+        assert!((sol.value - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn random_lps_satisfy_constraints() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut solved = 0;
+        for _ in 0..200 {
+            let n = rng.gen_range(2..5);
+            let m = rng.gen_range(1..6);
+            let obj: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut lp = Simplex::maximize(obj.clone());
+            let mut cons = Vec::new();
+            for _ in 0..m {
+                let coeffs: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let rhs = rng.gen_range(0.0..2.0);
+                cons.push((coeffs.clone(), rhs));
+                lp = lp.constraint(coeffs, Relation::Le, rhs);
+            }
+            // Keep the region bounded.
+            lp = lp.constraint(vec![1.0; n], Relation::Le, 10.0);
+            if let LpOutcome::Optimal(sol) = lp.solve() {
+                solved += 1;
+                for (coeffs, rhs) in cons {
+                    let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+                    assert!(lhs <= rhs + 1e-6, "violated: {lhs} > {rhs}");
+                }
+                assert!(sol.x.iter().all(|&v| v >= -1e-9));
+            }
+        }
+        assert!(solved > 150, "too few solvable random LPs: {solved}");
+    }
+
+    #[test]
+    #[should_panic(expected = "objective must have variables")]
+    fn empty_objective_panics() {
+        let _ = Simplex::maximize(vec![]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property-based tests for the simplex solver and regret LPs.
+
+use proptest::prelude::*;
+use rms_geom::{sample_utilities, top1, Point};
+use rms_lp::regret::{is_happy_point, max_regret_lp, mrr1_exact};
+use rms_lp::{LpOutcome, Relation, Simplex};
+
+fn arb_points(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(prop::collection::vec(0.05f64..=1.0, d), n).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, c)| Point::new_unchecked(i as u64, c))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Optimal solutions satisfy every constraint and nonnegativity.
+    #[test]
+    fn solutions_are_feasible(
+        obj in prop::collection::vec(-2.0f64..2.0, 2..5),
+        rows in prop::collection::vec((prop::collection::vec(-1.0f64..1.0, 4), 0.1f64..3.0), 1..6),
+    ) {
+        let n = obj.len();
+        let mut lp = Simplex::maximize(obj);
+        let mut cons = Vec::new();
+        for (coeffs, rhs) in rows {
+            let coeffs: Vec<f64> = coeffs.into_iter().take(n).collect();
+            cons.push((coeffs.clone(), rhs));
+            lp = lp.constraint(coeffs, Relation::Le, rhs);
+        }
+        lp = lp.constraint(vec![1.0; n], Relation::Le, 50.0);
+        if let LpOutcome::Optimal(sol) = lp.solve() {
+            for (coeffs, rhs) in cons {
+                let lhs: f64 = coeffs.iter().zip(&sol.x).map(|(c, x)| c * x).sum();
+                prop_assert!(lhs <= rhs + 1e-6);
+            }
+            prop_assert!(sol.x.iter().all(|&v| v >= -1e-9));
+        }
+    }
+
+    /// The LP regret upper-bounds every sampled utility's regret and mrr is
+    /// monotone: adding tuples to Q never increases it.
+    #[test]
+    fn regret_lp_dominates_sampling_and_is_monotone(
+        pts in arb_points(3, 4..12),
+        seed in 0u64..500,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let q1 = vec![pts[0].clone()];
+        let q2 = vec![pts[0].clone(), pts[1].clone()];
+        let m1 = mrr1_exact(&pts, &q1);
+        let m2 = mrr1_exact(&pts, &q2);
+        prop_assert!(m2 <= m1 + 1e-9, "adding to Q increased mrr: {m1} -> {m2}");
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in sample_utilities(&mut rng, 3, 64) {
+            let top_p = top1(&pts, &u).unwrap().score;
+            let top_q = top1(&q1, &u).unwrap().score;
+            let rr = ((top_p - top_q) / top_p).max(0.0);
+            prop_assert!(m1 >= rr - 1e-7, "LP mrr {m1} below sampled {rr}");
+        }
+    }
+
+    /// Witness regret of a tuple inside Q is always zero.
+    #[test]
+    fn member_regret_zero(pts in arb_points(4, 2..10)) {
+        let q: Vec<Point> = pts.iter().take(3).cloned().collect();
+        for p in &q {
+            prop_assert!(max_regret_lp(p, &q) < 1e-9);
+        }
+    }
+
+    /// Every sampled top-1 tuple must be classified happy.
+    #[test]
+    fn sampled_top1_is_happy(pts in arb_points(3, 3..10), seed in 0u64..200) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for u in sample_utilities(&mut rng, 3, 32) {
+            let id = top1(&pts, &u).unwrap().id;
+            let p = pts.iter().find(|p| p.id() == id).unwrap();
+            prop_assert!(is_happy_point(p, &pts));
+        }
+    }
+
+    /// Regret is within [0, 1] for arbitrary witnesses.
+    #[test]
+    fn regret_in_unit_interval(pts in arb_points(2, 2..15)) {
+        let q: Vec<Point> = pts.iter().take(2).cloned().collect();
+        for p in &pts {
+            let rr = max_regret_lp(p, &q);
+            prop_assert!((0.0..=1.0).contains(&rr));
+        }
+    }
+}

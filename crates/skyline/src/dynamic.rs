@@ -1,0 +1,479 @@
+//! Fully dynamic skyline maintenance.
+//!
+//! The static baselines in `rms-baselines` re-run whenever the skyline
+//! changes; this structure applies each `Δ_t` and reports whether the
+//! skyline changed, in which direction, and exposes the up-to-date skyline.
+//!
+//! ## Algorithm
+//!
+//! Every live tuple is either a *skyline* member or *dominated*. Each
+//! dominated tuple stores one of its dominators as a `parent` witness.
+//!
+//! * **Insert p**: compare against the current skyline. If some member
+//!   dominates `p`, store `p` as dominated with that witness — the skyline
+//!   is unchanged. Otherwise `p` joins the skyline, and skyline members now
+//!   dominated by `p` are demoted with parent `p`.
+//! * **Delete p** (non-skyline): drop it; tuples witnessing through `p`
+//!   never exist (only skyline members are witnesses). Skyline unchanged.
+//! * **Delete p** (skyline): remove it, then re-examine the dominated
+//!   tuples whose witness was `p`. Each is either re-witnessed by another
+//!   current skyline member, or promoted. Promotion must respect dominance
+//!   *among the orphans themselves*: the orphan set's own skyline joins,
+//!   the rest are re-witnessed by a promoted orphan.
+//!
+//! Witness reassignment keeps deletion cost proportional to the number of
+//! orphans times the skyline size instead of `O(n·s)`.
+
+use rms_geom::{dominates, Point, PointId};
+use std::collections::HashMap;
+
+/// How an operation changed the skyline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SkylineDelta {
+    /// The skyline is exactly as before.
+    Unchanged,
+    /// At least one tuple entered or left the skyline.
+    Changed,
+}
+
+/// Errors from dynamic skyline updates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SkylineError {
+    /// Insertion of an id that is already live.
+    DuplicateId(PointId),
+    /// Deletion of an id that is not live.
+    UnknownId(PointId),
+    /// Insertion of a point with the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected dimensionality (that of the existing database).
+        expected: usize,
+        /// Dimensionality of the offending point.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for SkylineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SkylineError::DuplicateId(id) => write!(f, "tuple {id} is already present"),
+            SkylineError::UnknownId(id) => write!(f, "tuple {id} is not present"),
+            SkylineError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SkylineError {}
+
+#[derive(Debug, Clone)]
+enum Status {
+    Skyline,
+    /// Dominated, with the id of one dominating *skyline* member as witness.
+    Dominated(PointId),
+}
+
+/// Fully dynamic skyline over a set of live tuples.
+#[derive(Debug, Clone, Default)]
+pub struct DynamicSkyline {
+    points: HashMap<PointId, (Point, Status)>,
+    /// Current skyline ids (kept in a Vec for fast iteration; order is
+    /// unspecified).
+    sky: Vec<PointId>,
+    /// Witness → tuples it witnesses. Only skyline members have entries.
+    children: HashMap<PointId, Vec<PointId>>,
+    dim: Option<usize>,
+}
+
+impl DynamicSkyline {
+    /// Builds the structure from an initial database `P0`.
+    pub fn new(initial: Vec<Point>) -> Result<Self, SkylineError> {
+        let mut s = Self::default();
+        for p in initial {
+            s.insert(p)?;
+        }
+        Ok(s)
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no tuples are live.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Size of the current skyline.
+    pub fn skyline_len(&self) -> usize {
+        self.sky.len()
+    }
+
+    /// `true` iff the tuple with `id` is live.
+    pub fn contains(&self, id: PointId) -> bool {
+        self.points.contains_key(&id)
+    }
+
+    /// `true` iff the tuple with `id` is live and on the skyline.
+    pub fn is_skyline(&self, id: PointId) -> bool {
+        matches!(self.points.get(&id), Some((_, Status::Skyline)))
+    }
+
+    /// The current skyline, cloned out in unspecified order.
+    pub fn skyline_points(&self) -> Vec<Point> {
+        self.sky
+            .iter()
+            .map(|id| self.points[id].0.clone())
+            .collect()
+    }
+
+    /// All live tuples, cloned out in unspecified order.
+    pub fn all_points(&self) -> Vec<Point> {
+        self.points.values().map(|(p, _)| p.clone()).collect()
+    }
+
+    /// Applies `Δ_t = 〈p, +〉`.
+    pub fn insert(&mut self, p: Point) -> Result<SkylineDelta, SkylineError> {
+        if self.points.contains_key(&p.id()) {
+            return Err(SkylineError::DuplicateId(p.id()));
+        }
+        if let Some(d) = self.dim {
+            if p.dim() != d {
+                return Err(SkylineError::DimensionMismatch {
+                    expected: d,
+                    got: p.dim(),
+                });
+            }
+        } else {
+            self.dim = Some(p.dim());
+        }
+
+        // Dominated by an existing skyline member? Then nothing changes.
+        if let Some(&witness) = self
+            .sky
+            .iter()
+            .find(|id| dominates(&self.points[id].0, &p))
+        {
+            let pid = p.id();
+            self.points.insert(pid, (p, Status::Dominated(witness)));
+            self.children.entry(witness).or_default().push(pid);
+            return Ok(SkylineDelta::Unchanged);
+        }
+
+        // p joins the skyline; demote members now dominated by p. Their
+        // dependents transfer to p: dominance is transitive, so p
+        // dominates everything a demoted member witnessed.
+        let pid = p.id();
+        let mut demoted = Vec::new();
+        self.sky.retain(|&sid| {
+            if dominates(&p, &self.points[&sid].0) {
+                demoted.push(sid);
+                false
+            } else {
+                true
+            }
+        });
+        let mut adopted: Vec<PointId> = Vec::new();
+        for sid in demoted {
+            if let Some(entry) = self.points.get_mut(&sid) {
+                entry.1 = Status::Dominated(pid);
+            }
+            adopted.push(sid);
+            if let Some(mut grandchildren) = self.children.remove(&sid) {
+                for &gid in &grandchildren {
+                    if let Some(e) = self.points.get_mut(&gid) {
+                        e.1 = Status::Dominated(pid);
+                    }
+                }
+                adopted.append(&mut grandchildren);
+            }
+        }
+        if !adopted.is_empty() {
+            self.children.entry(pid).or_default().extend(adopted);
+        }
+        self.points.insert(pid, (p, Status::Skyline));
+        self.sky.push(pid);
+        Ok(SkylineDelta::Changed)
+    }
+
+    /// Applies `Δ_t = 〈p, −〉`.
+    pub fn delete(&mut self, id: PointId) -> Result<SkylineDelta, SkylineError> {
+        let Some((_, status)) = self.points.get(&id) else {
+            return Err(SkylineError::UnknownId(id));
+        };
+        match status {
+            Status::Dominated(w) => {
+                let w = *w;
+                self.points.remove(&id);
+                if let Some(kids) = self.children.get_mut(&w) {
+                    if let Some(pos) = kids.iter().position(|&k| k == id) {
+                        kids.swap_remove(pos);
+                    }
+                }
+                Ok(SkylineDelta::Unchanged)
+            }
+            Status::Skyline => {
+                self.points.remove(&id);
+                self.sky.retain(|&sid| sid != id);
+                let orphans = self.children.remove(&id).unwrap_or_default();
+                self.recover_orphans(orphans);
+                Ok(SkylineDelta::Changed)
+            }
+        }
+    }
+
+    /// Re-homes the dominated tuples whose witness was a deleted skyline
+    /// member.
+    fn recover_orphans(&mut self, orphans: Vec<PointId>) {
+        if orphans.is_empty() {
+            return;
+        }
+
+        // Pass 1: orphans still dominated by a surviving skyline member
+        // just get a new witness.
+        let mut candidates: Vec<PointId> = Vec::new();
+        for oid in orphans {
+            let op = &self.points[&oid].0;
+            if let Some(&w) = self.sky.iter().find(|sid| dominates(&self.points[sid].0, op)) {
+                if let Some(e) = self.points.get_mut(&oid) {
+                    e.1 = Status::Dominated(w);
+                }
+                self.children.entry(w).or_default().push(oid);
+            } else {
+                candidates.push(oid);
+            }
+        }
+
+        // Pass 2: among the remaining candidates, the mutually non-dominated
+        // ones are promoted; the rest are witnessed by a promoted candidate.
+        // Sorting by descending coordinate sum guarantees a point is
+        // processed after all its potential dominators.
+        candidates.sort_unstable_by(|a, b| {
+            let sa: f64 = self.points[a].0.coords().iter().sum();
+            let sb: f64 = self.points[b].0.coords().iter().sum();
+            sb.partial_cmp(&sa).expect("finite").then_with(|| a.cmp(b))
+        });
+        let mut promoted: Vec<PointId> = Vec::new();
+        'cand: for cid in candidates {
+            let cp = &self.points[&cid].0;
+            for &pid in &promoted {
+                if dominates(&self.points[&pid].0, cp) {
+                    if let Some(e) = self.points.get_mut(&cid) {
+                        e.1 = Status::Dominated(pid);
+                    }
+                    self.children.entry(pid).or_default().push(cid);
+                    continue 'cand;
+                }
+            }
+            promoted.push(cid);
+        }
+        for pid in promoted {
+            if let Some(e) = self.points.get_mut(&pid) {
+                e.1 = Status::Skyline;
+            }
+            self.sky.push(pid);
+        }
+    }
+
+    /// Verifies internal invariants; used by tests and debug assertions.
+    ///
+    /// Checks that (1) the skyline set equals the static skyline of the
+    /// live tuples, and (2) every witness pointer refers to a live skyline
+    /// member that dominates the witnessing tuple.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let all = self.all_points();
+        let want: std::collections::HashSet<PointId> =
+            crate::stat::skyline_bnl(&all).iter().map(|p| p.id()).collect();
+        let got: std::collections::HashSet<PointId> = self.sky.iter().copied().collect();
+        if want != got {
+            return Err(format!("skyline mismatch: want {want:?}, got {got:?}"));
+        }
+        if got.len() != self.sky.len() {
+            return Err("duplicate ids in skyline vector".into());
+        }
+        for (pid, (p, st)) in &self.points {
+            match st {
+                Status::Skyline => {
+                    if !got.contains(pid) {
+                        return Err(format!("{pid} marked skyline but not in sky vec"));
+                    }
+                }
+                Status::Dominated(w) => {
+                    let Some((wp, wst)) = self.points.get(w) else {
+                        return Err(format!("witness {w} of {pid} is dead"));
+                    };
+                    if !matches!(wst, Status::Skyline) {
+                        return Err(format!("witness {w} of {pid} is not on the skyline"));
+                    }
+                    if !dominates(wp, p) {
+                        return Err(format!("witness {w} does not dominate {pid}"));
+                    }
+                    let kids = self.children.get(w).cloned().unwrap_or_default();
+                    if !kids.contains(pid) {
+                        return Err(format!("{pid} missing from children[{w}]"));
+                    }
+                }
+            }
+        }
+        for (w, kids) in &self.children {
+            for kid in kids {
+                match self.points.get(kid) {
+                    Some((_, Status::Dominated(ww))) if ww == w => {}
+                    _ => {
+                        return Err(format!(
+                            "children[{w}] lists {kid}, which is not witnessed by {w}"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: u64, coords: &[f64]) -> Point {
+        Point::new_unchecked(id, coords.to_vec())
+    }
+
+    #[test]
+    fn insert_dominated_leaves_skyline_unchanged() {
+        let mut ds = DynamicSkyline::new(vec![pt(0, &[0.9, 0.9])]).unwrap();
+        assert_eq!(
+            ds.insert(pt(1, &[0.1, 0.1])).unwrap(),
+            SkylineDelta::Unchanged
+        );
+        assert_eq!(ds.skyline_len(), 1);
+        ds.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_dominating_demotes_members() {
+        let mut ds =
+            DynamicSkyline::new(vec![pt(0, &[0.5, 0.5]), pt(1, &[0.2, 0.8])]).unwrap();
+        assert_eq!(ds.skyline_len(), 2);
+        assert_eq!(ds.insert(pt(2, &[0.9, 0.9])).unwrap(), SkylineDelta::Changed);
+        assert_eq!(ds.skyline_len(), 1);
+        assert!(ds.is_skyline(2));
+        assert!(!ds.is_skyline(0));
+        ds.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_nonskyline_is_unchanged() {
+        let mut ds =
+            DynamicSkyline::new(vec![pt(0, &[0.9, 0.9]), pt(1, &[0.1, 0.1])]).unwrap();
+        assert_eq!(ds.delete(1).unwrap(), SkylineDelta::Unchanged);
+        assert_eq!(ds.len(), 1);
+        ds.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_skyline_promotes_exclusively_dominated() {
+        let mut ds = DynamicSkyline::new(vec![
+            pt(0, &[0.9, 0.9]), // dominates everyone
+            pt(1, &[0.8, 0.1]),
+            pt(2, &[0.1, 0.8]),
+        ])
+        .unwrap();
+        assert_eq!(ds.skyline_len(), 1);
+        assert_eq!(ds.delete(0).unwrap(), SkylineDelta::Changed);
+        assert_eq!(ds.skyline_len(), 2);
+        assert!(ds.is_skyline(1) && ds.is_skyline(2));
+        ds.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn orphans_may_dominate_each_other() {
+        // 0 dominates 1 and 2; 1 dominates 2. Deleting 0 must promote only 1.
+        let mut ds = DynamicSkyline::new(vec![
+            pt(0, &[0.9, 0.9]),
+            pt(1, &[0.8, 0.8]),
+            pt(2, &[0.7, 0.7]),
+        ])
+        .unwrap();
+        ds.delete(0).unwrap();
+        assert!(ds.is_skyline(1));
+        assert!(!ds.is_skyline(2));
+        assert_eq!(ds.skyline_len(), 1);
+        ds.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn orphan_rewitnessed_by_survivor() {
+        // Two skyline points both dominate 2; delete one, 2 stays dominated.
+        let mut ds = DynamicSkyline::new(vec![
+            pt(0, &[0.9, 0.6]),
+            pt(1, &[0.6, 0.9]),
+            pt(2, &[0.5, 0.5]),
+        ])
+        .unwrap();
+        assert_eq!(ds.skyline_len(), 2);
+        ds.delete(0).unwrap();
+        assert!(!ds.is_skyline(2));
+        assert_eq!(ds.skyline_len(), 1);
+        ds.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut ds = DynamicSkyline::new(vec![pt(0, &[0.5, 0.5])]).unwrap();
+        assert_eq!(
+            ds.insert(pt(0, &[0.1, 0.1])),
+            Err(SkylineError::DuplicateId(0))
+        );
+        assert_eq!(ds.delete(42), Err(SkylineError::UnknownId(42)));
+        assert_eq!(
+            ds.insert(pt(1, &[0.1, 0.1, 0.1])),
+            Err(SkylineError::DimensionMismatch { expected: 2, got: 3 })
+        );
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut ds = DynamicSkyline::default();
+        assert!(ds.is_empty());
+        assert_eq!(ds.skyline_len(), 0);
+        assert!(ds.skyline_points().is_empty());
+        ds.insert(pt(0, &[0.5])).unwrap();
+        assert_eq!(ds.skyline_len(), 1);
+        ds.delete(0).unwrap();
+        assert!(ds.is_empty());
+        ds.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn randomized_against_static_oracle() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(2021);
+        let mut ds = DynamicSkyline::default();
+        let mut live: Vec<Point> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..600 {
+            let do_insert = live.is_empty() || rng.gen_bool(0.6);
+            if do_insert {
+                let p = pt(next_id, &[rng.gen(), rng.gen(), rng.gen()]);
+                next_id += 1;
+                live.push(p.clone());
+                ds.insert(p).unwrap();
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let id = live.swap_remove(i).id();
+                ds.delete(id).unwrap();
+            }
+            if step % 50 == 0 {
+                ds.check_invariants().unwrap();
+            }
+        }
+        ds.check_invariants().unwrap();
+        let mut want: Vec<u64> = crate::stat::skyline(&live).iter().map(|p| p.id()).collect();
+        let mut got: Vec<u64> = ds.skyline_points().iter().map(|p| p.id()).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got);
+    }
+}

@@ -1,0 +1,25 @@
+//! Static and fully dynamic skyline operator.
+//!
+//! The skyline (Pareto-optimal subset) plays two roles in the paper:
+//!
+//! 1. Every *static* k-RMS baseline takes the skyline as input and must
+//!    recompute its result whenever an insertion or deletion changes the
+//!    skyline (Section II-B: "the result of k-RMS is a subset of the
+//!    skyline … it remains unchanged for any operation on non-skyline
+//!    tuples"). [`DynamicSkyline`] detects exactly those changes.
+//! 2. Table I and Fig. 4 report skyline sizes, which [`skyline`]
+//!    computes from scratch.
+//!
+//! The static algorithm is sort–filter–scan (SFS): points sorted by
+//! descending coordinate sum are compared only against the current skyline,
+//! because a point can only be dominated by points of larger or equal sum.
+//! A naive block-nested-loop variant is kept as a test oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamic;
+mod stat;
+
+pub use dynamic::{DynamicSkyline, SkylineDelta, SkylineError};
+pub use stat::{skyline, skyline_bnl, skyline_indices};

@@ -1,0 +1,141 @@
+//! Static skyline computation.
+
+use rms_geom::{dominates, Point};
+
+/// Computes the skyline of `points` with sort–filter–scan.
+///
+/// Points are processed in descending order of coordinate sum (ties broken
+/// by id); a point whose sum is strictly smaller than another's can never
+/// dominate it, so each candidate needs comparing only against the skyline
+/// accumulated so far. Runs in `O(n log n + n·s)` where `s` is the skyline
+/// size. Duplicate coordinate vectors: the smallest id wins, later copies
+/// are treated as dominated only if strictly dominated — equal points are
+/// all kept, matching the dominance definition (a point does not dominate
+/// its equal).
+pub fn skyline(points: &[Point]) -> Vec<Point> {
+    skyline_indices(points)
+        .into_iter()
+        .map(|i| points[i].clone())
+        .collect()
+}
+
+/// Index-returning variant of [`skyline`]: positions into `points` of the
+/// skyline members, in descending coordinate-sum order.
+pub fn skyline_indices(points: &[Point]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    let sums: Vec<f64> = points
+        .iter()
+        .map(|p| p.coords().iter().sum::<f64>())
+        .collect();
+    order.sort_unstable_by(|&a, &b| {
+        sums[b]
+            .partial_cmp(&sums[a])
+            .expect("coordinates are finite")
+            .then_with(|| points[a].id().cmp(&points[b].id()))
+    });
+
+    let mut sky: Vec<usize> = Vec::new();
+    'outer: for &i in &order {
+        for &s in &sky {
+            if dominates(&points[s], &points[i]) {
+                continue 'outer;
+            }
+        }
+        sky.push(i);
+    }
+    sky
+}
+
+/// Block-nested-loop skyline: quadratic reference implementation used as a
+/// ground-truth oracle in tests.
+pub fn skyline_bnl(points: &[Point]) -> Vec<Point> {
+    points
+        .iter()
+        .filter(|p| !points.iter().any(|q| dominates(q, p)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(id: u64, coords: &[f64]) -> Point {
+        Point::new_unchecked(id, coords.to_vec())
+    }
+
+    /// Fig. 1 of the paper: checking dominance by hand, the non-dominated
+    /// tuples are p1 (0.2,1.0), p2 (0.6,0.8), p3 (0.7,0.5), p4 (1.0,0.1),
+    /// and p7 (0.3,0.9) — p7 beats p1 on x and p2 on y, so nothing
+    /// dominates it.
+    #[test]
+    fn fig1_skyline() {
+        let db = vec![
+            pt(1, &[0.2, 1.0]),
+            pt(2, &[0.6, 0.8]),
+            pt(3, &[0.7, 0.5]),
+            pt(4, &[1.0, 0.1]),
+            pt(5, &[0.4, 0.3]),
+            pt(6, &[0.2, 0.7]),
+            pt(7, &[0.3, 0.9]),
+            pt(8, &[0.6, 0.6]),
+        ];
+        let mut ids: Vec<u64> = skyline(&db).iter().map(|p| p.id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 7]);
+    }
+
+    #[test]
+    fn sfs_matches_bnl_on_random_data() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for d in 2..6 {
+            let pts: Vec<Point> = (0..300)
+                .map(|i| {
+                    let c: Vec<f64> = (0..d).map(|_| rng.gen()).collect();
+                    Point::new_unchecked(i, c)
+                })
+                .collect();
+            let mut a: Vec<u64> = skyline(&pts).iter().map(|p| p.id()).collect();
+            let mut b: Vec<u64> = skyline_bnl(&pts).iter().map(|p| p.id()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "d={d}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(skyline(&[]).is_empty());
+        let one = vec![pt(0, &[0.3, 0.3])];
+        assert_eq!(skyline(&one).len(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_all_kept() {
+        let db = vec![pt(0, &[0.5, 0.5]), pt(1, &[0.5, 0.5]), pt(2, &[0.1, 0.1])];
+        let mut ids: Vec<u64> = skyline(&db).iter().map(|p| p.id()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn total_dominance_chain() {
+        let db: Vec<Point> = (0..10)
+            .map(|i| pt(i, &[i as f64 / 10.0, i as f64 / 10.0]))
+            .collect();
+        let s = skyline(&db);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].id(), 9);
+    }
+
+    #[test]
+    fn indices_point_into_input() {
+        let db = vec![pt(10, &[1.0, 0.1]), pt(20, &[0.0, 1.0]), pt(30, &[0.9, 0.0])];
+        let idx = skyline_indices(&db);
+        assert_eq!(idx.len(), 2);
+        for i in idx {
+            assert!(db[i].id() == 10 || db[i].id() == 20);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests: the dynamic skyline always equals the static one.
+
+use proptest::prelude::*;
+use rms_geom::Point;
+use rms_skyline::{skyline_bnl, DynamicSkyline};
+
+/// A random edit script: each step either inserts a fresh point or deletes
+/// a uniformly chosen live point.
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(Vec<f64>),
+    /// Delete the live tuple at `index % live_count`.
+    Delete(usize),
+}
+
+fn arb_steps(d: usize, len: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => prop::collection::vec(0.0f64..=1.0, d).prop_map(Step::Insert),
+            2 => (0usize..1000).prop_map(Step::Delete),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dynamic_equals_static_after_any_script(steps in arb_steps(3, 120)) {
+        let mut ds = DynamicSkyline::default();
+        let mut live: Vec<Point> = Vec::new();
+        let mut next_id = 0u64;
+        for step in steps {
+            match step {
+                Step::Insert(coords) => {
+                    let p = Point::new_unchecked(next_id, coords);
+                    next_id += 1;
+                    live.push(p.clone());
+                    ds.insert(p).unwrap();
+                }
+                Step::Delete(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = i % live.len();
+                    let id = live.swap_remove(idx).id();
+                    ds.delete(id).unwrap();
+                }
+            }
+        }
+        ds.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        let mut want: Vec<u64> = skyline_bnl(&live).iter().map(|p| p.id()).collect();
+        let mut got: Vec<u64> = ds.skyline_points().iter().map(|p| p.id()).collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(want, got);
+        prop_assert_eq!(ds.len(), live.len());
+    }
+
+    /// Deleting everything always empties the structure cleanly.
+    #[test]
+    fn delete_all_drains(coords in prop::collection::vec(
+        prop::collection::vec(0.0f64..=1.0, 4), 1..40)
+    ) {
+        let pts: Vec<Point> = coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Point::new_unchecked(i as u64, c))
+            .collect();
+        let ids: Vec<u64> = pts.iter().map(|p| p.id()).collect();
+        let mut ds = DynamicSkyline::new(pts).unwrap();
+        for id in ids {
+            ds.delete(id).unwrap();
+            ds.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        }
+        prop_assert!(ds.is_empty());
+        prop_assert_eq!(ds.skyline_len(), 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Runs every k-RMS algorithm in the repository on one dataset and prints
+//! a comparison table (a miniature of the paper's Fig. 6).
+//!
+//! ```sh
+//! cargo run --release --example compare_algorithms [-- <dataset> <r>]
+//! ```
+
+use krms::baselines::{
+    DmmGreedy, DmmRrms, EpsKernel, GeoGreedy, Greedy, GreedyStar, HittingSet, Sphere, StaticRms,
+};
+use krms::prelude::*;
+use krms::skyline::skyline;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = args.get(1).map(String::as_str).unwrap_or("Indep");
+    let r: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let spec = krms::data::dataset_by_name(dataset)
+        .unwrap_or_else(|| panic!("unknown dataset {dataset}"))
+        .spec()
+        .scaled(0.02); // keep the example snappy; benches run larger
+    let points = spec.generate();
+    let sky = skyline(&points);
+    let d = spec.d;
+    println!(
+        "dataset {dataset}: n = {}, d = {d}, |skyline| = {}, r = {r}, k = 1\n",
+        points.len(),
+        sky.len()
+    );
+
+    let est = RegretEstimator::new(d, 50_000, 17);
+    println!("{:<12} {:>6} {:>10} {:>9}", "algorithm", "|Q|", "time_ms", "mrr_1");
+
+    // FD-RMS (initialisation time reported; updates are its strong suit).
+    let sw = krms::eval::Stopwatch::start();
+    let fd = FdRms::builder(d)
+        .r(r)
+        .epsilon(0.02)
+        .max_utilities(1 << 12)
+        .build(points.clone())
+        .expect("valid configuration");
+    let q = fd.result();
+    println!(
+        "{:<12} {:>6} {:>10.2} {:>9.4}",
+        "FD-RMS",
+        q.len(),
+        sw.elapsed_ms(),
+        est.mrr(&points, &q, 1)
+    );
+
+    let algos: Vec<Box<dyn StaticRms>> = vec![
+        Box::new(Greedy),
+        Box::new(GeoGreedy),
+        Box::new(GreedyStar::default()),
+        Box::new(DmmRrms::default()),
+        Box::new(DmmGreedy::default()),
+        Box::new(EpsKernel::default()),
+        Box::new(HittingSet::default()),
+        Box::new(Sphere::default()),
+    ];
+    for algo in algos {
+        let sw = krms::eval::Stopwatch::start();
+        let q = algo.compute(&sky, &points, 1, r);
+        let ms = sw.elapsed_ms();
+        println!(
+            "{:<12} {:>6} {:>10.2} {:>9.4}",
+            algo.name(),
+            q.len(),
+            ms,
+            est.mrr(&points, &q, 1)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: maintain a k-regret minimizing set over a dynamic database.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use krms::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // 1. Generate a small independent dataset (2 000 tuples, 4 attributes).
+    let mut rng = StdRng::seed_from_u64(42);
+    let points = krms::data::generators::independent(&mut rng, 2_000, 4);
+
+    // 2. Build FD-RMS: maintain a size-10 set whose top-1 tuple is close to
+    //    every user's top-1 choice (k = 1), for any linear preference.
+    let mut fd = FdRms::builder(4)
+        .k(1)
+        .r(10)
+        .epsilon(0.02)
+        .max_utilities(1 << 12)
+        .seed(7)
+        .build(points.clone())
+        .expect("valid configuration");
+
+    let est = RegretEstimator::new(4, 50_000, 123);
+    let q0 = fd.result();
+    println!("initial result ({} tuples): {:?}", q0.len(), fd.result_ids());
+    println!("  mrr_1 = {:.4}", est.mrr(&points, &q0, 1));
+
+    // 3. Stream updates: insert 500 new tuples, delete 500 old ones.
+    let mut live = points;
+    let inserts = krms::data::generators::independent(&mut rng, 500, 4);
+    for p in inserts {
+        let p = p.with_id(p.id() + 1_000_000);
+        live.push(p.clone());
+        fd.insert(p).expect("fresh id");
+    }
+    for id in 0..500u64 {
+        live.retain(|p| p.id() != id);
+        fd.delete(id).expect("live id");
+    }
+
+    // 4. The result is still size-≤10 and still high quality — no
+    //    from-scratch recomputation happened.
+    let q = fd.result();
+    println!(
+        "after 1000 updates ({} tuples live): {:?}",
+        fd.len(),
+        fd.result_ids()
+    );
+    println!("  mrr_1 = {:.4}", est.mrr(&live, &q, 1));
+    println!(
+        "  universe size m = {}, stabilize moves = {}",
+        fd.m(),
+        fd.stabilize_moves()
+    );
+}

@@ -1,0 +1,286 @@
+//! `krms` — command-line front end for the k-regret minimizing set
+//! library.
+//!
+//! ```text
+//! krms generate --dataset AntiCor --n 10000 --d 6 --out data.krms
+//! krms run      --in data.krms --algo FD-RMS --r 10 [--k 1] [--eps 0.02]
+//! krms workload --in data.krms --algo FD-RMS --r 10 [--ops 500]
+//! krms skyline  --in data.krms
+//! ```
+//!
+//! Datasets are stored in the compact binary format of
+//! `krms::data::cache` (magic `KRMS`).
+
+use krms::baselines::{
+    DmmGreedy, DmmRrms, DynamicAdapter, EpsKernel, GeoGreedy, Greedy, GreedyStar, HittingSet,
+    Sphere, StaticRms, TwoDSweep,
+};
+use krms::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use std::collections::HashMap;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "run" => cmd_run(&flags),
+        "workload" => cmd_workload(&flags),
+        "skyline" => cmd_skyline(&flags),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "krms — k-regret minimizing sets
+
+USAGE:
+  krms generate --dataset <BB|AQ|CT|Movie|Indep|AntiCor> [--n N] [--d D]
+                [--seed S] --out FILE
+  krms run      --in FILE --algo ALGO --r R [--k K] [--eps E] [--eval N]
+  krms workload --in FILE --algo ALGO --r R [--k K] [--ops N] [--eval N]
+  krms skyline  --in FILE
+
+ALGO: FD-RMS | Greedy | GeoGreedy | Greedy* | DMM-RRMS | DMM-Greedy |
+      eps-Kernel | HS | Sphere | 2D-Sweep";
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            let val = args.get(i + 1).cloned().unwrap_or_default();
+            map.insert(key.to_string(), val);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("invalid --{key} value `{v}`")),
+    }
+}
+
+fn load_points(flags: &HashMap<String, String>) -> Result<Vec<Point>, String> {
+    let path = flags.get("in").ok_or("missing --in FILE")?;
+    krms::data::cache::load(Path::new(path)).ok_or(format!("cannot read dataset from {path}"))
+}
+
+fn static_algo(name: &str) -> Option<Box<dyn StaticRms>> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "greedy" => Box::new(Greedy),
+        "geogreedy" => Box::new(GeoGreedy),
+        "greedy*" => Box::new(GreedyStar::default()),
+        "dmm-rrms" => Box::new(DmmRrms::default()),
+        "dmm-greedy" => Box::new(DmmGreedy::default()),
+        "eps-kernel" => Box::new(EpsKernel::default()),
+        "hs" => Box::new(HittingSet::default()),
+        "sphere" => Box::new(Sphere::default()),
+        "2d-sweep" => Box::new(TwoDSweep::default()),
+        _ => return None,
+    })
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let name = flags.get("dataset").ok_or("missing --dataset")?;
+    let ds = krms::data::dataset_by_name(name).ok_or(format!("unknown dataset {name}"))?;
+    let mut spec = ds.spec();
+    spec = spec.with_n(get(flags, "n", spec.n)?);
+    spec = spec.with_d(get(flags, "d", spec.d)?);
+    spec = spec.with_seed(get(flags, "seed", spec.seed)?);
+    let out = flags.get("out").ok_or("missing --out FILE")?;
+    let points = spec.generate();
+    krms::data::cache::save(Path::new(out), &points).map_err(|e| e.to_string())?;
+    println!("wrote {} tuples (d = {}) to {out}", points.len(), spec.d);
+    Ok(())
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let d = points.first().map(Point::dim).ok_or("empty dataset")?;
+    let algo = flags.get("algo").ok_or("missing --algo")?;
+    let r: usize = get(flags, "r", 10)?;
+    let k: usize = get(flags, "k", 1)?;
+    let eval: usize = get(flags, "eval", 20_000)?;
+    let est = RegretEstimator::new(d, eval.max(d), 0xE7A1);
+
+    let sw = krms::eval::Stopwatch::start();
+    let q = if algo.eq_ignore_ascii_case("fd-rms") {
+        let eps: f64 = get(flags, "eps", 0.02)?;
+        let max_m: usize = get(flags, "max-m", 1 << 12)?;
+        FdRms::builder(d)
+            .k(k)
+            .r(r)
+            .epsilon(eps)
+            .max_utilities(max_m)
+            .build(points.clone())
+            .map_err(|e| e.to_string())?
+            .result()
+    } else {
+        let a = static_algo(algo).ok_or(format!("unknown algorithm {algo}"))?;
+        if !a.supports_k(k) {
+            return Err(format!("{} does not support k = {k}", a.name()));
+        }
+        let sky = skyline(&points);
+        a.compute(&sky, &points, k, r)
+    };
+    let ms = sw.elapsed_ms();
+    println!("algorithm : {algo}");
+    println!("result    : {:?}", q.iter().map(Point::id).collect::<Vec<_>>());
+    println!("|Q|       : {}", q.len());
+    println!("time      : {ms:.2} ms");
+    println!("mrr_{k}     : {:.5}", est.mrr(&points, &q, k));
+    Ok(())
+}
+
+fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let d = points.first().map(Point::dim).ok_or("empty dataset")?;
+    let algo = flags.get("algo").ok_or("missing --algo")?;
+    let r: usize = get(flags, "r", 10)?;
+    let k: usize = get(flags, "k", 1)?;
+    let ops_cap: usize = get(flags, "ops", usize::MAX)?;
+    let eval: usize = get(flags, "eval", 10_000)?;
+    let est = RegretEstimator::new(d, eval.max(d), 0xE7A1);
+
+    let mut rng = StdRng::seed_from_u64(get(flags, "seed", 0u64)?);
+    let mut w = krms::data::paper_workload(&mut rng, points, Default::default());
+    if w.operations.len() > ops_cap {
+        w.operations.truncate(ops_cap);
+        let total = w.operations.len().max(1);
+        w.checkpoints = (1..=10).map(|i| (total * i / 10).max(1) - 1).collect();
+    }
+    let mut live = w.initial.clone();
+    let mut timer = krms::eval::UpdateTimer::new();
+
+    println!("op%   n_live   |Q|   mrr_{k}    avg_update_ms");
+    enum Runner {
+        Fd(Box<FdRms>),
+        Ad(Box<DynamicAdapter<BoxedStatic>>),
+    }
+    struct BoxedStatic(Box<dyn StaticRms>);
+    impl StaticRms for BoxedStatic {
+        fn name(&self) -> &'static str {
+            self.0.name()
+        }
+        fn supports_k(&self, k: usize) -> bool {
+            self.0.supports_k(k)
+        }
+        fn compute(&self, s: &[Point], f: &[Point], k: usize, r: usize) -> Vec<Point> {
+            self.0.compute(s, f, k, r)
+        }
+    }
+    let mut runner = if algo.eq_ignore_ascii_case("fd-rms") {
+        let eps: f64 = get(flags, "eps", 0.02)?;
+        let max_m: usize = get(flags, "max-m", 1 << 12)?;
+        Runner::Fd(Box::new(
+            FdRms::builder(d)
+                .k(k)
+                .r(r)
+                .epsilon(eps)
+                .max_utilities(max_m)
+                .build(w.initial.clone())
+                .map_err(|e| e.to_string())?,
+        ))
+    } else {
+        let a = static_algo(algo).ok_or(format!("unknown algorithm {algo}"))?;
+        Runner::Ad(Box::new(
+            DynamicAdapter::new(BoxedStatic(a), k, r, w.initial.clone())
+                .map_err(|e| e.to_string())?,
+        ))
+    };
+
+    let mut next_cp = 0;
+    for (i, op) in w.operations.iter().enumerate() {
+        match op {
+            krms::data::Operation::Insert(p) => {
+                live.push(p.clone());
+                match &mut runner {
+                    Runner::Fd(fd) => {
+                        timer.record(|| fd.insert(p.clone()).expect("fresh id"));
+                    }
+                    Runner::Ad(ad) => {
+                        let needs = ad.insert_lazy(p.clone()).expect("fresh id");
+                        if needs {
+                            timer.record(|| ad.recompute());
+                        } else {
+                            timer.add(std::time::Duration::ZERO);
+                        }
+                    }
+                }
+            }
+            krms::data::Operation::Delete(id) => {
+                live.retain(|q| q.id() != *id);
+                match &mut runner {
+                    Runner::Fd(fd) => {
+                        timer.record(|| fd.delete(*id).expect("live id"));
+                    }
+                    Runner::Ad(ad) => {
+                        let needs = ad.delete_lazy(*id).expect("live id");
+                        if needs {
+                            timer.record(|| ad.recompute());
+                        } else {
+                            timer.add(std::time::Duration::ZERO);
+                        }
+                    }
+                }
+            }
+        }
+        if next_cp < w.checkpoints.len() && w.checkpoints[next_cp] == i {
+            next_cp += 1;
+            let q = match &runner {
+                Runner::Fd(fd) => fd.result(),
+                Runner::Ad(ad) => ad.result().to_vec(),
+            };
+            println!(
+                "{:>3}   {:>6}   {:>3}   {:.4}   {:>12.4}",
+                next_cp * 10,
+                live.len(),
+                q.len(),
+                est.mrr(&live, &q, k),
+                timer.avg_ms()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_skyline(flags: &HashMap<String, String>) -> Result<(), String> {
+    let points = load_points(flags)?;
+    let sw = krms::eval::Stopwatch::start();
+    let sky = skyline(&points);
+    println!(
+        "n = {}, d = {}, |skyline| = {} ({:.2}%), computed in {:.2} ms",
+        points.len(),
+        points.first().map(Point::dim).unwrap_or(0),
+        sky.len(),
+        100.0 * sky.len() as f64 / points.len().max(1) as f64,
+        sw.elapsed_ms()
+    );
+    Ok(())
+}

@@ -1,0 +1,229 @@
+//! End-to-end integration: data generation → skyline → FD-RMS → baselines
+//! → regret evaluation, across crate boundaries.
+
+use krms::baselines::{DynamicAdapter, HittingSet, Sphere, StaticRms};
+use krms::data::{paper_workload, NamedDataset, Operation, WorkloadConfig};
+use krms::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// FD-RMS processes a full paper workload (inserts then deletes) on a
+/// scaled-down named dataset and produces checkpointed results of bounded
+/// size and sane quality throughout.
+#[test]
+fn fdrms_full_paper_workload() {
+    let spec = NamedDataset::Indep.spec().with_n(1_200).with_d(4);
+    let points = spec.generate();
+    let mut rng = StdRng::seed_from_u64(1);
+    let workload = paper_workload(&mut rng, points, WorkloadConfig::default());
+
+    let r = 10;
+    let mut fd = FdRms::builder(4)
+        .r(r)
+        .epsilon(0.03)
+        .max_utilities(1 << 10)
+        .build(workload.initial.clone())
+        .unwrap();
+    let est = RegretEstimator::new(4, 5_000, 3);
+
+    let mut live = workload.initial.clone();
+    let mut next_cp = 0;
+    for (i, op) in workload.operations.iter().enumerate() {
+        match op {
+            Operation::Insert(p) => {
+                live.push(p.clone());
+                fd.insert(p.clone()).unwrap();
+            }
+            Operation::Delete(id) => {
+                live.retain(|q| q.id() != *id);
+                fd.delete(*id).unwrap();
+            }
+        }
+        if next_cp < workload.checkpoints.len() && workload.checkpoints[next_cp] == i {
+            next_cp += 1;
+            let q = fd.result();
+            assert!(q.len() <= r, "checkpoint {next_cp}: |Q| = {}", q.len());
+            assert!(!q.is_empty());
+            let mrr = est.mrr(&live, &q, 1);
+            assert!(mrr < 0.25, "checkpoint {next_cp}: mrr = {mrr}");
+        }
+    }
+    assert_eq!(next_cp, 10, "all checkpoints visited");
+    assert_eq!(fd.len(), live.len());
+}
+
+/// The maintained FD-RMS result never falls far behind a from-scratch
+/// rebuild at any checkpoint (the paper's central claim: dynamic
+/// maintenance ≈ static recomputation, minus the cost).
+#[test]
+fn fdrms_tracks_from_scratch_rebuild() {
+    let spec = NamedDataset::AntiCor.spec().with_n(600).with_d(3);
+    let points = spec.generate();
+    let mut rng = StdRng::seed_from_u64(2);
+    let workload = paper_workload(&mut rng, points, WorkloadConfig::default());
+
+    let mut fd = FdRms::builder(3)
+        .r(8)
+        .epsilon(0.05)
+        .max_utilities(512)
+        .seed(11)
+        .build(workload.initial.clone())
+        .unwrap();
+    let est = RegretEstimator::new(3, 5_000, 5);
+
+    let mut live = workload.initial.clone();
+    for (i, op) in workload.operations.iter().enumerate() {
+        match op {
+            Operation::Insert(p) => {
+                live.push(p.clone());
+                fd.insert(p.clone()).unwrap();
+            }
+            Operation::Delete(id) => {
+                live.retain(|q| q.id() != *id);
+                fd.delete(*id).unwrap();
+            }
+        }
+        if i == workload.operations.len() / 2 || i + 1 == workload.operations.len() {
+            let rebuilt = FdRms::builder(3)
+                .r(8)
+                .epsilon(0.05)
+                .max_utilities(512)
+                .seed(11)
+                .build(live.clone())
+                .unwrap();
+            let m_dyn = est.mrr(&live, &fd.result(), 1);
+            let m_reb = est.mrr(&live, &rebuilt.result(), 1);
+            assert!(
+                m_dyn <= m_reb + 0.12,
+                "op {i}: maintained {m_dyn} vs rebuilt {m_reb}"
+            );
+        }
+    }
+}
+
+/// FD-RMS and the static baselines agree on quality within the regime the
+/// paper reports ("results of near-equal quality").
+#[test]
+fn fdrms_quality_close_to_static_baselines() {
+    let spec = NamedDataset::Indep.spec().with_n(800).with_d(3);
+    let points = spec.generate();
+    let sky = skyline(&points);
+    let est = RegretEstimator::new(3, 10_000, 7);
+    let r = 10;
+
+    let fd = FdRms::builder(3)
+        .r(r)
+        .epsilon(0.02)
+        .max_utilities(1 << 11)
+        .build(points.clone())
+        .unwrap();
+    let fd_mrr = est.mrr(&points, &fd.result(), 1);
+
+    let sphere_mrr = est.mrr(&points, &Sphere::default().compute(&sky, &points, 1, r), 1);
+    let hs_mrr = est.mrr(
+        &points,
+        &HittingSet::default().compute(&sky, &points, 1, r),
+        1,
+    );
+    let best = sphere_mrr.min(hs_mrr);
+    assert!(
+        fd_mrr <= best + 0.05,
+        "FD-RMS {fd_mrr} vs best static {best}"
+    );
+}
+
+/// The dynamic adapter and FD-RMS see identical databases through a mixed
+/// workload and both respect the size budget.
+#[test]
+fn adapter_and_fdrms_stay_consistent() {
+    let spec = NamedDataset::Bb.spec().with_n(500);
+    let d = spec.d;
+    let points = spec.generate();
+    let mut rng = StdRng::seed_from_u64(4);
+    let workload = paper_workload(&mut rng, points, WorkloadConfig::default());
+    let r = d + 2;
+
+    let mut fd = FdRms::builder(d)
+        .r(r)
+        .max_utilities(512)
+        .build(workload.initial.clone())
+        .unwrap();
+    let mut ad = DynamicAdapter::new(Sphere::default(), 1, r, workload.initial.clone()).unwrap();
+
+    for op in workload.operations.iter().take(200) {
+        match op {
+            Operation::Insert(p) => {
+                fd.insert(p.clone()).unwrap();
+                ad.insert(p.clone()).unwrap();
+            }
+            Operation::Delete(id) => {
+                fd.delete(*id).unwrap();
+                ad.delete(*id).unwrap();
+            }
+        }
+        assert_eq!(fd.len(), ad.len());
+        assert!(fd.result().len() <= r);
+        assert!(ad.result().len() <= r);
+    }
+    // Both results consist of live tuples only.
+    for p in fd.result() {
+        assert!(fd.contains(p.id()));
+    }
+    for p in ad.result() {
+        assert!(fd.contains(p.id()));
+    }
+}
+
+/// k > 1 path end to end: maintained result respects the k-regret metric.
+#[test]
+fn k_regret_end_to_end() {
+    let spec = NamedDataset::Indep.spec().with_n(700).with_d(3);
+    let points = spec.generate();
+    let est = RegretEstimator::new(3, 5_000, 9);
+    for k in [2, 3] {
+        let mut fd = FdRms::builder(3)
+            .k(k)
+            .r(8)
+            .epsilon(0.05)
+            .max_utilities(512)
+            .build(points.clone())
+            .unwrap();
+        // Apply a short burst of updates.
+        let mut live = points.clone();
+        for i in 0..60u64 {
+            let p = Point::new(10_000 + i, vec![0.3 + (i as f64 % 7.0) / 10.0, 0.5, 0.4])
+                .unwrap();
+            live.push(p.clone());
+            fd.insert(p).unwrap();
+            live.retain(|q| q.id() != i);
+            fd.delete(i).unwrap();
+        }
+        let mrr_k = est.mrr(&live, &fd.result(), k);
+        let mrr_1 = est.mrr(&live, &fd.result(), 1);
+        assert!(mrr_k <= mrr_1 + 1e-9, "k={k}: mrr_k {mrr_k} > mrr_1 {mrr_1}");
+        assert!(mrr_k < 0.3, "k={k}: mrr {mrr_k}");
+    }
+}
+
+/// Normalisation + generation + skyline + facade re-exports compose.
+#[test]
+fn facade_composes() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let raw: Vec<Point> = krms::data::generators::independent(&mut rng, 300, 3)
+        .into_iter()
+        .map(|p| {
+            // Stretch into a non-unit range, then re-normalise.
+            let c: Vec<f64> = p.coords().iter().map(|x| 10.0 + 90.0 * x).collect();
+            Point::new(p.id(), c).unwrap()
+        })
+        .collect();
+    let normed = krms::geom::normalize_to_unit_box(&raw).unwrap();
+    assert!(normed
+        .iter()
+        .all(|p| p.coords().iter().all(|&c| (0.0..=1.0).contains(&c))));
+    let sky = skyline(&normed);
+    assert!(!sky.is_empty());
+    let mut dyn_sky = DynamicSkyline::new(normed.clone()).unwrap();
+    assert_eq!(dyn_sky.skyline_len(), sky.len());
+    dyn_sky.delete(normed[0].id()).unwrap();
+    assert_eq!(dyn_sky.len(), normed.len() - 1);
+}

@@ -1,0 +1,152 @@
+//! Failure injection and edge-case integration tests: invalid inputs must
+//! be rejected loudly and never corrupt maintained state.
+
+use krms::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn small_db(n: usize, d: usize) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(99);
+    krms::data::generators::independent(&mut rng, n, d)
+}
+
+#[test]
+fn invalid_points_rejected_at_construction() {
+    assert!(Point::new(0, vec![f64::NAN]).is_err());
+    assert!(Point::new(0, vec![-0.1, 0.5]).is_err());
+    assert!(Point::new(0, vec![f64::INFINITY, 0.0]).is_err());
+    assert!(Point::new(0, vec![]).is_err());
+    assert!(Utility::new(vec![0.0, 0.0]).is_err());
+    assert!(Utility::new(vec![-1.0, 2.0]).is_err());
+}
+
+#[test]
+fn fdrms_rejects_and_recovers_from_bad_ops() {
+    let db = small_db(100, 3);
+    let mut fd = FdRms::builder(3)
+        .r(4)
+        .max_utilities(128)
+        .build(db.clone())
+        .unwrap();
+    let before = fd.result_ids();
+
+    // Duplicate insert, unknown delete, wrong dimension: all rejected.
+    assert!(fd.insert(db[0].clone()).is_err());
+    assert!(fd.delete(123_456).is_err());
+    assert!(fd.insert(Point::new(777, vec![0.1, 0.2]).unwrap()).is_err());
+
+    // State must be untouched by the failed operations.
+    assert_eq!(fd.result_ids(), before);
+    assert_eq!(fd.len(), 100);
+    fd.check_invariants().unwrap();
+
+    // And future valid operations still work.
+    fd.insert(Point::new(777, vec![0.9, 0.9, 0.9]).unwrap())
+        .unwrap();
+    fd.delete(777).unwrap();
+    fd.check_invariants().unwrap();
+}
+
+#[test]
+fn dynamic_skyline_rejects_bad_ops_without_corruption() {
+    let db = small_db(50, 3);
+    let mut sky = DynamicSkyline::new(db.clone()).unwrap();
+    let len = sky.skyline_len();
+    assert!(sky.insert(db[0].clone()).is_err());
+    assert!(sky.delete(777).is_err());
+    assert!(sky.insert(Point::new(777, vec![0.5]).unwrap()).is_err());
+    assert_eq!(sky.skyline_len(), len);
+    sky.check_invariants().unwrap();
+}
+
+#[test]
+fn r_below_d_is_rejected() {
+    let db = small_db(20, 4);
+    assert!(matches!(
+        FdRms::builder(4).r(3).build(db),
+        Err(FdRmsError::InvalidParameter(_))
+    ));
+}
+
+#[test]
+fn duplicate_ids_in_initial_database_rejected() {
+    let mut db = small_db(10, 2);
+    db.push(db[0].clone());
+    assert!(matches!(
+        FdRms::builder(2).r(2).max_utilities(32).build(db),
+        Err(FdRmsError::DuplicateId(_))
+    ));
+}
+
+#[test]
+fn degenerate_databases() {
+    // All-identical tuples: top-k ties everywhere; must not panic and the
+    // result must still cover (one tuple suffices).
+    let db: Vec<Point> = (0..40)
+        .map(|i| Point::new(i, vec![0.5, 0.5]).unwrap())
+        .collect();
+    let fd = FdRms::builder(2)
+        .r(2)
+        .max_utilities(64)
+        .build(db.clone())
+        .unwrap();
+    assert!(!fd.result().is_empty());
+    let est = RegretEstimator::new(2, 2_000, 1);
+    assert!(est.mrr(&db, &fd.result(), 1) < 1e-9);
+
+    // Axis-degenerate data (one constant dimension).
+    let db: Vec<Point> = (0..40)
+        .map(|i| Point::new(i, vec![i as f64 / 40.0, 1.0]).unwrap())
+        .collect();
+    let fd = FdRms::builder(2).r(2).max_utilities(64).build(db).unwrap();
+    assert!(!fd.result().is_empty());
+}
+
+#[test]
+fn single_tuple_database() {
+    let db = vec![Point::new(0, vec![0.3, 0.7, 0.2]).unwrap()];
+    let mut fd = FdRms::builder(3)
+        .r(3)
+        .max_utilities(32)
+        .build(db.clone())
+        .unwrap();
+    assert_eq!(fd.result().len(), 1);
+    fd.delete(0).unwrap();
+    assert!(fd.result().is_empty());
+    fd.insert(db[0].clone()).unwrap();
+    assert_eq!(fd.result().len(), 1);
+    fd.check_invariants().unwrap();
+}
+
+#[test]
+fn zero_coordinate_tuples() {
+    // The origin point scores 0 under every utility — legal but useless.
+    let mut db = small_db(30, 2);
+    db.push(Point::new(9_999, vec![0.0, 0.0]).unwrap());
+    let fd = FdRms::builder(2)
+        .r(3)
+        .max_utilities(64)
+        .build(db.clone())
+        .unwrap();
+    fd.check_invariants().unwrap();
+    assert!(fd.result().iter().all(|p| p.id() != 9_999));
+}
+
+#[test]
+fn workload_respects_delete_validity_under_stress() {
+    // Paper workload generator must never emit a delete for a dead tuple,
+    // even at extreme fractions.
+    use krms::data::{paper_workload, WorkloadConfig};
+    let mut rng = StdRng::seed_from_u64(5);
+    for (init, del) in [(0.0, 1.0), (1.0, 1.0), (0.1, 0.9)] {
+        let w = paper_workload(
+            &mut rng,
+            small_db(60, 2),
+            WorkloadConfig {
+                initial_fraction: init,
+                delete_fraction: del,
+                checkpoints: 5,
+            },
+        );
+        let _ = w.final_state(); // panics internally if a delete is invalid
+    }
+}
