@@ -258,10 +258,7 @@ mod tests {
         let mg = est.mrr(&db, &qg, 1);
         let mgeo = est.mrr(&db, &qgeo, 1);
         // Happy-point pruning is lossless for 1-RMS greedy.
-        assert!(
-            (mg - mgeo).abs() < 0.02,
-            "Greedy {mg} vs GeoGreedy {mgeo}"
-        );
+        assert!((mg - mgeo).abs() < 0.02, "Greedy {mg} vs GeoGreedy {mgeo}");
     }
 
     #[test]

@@ -9,11 +9,7 @@ use rms_geom::{with_basis_prefix, Point, Utility};
 /// top-k tuples; the union (deduplicated) is a coreset approximating all
 /// directional extrema — the practical ε-kernel construction of Agarwal
 /// et al. (the direction count plays the role of `1/δ^{(d−1)/2}`).
-fn directional_coreset(
-    full: &[Point],
-    dirs: &[Utility],
-    k: usize,
-) -> Vec<Point> {
+fn directional_coreset(full: &[Point], dirs: &[Utility], k: usize) -> Vec<Point> {
     let mut picked: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
     for u in dirs {
         for rp in rms_geom::top_k(full, u, k) {
@@ -137,8 +133,7 @@ impl StaticRms for Sphere {
 
         let mut chosen: Vec<Point> = Vec::with_capacity(r);
         let mut chosen_ids = std::collections::HashSet::new();
-        let add = |p: &Point, chosen: &mut Vec<Point>,
-                       ids: &mut std::collections::HashSet<u64>| {
+        let add = |p: &Point, chosen: &mut Vec<Point>, ids: &mut std::collections::HashSet<u64>| {
             if chosen.len() < r && ids.insert(p.id()) {
                 chosen.push(p.clone());
             }

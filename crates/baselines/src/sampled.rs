@@ -111,10 +111,7 @@ impl StaticRms for HittingSet {
         // ω_k per sampled direction over the FULL database.
         let omegas: Vec<f64> = dirs
             .iter()
-            .map(|u| {
-                rms_geom::kth_score(full, u, k.min(full.len()))
-                    .unwrap_or(0.0)
-            })
+            .map(|u| rms_geom::kth_score(full, u, k.min(full.len())).unwrap_or(0.0))
             .collect();
         // Candidate × direction score matrix.
         let scores: Vec<Vec<f64>> = candidates

@@ -120,7 +120,12 @@ impl TwoDSweep {
             }
         }
         let chosen = Self::min_cover(&arcs, self.resolution)?;
-        Some(chosen.into_iter().map(|i| points[owners[i]].clone()).collect())
+        Some(
+            chosen
+                .into_iter()
+                .map(|i| points[owners[i]].clone())
+                .collect(),
+        )
     }
 
     /// The optimal (up to grid/binary-search resolution) maximum regret
@@ -143,7 +148,9 @@ impl TwoDSweep {
             }
         }
         best.unwrap_or_else(|| {
-            let q = self.min_size(points, 1.0).expect("eps = 1 covers trivially");
+            let q = self
+                .min_size(points, 1.0)
+                .expect("eps = 1 covers trivially");
             (1.0, q.into_iter().take(r).collect())
         })
     }
@@ -196,7 +203,10 @@ mod tests {
         assert_eq!(q.len(), 2);
         let est = RegretEstimator::new(2, 50_000, 1);
         let mrr = est.mrr(&db, &q, 1);
-        assert!((mrr - eps).abs() < 0.01, "sweep eps {eps} vs measured {mrr}");
+        assert!(
+            (mrr - eps).abs() < 0.01,
+            "sweep eps {eps} vs measured {mrr}"
+        );
         // Brute-force all 2-subsets to confirm optimality.
         let mut best = 1.0f64;
         for i in 0..db.len() {

@@ -13,9 +13,15 @@ use rms_skyline::skyline;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Fig. 4 — sizes of skylines of synthetic datasets ({})", scale.banner());
+    println!(
+        "Fig. 4 — sizes of skylines of synthetic datasets ({})",
+        scale.banner()
+    );
 
-    println!("\n(a) varying d (n = {} at this scale)", (100_000f64 * scale.frac) as usize);
+    println!(
+        "\n(a) varying d (n = {} at this scale)",
+        (100_000f64 * scale.frac) as usize
+    );
     println!("{:<4} {:>12} {:>12}", "d", "Indep", "AntiCor");
     for d in 4..=10usize {
         let row: Vec<usize> = [NamedDataset::Indep, NamedDataset::AntiCor]

@@ -14,7 +14,10 @@ use rms_eval::format_table;
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Fig. 5 — performance of FD-RMS with varying eps ({})", scale.banner());
+    println!(
+        "Fig. 5 — performance of FD-RMS with varying eps ({})",
+        scale.banner()
+    );
 
     let eps_grid: Vec<f64> = [1.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0]
         .iter()

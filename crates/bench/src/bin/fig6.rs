@@ -18,10 +18,17 @@ use rms_eval::format_table;
 fn main() {
     let scale = Scale::from_args();
     let algos = Algo::filter_from_args().unwrap_or_else(|| Algo::ALL.to_vec());
-    println!("Fig. 6 — varying the result size r, k = 1 ({})", scale.banner());
+    println!(
+        "Fig. 6 — varying the result size r, k = 1 ({})",
+        scale.banner()
+    );
     println!(
         "algorithms: {}",
-        algos.iter().map(|a| a.name()).collect::<Vec<_>>().join(", ")
+        algos
+            .iter()
+            .map(|a| a.name())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     let mut cells = Vec::new();
@@ -37,9 +44,7 @@ fn main() {
                 // GeoGreedy cannot scale past d = 7 — skip those cells,
                 // as the original figures leave them blank.
                 let d = ds.spec().d;
-                if d > 7
-                    && matches!(algo, Algo::DmmRrms | Algo::DmmGreedy | Algo::GeoGreedy)
-                {
+                if d > 7 && matches!(algo, Algo::DmmRrms | Algo::DmmGreedy | Algo::GeoGreedy) {
                     continue;
                 }
                 cells.push(Cell {

@@ -34,12 +34,7 @@ fn main() {
         for ds in [NamedDataset::Indep, NamedDataset::AntiCor] {
             for d in 4..=10usize {
                 for &algo in &algos {
-                    if d > 7
-                        && matches!(
-                            algo,
-                            Algo::DmmRrms | Algo::DmmGreedy | Algo::GeoGreedy
-                        )
-                    {
+                    if d > 7 && matches!(algo, Algo::DmmRrms | Algo::DmmGreedy | Algo::GeoGreedy) {
                         continue;
                     }
                     cells.push(Cell {

@@ -16,8 +16,8 @@ fn main() {
     let scale = Scale::from_args();
     println!("Table I — statistics of datasets ({})", scale.banner());
     println!(
-        "{:<8} {:>9} {:>4} {:>10} {:>10}  {}",
-        "dataset", "n", "d", "#skylines", "fraction", "paper (full scale)"
+        "{:<8} {:>9} {:>4} {:>10} {:>10}  paper (full scale)",
+        "dataset", "n", "d", "#skylines", "fraction"
     );
     let paper = [
         ("BB", "200"),

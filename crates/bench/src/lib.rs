@@ -291,13 +291,8 @@ fn run_static(
     est: &RegretEstimator,
 ) -> (UpdateTimer, Vec<f64>) {
     let algo = cell.algo.static_algo();
-    let mut ad = DynamicAdapter::new(
-        BoxedStatic(algo),
-        cell.k,
-        cell.r,
-        workload.initial.clone(),
-    )
-    .expect("workload initial state is valid");
+    let mut ad = DynamicAdapter::new(BoxedStatic(algo), cell.k, cell.r, workload.initial.clone())
+        .expect("workload initial state is valid");
     let mut live: Vec<Point> = workload.initial.clone();
     let mut timer = UpdateTimer::new();
     let mut mrrs = Vec::new();
@@ -344,20 +339,20 @@ impl StaticRms for BoxedStatic {
     }
 }
 
-/// Runs independent cells in parallel (one worker per CPU, crossbeam
-/// scoped threads) and returns records in the input order.
+/// Runs independent cells in parallel (one worker per CPU, std scoped
+/// threads) and returns records in the input order.
 pub fn run_cells(cells: Vec<Cell>, scale: Scale) -> Vec<ExperimentRecord> {
     let n = cells.len();
-    let results: Vec<parking_lot::Mutex<Option<ExperimentRecord>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+    let results: Vec<std::sync::Mutex<Option<ExperimentRecord>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n.max(1));
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -367,14 +362,17 @@ pub fn run_cells(cells: Vec<Cell>, scale: Scale) -> Vec<ExperimentRecord> {
                     "  done: {} / {} / {}={}",
                     rec.dataset, rec.algorithm, rec.param, rec.value
                 );
-                *results[i].lock() = Some(rec);
+                *results[i].lock().expect("cell mutex poisoned") = Some(rec);
             });
         }
-    })
-    .expect("worker threads do not panic");
+    });
     results
         .into_iter()
-        .map(|m| m.into_inner().expect("all cells ran"))
+        .map(|m| {
+            m.into_inner()
+                .expect("cell mutex poisoned")
+                .expect("all cells ran")
+        })
         .collect()
 }
 
@@ -411,8 +409,7 @@ mod tests {
     #[test]
     fn algo_filter_and_names() {
         assert_eq!(Algo::ALL.len(), 9);
-        let names: std::collections::HashSet<_> =
-            Algo::ALL.iter().map(|a| a.name()).collect();
+        let names: std::collections::HashSet<_> = Algo::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(names.len(), 9);
         for a in Algo::K_CAPABLE {
             assert!(a == Algo::FdRms || a.static_algo().supports_k(3));

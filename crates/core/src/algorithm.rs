@@ -95,10 +95,7 @@ impl FdRms {
     // Algorithm 2: INITIALIZATION
     // ------------------------------------------------------------------
 
-    pub(crate) fn initialize(
-        cfg: FdRmsBuilder,
-        initial: Vec<Point>,
-    ) -> Result<Self, FdRmsError> {
+    pub(crate) fn initialize(cfg: FdRmsBuilder, initial: Vec<Point>) -> Result<Self, FdRmsError> {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let utilities = with_basis_prefix(&mut rng, cfg.d, cfg.max_utilities);
         let kd = KdTree::build(cfg.d, initial.clone()).map_err(|e| match e {
@@ -345,12 +342,12 @@ impl FdRms {
             let k = self.k;
             let st = &mut self.topk[i];
             // Does p enter the exact top-k?
-            let enters = st.exact.len() < k
-                || rank_before(score, pid, &st.exact[st.exact.len() - 1]);
+            let enters =
+                st.exact.len() < k || rank_before(score, pid, &st.exact[st.exact.len() - 1]);
             if enters {
-                let pos = st
-                    .exact
-                    .partition_point(|e| rank_before(e.score, e.id, &RankedPoint { id: pid, score }));
+                let pos = st.exact.partition_point(|e| {
+                    rank_before(e.score, e.id, &RankedPoint { id: pid, score })
+                });
                 st.exact.insert(pos, RankedPoint { id: pid, score });
                 st.exact.truncate(k);
                 let old_tau = st.tau;
@@ -377,7 +374,7 @@ impl FdRms {
                                 .remove_from_set(i as ElemId, q_id)
                                 .expect("member sets exist");
                             debug_assert!(
-                                kept || (i as usize) >= self.m,
+                                kept || i >= self.m,
                                 "universe element lost its last set during insert"
                             );
                         }
@@ -446,7 +443,10 @@ impl FdRms {
 
         // Remove S(p); covered utilities are reassigned to the sets that
         // now contain them. Drops only happen when the database emptied.
-        let dropped = self.cover.remove_set(pid).expect("set registered at insert");
+        let dropped = self
+            .cover
+            .remove_set(pid)
+            .expect("set registered at insert");
         for u in dropped {
             debug_assert!(self.points.is_empty(), "drop with nonempty database");
             self.pending.insert(u);
@@ -520,11 +520,7 @@ impl FdRms {
         let m = self.m as ElemId;
         let candidates: Vec<ElemId> = self.pending.range(..m).copied().collect();
         for u in candidates {
-            if self
-                .cover
-                .sets_containing(u)
-                .is_some_and(|s| !s.is_empty())
-            {
+            if self.cover.sets_containing(u).is_some_and(|s| !s.is_empty()) {
                 self.pending.remove(&u);
                 self.admit(u);
             }
@@ -613,9 +609,7 @@ mod tests {
     fn random_points(seed: u64, n: usize, d: usize) -> Vec<Point> {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
-            .map(|i| {
-                Point::new_unchecked(i as u64, (0..d).map(|_| rng.gen()).collect())
-            })
+            .map(|i| Point::new_unchecked(i as u64, (0..d).map(|_| rng.gen()).collect()))
             .collect()
     }
 
@@ -714,8 +708,7 @@ mod tests {
         let mut next_id = 10_000u64;
         for _ in 0..120 {
             if live.len() < 20 || rng.gen_bool(0.55) {
-                let p =
-                    Point::new_unchecked(next_id, (0..3).map(|_| rng.gen()).collect());
+                let p = Point::new_unchecked(next_id, (0..3).map(|_| rng.gen()).collect());
                 next_id += 1;
                 live.push(p.clone());
                 fd.insert(p).unwrap();
@@ -783,7 +776,10 @@ mod tests {
         assert_eq!(fd.delete(999), Err(FdRmsError::UnknownId(999)));
         assert_eq!(
             fd.insert(Point::new_unchecked(500, vec![0.1, 0.2, 0.3])),
-            Err(FdRmsError::DimensionMismatch { expected: 2, got: 3 })
+            Err(FdRmsError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
         );
         assert_eq!(fd.operations(), 0);
     }
@@ -831,7 +827,10 @@ mod tests {
         );
         assert_eq!(
             fd.update(Point::new_unchecked(0, vec![0.5])),
-            Err(FdRmsError::DimensionMismatch { expected: 2, got: 1 })
+            Err(FdRmsError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         );
     }
 

@@ -175,7 +175,10 @@ mod tests {
         ));
         assert!(matches!(
             FdRms::builder(2).build(vec![p(3)]),
-            Err(FdRmsError::DimensionMismatch { expected: 2, got: 3 })
+            Err(FdRmsError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
         ));
     }
 
@@ -186,8 +189,11 @@ mod tests {
         assert!(FdRmsError::InvalidParameter("x".into())
             .to_string()
             .contains("x"));
-        assert!(FdRmsError::DimensionMismatch { expected: 1, got: 2 }
-            .to_string()
-            .contains("dimension"));
+        assert!(FdRmsError::DimensionMismatch {
+            expected: 1,
+            got: 2
+        }
+        .to_string()
+        .contains("dimension"));
     }
 }

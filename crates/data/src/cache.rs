@@ -2,7 +2,8 @@
 //!
 //! Large benchmark datasets (up to 581 012 × 8 at full scale) are expensive
 //! to regenerate on every harness run, so the bench crate caches them on
-//! disk. The format is a minimal little-endian layout built with `bytes`:
+//! disk. The format is a minimal little-endian layout over plain byte
+//! buffers:
 //!
 //! ```text
 //! magic  u32  = 0x4B524D53 ("KRMS")
@@ -11,7 +12,6 @@
 //! then n records: id u64, d × f64 coordinates
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use rms_geom::Point;
 
 /// Magic number guarding against decoding foreign files.
@@ -40,27 +40,61 @@ impl std::fmt::Display for DecodeError {
 
 impl std::error::Error for DecodeError {}
 
+/// Little-endian reader over a byte slice; each `get_*` consumes from the
+/// front. Bounds are checked up front by [`decode`], so reads here assume
+/// enough bytes remain.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, rest) = self.buf.split_at(4);
+        self.buf = rest;
+        u32::from_le_bytes(head.try_into().expect("4-byte split"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, rest) = self.buf.split_at(8);
+        self.buf = rest;
+        u64::from_le_bytes(head.try_into().expect("8-byte split"))
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
 /// Encodes a dataset into the compact binary format.
 ///
 /// Panics if the points do not all share one dimensionality.
-pub fn encode(points: &[Point]) -> Bytes {
+pub fn encode(points: &[Point]) -> Vec<u8> {
     let d = points.first().map_or(0, |p| p.dim());
-    let mut buf = BytesMut::with_capacity(16 + points.len() * (8 + d * 8));
-    buf.put_u32_le(MAGIC);
-    buf.put_u64_le(points.len() as u64);
-    buf.put_u32_le(d as u32);
+    let mut buf = Vec::with_capacity(16 + points.len() * (8 + d * 8));
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(points.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&(d as u32).to_le_bytes());
     for p in points {
         assert_eq!(p.dim(), d, "mixed dimensionality in dataset");
-        buf.put_u64_le(p.id());
+        buf.extend_from_slice(&p.id().to_le_bytes());
         for &c in p.coords() {
-            buf.put_f64_le(c);
+            buf.extend_from_slice(&c.to_le_bytes());
         }
     }
-    buf.freeze()
+    buf
 }
 
 /// Decodes a dataset previously produced by [`encode`].
-pub fn decode(mut buf: Bytes) -> Result<Vec<Point>, DecodeError> {
+pub fn decode(buf: &[u8]) -> Result<Vec<Point>, DecodeError> {
+    let mut buf = Reader::new(buf);
     if buf.remaining() < 16 {
         return Err(DecodeError::Truncated);
     }
@@ -73,7 +107,9 @@ pub fn decode(mut buf: Bytes) -> Result<Vec<Point>, DecodeError> {
         return Err(DecodeError::ZeroDimensions);
     }
     let record = 8 + d * 8;
-    if buf.remaining() < n * record {
+    if n.checked_mul(record)
+        .is_none_or(|need| buf.remaining() < need)
+    {
         return Err(DecodeError::Truncated);
     }
     let mut out = Vec::with_capacity(n);
@@ -97,7 +133,7 @@ pub fn save(path: &std::path::Path, points: &[Point]) -> std::io::Result<()> {
 /// or fails to decode (callers regenerate in that case).
 pub fn load(path: &std::path::Path) -> Option<Vec<Point>> {
     let raw = std::fs::read(path).ok()?;
-    decode(Bytes::from(raw)).ok()
+    decode(&raw).ok()
 }
 
 #[cfg(test)]
@@ -114,38 +150,38 @@ mod tests {
     #[test]
     fn roundtrip() {
         let pts = sample();
-        assert_eq!(decode(encode(&pts)).unwrap(), pts);
+        assert_eq!(decode(&encode(&pts)).unwrap(), pts);
     }
 
     #[test]
     fn roundtrip_empty() {
-        assert_eq!(decode(encode(&[])).unwrap(), Vec::<Point>::new());
+        assert_eq!(decode(&encode(&[])).unwrap(), Vec::<Point>::new());
     }
 
     #[test]
     fn rejects_bad_magic() {
-        let mut raw = BytesMut::new();
-        raw.put_u32_le(0xDEAD_BEEF);
-        raw.put_u64_le(0);
-        raw.put_u32_le(2);
-        assert_eq!(decode(raw.freeze()), Err(DecodeError::BadMagic));
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&0xDEAD_BEEF_u32.to_le_bytes());
+        raw.extend_from_slice(&0u64.to_le_bytes());
+        raw.extend_from_slice(&2u32.to_le_bytes());
+        assert_eq!(decode(&raw), Err(DecodeError::BadMagic));
     }
 
     #[test]
     fn rejects_truncation() {
         let full = encode(&sample());
-        let cut = full.slice(0..full.len() - 4);
+        let cut = &full[..full.len() - 4];
         assert_eq!(decode(cut), Err(DecodeError::Truncated));
-        assert_eq!(decode(Bytes::new()), Err(DecodeError::Truncated));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated));
     }
 
     #[test]
     fn rejects_zero_dims_with_records() {
-        let mut raw = BytesMut::new();
-        raw.put_u32_le(MAGIC);
-        raw.put_u64_le(5);
-        raw.put_u32_le(0);
-        assert_eq!(decode(raw.freeze()), Err(DecodeError::ZeroDimensions));
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&MAGIC.to_le_bytes());
+        raw.extend_from_slice(&5u64.to_le_bytes());
+        raw.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode(&raw), Err(DecodeError::ZeroDimensions));
     }
 
     #[test]

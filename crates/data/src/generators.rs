@@ -92,12 +92,7 @@ pub fn anticorrelated<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize) -> Vec<P
 /// Clustered mixture: `frac_corr` of the points from the correlated family
 /// and the rest independent. Used by the real-data stand-ins to hit the
 /// skyline-size regimes of Table I.
-pub fn mixture<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    d: usize,
-    frac_corr: f64,
-) -> Vec<Point> {
+pub fn mixture<R: Rng + ?Sized>(rng: &mut R, n: usize, d: usize, frac_corr: f64) -> Vec<Point> {
     assert!((0.0..=1.0).contains(&frac_corr));
     let n_corr = (n as f64 * frac_corr).round() as usize;
     let mut pts = correlated(rng, n_corr, d);
@@ -136,7 +131,10 @@ mod tests {
     fn correlated_attributes_correlate() {
         let pts = correlated(&mut rng(), 4000, 2);
         let corr = pearson(&pts, 0, 1);
-        assert!(corr > 0.8, "expected strong positive correlation, got {corr}");
+        assert!(
+            corr > 0.8,
+            "expected strong positive correlation, got {corr}"
+        );
     }
 
     #[test]

@@ -111,8 +111,7 @@ pub fn paper_workload<R: Rng + ?Sized>(
     let initial: Vec<Point> = points[..n_init].to_vec();
     let inserts: Vec<Point> = points[n_init..].to_vec();
 
-    let mut operations: Vec<Operation> =
-        inserts.into_iter().map(Operation::Insert).collect();
+    let mut operations: Vec<Operation> = inserts.into_iter().map(Operation::Insert).collect();
 
     // Deletions target a random delete_fraction of the full tuple set.
     let n_del = ((n as f64) * config.delete_fraction).round() as usize;
@@ -174,11 +173,7 @@ mod tests {
     fn inserts_precede_deletes() {
         let mut rng = StdRng::seed_from_u64(7);
         let w = paper_workload(&mut rng, points(100), WorkloadConfig::default());
-        let first_delete = w
-            .operations
-            .iter()
-            .position(|o| !o.is_insert())
-            .unwrap();
+        let first_delete = w.operations.iter().position(|o| !o.is_insert()).unwrap();
         assert!(w.operations[..first_delete].iter().all(|o| o.is_insert()));
         assert!(w.operations[first_delete..].iter().all(|o| !o.is_insert()));
     }

@@ -60,9 +60,11 @@ impl ExperimentRecord {
 /// column pair (time, mrr) per algorithm.
 pub fn format_table(records: &[ExperimentRecord]) -> String {
     use std::collections::BTreeMap;
+    /// Per-algorithm (time, mrr) cells keyed by parameter value bits.
+    type CellsByValue<'a> = BTreeMap<u64, BTreeMap<&'a str, (f64, f64)>>;
     let mut out = String::new();
     // dataset -> value -> algorithm -> (time, mrr)
-    let mut by_ds: BTreeMap<&str, BTreeMap<u64, BTreeMap<&str, (f64, f64)>>> = BTreeMap::new();
+    let mut by_ds: BTreeMap<&str, CellsByValue> = BTreeMap::new();
     let mut algos: Vec<&str> = Vec::new();
     for r in records {
         if !algos.contains(&r.algorithm.as_str()) {
@@ -91,9 +93,7 @@ pub fn format_table(records: &[ExperimentRecord]) -> String {
             out.push_str(&format!("{v:>10.4}"));
             for a in &algos {
                 match cells.get(a) {
-                    Some((t, m)) => {
-                        out.push_str(&format!(" | {t:>17.4} {m:>14.4}"))
-                    }
+                    Some((t, m)) => out.push_str(&format!(" | {t:>17.4} {m:>14.4}")),
                     None => out.push_str(&format!(" | {:>17} {:>14}", "-", "-")),
                 }
             }

@@ -93,7 +93,9 @@ fn kth_largest_score(points: &[Point], u: &Utility, k: usize) -> f64 {
             heap.pop();
         }
     }
-    heap.pop().map(|std::cmp::Reverse(OrdF64(s))| s).unwrap_or(0.0)
+    heap.pop()
+        .map(|std::cmp::Reverse(OrdF64(s))| s)
+        .unwrap_or(0.0)
 }
 
 /// Total order wrapper for finite scores.

@@ -67,7 +67,10 @@ mod tests {
             value: f64::NAN,
         };
         assert!(e.to_string().contains("coordinate 2"));
-        let e = GeomError::NegativeCoordinate { dim: 0, value: -1.0 };
+        let e = GeomError::NegativeCoordinate {
+            dim: 0,
+            value: -1.0,
+        };
         assert!(e.to_string().contains("negative"));
         let e = GeomError::DimensionMismatch { left: 3, right: 5 };
         assert!(e.to_string().contains("3 vs 5"));

@@ -151,7 +151,10 @@ mod tests {
             for kk in 1..=4usize {
                 let u = Utility::new(vec![0.7, 0.3]).unwrap();
                 let exact: Vec<_> = top_k(&db, &u, kk).iter().map(|r| r.id).collect();
-                let approx: Vec<_> = top_k_approx(&db, &u, kk, eps).iter().map(|r| r.id).collect();
+                let approx: Vec<_> = top_k_approx(&db, &u, kk, eps)
+                    .iter()
+                    .map(|r| r.id)
+                    .collect();
                 for id in &exact {
                     assert!(approx.contains(id), "eps={eps} k={kk}");
                 }

@@ -3,7 +3,7 @@
 use crate::error::GeomError;
 use crate::point::Point;
 use rand::Rng;
-use rand_distr_normal::StandardNormalish;
+use rand_distr::{Distribution, StandardNormal};
 use serde::{Deserialize, Serialize};
 
 /// A linear utility function, represented by a nonnegative unit vector
@@ -107,7 +107,8 @@ pub fn sample_utilities<R: Rng + ?Sized>(rng: &mut R, d: usize, count: usize) ->
     while out.len() < count {
         let mut w = Vec::with_capacity(d);
         for _ in 0..d {
-            w.push(StandardNormalish.sample(rng).abs());
+            let x: f64 = StandardNormal.sample(rng);
+            w.push(x.abs());
         }
         let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
         if norm <= f64::EPSILON {
@@ -140,26 +141,6 @@ pub fn with_basis_prefix<R: Rng + ?Sized>(rng: &mut R, d: usize, m: usize) -> Ve
     out
 }
 
-/// Minimal Box–Muller standard normal sampler.
-///
-/// The offline `rand` build does not ship `rand_distr`, so we implement the
-/// two-line Box–Muller transform ourselves.
-mod rand_distr_normal {
-    use rand::Rng;
-
-    pub(super) struct StandardNormalish;
-
-    impl StandardNormalish {
-        #[inline]
-        pub(super) fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
-            // Box–Muller: u1 ∈ (0,1], u2 ∈ [0,1).
-            let u1: f64 = 1.0 - rng.gen::<f64>();
-            let u2: f64 = rng.gen();
-            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,7 +160,10 @@ mod tests {
             Utility::new(vec![-1.0, 1.0]),
             Err(GeomError::NegativeCoordinate { .. })
         ));
-        assert!(matches!(Utility::new(vec![]), Err(GeomError::EmptyDimensions)));
+        assert!(matches!(
+            Utility::new(vec![]),
+            Err(GeomError::EmptyDimensions)
+        ));
         assert!(matches!(
             Utility::new(vec![f64::NAN]),
             Err(GeomError::NonFiniteCoordinate { .. })

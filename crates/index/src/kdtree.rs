@@ -498,12 +498,7 @@ impl KdTree {
     /// least `(1 − ε)·ω_k(u, P)`, descending. Also returns `ω_k` (the
     /// exact kth score) as the second component, or `None` when fewer than
     /// `k` points exist (then every point is returned).
-    pub fn top_k_approx(
-        &self,
-        u: &Utility,
-        k: usize,
-        eps: f64,
-    ) -> (Vec<RankedPoint>, Option<f64>) {
+    pub fn top_k_approx(&self, u: &Utility, k: usize, eps: f64) -> (Vec<RankedPoint>, Option<f64>) {
         let exact = self.top_k(u, k);
         if exact.len() < k {
             return (exact, None);
@@ -588,10 +583,7 @@ mod tests {
                 .filter(|r| r.score >= tau)
                 .collect();
             want.sort_unstable_by(|a, b| {
-                b.score
-                    .partial_cmp(&a.score)
-                    .unwrap()
-                    .then(a.id.cmp(&b.id))
+                b.score.partial_cmp(&a.score).unwrap().then(a.id.cmp(&b.id))
             });
             assert_eq!(got, want);
         }
@@ -619,10 +611,7 @@ mod tests {
         let mut all = initial.clone();
         let mut tree = KdTree::build(3, initial).unwrap();
         for i in 0..300 {
-            let p = Point::new_unchecked(
-                1_000 + i,
-                (0..3).map(|_| rng.gen()).collect(),
-            );
+            let p = Point::new_unchecked(1_000 + i, (0..3).map(|_| rng.gen()).collect());
             all.push(p.clone());
             tree.insert(p).unwrap();
         }
@@ -683,7 +672,10 @@ mod tests {
         assert_eq!(tree.delete(7), Err(KdTreeError::UnknownId(7)));
         assert_eq!(
             tree.insert(Point::new_unchecked(1, vec![0.5])),
-            Err(KdTreeError::DimensionMismatch { expected: 2, got: 1 })
+            Err(KdTreeError::DimensionMismatch {
+                expected: 2,
+                got: 1
+            })
         );
         let dup = KdTree::build(
             2,

@@ -31,13 +31,19 @@ pub fn max_regret_lp(p: &Point, q_set: &[Point]) -> f64 {
     objective[d] = 1.0;
     let mut lp = Simplex::maximize(objective)
         .constraint(
-            p.coords().iter().copied().chain(std::iter::once(0.0)).collect(),
+            p.coords()
+                .iter()
+                .copied()
+                .chain(std::iter::once(0.0))
+                .collect(),
             Relation::Eq,
             1.0,
         )
         // x ≤ 1 keeps the program bounded even for empty Q.
         .constraint(
-            std::iter::repeat(0.0).take(d).chain(std::iter::once(1.0)).collect(),
+            std::iter::repeat_n(0.0, d)
+                .chain(std::iter::once(1.0))
+                .collect(),
             Relation::Le,
             1.0,
         );
@@ -101,12 +107,16 @@ pub fn is_happy_point(p: &Point, others: &[Point]) -> bool {
     objective[d] = 1.0;
     let mut lp = Simplex::maximize(objective)
         .constraint(
-            std::iter::repeat(1.0).take(d).chain(std::iter::once(0.0)).collect(),
+            std::iter::repeat_n(1.0, d)
+                .chain(std::iter::once(0.0))
+                .collect(),
             Relation::Eq,
             1.0,
         )
         .constraint(
-            std::iter::repeat(0.0).take(d).chain(std::iter::once(1.0)).collect(),
+            std::iter::repeat_n(0.0, d)
+                .chain(std::iter::once(1.0))
+                .collect(),
             Relation::Le,
             2.0,
         );
@@ -175,10 +185,7 @@ mod tests {
         // the paper; for k=1 the skyline also contains p3 and p7, so check
         // the true k=1 zero-regret property of the full skyline instead.
         let db = fig1();
-        let sky: Vec<Point> = [1, 2, 3, 4, 7]
-            .iter()
-            .map(|&i| db[i - 1].clone())
-            .collect();
+        let sky: Vec<Point> = [1, 2, 3, 4, 7].iter().map(|&i| db[i - 1].clone()).collect();
         let mrr = mrr1_exact(&db, &sky);
         assert!(mrr < 1e-7, "skyline must have zero 1-regret, got {mrr}");
     }

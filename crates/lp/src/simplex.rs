@@ -94,7 +94,8 @@ impl Simplex {
             "constraint has more coefficients than variables"
         );
         coeffs.resize(self.num_vars, 0.0);
-        self.constraints.push(Constraint::new(coeffs, relation, rhs));
+        self.constraints
+            .push(Constraint::new(coeffs, relation, rhs));
         self
     }
 
@@ -199,17 +200,15 @@ impl Tableau {
             // Phase 1: minimise the sum of artificials, i.e. maximise the
             // negated sum. Objective row expressed over the current basis.
             let mut obj = vec![0.0; self.num_cols];
-            for col in self.non_artificial..self.num_cols - 1 {
-                obj[col] = -1.0;
-            }
+            obj[self.non_artificial..self.num_cols - 1].fill(-1.0);
             // Price out basic artificial columns.
             let mut zrow = obj.clone();
             for (row, &b) in self.basis.iter().enumerate() {
                 if b >= self.non_artificial {
                     let coef = zrow[b];
                     if coef != 0.0 {
-                        for col in 0..self.num_cols {
-                            zrow[col] -= coef * self.rows[row][col];
+                        for (z, &a) in zrow.iter_mut().zip(&self.rows[row]) {
+                            *z -= coef * a;
                         }
                     }
                 }
@@ -229,8 +228,8 @@ impl Tableau {
             // Drive remaining artificials out of the basis where possible.
             for row in 0..self.rows.len() {
                 if self.basis[row] >= self.non_artificial {
-                    if let Some(col) = (0..self.non_artificial)
-                        .find(|&c| self.rows[row][c].abs() > TOL)
+                    if let Some(col) =
+                        (0..self.non_artificial).find(|&c| self.rows[row][c].abs() > TOL)
                     {
                         self.pivot(row, col);
                     }
@@ -249,8 +248,8 @@ impl Tableau {
         for (row, &b) in self.basis.iter().enumerate() {
             if b < self.num_cols && zrow[b].abs() > 0.0 {
                 let coef = zrow[b];
-                for col in 0..self.num_cols {
-                    zrow[col] -= coef * self.rows[row][col];
+                for (z, &a) in zrow.iter_mut().zip(&self.rows[row]) {
+                    *z -= coef * a;
                 }
             }
         }
@@ -305,8 +304,8 @@ impl Tableau {
             // Update the objective row.
             let coef = zrow[enter];
             if coef.abs() > 0.0 {
-                for col in 0..self.num_cols {
-                    zrow[col] -= coef * self.rows[leave][col];
+                for (z, &a) in zrow.iter_mut().zip(&self.rows[leave]) {
+                    *z -= coef * a;
                 }
             }
         }

@@ -292,7 +292,7 @@ impl DynamicSetCover {
         if self.universe.contains(&u) {
             return Err(CoverError::DuplicateElement(u));
         }
-        if !self.elem_sets.get(&u).is_some_and(|es| !es.is_empty()) {
+        if self.elem_sets.get(&u).is_none_or(|es| es.is_empty()) {
             return Err(CoverError::UncoverableElement(u));
         }
         self.universe.insert(u);
@@ -400,7 +400,10 @@ impl DynamicSetCover {
             }
         }
         // Lemma 1: the greedy solution is stable; verify cheaply in debug.
-        debug_assert!(self.find_violation().is_none(), "greedy produced unstable C");
+        debug_assert!(
+            self.find_violation().is_none(),
+            "greedy produced unstable C"
+        );
         Ok(())
     }
 
@@ -559,16 +562,14 @@ impl DynamicSetCover {
             let grabbed: Vec<ElemId> = self.sets[&s]
                 .iter()
                 .copied()
-                .filter(|u| {
-                    self.assigned_level(*u) == Some(j) && self.phi.get(u) != Some(&s)
-                })
+                .filter(|u| self.assigned_level(*u) == Some(j) && self.phi.get(u) != Some(&s))
                 .collect();
             if grabbed.is_empty() {
                 continue;
             }
             // Ensure s is in the solution.
-            if !self.cov.contains_key(&s) {
-                self.cov.insert(s, HashSet::new());
+            if let std::collections::hash_map::Entry::Vacant(e) = self.cov.entry(s) {
+                e.insert(HashSet::new());
                 // Provisional level; corrected by relevel below. Using j
                 // keeps the grabbed elements' level transition accurate.
                 self.level_of.insert(s, j);
@@ -576,7 +577,10 @@ impl DynamicSetCover {
             let s_level = self.level_of[&s];
             let mut losers: HashSet<SetId> = HashSet::new();
             for u in grabbed {
-                let old = self.phi.insert(u, s).expect("grabbed elements are assigned");
+                let old = self
+                    .phi
+                    .insert(u, s)
+                    .expect("grabbed elements are assigned");
                 self.cov.get_mut(&old).expect("old owner in C").remove(&u);
                 losers.insert(old);
                 self.cov.get_mut(&s).expect("just ensured").insert(u);
@@ -604,8 +608,7 @@ impl DynamicSetCover {
                     let movable = self.sets[&s]
                         .iter()
                         .filter(|u| {
-                            self.assigned_level(**u) == Some(j)
-                                && self.phi.get(u) != Some(&s)
+                            self.assigned_level(**u) == Some(j) && self.phi.get(u) != Some(&s)
                         })
                         .count();
                     let own = c - movable;
@@ -724,12 +727,7 @@ mod tests {
     fn greedy_covers_and_is_stable() {
         let mut c = build(
             6,
-            &[
-                (1, &[0, 1, 2, 3]),
-                (2, &[3, 4]),
-                (3, &[4, 5]),
-                (4, &[5]),
-            ],
+            &[(1, &[0, 1, 2, 3]), (2, &[3, 4]), (3, &[4, 5]), (4, &[5])],
         );
         c.greedy().unwrap();
         c.check_invariants().unwrap();
@@ -982,8 +980,7 @@ mod tests {
         let num_sets: SetId = 30;
         let num_elems: ElemId = 60;
         for s in 0..num_sets {
-            let members: Vec<ElemId> =
-                (0..num_elems).filter(|_| rng.gen_bool(0.2)).collect();
+            let members: Vec<ElemId> = (0..num_elems).filter(|_| rng.gen_bool(0.2)).collect();
             c.insert_set(s, members).unwrap();
         }
         let mut live_elems: Vec<ElemId> = Vec::new();

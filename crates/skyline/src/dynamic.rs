@@ -150,11 +150,7 @@ impl DynamicSkyline {
         }
 
         // Dominated by an existing skyline member? Then nothing changes.
-        if let Some(&witness) = self
-            .sky
-            .iter()
-            .find(|id| dominates(&self.points[id].0, &p))
-        {
+        if let Some(&witness) = self.sky.iter().find(|id| dominates(&self.points[id].0, &p)) {
             let pid = p.id();
             self.points.insert(pid, (p, Status::Dominated(witness)));
             self.children.entry(witness).or_default().push(pid);
@@ -235,7 +231,11 @@ impl DynamicSkyline {
         let mut candidates: Vec<PointId> = Vec::new();
         for oid in orphans {
             let op = &self.points[&oid].0;
-            if let Some(&w) = self.sky.iter().find(|sid| dominates(&self.points[sid].0, op)) {
+            if let Some(&w) = self
+                .sky
+                .iter()
+                .find(|sid| dominates(&self.points[sid].0, op))
+            {
                 if let Some(e) = self.points.get_mut(&oid) {
                     e.1 = Status::Dominated(w);
                 }
@@ -283,8 +283,10 @@ impl DynamicSkyline {
     /// member that dominates the witnessing tuple.
     pub fn check_invariants(&self) -> Result<(), String> {
         let all = self.all_points();
-        let want: std::collections::HashSet<PointId> =
-            crate::stat::skyline_bnl(&all).iter().map(|p| p.id()).collect();
+        let want: std::collections::HashSet<PointId> = crate::stat::skyline_bnl(&all)
+            .iter()
+            .map(|p| p.id())
+            .collect();
         let got: std::collections::HashSet<PointId> = self.sky.iter().copied().collect();
         if want != got {
             return Err(format!("skyline mismatch: want {want:?}, got {got:?}"));
@@ -353,10 +355,12 @@ mod tests {
 
     #[test]
     fn insert_dominating_demotes_members() {
-        let mut ds =
-            DynamicSkyline::new(vec![pt(0, &[0.5, 0.5]), pt(1, &[0.2, 0.8])]).unwrap();
+        let mut ds = DynamicSkyline::new(vec![pt(0, &[0.5, 0.5]), pt(1, &[0.2, 0.8])]).unwrap();
         assert_eq!(ds.skyline_len(), 2);
-        assert_eq!(ds.insert(pt(2, &[0.9, 0.9])).unwrap(), SkylineDelta::Changed);
+        assert_eq!(
+            ds.insert(pt(2, &[0.9, 0.9])).unwrap(),
+            SkylineDelta::Changed
+        );
         assert_eq!(ds.skyline_len(), 1);
         assert!(ds.is_skyline(2));
         assert!(!ds.is_skyline(0));
@@ -365,8 +369,7 @@ mod tests {
 
     #[test]
     fn delete_nonskyline_is_unchanged() {
-        let mut ds =
-            DynamicSkyline::new(vec![pt(0, &[0.9, 0.9]), pt(1, &[0.1, 0.1])]).unwrap();
+        let mut ds = DynamicSkyline::new(vec![pt(0, &[0.9, 0.9]), pt(1, &[0.1, 0.1])]).unwrap();
         assert_eq!(ds.delete(1).unwrap(), SkylineDelta::Unchanged);
         assert_eq!(ds.len(), 1);
         ds.check_invariants().unwrap();
@@ -429,7 +432,10 @@ mod tests {
         assert_eq!(ds.delete(42), Err(SkylineError::UnknownId(42)));
         assert_eq!(
             ds.insert(pt(1, &[0.1, 0.1, 0.1])),
-            Err(SkylineError::DimensionMismatch { expected: 2, got: 3 })
+            Err(SkylineError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            })
         );
     }
 

@@ -131,7 +131,11 @@ mod tests {
 
     #[test]
     fn indices_point_into_input() {
-        let db = vec![pt(10, &[1.0, 0.1]), pt(20, &[0.0, 1.0]), pt(30, &[0.9, 0.0])];
+        let db = vec![
+            pt(10, &[1.0, 0.1]),
+            pt(20, &[0.0, 1.0]),
+            pt(30, &[0.9, 0.0]),
+        ];
         let idx = skyline_indices(&db);
         assert_eq!(idx.len(), 2);
         for i in idx {

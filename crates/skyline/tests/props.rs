@@ -49,7 +49,7 @@ proptest! {
                 }
             }
         }
-        ds.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+        ds.check_invariants().map_err(TestCaseError::fail)?;
         let mut want: Vec<u64> = skyline_bnl(&live).iter().map(|p| p.id()).collect();
         let mut got: Vec<u64> = ds.skyline_points().iter().map(|p| p.id()).collect();
         want.sort_unstable();
@@ -72,7 +72,7 @@ proptest! {
         let mut ds = DynamicSkyline::new(pts).unwrap();
         for id in ids {
             ds.delete(id).unwrap();
-            ds.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            ds.check_invariants().map_err(TestCaseError::fail)?;
         }
         prop_assert!(ds.is_empty());
         prop_assert_eq!(ds.skyline_len(), 0);

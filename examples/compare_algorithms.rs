@@ -30,7 +30,10 @@ fn main() {
     );
 
     let est = RegretEstimator::new(d, 50_000, 17);
-    println!("{:<12} {:>6} {:>10} {:>9}", "algorithm", "|Q|", "time_ms", "mrr_1");
+    println!(
+        "{:<12} {:>6} {:>10} {:>9}",
+        "algorithm", "|Q|", "time_ms", "mrr_1"
+    );
 
     // FD-RMS (initialisation time reported; updates are its strong suit).
     let sw = krms::eval::Stopwatch::start();

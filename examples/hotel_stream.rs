@@ -36,8 +36,8 @@ fn main() {
         .seed(3)
         .build(hotels.clone())
         .expect("valid configuration");
-    let mut greedy = DynamicAdapter::new(Greedy, 1, SHORTLIST, hotels.clone())
-        .expect("valid initial database");
+    let mut greedy =
+        DynamicAdapter::new(Greedy, 1, SHORTLIST, hotels.clone()).expect("valid initial database");
 
     let est = RegretEstimator::new(D, 20_000, 55);
     let mut live = hotels;

@@ -25,7 +25,11 @@ fn main() {
 
     let est = RegretEstimator::new(4, 50_000, 123);
     let q0 = fd.result();
-    println!("initial result ({} tuples): {:?}", q0.len(), fd.result_ids());
+    println!(
+        "initial result ({} tuples): {:?}",
+        q0.len(),
+        fd.result_ids()
+    );
     println!("  mrr_1 = {:.4}", est.mrr(&points, &q0, 1));
 
     // 3. Stream updates: insert 500 new tuples, delete 500 old ones.

@@ -82,7 +82,9 @@ fn get<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("invalid --{key} value `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("invalid --{key} value `{v}`")),
     }
 }
 
@@ -91,8 +93,11 @@ fn load_points(flags: &HashMap<String, String>) -> Result<Vec<Point>, String> {
     krms::data::cache::load(Path::new(path)).ok_or(format!("cannot read dataset from {path}"))
 }
 
-fn static_algo(name: &str) -> Option<Box<dyn StaticRms>> {
-    Some(match name.to_ascii_lowercase().as_str() {
+fn static_algo(name: &str, d: usize) -> Result<Option<Box<dyn StaticRms>>, String> {
+    if name.eq_ignore_ascii_case("2d-sweep") && d != 2 {
+        return Err(format!("2D-Sweep requires d = 2 (dataset has d = {d})"));
+    }
+    Ok(Some(match name.to_ascii_lowercase().as_str() {
         "greedy" => Box::new(Greedy),
         "geogreedy" => Box::new(GeoGreedy),
         "greedy*" => Box::new(GreedyStar::default()),
@@ -102,8 +107,8 @@ fn static_algo(name: &str) -> Option<Box<dyn StaticRms>> {
         "hs" => Box::new(HittingSet::default()),
         "sphere" => Box::new(Sphere::default()),
         "2d-sweep" => Box::new(TwoDSweep::default()),
-        _ => return None,
-    })
+        _ => return Ok(None),
+    }))
 }
 
 fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -142,7 +147,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             .map_err(|e| e.to_string())?
             .result()
     } else {
-        let a = static_algo(algo).ok_or(format!("unknown algorithm {algo}"))?;
+        let a = static_algo(algo, d)?.ok_or(format!("unknown algorithm {algo}"))?;
         if !a.supports_k(k) {
             return Err(format!("{} does not support k = {k}", a.name()));
         }
@@ -151,7 +156,10 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let ms = sw.elapsed_ms();
     println!("algorithm : {algo}");
-    println!("result    : {:?}", q.iter().map(Point::id).collect::<Vec<_>>());
+    println!(
+        "result    : {:?}",
+        q.iter().map(Point::id).collect::<Vec<_>>()
+    );
     println!("|Q|       : {}", q.len());
     println!("time      : {ms:.2} ms");
     println!("mrr_{k}     : {:.5}", est.mrr(&points, &q, k));
@@ -208,7 +216,7 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| e.to_string())?,
         ))
     } else {
-        let a = static_algo(algo).ok_or(format!("unknown algorithm {algo}"))?;
+        let a = static_algo(algo, d)?.ok_or(format!("unknown algorithm {algo}"))?;
         Runner::Ad(Box::new(
             DynamicAdapter::new(BoxedStatic(a), k, r, w.initial.clone())
                 .map_err(|e| e.to_string())?,

@@ -190,8 +190,7 @@ fn k_regret_end_to_end() {
         // Apply a short burst of updates.
         let mut live = points.clone();
         for i in 0..60u64 {
-            let p = Point::new(10_000 + i, vec![0.3 + (i as f64 % 7.0) / 10.0, 0.5, 0.4])
-                .unwrap();
+            let p = Point::new(10_000 + i, vec![0.3 + (i as f64 % 7.0) / 10.0, 0.5, 0.4]).unwrap();
             live.push(p.clone());
             fd.insert(p).unwrap();
             live.retain(|q| q.id() != i);
@@ -199,7 +198,10 @@ fn k_regret_end_to_end() {
         }
         let mrr_k = est.mrr(&live, &fd.result(), k);
         let mrr_1 = est.mrr(&live, &fd.result(), 1);
-        assert!(mrr_k <= mrr_1 + 1e-9, "k={k}: mrr_k {mrr_k} > mrr_1 {mrr_1}");
+        assert!(
+            mrr_k <= mrr_1 + 1e-9,
+            "k={k}: mrr_k {mrr_k} > mrr_1 {mrr_1}"
+        );
         assert!(mrr_k < 0.3, "k={k}: mrr {mrr_k}");
     }
 }

@@ -1,0 +1,253 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace's benches use.
+//!
+//! The build environment has no crates-io access, so this crate keeps the
+//! bench targets compiling and gives them a serviceable runtime: when the
+//! binary is invoked with `--bench` (as `cargo bench` does), each
+//! registered benchmark runs a short warm-up followed by a bounded number
+//! of timed iterations and prints mean/min wall-clock times. Without
+//! `--bench` the benchmarks are listed but not executed, so accidentally
+//! running the bench binary (e.g. from a test sweep) stays cheap. There
+//! are no statistics, plots, or baselines — swap in the real `criterion`
+//! for those.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Upper bound on timed iterations per benchmark, keeping the stub's
+/// runtime predictable regardless of the configured sample size.
+const MAX_TIMED_ITERS: u64 = 20;
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    run: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let run = args.iter().any(|a| a == "--bench");
+        let filter = args.iter().rfind(|a| !a.starts_with("--")).cloned();
+        Self { run, filter }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (already done in
+    /// [`Criterion::default`]; kept for API compatibility).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, f);
+        self
+    }
+
+    fn should_run(&self, id: &str) -> bool {
+        if !self.run {
+            return false;
+        }
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    fn run_one<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.should_run(id) {
+            println!("benchmark {id}: skipped (pass --bench to run)");
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        report(id, &bencher.samples);
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("benchmark {id}: no samples recorded");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().expect("non-empty samples");
+    println!(
+        "benchmark {id}: mean {mean:?}, min {min:?} over {} iterations",
+        samples.len()
+    );
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility; the
+    /// stub caps iterations at a small constant).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up duration (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement duration (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Registers a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    /// Registers a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        self.criterion.run_one(&full, |b| f(b));
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier, possibly carrying a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    /// An id made of a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Conversion into [`BenchmarkId`] for `bench_function`'s flexible
+/// argument.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Inputs are cheap to hold; batch many per allocation.
+    SmallInput,
+    /// Inputs are large; batch few.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times closures for a single benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` over a bounded number of iterations.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine()); // warm-up, untimed
+        for _ in 0..MAX_TIMED_ITERS {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; only the routine
+    /// is timed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        for _ in 0..MAX_TIMED_ITERS {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

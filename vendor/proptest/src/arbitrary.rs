@@ -1,0 +1,66 @@
+//! The [`Arbitrary`] trait and [`any`] entry point.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Returns the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A` (e.g. `any::<bool>()`).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Canonical strategy for `bool`: a fair coin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! any_full_range {
+    ($($name:ident => $t:ty),*) => {$(
+        /// Canonical strategy for the corresponding integer type:
+        /// uniform over the full domain.
+        #[derive(Debug, Clone, Copy, Default)]
+        pub struct $name;
+
+        impl Strategy for $name {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = $name;
+
+            fn arbitrary() -> $name {
+                $name
+            }
+        }
+    )*};
+}
+
+any_full_range!(AnyU8 => u8, AnyU16 => u16, AnyU32 => u32, AnyU64 => u64, AnyUsize => usize, AnyI32 => i32, AnyI64 => i64);

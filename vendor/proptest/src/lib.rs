@@ -1,0 +1,211 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! The build environment has no crates-io access, so the workspace vendors
+//! a minimal property-testing runner that is source-compatible with the
+//! `proptest` idioms appearing in the test suites:
+//!
+//! * the [`proptest!`] macro (with an optional
+//!   `#![proptest_config(...)]` header) generating one `#[test]` per
+//!   property,
+//! * [`Strategy`](strategy::Strategy) with `prop_map`, range strategies,
+//!   tuple strategies, [`collection::vec`], [`prop_oneof!`] (weighted and
+//!   unweighted), and [`any`](arbitrary::any),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`].
+//!
+//! Differences from the real crate: inputs are drawn from a
+//! deterministic per-test RNG (seeded from the test name, so runs are
+//! reproducible), and failing cases are reported but **not shrunk**. The
+//! `PROPTEST_CASES` environment variable *caps* the per-test case count so
+//! CI can bound runtime.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Per-property configuration, selected with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// The effective case count: the configured value, capped by the
+/// `PROPTEST_CASES` environment variable when it is set (never below 1).
+pub fn resolved_cases(cfg: &ProptestConfig) -> u32 {
+    let configured = cfg.cases.max(1);
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(cap) => configured.min(cap.max(1)),
+        None => configured,
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; the runner resamples.
+    Reject,
+    /// A [`prop_assert!`]-style assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant (used by the assertion macros).
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+/// Defines property tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let cases = $crate::resolved_cases(&cfg);
+            let mut rng = $crate::test_runner::new_rng(stringify!($name));
+            let strats = ($($strat,)+);
+            let mut executed: u32 = 0;
+            let mut attempts: u32 = 0;
+            let max_attempts = cases.saturating_mul(16).saturating_add(64);
+            while executed < cases {
+                assert!(
+                    attempts < max_attempts,
+                    "proptest '{}': too many rejected cases ({} attempts for {} cases)",
+                    stringify!($name),
+                    attempts,
+                    cases,
+                );
+                attempts += 1;
+                let ($($arg,)+) =
+                    $crate::strategy::Strategy::generate(&strats, &mut rng);
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => executed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest '{}' failed at case #{}: {}",
+                            stringify!($name),
+                            executed,
+                            msg,
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case
+/// (without panicking the whole process) when it does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)+);
+    }};
+}
+
+/// Rejects the current case unless the condition holds; the runner draws
+/// a replacement sample.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, ::std::boxed::Box::new($strat) as _)),+
+        ])
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, ProptestConfig,
+        TestCaseError,
+    };
+
+    pub mod prop {
+        //! Mirrors `proptest::prelude::prop`: module shorthands.
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}

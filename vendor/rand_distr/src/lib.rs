@@ -1,0 +1,40 @@
+//! Offline stand-in for the subset of `rand_distr` 0.4 this workspace
+//! uses: the [`StandardNormal`] distribution (via Box–Muller) plus a
+//! re-export of the [`Distribution`] trait.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+
+/// The standard normal distribution `N(0, 1)`.
+///
+/// Sampled with the Box–Muller transform: statistically exact, though the
+/// stream differs from upstream `rand_distr`'s ziggurat sampler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u1 in (0, 1] so the logarithm is finite; u2 in [0, 1).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| StandardNormal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        assert!(samples.iter().all(|x| x.is_finite()));
+    }
+}

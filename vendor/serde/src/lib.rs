@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` trait surface this workspace uses.
+//!
+//! No code in the workspace actually serializes anything yet (there is no
+//! `serde_json` dependency); types only need to *implement* the
+//! [`Serialize`] / [`Deserialize`] traits so that downstream crates can
+//! rely on the bounds. The traits are therefore markers, and the paired
+//! `serde_derive` stub emits empty impls. Swapping in the real `serde`
+//! later requires no source changes in the workspace crates.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    bool, char, f32, f64, i8, i16, i32, i64, i128, isize, u8, u16, u32, u64, u128, usize, String
+);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<[T]> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}

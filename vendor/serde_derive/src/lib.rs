@@ -1,0 +1,47 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate's `Serialize` / `Deserialize` are marker
+//! traits, so the derives only need to emit empty impls. The input is
+//! parsed with `proc_macro` alone (no `syn`/`quote` available offline):
+//! we scan for the `struct`/`enum`/`union` keyword and take the following
+//! identifier as the type name. Generic types are not supported — every
+//! type deriving these traits in the workspace is concrete.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive macro was applied to.
+fn type_name(input: TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tree in input {
+        // Attribute contents and bodies arrive as groups; only top-level
+        // identifiers matter.
+        if let TokenTree::Ident(ident) = tree {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a type name in the derive input");
+}
+
+/// Derives the marker impl for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
+
+/// Derives the marker impl for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde_derive stub: generated impl must parse")
+}
