@@ -1,0 +1,122 @@
+//! Batched vs sequential update throughput across batch sizes.
+//!
+//! Each iteration drains one batch of steady-state churn (half inserts of
+//! fresh tuples, half deletions of the oldest live tuples, database size
+//! constant) either through `FdRms::apply_batch` or through the classic
+//! per-operation loop. The interesting read is the *ratio* between the
+//! two disciplines at each batch size: the batched path recomputes every
+//! affected utility once against the final database and shards that work
+//! across threads, while the sequential path pays per-op recomputation
+//! and stabilisation.
+//!
+//! Set `KRMS_BENCH_SMOKE=1` (as CI does) to run a tiny configuration
+//! that just proves the bench binary still works.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use fdrms::{FdRms, Op};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rms_data::generators;
+use rms_geom::{Point, PointId};
+use std::collections::VecDeque;
+
+fn smoke() -> bool {
+    std::env::var_os("KRMS_BENCH_SMOKE").is_some()
+}
+
+/// Steady-state churn state: a maintained FD-RMS instance plus the queue
+/// of live ids, oldest first.
+struct Churn {
+    fd: FdRms,
+    live: VecDeque<PointId>,
+    next: PointId,
+    rng: StdRng,
+    d: usize,
+}
+
+impl Churn {
+    fn new(seed: u64, n: usize, d: usize, k: usize, r: usize, eps: f64, max_m: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = generators::independent(&mut rng, n, d);
+        let live: VecDeque<PointId> = points.iter().map(Point::id).collect();
+        let fd = FdRms::builder(d)
+            .k(k)
+            .r(r)
+            .epsilon(eps)
+            .max_utilities(max_m)
+            .seed(seed)
+            .build(points)
+            .expect("valid bench configuration");
+        Self {
+            fd,
+            live,
+            next: 1_000_000,
+            rng,
+            d,
+        }
+    }
+
+    /// One batch of `size` ops: alternating fresh inserts and deletions
+    /// of the oldest live tuples.
+    fn make_ops(&mut self, size: usize) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(size);
+        for i in 0..size {
+            if i % 2 == 0 {
+                let p =
+                    Point::new_unchecked(self.next, (0..self.d).map(|_| self.rng.gen()).collect());
+                self.live.push_back(self.next);
+                self.next += 1;
+                ops.push(Op::Insert(p));
+            } else {
+                let victim = self.live.pop_front().expect("database never drains");
+                ops.push(Op::Delete(victim));
+            }
+        }
+        ops
+    }
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    // Maintenance-heavy configuration (deep k, wide ε-band, large r) —
+    // the regime the batch engine targets; see `src/bin/batch.rs` for
+    // the full sweep including the feather-weight end.
+    let (n, k, r, eps, max_m, sizes): (usize, usize, usize, f64, usize, &[usize]) = if smoke() {
+        (400, 2, 10, 0.05, 256, &[2, 32])
+    } else {
+        (5_000, 3, 50, 0.05, 1 << 11, &[16, 64, 256, 1_000])
+    };
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &size in sizes {
+        group.bench_with_input(BenchmarkId::new("batched", size), &size, |b, &size| {
+            let mut ch = Churn::new(1, n, 6, k, r, eps, max_m);
+            b.iter(|| {
+                let ops = ch.make_ops(size);
+                black_box(
+                    ch.fd
+                        .apply_batch(ops)
+                        .expect("churn ops are valid")
+                        .affected_utilities,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sequential", size), &size, |b, &size| {
+            let mut ch = Churn::new(1, n, 6, k, r, eps, max_m);
+            b.iter(|| {
+                for op in ch.make_ops(size) {
+                    match op {
+                        Op::Insert(p) => ch.fd.insert(p).expect("fresh id"),
+                        Op::Delete(id) => ch.fd.delete(id).expect("live id"),
+                        Op::Update(p) => ch.fd.update(p).expect("live id"),
+                    }
+                }
+                black_box(ch.fd.m())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Batched vs sequential maintenance throughput (the batch update
+//! engine's headline experiment).
+//!
+//! Runs one mixed insert/delete/update stream over an independent dataset
+//! through FD-RMS twice per batch size: once as the classic per-operation
+//! loop, once chunked through `FdRms::apply_batch`. Reports wall-clock,
+//! throughput, and the speedup over the sequential discipline, plus the
+//! final result quality of every run (they must all sit in the same mrr
+//! regime — batching trades no quality for speed).
+//!
+//! ```sh
+//! cargo run --release -p rms-bench --bin batch -- \
+//!     [--n N] [--d D] [--r R] [--ops N] [--eps E] [--max-m M] [--threads T]
+//! ```
+
+use rand::{rngs::StdRng, SeedableRng};
+use rms_data::{generators, mixed_workload, MixedConfig, Operation};
+use rms_eval::{RegretEstimator, Stopwatch};
+
+fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// Mirrors `krms::engine_ops` (the facade's canonical bridge); duplicated
+// here because rms-bench sits below the facade in the crate graph. Keep
+// the two in sync when `Operation` grows variants.
+fn engine_ops(ops: &[Operation]) -> Vec<fdrms::Op> {
+    ops.iter()
+        .map(|op| match op {
+            Operation::Insert(p) => fdrms::Op::Insert(p.clone()),
+            Operation::Delete(id) => fdrms::Op::Delete(*id),
+            Operation::Update(p) => fdrms::Op::Update(p.clone()),
+        })
+        .collect()
+}
+
+fn main() {
+    // Defaults sit in the maintenance-heavy regime (deep k, wide ε-band,
+    // large r) where per-op maintenance dominates — the regime the batch
+    // engine targets. At feather-weight settings (k=1, tiny ε) both
+    // disciplines are bounded by the shared cone-probe cost and batching
+    // only breaks even; pass --k 1 --eps 0.02 --n 20000 to see that end.
+    let n: usize = flag("--n", 5_000);
+    let d: usize = flag("--d", 6);
+    let k: usize = flag("--k", 3);
+    let r: usize = flag("--r", 50);
+    let ops: usize = flag("--ops", 4_000);
+    let eps: f64 = flag("--eps", 0.05);
+    let max_m: usize = flag("--max-m", 1 << 12);
+    let threads: usize = flag(
+        "--threads",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    );
+    println!("batch engine throughput — n={n}, d={d}, k={k}, r={r}, ops={ops}, eps={eps}, max_m={max_m}, threads={threads}");
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let points = generators::independent(&mut rng, n, d);
+    let cfg = MixedConfig {
+        ops,
+        ..MixedConfig::default()
+    };
+    let workload = mixed_workload(&mut rng, points, cfg);
+    let live = workload.final_state();
+    let est = RegretEstimator::new(d, 10_000, 0xBA7C);
+    let build = || {
+        fdrms::FdRms::builder(d)
+            .k(k)
+            .r(r)
+            .epsilon(eps)
+            .max_utilities(max_m)
+            .seed(7)
+            .batch_threads(threads)
+            .build(workload.initial.clone())
+            .expect("valid configuration")
+    };
+
+    println!("\ndiscipline   batch   total_ms    ops_per_s   speedup   mrr_1");
+    // Sequential baseline: the classic per-op loop.
+    let mut fd = build();
+    let sw = Stopwatch::start();
+    for op in &workload.operations {
+        match op {
+            Operation::Insert(p) => fd.insert(p.clone()).expect("fresh id"),
+            Operation::Delete(id) => fd.delete(*id).expect("live id"),
+            Operation::Update(p) => fd.update(p.clone()).expect("live id"),
+        }
+    }
+    let seq_ms = sw.elapsed_ms();
+    let seq_stats = fd.stats();
+    let total_ops = workload.operations.len() as f64;
+    println!(
+        "sequential   {:>5}   {:>8.1}   {:>10.0}   {:>6.2}x   {:.4}",
+        1,
+        seq_ms,
+        total_ops * 1_000.0 / seq_ms,
+        1.0,
+        est.mrr(&live, &fd.result(), 1)
+    );
+    eprintln!(
+        "  [sequential: affected={}, requeries={}, stabilize_moves={}]",
+        seq_stats.affected_utilities,
+        seq_stats.topk_requeries,
+        fd.stabilize_moves()
+    );
+
+    for batch in [10usize, 100, 1_000] {
+        if batch > workload.operations.len() {
+            break;
+        }
+        let mut fd = build();
+        let mut affected = 0usize;
+        let mut requeried = 0usize;
+        let sw = Stopwatch::start();
+        for chunk in workload.batches(batch) {
+            let rep = fd
+                .apply_batch(engine_ops(chunk))
+                .expect("workload ops are valid");
+            affected += rep.affected_utilities;
+            requeried += rep.requeried_utilities;
+        }
+        let ms = sw.elapsed_ms();
+        println!(
+            "batched      {:>5}   {:>8.1}   {:>10.0}   {:>6.2}x   {:.4}",
+            batch,
+            ms,
+            total_ops * 1_000.0 / ms,
+            seq_ms / ms,
+            est.mrr(&live, &fd.result(), 1)
+        );
+        eprintln!(
+            "  [batched {batch}: affected={affected}, requeries={requeried}, stabilize_moves={}]",
+            fd.stabilize_moves()
+        );
+    }
+}

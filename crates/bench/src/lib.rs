@@ -276,6 +276,12 @@ fn run_fdrms(
                 live.retain(|q| q.id() != *id);
                 timer.record(|| fd.delete(*id).expect("workload deletes live ids"));
             }
+            Operation::Update(p) => {
+                if let Some(slot) = live.iter_mut().find(|q| q.id() == p.id()) {
+                    *slot = p.clone();
+                }
+                timer.record(|| fd.update(p.clone()).expect("workload updates live ids"));
+            }
         }
         if next_cp < workload.checkpoints.len() && workload.checkpoints[next_cp] == i {
             mrrs.push(est.mrr(&live, &fd.result(), cell.k));
@@ -308,6 +314,13 @@ fn run_static(
             Operation::Delete(id) => {
                 live.retain(|q| q.id() != *id);
                 ad.delete_lazy(*id).expect("live ids")
+            }
+            Operation::Update(p) => {
+                if let Some(slot) = live.iter_mut().find(|q| q.id() == p.id()) {
+                    *slot = p.clone();
+                }
+                let del = ad.delete_lazy(p.id()).expect("live ids");
+                ad.insert_lazy(p.clone()).expect("id just freed") || del
             }
         };
         if needs {

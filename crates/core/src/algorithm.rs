@@ -15,9 +15,9 @@ use std::collections::{BTreeSet, HashMap};
 /// ε-approximate result `Φ_{k,ε}`; while fewer than `k` tuples exist the
 /// threshold is 0 and `Φ` is the whole database.
 #[derive(Debug, Clone, Default)]
-struct TopKState {
-    exact: Vec<RankedPoint>,
-    tau: f64,
+pub(crate) struct TopKState {
+    pub(crate) exact: Vec<RankedPoint>,
+    pub(crate) tau: f64,
 }
 
 impl TopKState {
@@ -32,7 +32,7 @@ impl TopKState {
 
 /// Descending-score, ascending-id ordering used by the exact top-k lists.
 #[inline]
-fn rank_before(a_score: f64, a_id: PointId, b: &RankedPoint) -> bool {
+pub(crate) fn rank_before(a_score: f64, a_id: PointId, b: &RankedPoint) -> bool {
     match a_score.partial_cmp(&b.score).expect("finite scores") {
         std::cmp::Ordering::Greater => true,
         std::cmp::Ordering::Less => false,
@@ -41,35 +41,48 @@ fn rank_before(a_score: f64, a_id: PointId, b: &RankedPoint) -> bool {
 }
 
 /// Fully dynamic k-RMS maintenance (see the crate docs for the scheme).
+///
+/// Single-tuple mutations ([`FdRms::insert`], [`FdRms::delete`],
+/// [`FdRms::update`]) are routed through the batch update engine in
+/// [`crate::engine`] as one-operation batches; multi-operation batches go
+/// through [`FdRms::apply_batch`], which shards the affected utility
+/// recomputation across threads and defers set-cover stabilisation to one
+/// pass per batch.
 #[derive(Debug)]
 pub struct FdRms {
-    d: usize,
-    k: usize,
-    r: usize,
-    eps: f64,
+    pub(crate) d: usize,
+    pub(crate) k: usize,
+    pub(crate) r: usize,
+    pub(crate) eps: f64,
     /// Upper bound `M` on the universe size.
-    cap_m: usize,
+    pub(crate) cap_m: usize,
     /// Current number of utility vectors in the set-cover universe.
-    m: usize,
-    utilities: Vec<Utility>,
-    topk: Vec<TopKState>,
-    kd: KdTree,
-    cone: ConeTree,
-    cover: DynamicSetCover,
-    points: HashMap<PointId, Point>,
+    pub(crate) m: usize,
+    pub(crate) utilities: Vec<Utility>,
+    pub(crate) topk: Vec<TopKState>,
+    pub(crate) kd: KdTree,
+    pub(crate) cone: ConeTree,
+    pub(crate) cover: DynamicSetCover,
+    pub(crate) points: HashMap<PointId, Point>,
     /// Universe indices `< m` that were dropped as uncoverable (only
     /// possible while the database is empty); re-admitted on insertion.
-    pending: BTreeSet<ElemId>,
+    pub(crate) pending: BTreeSet<ElemId>,
     /// Operation counter (diagnostics).
-    ops: u64,
+    pub(crate) ops: u64,
     /// Per-structure instrumentation.
-    stats: UpdateStats,
+    pub(crate) stats: UpdateStats,
+    /// Worker-thread budget for [`FdRms::apply_batch`] shard recomputes.
+    pub(crate) batch_threads: usize,
 }
 
 /// Cumulative instrumentation counters exposed for the ablation benches
 /// and for production observability.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct UpdateStats {
+    /// Multi-operation batches applied through the engine's batched path
+    /// (single-operation batches are routed to the classic per-op path
+    /// and do not count).
+    pub batches: u64,
     /// Total utility vectors whose top-k result changed (`Σ u(Δ_t)` in the
     /// paper's complexity analysis).
     pub affected_utilities: u64,
@@ -122,6 +135,11 @@ impl FdRms {
             pending: BTreeSet::new(),
             ops: 0,
             stats: UpdateStats::default(),
+            batch_threads: cfg.batch_threads.unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+            }),
         };
 
         // Compute Φ_{k,ε}(u_i, P0) for every i ∈ [1, M] and build the full
@@ -267,20 +285,33 @@ impl FdRms {
 
     /// Replaces the attributes of a live tuple: the paper models an
     /// update as a deletion followed by an insertion (Section II-B), and
-    /// so does this method. The tuple keeps its id.
+    /// so does this method. The tuple keeps its id. When the new
+    /// attributes equal the stored tuple's, the call short-circuits to a
+    /// no-op instead of paying the delete+insert cycle.
     pub fn update(&mut self, p: Point) -> Result<(), FdRmsError> {
-        if !self.points.contains_key(&p.id()) {
+        self.apply_batch(vec![crate::engine::Op::Update(p)])
+            .map(|_| ())
+    }
+
+    /// The classic single-tuple update path (delete + insert), with the
+    /// equal-attributes short-circuit. Returns `false` when the update was
+    /// a no-op.
+    pub(crate) fn update_one(&mut self, p: Point) -> Result<bool, FdRmsError> {
+        let Some(stored) = self.points.get(&p.id()) else {
             return Err(FdRmsError::UnknownId(p.id()));
-        }
+        };
         if p.dim() != self.d {
             return Err(FdRmsError::DimensionMismatch {
                 expected: self.d,
                 got: p.dim(),
             });
         }
-        self.delete(p.id()).expect("checked live above");
-        self.insert(p).expect("id just freed");
-        Ok(())
+        if stored.coords() == p.coords() {
+            return Ok(false);
+        }
+        self.delete_one(p.id()).expect("checked live above");
+        self.insert_one(p).expect("id just freed");
+        Ok(true)
     }
 
     /// Solves the **min-size** variant referenced in the related work
@@ -311,6 +342,12 @@ impl FdRms {
 
     /// Applies `Δ_t = 〈p, +〉` and re-balances the result to size `r`.
     pub fn insert(&mut self, p: Point) -> Result<(), FdRmsError> {
+        self.apply_batch(vec![crate::engine::Op::Insert(p)])
+            .map(|_| ())
+    }
+
+    /// The classic single-insert path (Algorithm 3, insertion).
+    pub(crate) fn insert_one(&mut self, p: Point) -> Result<(), FdRmsError> {
         if p.dim() != self.d {
             return Err(FdRmsError::DimensionMismatch {
                 expected: self.d,
@@ -399,6 +436,12 @@ impl FdRms {
 
     /// Applies `Δ_t = 〈p, −〉` and re-balances the result to size `r`.
     pub fn delete(&mut self, pid: PointId) -> Result<(), FdRmsError> {
+        self.apply_batch(vec![crate::engine::Op::Delete(pid)])
+            .map(|_| ())
+    }
+
+    /// The classic single-delete path (Algorithm 3, deletion).
+    pub(crate) fn delete_one(&mut self, pid: PointId) -> Result<(), FdRmsError> {
         let Some(_p) = self.points.remove(&pid) else {
             return Err(FdRmsError::UnknownId(pid));
         };
@@ -471,7 +514,7 @@ impl FdRms {
 
     /// Grows or shrinks the universe one utility vector at a time until
     /// the cover size returns to `r` (or the bounds `r ≤ m ≤ M` bind).
-    fn update_m(&mut self) {
+    pub(crate) fn update_m(&mut self) {
         if self.points.is_empty() {
             return;
         }
@@ -513,7 +556,7 @@ impl FdRms {
     }
 
     /// Re-admits pending universe elements whose coverage returned.
-    fn readmit_pending(&mut self) {
+    pub(crate) fn readmit_pending(&mut self) {
         if self.pending.is_empty() {
             return;
         }

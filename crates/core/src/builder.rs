@@ -48,6 +48,7 @@ pub struct FdRmsBuilder {
     pub(crate) max_utilities: usize,
     pub(crate) seed: u64,
     pub(crate) level_base: LevelBase,
+    pub(crate) batch_threads: Option<usize>,
 }
 
 impl FdRmsBuilder {
@@ -60,6 +61,7 @@ impl FdRmsBuilder {
             max_utilities: 1 << 12,
             seed: 42,
             level_base: LevelBase::TWO,
+            batch_threads: None,
         }
     }
 
@@ -103,6 +105,14 @@ impl FdRmsBuilder {
         self
     }
 
+    /// Worker-thread budget for the batch update engine's sharded top-k
+    /// recomputation ([`FdRms::apply_batch`]). Defaults to the machine's
+    /// available parallelism; `1` forces fully sequential batches.
+    pub fn batch_threads(mut self, threads: usize) -> Self {
+        self.batch_threads = Some(threads);
+        self
+    }
+
     /// Validates the configuration and runs Algorithm 2 (INITIALIZATION)
     /// on `initial`.
     pub fn build(self, initial: Vec<Point>) -> Result<FdRms, FdRmsError> {
@@ -123,6 +133,11 @@ impl FdRmsBuilder {
                 "epsilon = {} must lie in (0, 1)",
                 self.epsilon
             )));
+        }
+        if self.batch_threads == Some(0) {
+            return Err(FdRmsError::InvalidParameter(
+                "batch_threads must be positive".into(),
+            ));
         }
         if self.max_utilities <= self.r {
             return Err(FdRmsError::InvalidParameter(format!(

@@ -55,6 +55,8 @@
 
 mod algorithm;
 mod builder;
+pub mod engine;
 
 pub use algorithm::{FdRms, UpdateStats};
 pub use builder::{FdRmsBuilder, FdRmsError};
+pub use engine::{BatchReport, Op};

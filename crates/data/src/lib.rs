@@ -23,4 +23,6 @@ pub mod workload;
 
 pub use catalog::{dataset_by_name, DatasetSpec, NamedDataset};
 pub use generators::{anticorrelated, correlated, independent};
-pub use workload::{paper_workload, Operation, Workload, WorkloadConfig};
+pub use workload::{
+    mixed_workload, paper_workload, MixedConfig, Operation, Workload, WorkloadConfig,
+};

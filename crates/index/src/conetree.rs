@@ -257,6 +257,36 @@ impl ConeTree {
         }
     }
 
+    /// Sets many thresholds at once and repairs every subtree minimum in a
+    /// single bottom-up sweep (`O(M)` instead of one root path per
+    /// update). Used by the batch update engine, which rewrites the
+    /// thresholds of every affected utility once per batch.
+    pub fn set_thresholds(&mut self, updates: impl IntoIterator<Item = (usize, f64)>) {
+        let mut any = false;
+        for (idx, tau) in updates {
+            self.thresholds[idx] = tau;
+            any = true;
+        }
+        if !any {
+            return;
+        }
+        // Children always carry larger node indices than their parent
+        // (internal nodes are pushed as placeholders before recursing), so
+        // one reverse pass recomputes every minimum bottom-up.
+        for n in (0..self.nodes.len()).rev() {
+            let new_min = match &self.nodes[n] {
+                Node::Leaf { members, .. } => members
+                    .iter()
+                    .map(|&m| self.thresholds[m])
+                    .fold(f64::INFINITY, f64::min),
+                Node::Internal { left, right, .. } => self.nodes[*left]
+                    .min_threshold()
+                    .min(self.nodes[*right].min_threshold()),
+            };
+            self.nodes[n].set_min_threshold(new_min);
+        }
+    }
+
     /// Upper bound of `⟨u, p⟩` over a cone with the given centre and cos
     /// half-angle.
     fn cone_bound(center: &[f64], cos_half: f64, p: &Point, p_norm: f64) -> f64 {
@@ -324,6 +354,146 @@ impl ConeTree {
         out
     }
 
+    /// The union of [`ConeTree::affected_by`] over a batch of tuples, in
+    /// one traversal: a subtree is pruned only when *no* tuple in the
+    /// batch can reach its minimum threshold, so shared cones are visited
+    /// once instead of once per tuple. Returns sorted, deduplicated
+    /// utility indices.
+    pub fn affected_by_batch<'a, I>(&self, points: I) -> Vec<usize>
+    where
+        I: IntoIterator<Item = &'a Point>,
+    {
+        self.affected_hits_batch(points)
+            .into_iter()
+            .map(|(m, _)| m)
+            .collect()
+    }
+
+    /// Like [`ConeTree::affected_by_batch`], but reports *which* tuples
+    /// reach each utility's threshold: for every affected utility index
+    /// `m` (ascending), the indices (into the input order) of the tuples
+    /// with `⟨u_m, p⟩ ≥ τ_m`, via one joint traversal.
+    ///
+    /// The joint traversal only wins when the tuples are tightly
+    /// clustered (shared cones get visited once); for spread-out batches
+    /// prefer [`ConeTree::affected_hits_many`] — the per-tuple variant
+    /// the batch update engine uses — whose pruning stays per-tuple
+    /// tight.
+    pub fn affected_hits_batch<'a, I>(&self, points: I) -> Vec<(usize, Vec<usize>)>
+    where
+        I: IntoIterator<Item = &'a Point>,
+    {
+        let pts: Vec<(&Point, f64)> = points.into_iter().map(|p| (p, p.norm())).collect();
+        let mut out = Vec::new();
+        if pts.is_empty() {
+            return out;
+        }
+        let mut stack = vec![self.root];
+        while let Some(n) = stack.pop() {
+            match &self.nodes[n] {
+                Node::Internal {
+                    center,
+                    cos_half_angle,
+                    min_threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    if pts.iter().any(|&(p, norm)| {
+                        Self::cone_bound(center, *cos_half_angle, p, norm) >= *min_threshold
+                    }) {
+                        stack.push(*left);
+                        stack.push(*right);
+                    }
+                }
+                Node::Leaf {
+                    center,
+                    cos_half_angle,
+                    min_threshold,
+                    members,
+                    ..
+                } => {
+                    if pts.iter().all(|&(p, norm)| {
+                        Self::cone_bound(center, *cos_half_angle, p, norm) < *min_threshold
+                    }) {
+                        continue;
+                    }
+                    for &m in members {
+                        let hits: Vec<usize> = pts
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, (p, _))| self.utilities[m].score(p) >= self.thresholds[m])
+                            .map(|(i, _)| i)
+                            .collect();
+                        if !hits.is_empty() {
+                            out.push((m, hits));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(m, _)| m);
+        out
+    }
+
+    /// Per-utility hit lists for a batch of tuples, via one *individually
+    /// pruned* traversal per tuple (sharing the traversal stack): for
+    /// every utility some tuple reaches, the indices (into the input
+    /// order) of the tuples with `⟨u_m, p⟩ ≥ τ_m`, keyed by ascending
+    /// utility index.
+    ///
+    /// Prefer this over [`ConeTree::affected_hits_batch`] when the tuples
+    /// are spread out: a joint traversal can only prune a cone that *no*
+    /// tuple reaches, so diverse batches degrade it towards a full scan,
+    /// while per-tuple traversals keep the threshold pruning intact.
+    pub fn affected_hits_many<'a, I>(&self, points: I) -> Vec<(usize, Vec<usize>)>
+    where
+        I: IntoIterator<Item = &'a Point>,
+    {
+        let mut hits: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        let mut stack = Vec::new();
+        for (pi, p) in points.into_iter().enumerate() {
+            let p_norm = p.norm();
+            stack.clear();
+            stack.push(self.root);
+            while let Some(n) = stack.pop() {
+                match &self.nodes[n] {
+                    Node::Internal {
+                        center,
+                        cos_half_angle,
+                        min_threshold,
+                        left,
+                        right,
+                        ..
+                    } => {
+                        if Self::cone_bound(center, *cos_half_angle, p, p_norm) >= *min_threshold {
+                            stack.push(*left);
+                            stack.push(*right);
+                        }
+                    }
+                    Node::Leaf {
+                        center,
+                        cos_half_angle,
+                        min_threshold,
+                        members,
+                        ..
+                    } => {
+                        if Self::cone_bound(center, *cos_half_angle, p, p_norm) < *min_threshold {
+                            continue;
+                        }
+                        for &m in members {
+                            if self.utilities[m].score(p) >= self.thresholds[m] {
+                                hits.entry(m).or_default().push(pi);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        hits.into_iter().collect()
+    }
+
     /// Brute-force reference for [`ConeTree::affected_by`]; public for the
     /// ablation bench and tests.
     pub fn affected_by_scan(&self, p: &Point) -> Vec<usize> {
@@ -370,6 +540,61 @@ mod tests {
                 assert_eq!(tree.affected_by(&p), tree.affected_by_scan(&p));
             }
         }
+    }
+
+    #[test]
+    fn batch_affected_matches_union_of_singles() {
+        let (tree, mut rng) = tree_with_thresholds(11, 4, 300);
+        for batch_size in [1usize, 2, 7, 20] {
+            let pts: Vec<Point> = (0..batch_size)
+                .map(|i| Point::new_unchecked(i as u64, (0..4).map(|_| rng.gen()).collect()))
+                .collect();
+            let mut want: Vec<usize> = pts.iter().flat_map(|p| tree.affected_by(p)).collect();
+            want.sort_unstable();
+            want.dedup();
+            assert_eq!(
+                tree.affected_by_batch(pts.iter()),
+                want,
+                "size {batch_size}"
+            );
+            // The per-point traversal variant agrees exactly, per utility.
+            let many = tree.affected_hits_many(pts.iter());
+            assert_eq!(many.iter().map(|(m, _)| *m).collect::<Vec<_>>(), want);
+            for (m, hit_idxs) in many {
+                let from_singles: Vec<usize> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| tree.affected_by(p).contains(&m))
+                    .map(|(i, _)| i)
+                    .collect();
+                assert_eq!(hit_idxs, from_singles, "utility {m}");
+            }
+        }
+        assert!(tree.affected_by_batch(std::iter::empty()).is_empty());
+        assert!(tree.affected_hits_many(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn bulk_thresholds_match_incremental() {
+        let (mut bulk, mut rng) = tree_with_thresholds(12, 3, 200);
+        let mut incr = bulk.clone();
+        let updates: Vec<(usize, f64)> = (0..80)
+            .map(|_| (rng.gen_range(0..200), rng.gen_range(0.1..1.4)))
+            .collect();
+        for &(i, tau) in &updates {
+            incr.set_threshold(i, tau);
+        }
+        bulk.set_thresholds(updates.iter().copied());
+        for _ in 0..30 {
+            let p = Point::new_unchecked(0, (0..3).map(|_| rng.gen()).collect());
+            assert_eq!(bulk.affected_by(&p), incr.affected_by(&p));
+            assert_eq!(bulk.affected_by(&p), bulk.affected_by_scan(&p));
+        }
+        // Empty update set is a no-op.
+        let before: Vec<f64> = (0..bulk.len()).map(|i| bulk.threshold(i)).collect();
+        bulk.set_thresholds(std::iter::empty());
+        let after: Vec<f64> = (0..bulk.len()).map(|i| bulk.threshold(i)).collect();
+        assert_eq!(before, after);
     }
 
     #[test]

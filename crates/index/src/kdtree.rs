@@ -395,18 +395,49 @@ impl KdTree {
     /// descending score order with the workspace tie-breaking (id
     /// ascending).
     pub fn top_k(&self, u: &Utility, k: usize) -> Vec<RankedPoint> {
-        if k == 0 || self.len == 0 {
-            return Vec::new();
+        let mut frontier = std::collections::BinaryHeap::new();
+        let mut best = Vec::with_capacity(k + 1);
+        self.top_k_into(u, k, &mut frontier, &mut best);
+        best
+    }
+
+    /// Exact top-k for a whole batch of utilities, amortising the
+    /// branch-and-bound frontier allocation across queries. Results are
+    /// in input order. Bulk counterpart of [`KdTree::top_k`]; callers
+    /// that also need the ε-band membership (the batch update engine's
+    /// requery path) use [`KdTree::top_k_approx_many`] instead.
+    pub fn top_k_many<'a, I>(&self, utilities: I, k: usize) -> Vec<Vec<RankedPoint>>
+    where
+        I: IntoIterator<Item = &'a Utility>,
+    {
+        let mut frontier = std::collections::BinaryHeap::new();
+        let mut out = Vec::new();
+        for u in utilities {
+            let mut best = Vec::with_capacity(k + 1);
+            self.top_k_into(u, k, &mut frontier, &mut best);
+            out.push(best);
         }
-        // Max-heap over node upper bounds.
-        let mut frontier: std::collections::BinaryHeap<HeapEntry> =
-            std::collections::BinaryHeap::new();
+        out
+    }
+
+    /// [`KdTree::top_k`] writing into caller-provided buffers so repeated
+    /// queries (the bulk paths) skip per-query allocation.
+    fn top_k_into(
+        &self,
+        u: &Utility,
+        k: usize,
+        frontier: &mut std::collections::BinaryHeap<HeapEntry>,
+        best: &mut Vec<RankedPoint>,
+    ) {
+        frontier.clear();
+        best.clear();
+        if k == 0 || self.len == 0 {
+            return;
+        }
         frontier.push(HeapEntry {
             bound: self.node_bound(self.root, u),
             node: self.root,
         });
-        // Current k best (score, id); `worst` tracks the kth best.
-        let mut best: Vec<RankedPoint> = Vec::with_capacity(k + 1);
         while let Some(HeapEntry { bound, node }) = frontier.pop() {
             if best.len() == k {
                 let kth = &best[k - 1];
@@ -455,16 +486,31 @@ impl KdTree {
                 }
             }
         }
-        best
     }
 
     /// All points with score `≥ threshold`, in descending score order.
     pub fn above_threshold(&self, u: &Utility, threshold: f64) -> Vec<RankedPoint> {
+        let mut stack = Vec::new();
         let mut out = Vec::new();
+        self.above_threshold_into(u, threshold, &mut stack, &mut out);
+        out
+    }
+
+    /// [`KdTree::above_threshold`] writing into caller-provided buffers so
+    /// repeated queries (the bulk paths) skip per-query allocation.
+    fn above_threshold_into(
+        &self,
+        u: &Utility,
+        threshold: f64,
+        stack: &mut Vec<usize>,
+        out: &mut Vec<RankedPoint>,
+    ) {
+        stack.clear();
+        out.clear();
         if self.len == 0 {
-            return out;
+            return;
         }
-        let mut stack = vec![self.root];
+        stack.push(self.root);
         while let Some(node) = stack.pop() {
             if self.node_bound(node, u) < threshold {
                 continue;
@@ -491,7 +537,6 @@ impl KdTree {
                 Ordering::Greater
             }
         });
-        out
     }
 
     /// The ε-approximate top-k `Φ_{k,ε}(u, P)`: all points with score at
@@ -499,15 +544,40 @@ impl KdTree {
     /// exact kth score) as the second component, or `None` when fewer than
     /// `k` points exist (then every point is returned).
     pub fn top_k_approx(&self, u: &Utility, k: usize, eps: f64) -> (Vec<RankedPoint>, Option<f64>) {
-        let exact = self.top_k(u, k);
-        if exact.len() < k {
-            return (exact, None);
+        let mut many = self.top_k_approx_many(std::iter::once(u), k, eps);
+        many.pop().expect("one query in, one result out")
+    }
+
+    /// [`KdTree::top_k_approx`] for a whole batch of utilities, reusing
+    /// traversal buffers across queries. Results are in input order. This
+    /// is the query the batch update engine's shard workers issue: each
+    /// affected utility needs its exact top-k (the `Φ` prefix), the new
+    /// threshold, and the full ε-band membership in one shot.
+    pub fn top_k_approx_many<'a, I>(
+        &self,
+        utilities: I,
+        k: usize,
+        eps: f64,
+    ) -> Vec<(Vec<RankedPoint>, Option<f64>)>
+    where
+        I: IntoIterator<Item = &'a Utility>,
+    {
+        let mut frontier = std::collections::BinaryHeap::new();
+        let mut stack = Vec::new();
+        let mut exact = Vec::with_capacity(k + 1);
+        let mut out = Vec::new();
+        for u in utilities {
+            self.top_k_into(u, k, &mut frontier, &mut exact);
+            if exact.len() < k {
+                out.push((exact.clone(), None));
+                continue;
+            }
+            let omega_k = exact[k - 1].score;
+            let mut phi = Vec::new();
+            self.above_threshold_into(u, (1.0 - eps) * omega_k, &mut stack, &mut phi);
+            out.push((phi, Some(omega_k)));
         }
-        let omega_k = exact[k - 1].score;
-        (
-            self.above_threshold(u, (1.0 - eps) * omega_k),
-            Some(omega_k),
-        )
+        out
     }
 }
 
@@ -601,6 +671,34 @@ mod tests {
                 assert_eq!(got, want, "k={k} eps={eps}");
                 assert!(omega.is_some());
             }
+        }
+    }
+
+    #[test]
+    fn bulk_queries_match_single_queries() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pts = random_points(&mut rng, 400, 4);
+        let tree = KdTree::build(4, pts).unwrap();
+        let us = sample_utilities(&mut rng, 4, 50);
+        for k in [1, 4, 9] {
+            let many = tree.top_k_many(us.iter(), k);
+            assert_eq!(many.len(), us.len());
+            for (u, got) in us.iter().zip(&many) {
+                assert_eq!(*got, tree.top_k(u, k), "k={k}");
+            }
+            let approx_many = tree.top_k_approx_many(us.iter(), k, 0.05);
+            for (u, got) in us.iter().zip(&approx_many) {
+                let want = tree.top_k_approx(u, k, 0.05);
+                assert_eq!(got.0, want.0, "k={k}");
+                assert_eq!(got.1, want.1, "k={k}");
+            }
+        }
+        // Empty input and k beyond the database size.
+        assert!(tree.top_k_many(std::iter::empty(), 3).is_empty());
+        let big = tree.top_k_approx_many(us.iter().take(2), 1_000, 0.1);
+        for (phi, omega) in big {
+            assert_eq!(phi.len(), 400);
+            assert!(omega.is_none());
         }
     }
 

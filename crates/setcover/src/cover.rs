@@ -73,6 +73,10 @@ pub struct DynamicSetCover {
     /// Cumulative number of stabilisation element moves (for the ablation
     /// benches).
     stabilize_moves: u64,
+    /// When `true` (between [`DynamicSetCover::begin_batch`] and
+    /// [`DynamicSetCover::commit`]), mutations accumulate violation
+    /// candidates on the worklist instead of stabilising immediately.
+    batching: bool,
 }
 
 impl Default for DynamicSetCover {
@@ -96,6 +100,47 @@ impl DynamicSetCover {
             dirty: VecDeque::new(),
             dirty_guard: HashSet::new(),
             stabilize_moves: 0,
+            batching: false,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deferred-stabilisation transactions
+    // ------------------------------------------------------------------
+
+    /// Starts a batch: subsequent mutations keep all membership, universe,
+    /// assignment, and counter bookkeeping exact, but defer `STABILIZE`
+    /// until [`DynamicSetCover::commit`]. Between the two calls the
+    /// solution is a valid cover (every universe element stays assigned to
+    /// a set containing it) but may violate the stability condition (2),
+    /// so [`DynamicSetCover::check_invariants`] can fail mid-batch.
+    ///
+    /// Idempotent; batches do not nest.
+    pub fn begin_batch(&mut self) {
+        self.batching = true;
+    }
+
+    /// Ends the batch and runs `STABILIZE` once over every violation
+    /// candidate the batched mutations accumulated. Returns the number of
+    /// element moves this stabilisation pass performed. A no-op (returning
+    /// 0) when no batch is open and the worklist is empty.
+    pub fn commit(&mut self) -> u64 {
+        self.batching = false;
+        let before = self.stabilize_moves;
+        self.stabilize();
+        self.stabilize_moves - before
+    }
+
+    /// Whether a deferred-stabilisation batch is currently open.
+    pub fn is_batching(&self) -> bool {
+        self.batching
+    }
+
+    /// Runs `STABILIZE` unless a batch is open (mutation entry points call
+    /// this so batched mutations only enqueue violation candidates).
+    fn maybe_stabilize(&mut self) {
+        if !self.batching {
+            self.stabilize();
         }
     }
 
@@ -189,7 +234,7 @@ impl DynamicSetCover {
             }
         }
         self.sets.insert(s, members);
-        self.stabilize();
+        self.maybe_stabilize();
         Ok(())
     }
 
@@ -231,7 +276,7 @@ impl DynamicSetCover {
                 dropped.push(u);
             }
         }
-        self.stabilize();
+        self.maybe_stabilize();
         Ok(dropped)
     }
 
@@ -247,7 +292,7 @@ impl DynamicSetCover {
         if let Some(level) = self.assigned_level(u) {
             self.bump_cnt(s, level, 1);
         }
-        self.stabilize();
+        self.maybe_stabilize();
         Ok(())
     }
 
@@ -275,12 +320,12 @@ impl DynamicSetCover {
                 self.unassign(u);
                 if self.try_assign(u).is_err() {
                     self.universe.remove(&u);
-                    self.stabilize();
+                    self.maybe_stabilize();
                     return Ok(false);
                 }
             }
         }
-        self.stabilize();
+        self.maybe_stabilize();
         Ok(true)
     }
 
@@ -299,7 +344,7 @@ impl DynamicSetCover {
         // Memberships of u now count towards cnt: u enters level(φ(u))
         // inside try_assign via change_elem_level.
         self.try_assign(u).expect("membership checked above");
-        self.stabilize();
+        self.maybe_stabilize();
         Ok(())
     }
 
@@ -311,7 +356,7 @@ impl DynamicSetCover {
         if self.phi.contains_key(&u) {
             self.unassign(u);
         }
-        self.stabilize();
+        self.maybe_stabilize();
         Ok(())
     }
 
@@ -970,6 +1015,106 @@ mod tests {
         c.check_invariants().unwrap();
         assert_eq!(c.universe_size(), 6);
         assert_eq!(c.solution_size(), 2);
+    }
+
+    #[test]
+    fn batched_mutations_stabilize_once_at_commit() {
+        // Same scenario as `stabilize_consolidates_scattered_assignments`,
+        // but inside a batch: the violation must persist until commit.
+        let mut c = DynamicSetCover::default();
+        for u in 0..8u32 {
+            c.insert_set(u as SetId + 1, [u]).unwrap();
+        }
+        for u in 0..8 {
+            c.insert_element(u).unwrap();
+        }
+        assert_eq!(c.solution_size(), 8);
+        c.begin_batch();
+        assert!(c.is_batching());
+        c.insert_set(100, 0..8).unwrap();
+        // Deferred: the scattered singletons still form the solution.
+        assert_eq!(c.solution_size(), 8);
+        let moves = c.commit();
+        assert!(!c.is_batching());
+        assert!(moves >= 8, "commit reported {moves} moves");
+        c.check_invariants().unwrap();
+        assert_eq!(c.solution_size(), 1);
+        assert!(c.in_solution(100));
+    }
+
+    #[test]
+    fn batch_keeps_cover_valid_mid_flight() {
+        // Coverage bookkeeping (φ, universe drops, reassignment) stays
+        // exact inside a batch; only condition (2) is deferred.
+        let mut c = build(3, &[(1, &[0, 1, 2]), (2, &[0, 1])]);
+        c.greedy().unwrap();
+        c.begin_batch();
+        let dropped = c.remove_set(1).unwrap();
+        assert_eq!(dropped, vec![2]); // element 2 had no other set
+        assert_eq!(c.assignment(0), Some(2));
+        assert_eq!(c.assignment(1), Some(2));
+        c.commit();
+        c.check_invariants().unwrap();
+        assert_eq!(c.universe_size(), 2);
+    }
+
+    #[test]
+    fn commit_without_batch_is_noop() {
+        let mut c = build(2, &[(1, &[0, 1])]);
+        assert_eq!(c.commit(), 0);
+        c.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn batched_and_sequential_randomized_streams_both_stabilize() {
+        // The same mutation stream applied per-op and batched must both
+        // end stable with identical set systems and universes (the
+        // *solution* may differ — stable covers are not unique).
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut seq = DynamicSetCover::default();
+        let mut bat = DynamicSetCover::default();
+        for s in 0..20u64 {
+            let members: Vec<ElemId> = (0..40u32).filter(|_| rng.gen_bool(0.25)).collect();
+            seq.insert_set(s, members.iter().copied()).unwrap();
+            bat.insert_set(s, members).unwrap();
+        }
+        for u in 0..40u32 {
+            let a = seq.insert_element(u).is_ok();
+            let b = bat.insert_element(u).is_ok();
+            assert_eq!(a, b);
+        }
+        let muts: Vec<(u32, u64, bool)> = (0..200)
+            .map(|_| {
+                (
+                    rng.gen_range(0..40u32),
+                    rng.gen_range(0..20u64),
+                    rng.gen_bool(0.5),
+                )
+            })
+            .collect();
+        bat.begin_batch();
+        for &(u, s, add) in &muts {
+            if add {
+                seq.add_to_set(u, s).unwrap();
+                bat.add_to_set(u, s).unwrap();
+            } else {
+                seq.remove_from_set(u, s).unwrap();
+                bat.remove_from_set(u, s).unwrap();
+            }
+        }
+        bat.commit();
+        seq.check_invariants().unwrap();
+        bat.check_invariants().unwrap();
+        assert_eq!(seq.num_sets(), bat.num_sets());
+        assert_eq!(seq.universe_size(), bat.universe_size());
+        for s in 0..20u64 {
+            let mut a: Vec<ElemId> = seq.members(s).unwrap().iter().copied().collect();
+            let mut b: Vec<ElemId> = bat.members(s).unwrap().iter().copied().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "set {s} memberships diverged");
+        }
     }
 
     #[test]

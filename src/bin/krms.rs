@@ -55,6 +55,8 @@ USAGE:
                 [--seed S] --out FILE
   krms run      --in FILE --algo ALGO --r R [--k K] [--eps E] [--eval N]
   krms workload --in FILE --algo ALGO --r R [--k K] [--ops N] [--eval N]
+                [--batch B]   (B > 1 streams FD-RMS updates through the
+                               batch engine, B operations at a time)
   krms skyline  --in FILE
 
 ALGO: FD-RMS | Greedy | GeoGreedy | Greedy* | DMM-RRMS | DMM-Greedy |
@@ -223,6 +225,54 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
         ))
     };
 
+    let batch: usize = get(flags, "batch", 1)?;
+    if batch > 1 {
+        // Batched FD-RMS path: stream the operations through the batch
+        // update engine, `batch` at a time.
+        let Runner::Fd(fd) = &mut runner else {
+            return Err("--batch requires --algo FD-RMS".into());
+        };
+        let mut applied = 0usize;
+        let mut next_cp = 0usize;
+        for chunk in w.batches(batch) {
+            for op in chunk {
+                match op {
+                    krms::data::Operation::Insert(p) => live.push(p.clone()),
+                    krms::data::Operation::Delete(id) => live.retain(|q| q.id() != *id),
+                    krms::data::Operation::Update(p) => {
+                        if let Some(slot) = live.iter_mut().find(|q| q.id() == p.id()) {
+                            *slot = p.clone();
+                        }
+                    }
+                }
+            }
+            timer.record(|| {
+                fd.apply_batch(krms::engine_ops(chunk))
+                    .expect("workload operations are valid")
+            });
+            applied += chunk.len();
+            // Report every checkpoint this batch crossed.
+            while next_cp < w.checkpoints.len() && w.checkpoints[next_cp] < applied {
+                next_cp += 1;
+                let q = fd.result();
+                println!(
+                    "{:>3}   {:>6}   {:>3}   {:.4}   {:>12.4}",
+                    next_cp * 10,
+                    live.len(),
+                    q.len(),
+                    est.mrr(&live, &q, k),
+                    timer.avg_ms()
+                );
+            }
+        }
+        println!(
+            "batched: {} ops in batches of {batch}, avg {:.4} ms/batch",
+            applied,
+            timer.avg_ms()
+        );
+        return Ok(());
+    }
+
     let mut next_cp = 0;
     for (i, op) in w.operations.iter().enumerate() {
         match op {
@@ -251,6 +301,25 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
                     Runner::Ad(ad) => {
                         let needs = ad.delete_lazy(*id).expect("live id");
                         if needs {
+                            timer.record(|| ad.recompute());
+                        } else {
+                            timer.add(std::time::Duration::ZERO);
+                        }
+                    }
+                }
+            }
+            krms::data::Operation::Update(p) => {
+                if let Some(slot) = live.iter_mut().find(|q| q.id() == p.id()) {
+                    *slot = p.clone();
+                }
+                match &mut runner {
+                    Runner::Fd(fd) => {
+                        timer.record(|| fd.update(p.clone()).expect("live id"));
+                    }
+                    Runner::Ad(ad) => {
+                        let del = ad.delete_lazy(p.id()).expect("live id");
+                        let ins = ad.insert_lazy(p.clone()).expect("id just freed");
+                        if del || ins {
                             timer.record(|| ad.recompute());
                         } else {
                             timer.add(std::time::Duration::ZERO);

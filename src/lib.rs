@@ -44,8 +44,42 @@ pub use rms_skyline as skyline;
 
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
-    pub use crate::core::{FdRms, FdRmsBuilder, FdRmsError};
+    pub use crate::core::{BatchReport, FdRms, FdRmsBuilder, FdRmsError, Op};
+    pub use crate::engine_ops;
     pub use crate::eval::{max_regret_ratio, RegretEstimator};
     pub use crate::geom::{Point, PointId, Utility};
     pub use crate::skyline::{skyline, DynamicSkyline};
+}
+
+/// Converts a workload operation stream (crate `rms-data`) into the batch
+/// engine's op representation (crate `fdrms`). The two layers define
+/// their own types — the data layer must not depend on the algorithm
+/// layer — so the facade provides the bridge:
+///
+/// ```
+/// use krms::prelude::*;
+///
+/// let points: Vec<Point> = (0..60)
+///     .map(|i| Point::new(i, vec![(i as f64) / 60.0, 1.0 - (i as f64) / 60.0]).unwrap())
+///     .collect();
+/// let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+/// let workload = krms::data::mixed_workload(&mut rng, points, Default::default());
+/// let mut fd = FdRms::builder(2)
+///     .r(3)
+///     .max_utilities(64)
+///     .build(workload.initial.clone())
+///     .unwrap();
+/// for batch in workload.batches(16) {
+///     fd.apply_batch(engine_ops(batch)).unwrap();
+/// }
+/// assert!(fd.result().len() <= 3);
+/// ```
+pub fn engine_ops(ops: &[data::Operation]) -> Vec<core::Op> {
+    ops.iter()
+        .map(|op| match op {
+            data::Operation::Insert(p) => core::Op::Insert(p.clone()),
+            data::Operation::Delete(id) => core::Op::Delete(*id),
+            data::Operation::Update(p) => core::Op::Update(p.clone()),
+        })
+        .collect()
 }

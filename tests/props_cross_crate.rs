@@ -13,6 +13,50 @@ fn arb_db(d: usize, n: std::ops::Range<usize>) -> impl Strategy<Value = Vec<Poin
     })
 }
 
+/// Raw operation intents: `(kind, pick, coords)` resolved against the
+/// live-id set when the stream is materialised (so deletes and updates
+/// always target live tuples).
+fn arb_op_intents(
+    d: usize,
+    n: std::ops::Range<usize>,
+) -> impl Strategy<Value = Vec<(u8, usize, Vec<f64>)>> {
+    prop::collection::vec(
+        (
+            0u8..4,
+            0usize..1_000,
+            prop::collection::vec(0.02f64..=1.0, d),
+        ),
+        n,
+    )
+}
+
+/// Materialises intents into a concrete op stream over the given initial
+/// database: kind 0–1 insert a fresh tuple, 2 deletes a live tuple, 3
+/// updates a live tuple (falling back to insert when nothing is live).
+fn materialise_ops(db: &[Point], intents: &[(u8, usize, Vec<f64>)]) -> Vec<Op> {
+    let mut live: Vec<PointId> = db.iter().map(Point::id).collect();
+    let mut next: PointId = 100_000;
+    let mut ops = Vec::with_capacity(intents.len());
+    for (kind, pick, coords) in intents {
+        match kind {
+            2 if !live.is_empty() => {
+                let idx = pick % live.len();
+                ops.push(Op::Delete(live.swap_remove(idx)));
+            }
+            3 if !live.is_empty() => {
+                let id = live[pick % live.len()];
+                ops.push(Op::Update(Point::new(id, coords.clone()).unwrap()));
+            }
+            _ => {
+                ops.push(Op::Insert(Point::new(next, coords.clone()).unwrap()));
+                live.push(next);
+                next += 1;
+            }
+        }
+    }
+    ops
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -100,5 +144,73 @@ proptest! {
         let est = RegretEstimator::new(3, 400, 23);
         let sky = skyline(&db);
         prop_assert!(est.mrr(&db, &sky, 1) < 1e-9);
+    }
+
+    /// Batch-vs-sequential equivalence: for random op streams,
+    /// `apply_batch(ops)` and the sequential per-op loop reach the same
+    /// canonical maintenance state — identical databases, and identical
+    /// per-utility top-k / τ / `Φ` membership systems, which is exactly
+    /// what `check_invariants()` certifies against brute-force
+    /// recomputation on both sides. The batched path is additionally
+    /// deterministic: every shard count yields the identical solution.
+    ///
+    /// The two *solutions* (which stable cover of that canonical set
+    /// system you hold) may legitimately differ between the disciplines:
+    /// stable covers are not unique, and the paths take different
+    /// stabilisation/UPDATE-M trajectories — both end stable with the
+    /// Theorem-1 `O(log m)` guarantee and within the size budget, which
+    /// is the equivalence the algorithm promises.
+    #[test]
+    fn batch_matches_sequential_per_op_loop(
+        db in arb_db(3, 4..40),
+        intents in arb_op_intents(3, 10..45),
+    ) {
+        let build = |threads: usize| {
+            FdRms::builder(3)
+                .r(4)
+                .max_utilities(64)
+                .seed(17)
+                .batch_threads(threads)
+                .build(db.clone())
+                .unwrap()
+        };
+        let ops = materialise_ops(&db, &intents);
+
+        // Sequential per-op loop (the classic Algorithm-3 path).
+        let mut seq = build(1);
+        for op in ops.clone() {
+            match op {
+                Op::Insert(p) => seq.insert(p).unwrap(),
+                Op::Delete(id) => seq.delete(id).unwrap(),
+                Op::Update(p) => seq.update(p).unwrap(),
+            }
+        }
+        // One batch, two shard configurations.
+        let mut bat_seq_shard = build(1);
+        bat_seq_shard.apply_batch(ops.clone()).map_err(|e| {
+            TestCaseError::fail(format!("single-shard batch failed: {e}"))
+        })?;
+        let mut bat_par_shard = build(4);
+        bat_par_shard.apply_batch(ops).map_err(|e| {
+            TestCaseError::fail(format!("multi-shard batch failed: {e}"))
+        })?;
+
+        // Canonical state identity (top-k, τ, memberships vs brute force).
+        seq.check_invariants().map_err(TestCaseError::fail)?;
+        bat_seq_shard.check_invariants().map_err(TestCaseError::fail)?;
+        bat_par_shard.check_invariants().map_err(TestCaseError::fail)?;
+        // Identical databases.
+        prop_assert_eq!(seq.len(), bat_seq_shard.len());
+        for q in seq.result() {
+            prop_assert!(bat_seq_shard.contains(q.id()));
+        }
+        for q in bat_seq_shard.result() {
+            prop_assert!(seq.contains(q.id()));
+        }
+        // Shard-count determinism of the batched solution.
+        prop_assert_eq!(bat_seq_shard.result_ids(), bat_par_shard.result_ids());
+        // Both disciplines respect the budget.
+        prop_assert!(seq.result().len() <= 4);
+        prop_assert!(bat_seq_shard.result().len() <= 4);
     }
 }
