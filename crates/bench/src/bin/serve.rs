@@ -1,0 +1,397 @@
+//! Reader throughput under sustained ingestion: the serving subsystem's
+//! headline experiment.
+//!
+//! Two disciplines absorb the same steady-state churn (alternating fresh
+//! inserts and oldest-tuple deletions) for a fixed wall-clock window
+//! while reader threads query the current solution as fast as they can:
+//!
+//! * **service** — `rms_serve::RmsService`: one applier thread drains a
+//!   bounded op queue into adaptive `apply_batch` calls and publishes
+//!   immutable snapshots; readers clone an `Arc` and never touch the
+//!   engine.
+//! * **blocking** — the pre-serve architecture: the engine behind a
+//!   `Mutex`, the writer locking per operation, every reader locking to
+//!   call `result()`.
+//!
+//! The interesting read is reader QPS and worst-case read latency during
+//! ingestion: the service keeps reads at near-constant nanosecond-scale
+//! latency (an `Arc` clone) regardless of write pressure, while the
+//! blocking loop's readers stall behind maintenance.
+//!
+//! ```sh
+//! cargo run --release -p rms-bench --bin serve -- \
+//!     [--n N] [--d D] [--k K] [--r R] [--eps E] [--max-m M]
+//!     [--readers T] [--secs S] [--read-qps Q]   (Q=0: readers spin)
+//! ```
+//!
+//! Set `KRMS_BENCH_SMOKE=1` (as CI does) for a sub-second configuration
+//! that just proves the binary works.
+
+use fdrms::{FdRms, Op};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rms_data::generators;
+use rms_geom::{Point, PointId};
+use rms_serve::{RmsService, ServeConfig};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Endless steady-state churn: alternating fresh inserts and deletions
+/// of the oldest live tuple, database size constant.
+struct OpStream {
+    live: VecDeque<PointId>,
+    next: PointId,
+    rng: StdRng,
+    d: usize,
+    flip: bool,
+}
+
+impl OpStream {
+    fn new(initial: &[Point], d: usize, seed: u64) -> Self {
+        Self {
+            live: initial.iter().map(Point::id).collect(),
+            next: 10_000_000,
+            rng: StdRng::seed_from_u64(seed),
+            d,
+            flip: false,
+        }
+    }
+
+    fn next_op(&mut self) -> Op {
+        self.flip = !self.flip;
+        if self.flip {
+            let p = Point::new_unchecked(self.next, (0..self.d).map(|_| self.rng.gen()).collect());
+            self.live.push_back(self.next);
+            self.next += 1;
+            Op::Insert(p)
+        } else {
+            Op::Delete(self.live.pop_front().expect("database never drains"))
+        }
+    }
+}
+
+/// Per-reader tally: queries served, mean latency, and a log₂ latency
+/// histogram (bucket `i` covers `[2^i, 2^(i+1))` ns) for percentiles —
+/// raw maxima are dominated by scheduler preemption at these
+/// granularities.
+#[derive(Clone, Copy)]
+struct ReadTally {
+    queries: u64,
+    total_ns: u64,
+    max_ns: u64,
+    buckets: [u64; 64],
+}
+
+impl Default for ReadTally {
+    fn default() -> Self {
+        Self {
+            queries: 0,
+            total_ns: 0,
+            max_ns: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+impl ReadTally {
+    fn record(&mut self, elapsed: Duration) {
+        let ns = (elapsed.as_nanos() as u64).max(1);
+        self.queries += 1;
+        self.total_ns += ns;
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[63 - ns.leading_zeros() as usize] += 1;
+    }
+
+    fn merge(tallies: &[ReadTally]) -> ReadTally {
+        tallies.iter().fold(ReadTally::default(), |mut acc, t| {
+            acc.queries += t.queries;
+            acc.total_ns += t.total_ns;
+            acc.max_ns = acc.max_ns.max(t.max_ns);
+            for (a, b) in acc.buckets.iter_mut().zip(t.buckets) {
+                *a += b;
+            }
+            acc
+        })
+    }
+
+    fn mean_us(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.queries as f64 / 1e3
+        }
+    }
+
+    /// Upper edge of the histogram bucket containing the given quantile,
+    /// microseconds.
+    fn quantile_us(&self, q: f64) -> f64 {
+        let target = (self.queries as f64 * q).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= target && count > 0 {
+                return 2f64.powi(i as i32 + 1) / 1e3;
+            }
+        }
+        self.max_ns as f64 / 1e3
+    }
+}
+
+/// Shared parameters of one benchmark phase.
+#[derive(Clone, Copy)]
+struct Scenario {
+    d: usize,
+    k: usize,
+    r: usize,
+    eps: f64,
+    max_m: usize,
+    readers: usize,
+    /// Per-reader inter-query sleep (zero = spin flat out).
+    pace: Duration,
+    window: Duration,
+}
+
+struct PhaseOutcome {
+    ops_applied: u64,
+    reads: ReadTally,
+    secs: f64,
+    detail: String,
+}
+
+fn report(name: &str, o: &PhaseOutcome) {
+    println!(
+        "{name:<9}  {:>9.0}   {:>12.0}   {:>12.2}   {:>10.2}   {:>10.2}   {}",
+        o.ops_applied as f64 / o.secs,
+        o.reads.queries as f64 / o.secs,
+        o.reads.mean_us(),
+        o.reads.quantile_us(0.99),
+        o.reads.quantile_us(0.999),
+        o.detail
+    );
+}
+
+/// Service discipline: applier thread + snapshot readers.
+fn run_service(initial: &[Point], sc: Scenario) -> PhaseOutcome {
+    let Scenario {
+        d,
+        k,
+        r,
+        eps,
+        max_m,
+        readers,
+        pace,
+        window,
+    } = sc;
+    let service = RmsService::start(
+        FdRms::builder(d)
+            .k(k)
+            .r(r)
+            .epsilon(eps)
+            .max_utilities(max_m)
+            .seed(7),
+        initial.to_vec(),
+        ServeConfig {
+            queue_capacity: 4_096,
+            max_batch: 1_024,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid bench configuration");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let handle = service.handle();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut tally = ReadTally::default();
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let snap = handle.snapshot();
+                    tally.record(t.elapsed());
+                    assert!(snap.epoch >= last_epoch, "epochs regressed");
+                    last_epoch = snap.epoch;
+                    if !pace.is_zero() {
+                        std::thread::sleep(pace);
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut stream = OpStream::new(initial, d, 99);
+    let handle = service.handle();
+    let start = Instant::now();
+    while start.elapsed() < window {
+        handle.submit(stream.next_op()).expect("service alive");
+    }
+    let fd = service.shutdown();
+    let secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let tallies: Vec<ReadTally> = reader_handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .collect();
+    let snap = handle.snapshot();
+    assert_eq!(snap.stats.ops_rejected, 0);
+    drop(fd);
+    PhaseOutcome {
+        ops_applied: snap.stats.ops_applied,
+        reads: ReadTally::merge(&tallies),
+        secs,
+        detail: format!(
+            "epochs={} max_coalesced={} avg_apply_ms={:.3}",
+            snap.epoch,
+            snap.stats.max_coalesced,
+            snap.stats.avg_apply_ms()
+        ),
+    }
+}
+
+/// Blocking discipline: one engine behind a mutex, per-op writer, readers
+/// locking for every query.
+fn run_blocking(initial: &[Point], sc: Scenario) -> PhaseOutcome {
+    let Scenario {
+        d,
+        k,
+        r,
+        eps,
+        max_m,
+        readers,
+        pace,
+        window,
+    } = sc;
+    let fd = FdRms::builder(d)
+        .k(k)
+        .r(r)
+        .epsilon(eps)
+        .max_utilities(max_m)
+        .seed(7)
+        .build(initial.to_vec())
+        .expect("valid bench configuration");
+    let fd = Arc::new(Mutex::new(fd));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let fd = Arc::clone(&fd);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut tally = ReadTally::default();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let q = fd.lock().expect("engine lock").result();
+                    tally.record(t.elapsed());
+                    std::hint::black_box(q.len());
+                    if !pace.is_zero() {
+                        std::thread::sleep(pace);
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut stream = OpStream::new(initial, d, 99);
+    let mut applied = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < window {
+        let op = stream.next_op();
+        let mut guard = fd.lock().expect("engine lock");
+        match op {
+            Op::Insert(p) => guard.insert(p).expect("fresh id"),
+            Op::Delete(id) => guard.delete(id).expect("live id"),
+            Op::Update(p) => guard.update(p).expect("live id"),
+        }
+        applied += 1;
+    }
+    let secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let tallies: Vec<ReadTally> = reader_handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .collect();
+    PhaseOutcome {
+        ops_applied: applied,
+        reads: ReadTally::merge(&tallies),
+        secs,
+        detail: String::new(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var_os("KRMS_BENCH_SMOKE").is_some();
+    let (n_def, max_m_def, secs_def, readers_def) = if smoke {
+        (400usize, 256usize, 0.25f64, 2usize)
+    } else {
+        (5_000, 1 << 12, 2.0, 4)
+    };
+    let n: usize = flag("--n", n_def);
+    let d: usize = flag("--d", 6);
+    let k: usize = flag("--k", 3);
+    let r: usize = flag("--r", 50);
+    let eps: f64 = flag("--eps", 0.05);
+    let max_m: usize = flag("--max-m", max_m_def);
+    let readers: usize = flag("--readers", readers_def);
+    let secs: f64 = flag("--secs", secs_def);
+    // Per-reader pacing: by default each reader issues ~2 000 queries/s
+    // (a steady serving load) so reader CPU pressure does not drown the
+    // applier on small hosts; `--read-qps 0` makes readers spin flat out
+    // to measure raw snapshot throughput instead.
+    let read_qps: u64 = flag("--read-qps", 2_000u64);
+    let pace = if read_qps == 0 {
+        Duration::ZERO
+    } else {
+        Duration::from_secs_f64(1.0 / read_qps as f64)
+    };
+    let window = Duration::from_secs_f64(secs);
+    println!(
+        "serve bench — n={n}, d={d}, k={k}, r={r}, eps={eps}, max_m={max_m}, \
+         readers={readers}, read_qps={read_qps}/reader, window={secs}s{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rng = StdRng::seed_from_u64(42);
+    let initial = generators::independent(&mut rng, n, d);
+
+    println!(
+        "\ndiscipline  writes_per_s   reads_per_s   read_mean_us   read_p99_us   read_p999_us   notes"
+    );
+    let scenario = Scenario {
+        d,
+        k,
+        r,
+        eps,
+        max_m,
+        readers,
+        pace,
+        window,
+    };
+    let blocking = run_blocking(&initial, scenario);
+    report("blocking", &blocking);
+    let service = run_service(&initial, scenario);
+    report("service", &service);
+
+    if blocking.reads.queries > 0 && service.reads.queries > 0 {
+        println!(
+            "\nreader speedup: {:.1}x QPS, {:.0}x p99.9 latency; ingestion {:.2}x",
+            (service.reads.queries as f64 / service.secs)
+                / (blocking.reads.queries as f64 / blocking.secs),
+            blocking.reads.quantile_us(0.999) / service.reads.quantile_us(0.999).max(1e-9),
+            (service.ops_applied as f64 / service.secs)
+                / (blocking.ops_applied as f64 / blocking.secs).max(1.0),
+        );
+    }
+}

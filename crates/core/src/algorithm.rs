@@ -268,6 +268,15 @@ impl FdRms {
         self.points.contains_key(&id)
     }
 
+    /// A copy of the live database, sorted by id. Snapshot-extraction
+    /// hook for the serving layer (regret estimation needs the full point
+    /// set); `O(n)` — call per published snapshot, not per operation.
+    pub fn live_points(&self) -> Vec<Point> {
+        let mut out: Vec<Point> = self.points.values().cloned().collect();
+        out.sort_unstable_by_key(Point::id);
+        out
+    }
+
     /// Number of operations applied since construction.
     pub fn operations(&self) -> u64 {
         self.ops

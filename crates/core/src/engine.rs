@@ -129,6 +129,55 @@ pub struct BatchReport {
     pub result_size: usize,
 }
 
+/// Cumulative roll-up of [`BatchReport`]s, for callers that apply many
+/// batches and publish aggregate figures (the serving layer's snapshot
+/// stats). [`BatchRollup::absorb`] folds one report in.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchRollup {
+    /// Batches absorbed.
+    pub batches: u64,
+    /// Total operations across absorbed batches.
+    pub ops: u64,
+    /// Net tuples inserted.
+    pub inserted: u64,
+    /// Net tuples deleted.
+    pub deleted: u64,
+    /// Net tuples updated.
+    pub updated: u64,
+    /// Updates dropped as attribute no-ops.
+    pub noop_updates: u64,
+    /// Total utility recomputations.
+    pub affected_utilities: u64,
+    /// Total full tuple-index requeries.
+    pub requeried_utilities: u64,
+    /// Total `Φ` admissions into surviving sets.
+    pub membership_additions: u64,
+    /// Total `Φ` evictions from surviving sets.
+    pub membership_removals: u64,
+    /// Total deferred-STABILIZE element moves.
+    pub stabilize_moves: u64,
+    /// Largest single batch absorbed (operation count).
+    pub max_batch_ops: usize,
+}
+
+impl BatchRollup {
+    /// Folds one batch's report into the aggregate.
+    pub fn absorb(&mut self, r: &BatchReport) {
+        self.batches += 1;
+        self.ops += r.ops as u64;
+        self.inserted += r.inserted as u64;
+        self.deleted += r.deleted as u64;
+        self.updated += r.updated as u64;
+        self.noop_updates += r.noop_updates as u64;
+        self.affected_utilities += r.affected_utilities as u64;
+        self.requeried_utilities += r.requeried_utilities as u64;
+        self.membership_additions += r.membership_additions;
+        self.membership_removals += r.membership_removals;
+        self.stabilize_moves += r.stabilize_moves;
+        self.max_batch_ops = self.max_batch_ops.max(r.ops);
+    }
+}
+
 /// One affected utility's recomputed state, produced by a shard worker:
 /// the new top-k/τ plus the membership *deltas* against the pre-batch
 /// set system (materialising the full `Φ` would cost `O(|Φ|)` per
@@ -360,6 +409,23 @@ impl FdRms {
             let op = ops.into_iter().next().expect("length checked");
             return self.apply_single(op);
         }
+        self.apply_batch_inner(&ops)
+    }
+
+    /// [`FdRms::apply_batch`] over borrowed operations, for callers that
+    /// must retain the batch (the serving layer keeps it to replay
+    /// atomically rejected batches per-op). The batched path never
+    /// needed ownership — validation clones each written tuple into the
+    /// overlay anyway — so this costs nothing extra; only the single-op
+    /// routing clones its one operation.
+    pub fn apply_batch_slice(&mut self, ops: &[Op]) -> Result<BatchReport, FdRmsError> {
+        if ops.len() == 1 {
+            return self.apply_single(ops[0].clone());
+        }
+        self.apply_batch_inner(ops)
+    }
+
+    fn apply_batch_inner(&mut self, ops: &[Op]) -> Result<BatchReport, FdRmsError> {
         let mut report = BatchReport {
             ops: ops.len(),
             ..BatchReport::default()
@@ -371,7 +437,7 @@ impl FdRms {
         // ------------------------------------------------------------
         let mut overlay: BTreeMap<PointId, Option<Point>> = BTreeMap::new();
         let mut op_count = 0u64;
-        for op in &ops {
+        for op in ops {
             let live = |id: &PointId, overlay: &BTreeMap<PointId, Option<Point>>| {
                 overlay
                     .get(id)
@@ -515,12 +581,15 @@ impl FdRms {
             })
             .collect();
 
+        // All mutations go through the deferred-delete path so the lazy
+        // rebuild is decided once per batch — after the inserts, so a
+        // triggered rebuild packs the post-batch database.
         for id in &net_delete {
-            self.kd.delete(*id).expect("validated live");
+            self.kd.delete_deferred(*id).expect("validated live");
             self.points.remove(id);
         }
         for p in &net_update {
-            self.kd.delete(p.id()).expect("validated live");
+            self.kd.delete_deferred(p.id()).expect("validated live");
             self.kd.insert(p.clone()).expect("id just freed");
             self.points.insert(p.id(), p.clone());
         }
@@ -528,6 +597,7 @@ impl FdRms {
             self.kd.insert(p.clone()).expect("validated fresh");
             self.points.insert(p.id(), p.clone());
         }
+        self.kd.maybe_rebuild();
 
         // ------------------------------------------------------------
         // Phase 3: recompute every affected utility once, sharded.

@@ -59,4 +59,4 @@ pub mod engine;
 
 pub use algorithm::{FdRms, UpdateStats};
 pub use builder::{FdRmsBuilder, FdRmsError};
-pub use engine::{BatchReport, Op};
+pub use engine::{BatchReport, BatchRollup, Op};

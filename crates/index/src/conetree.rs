@@ -289,6 +289,13 @@ impl ConeTree {
 
     /// Upper bound of `⟨u, p⟩` over a cone with the given centre and cos
     /// half-angle.
+    ///
+    /// Evaluates `cos(θ − φ)` through the angle-difference identity
+    /// `cosθ·cosφ + sinθ·sinφ` with `sin x = √(1 − cos²x)` (both angles
+    /// lie in `[0, π]`, where sine is nonnegative), so the hot path costs
+    /// two `sqrt`s instead of an `acos` + `cos` pair. The `θ ≤ φ` branch
+    /// becomes the equivalent cosine comparison `cosθ ≥ cosφ` (cosine is
+    /// decreasing on `[0, π]`).
     fn cone_bound(center: &[f64], cos_half: f64, p: &Point, p_norm: f64) -> f64 {
         if p_norm <= f64::EPSILON {
             return 0.0;
@@ -300,12 +307,13 @@ impl ConeTree {
             .sum::<f64>()
             / p_norm;
         let cos_cp = cos_cp.clamp(-1.0, 1.0);
-        let theta = cos_cp.acos();
-        let phi = cos_half.clamp(-1.0, 1.0).acos();
-        if theta <= phi {
+        let cos_half = cos_half.clamp(-1.0, 1.0);
+        if cos_cp >= cos_half {
             p_norm
         } else {
-            p_norm * (theta - phi).cos()
+            let sin_cp = (1.0 - cos_cp * cos_cp).max(0.0).sqrt();
+            let sin_half = (1.0 - cos_half * cos_half).max(0.0).sqrt();
+            p_norm * (cos_cp * cos_half + sin_cp * sin_half)
         }
     }
 
@@ -680,5 +688,83 @@ mod tests {
     #[should_panic(expected = "at least one vector")]
     fn empty_pool_panics() {
         let _ = ConeTree::build(Vec::new());
+    }
+
+    mod bound_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// The pre-optimisation `acos`-based bound, kept as the reference
+        /// the `sqrt` identity in [`ConeTree::cone_bound`] must reproduce.
+        fn acos_bound(center: &[f64], cos_half: f64, p: &Point, p_norm: f64) -> f64 {
+            if p_norm <= f64::EPSILON {
+                return 0.0;
+            }
+            let cos_cp = center
+                .iter()
+                .zip(p.coords())
+                .map(|(c, x)| c * x)
+                .sum::<f64>()
+                / p_norm;
+            let cos_cp = cos_cp.clamp(-1.0, 1.0);
+            let theta = cos_cp.acos();
+            let phi = cos_half.clamp(-1.0, 1.0).acos();
+            if theta <= phi {
+                p_norm
+            } else {
+                p_norm * (theta - phi).cos()
+            }
+        }
+
+        fn unit_vector(d: usize) -> impl Strategy<Value = Vec<f64>> {
+            prop::collection::vec(0.01f64..=1.0, d).prop_map(|mut v| {
+                let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                for x in &mut v {
+                    *x /= norm;
+                }
+                v
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// The sqrt identity agrees with the acos formula to fp noise,
+            /// and — the property the index actually relies on — every
+            /// prune/descend decision against a threshold is identical.
+            #[test]
+            fn sqrt_identity_prunes_like_acos(
+                center in unit_vector(4),
+                cos_half in -1.0f64..=1.0,
+                coords in prop::collection::vec(0.0f64..=1.0, 4),
+                tau in 0.0f64..=1.5,
+            ) {
+                let p = Point::new_unchecked(0, coords);
+                let p_norm = p.norm();
+                let fast = ConeTree::cone_bound(&center, cos_half, &p, p_norm);
+                let slow = acos_bound(&center, cos_half, &p, p_norm);
+                prop_assert!((fast - slow).abs() <= 1e-9, "fast {fast} vs acos {slow}");
+                prop_assert_eq!(fast >= tau, slow >= tau, "pruning decision diverged at τ={}", tau);
+            }
+
+            /// End to end: with the sqrt bound in place, the pruned
+            /// traversal still reports exactly the brute-force affected
+            /// set for arbitrary threshold assignments.
+            #[test]
+            fn affected_by_matches_scan_under_sqrt_bound(
+                seed in 0u64..1_000,
+                taus in prop::collection::vec(0.0f64..=1.4, 64),
+                coords in prop::collection::vec(0.0f64..=1.0, 3),
+            ) {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let us = sample_utilities(&mut rng, 3, taus.len());
+                let mut tree = ConeTree::build(us);
+                for (i, tau) in taus.iter().enumerate() {
+                    tree.set_threshold(i, *tau);
+                }
+                let p = Point::new_unchecked(0, coords);
+                prop_assert_eq!(tree.affected_by(&p), tree.affected_by_scan(&p));
+            }
+        }
     }
 }

@@ -359,6 +359,19 @@ impl KdTree {
     /// `stale_ops` exceeds the rebuild fraction of the current size, the
     /// tree rebuilds itself.
     pub fn delete(&mut self, id: PointId) -> Result<(), KdTreeError> {
+        self.delete_deferred(id)?;
+        self.maybe_rebuild();
+        Ok(())
+    }
+
+    /// [`KdTree::delete`] without the per-call rebuild decision. Bulk
+    /// callers (the batch update engine) apply every mutation of a batch
+    /// through this and then take **one** [`KdTree::maybe_rebuild`]
+    /// decision — a batch of `B` deletions pays at most one rebuild where
+    /// the per-op discipline could pay several, and the single rebuild
+    /// sees the post-batch database (inserts included), so it packs
+    /// tighter boxes.
+    pub fn delete_deferred(&mut self, id: PointId) -> Result<(), KdTreeError> {
         let Some(leaf_idx) = self.leaf_of.remove(&id) else {
             return Err(KdTreeError::UnknownId(id));
         };
@@ -372,11 +385,26 @@ impl KdTree {
         points.swap_remove(pos);
         self.len -= 1;
         self.stale_ops += 1;
+        Ok(())
+    }
+
+    /// Takes the lazy-rebuild decision once: rebuilds (and returns `true`)
+    /// when the stale operations accumulated by deletions exceed
+    /// `rebuild_fraction × len`. Companion of [`KdTree::delete_deferred`].
+    pub fn maybe_rebuild(&mut self) -> bool {
         if (self.stale_ops as f64) > self.rebuild_fraction * (self.len.max(1) as f64) {
             let pts = self.points();
             self.rebuild_from(pts);
+            true
+        } else {
+            false
         }
-        Ok(())
+    }
+
+    /// Stale (box-loosening) operations accumulated since the last
+    /// rebuild; exposed for rebuild-scheduling diagnostics.
+    pub fn stale_ops(&self) -> usize {
+        self.stale_ops
     }
 
     /// Upper bound of `⟨u, q⟩` over the subtree at `node` (valid because
@@ -758,6 +786,35 @@ mod tests {
         assert_eq!(tree.len(), all.len());
         let u = Utility::new(vec![0.3, 0.5, 0.2]).unwrap();
         assert_eq!(tree.top_k(&u, 10), brute_top_k(&all, &u, 10));
+    }
+
+    #[test]
+    fn deferred_deletes_rebuild_once_per_batch() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let pts = random_points(&mut rng, 300, 3);
+        let mut all = pts.clone();
+        let mut tree = KdTree::build(3, pts).unwrap();
+        // Delete two-thirds of the database deferred: with per-op
+        // scheduling this would rebuild several times; deferred, stale
+        // ops just accumulate and queries stay exact throughout.
+        for _ in 0..200 {
+            let i = rng.gen_range(0..all.len());
+            let id = all.swap_remove(i).id();
+            tree.delete_deferred(id).unwrap();
+        }
+        assert_eq!(tree.stale_ops(), 200);
+        let u = Utility::new(vec![0.4, 0.3, 0.3]).unwrap();
+        assert_eq!(tree.top_k(&u, 8), brute_top_k(&all, &u, 8));
+        // One decision for the whole batch; it fires (200 > 0.5 × 100)
+        // and resets the stale counter.
+        assert!(tree.maybe_rebuild());
+        assert_eq!(tree.stale_ops(), 0);
+        assert!(!tree.maybe_rebuild());
+        assert_eq!(tree.top_k(&u, 8), brute_top_k(&all, &u, 8));
+        assert_eq!(
+            tree.delete_deferred(999_999),
+            Err(KdTreeError::UnknownId(999_999))
+        );
     }
 
     #[test]

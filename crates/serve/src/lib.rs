@@ -1,0 +1,69 @@
+//! # rms-serve — concurrent ingestion + snapshot serving for FD-RMS
+//!
+//! The batch update engine (`fdrms::engine`) made maintenance cheap to
+//! amortise; this crate turns the engine into a *service*. An
+//! [`RmsService`] moves the [`FdRms`](fdrms::FdRms) instance onto a
+//! dedicated applier thread fed by a bounded MPSC queue:
+//!
+//! ```text
+//!  writers ──submit(Op)──▶ [bounded queue] ──▶ applier thread
+//!                           (backpressure)      │ coalesce ≤ max_batch
+//!                                               │ FdRms::apply_batch
+//!                                               ▼
+//!  readers ◀──snapshot()── [Arc<ResultSnapshot> swap cell]
+//! ```
+//!
+//! * **Ingestion** blocks only on queue capacity (backpressure), never on
+//!   maintenance: the applier drains whatever is queued into one adaptive
+//!   batch — size 1 under light load (the classic per-op path), up to
+//!   [`ServeConfig::max_batch`] under pressure, exactly where
+//!   `apply_batch` amortises best.
+//! * **Serving** never blocks ingestion: after every batch the applier
+//!   publishes an immutable, versioned [`ResultSnapshot`] (epoch, the
+//!   current solution, regret stats, a [`BatchRollup`](fdrms::BatchRollup)
+//!   of engine counters) behind a swapped `Arc`; readers clone the `Arc`
+//!   out and keep it as long as they like.
+//! * A `std::net`-only [TCP front end](crate::tcp) speaks a small
+//!   [line protocol](crate::protocol) (`INSERT`/`DELETE`/`UPDATE`/
+//!   `QUERY`/`STATS`/`SHUTDOWN`) over the same handles, wired into the
+//!   `krms serve` CLI subcommand.
+//!
+//! ## Example
+//!
+//! ```
+//! use fdrms::{FdRms, Op};
+//! use rms_geom::Point;
+//! use rms_serve::{RmsService, ServeConfig};
+//!
+//! let points: Vec<Point> = (0..100)
+//!     .map(|i| Point::new(i, vec![(i as f64) / 100.0, 1.0 - (i as f64) / 100.0]).unwrap())
+//!     .collect();
+//! let service = RmsService::start(
+//!     FdRms::builder(2).r(4).max_utilities(128),
+//!     points,
+//!     ServeConfig::default(),
+//! )
+//! .unwrap();
+//!
+//! // Writers submit asynchronously; readers never block on them.
+//! let handle = service.handle();
+//! handle.submit(Op::Insert(Point::new(1_000, vec![0.9, 0.9]).unwrap())).unwrap();
+//! assert!(service.snapshot().result.len() <= 4);
+//!
+//! // Graceful shutdown drains the queue and returns the engine.
+//! let fd = service.shutdown();
+//! assert!(fd.contains(1_000));
+//! fd.check_invariants().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod protocol;
+mod service;
+mod snapshot;
+pub mod tcp;
+
+pub use service::{RmsHandle, RmsService, ServeConfig, SubmitError};
+pub use snapshot::{ResultSnapshot, ServiceStats};
+pub use tcp::RmsServer;

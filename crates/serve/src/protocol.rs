@@ -1,0 +1,138 @@
+//! The line protocol spoken by the TCP front end.
+//!
+//! One request per `\n`-terminated line, one reply line per request
+//! (replies start with `OK` or `ERR`):
+//!
+//! ```text
+//! INSERT <id> <v1> … <vd>     enqueue an insertion            → OK queued
+//! DELETE <id>                 enqueue a deletion              → OK queued
+//! UPDATE <id> <v1> … <vd>     enqueue an attribute update     → OK queued
+//! QUERY                       read the published solution     → OK epoch=E n=N r=K ids=…
+//! STATS                       read service metrics            → OK epoch=E … (key=value)
+//! SHUTDOWN                    drain, stop serving             → OK shutting down
+//! ```
+//!
+//! Mutations are acknowledged at *enqueue* time and applied
+//! asynchronously; `STATS` exposes `ops_applied`/`ops_rejected` so a
+//! client can await visibility. Malformed input never kills the
+//! connection — the reply is `ERR <reason>` and the next line is parsed
+//! fresh.
+
+use fdrms::Op;
+use rms_geom::{Point, PointId};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Enqueue one engine operation (`INSERT` / `DELETE` / `UPDATE`).
+    Submit(Op),
+    /// Read the current result snapshot.
+    Query,
+    /// Read service metrics.
+    Stats,
+    /// Drain the queue and stop the server.
+    Shutdown,
+}
+
+/// Parses one request line against dimensionality `d`.
+pub fn parse_request(line: &str, d: usize) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or("empty request")?.to_ascii_uppercase();
+    let rest: Vec<&str> = tokens.collect();
+    let no_args = |req: Request| {
+        if rest.is_empty() {
+            Ok(req)
+        } else {
+            Err(format!("{verb} takes no arguments"))
+        }
+    };
+    match verb.as_str() {
+        "INSERT" => Ok(Request::Submit(Op::Insert(parse_point(&rest, d)?))),
+        "UPDATE" => Ok(Request::Submit(Op::Update(parse_point(&rest, d)?))),
+        "DELETE" => {
+            let [id] = rest.as_slice() else {
+                return Err("usage: DELETE <id>".into());
+            };
+            Ok(Request::Submit(Op::Delete(parse_id(id)?)))
+        }
+        "QUERY" => no_args(Request::Query),
+        "STATS" => no_args(Request::Stats),
+        "SHUTDOWN" => no_args(Request::Shutdown),
+        other => Err(format!(
+            "unknown command `{other}` (expected INSERT/DELETE/UPDATE/QUERY/STATS/SHUTDOWN)"
+        )),
+    }
+}
+
+fn parse_id(token: &str) -> Result<PointId, String> {
+    token
+        .parse::<PointId>()
+        .map_err(|_| format!("invalid id `{token}`"))
+}
+
+fn parse_point(tokens: &[&str], d: usize) -> Result<Point, String> {
+    let Some((id, coords)) = tokens.split_first() else {
+        return Err(format!("usage: INSERT|UPDATE <id> <v1> … <v{d}>"));
+    };
+    let id = parse_id(id)?;
+    if coords.len() != d {
+        return Err(format!("expected {d} coordinates, got {}", coords.len()));
+    }
+    let coords: Vec<f64> = coords
+        .iter()
+        .map(|t| {
+            t.parse::<f64>()
+                .map_err(|_| format!("invalid coordinate `{t}`"))
+        })
+        .collect::<Result<_, _>>()?;
+    Point::new(id, coords).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mutations() {
+        assert_eq!(
+            parse_request("INSERT 7 0.5 0.25", 2),
+            Ok(Request::Submit(Op::Insert(Point::new_unchecked(
+                7,
+                vec![0.5, 0.25]
+            ))))
+        );
+        assert_eq!(
+            parse_request("update 3 1 0", 2),
+            Ok(Request::Submit(Op::Update(Point::new_unchecked(
+                3,
+                vec![1.0, 0.0]
+            ))))
+        );
+        assert_eq!(
+            parse_request("DELETE 9", 4),
+            Ok(Request::Submit(Op::Delete(9)))
+        );
+    }
+
+    #[test]
+    fn parses_reads_and_control() {
+        assert_eq!(parse_request("QUERY", 2), Ok(Request::Query));
+        assert_eq!(parse_request("stats", 2), Ok(Request::Stats));
+        assert_eq!(parse_request("Shutdown", 2), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_request("", 2).is_err());
+        assert!(parse_request("FROB 1", 2).is_err());
+        assert!(parse_request("INSERT", 2).is_err());
+        assert!(parse_request("INSERT x 0.1 0.2", 2).is_err());
+        assert!(parse_request("INSERT 1 0.1", 2).is_err(), "wrong arity");
+        assert!(parse_request("INSERT 1 0.1 nope", 2).is_err());
+        assert!(parse_request("INSERT 1 -0.1 0.2", 2).is_err(), "negative");
+        assert!(parse_request("INSERT 1 NaN 0.2", 2).is_err(), "non-finite");
+        assert!(parse_request("DELETE", 2).is_err());
+        assert!(parse_request("DELETE 1 2", 2).is_err());
+        assert!(parse_request("QUERY now", 2).is_err());
+    }
+}

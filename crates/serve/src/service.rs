@@ -1,0 +1,414 @@
+//! The ingestion service: a dedicated applier thread over a bounded op
+//! queue, publishing immutable snapshots after every coalesced batch.
+
+use crate::snapshot::{ResultSnapshot, ServiceStats, SnapshotCell};
+use fdrms::{FdRms, FdRmsBuilder, FdRmsError, Op};
+use rms_eval::RegretEstimator;
+use rms_geom::Point;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Tuning knobs for [`RmsService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Capacity of the bounded ingestion queue. A full queue blocks
+    /// [`RmsHandle::submit`] (backpressure) until the applier drains.
+    pub queue_capacity: usize,
+    /// Upper bound on the ops coalesced into one `apply_batch` call. The
+    /// actual batch size adapts to load: whatever is queued when the
+    /// applier comes around, up to this cap.
+    pub max_batch: usize,
+    /// Monte-Carlo test directions for the published max-regret-ratio
+    /// estimate; `0` (the default) disables estimation — it costs
+    /// `O(directions × n)` per refresh.
+    pub mrr_directions: usize,
+    /// Refresh the regret estimate every this many epochs (when
+    /// `mrr_directions > 0`).
+    pub mrr_every: u64,
+    /// Seed for the regret estimator's test directions.
+    pub mrr_seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 512,
+            mrr_directions: 0,
+            mrr_every: 16,
+            mrr_seed: 0xE7A1,
+        }
+    }
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The service has shut down; the operation (returned) was not
+    /// enqueued.
+    Disconnected(Op),
+    /// [`RmsHandle::try_submit`] only: the queue is at capacity; the
+    /// operation (returned) was not enqueued.
+    Full(Op),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Disconnected(_) => write!(f, "service has shut down"),
+            SubmitError::Full(_) => write!(f, "ingestion queue is full"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+enum Msg {
+    Op(Op),
+    Shutdown,
+}
+
+/// High bit of the ingestion state word: set when shutdown begins. The
+/// low bits count acknowledged-but-undrained submissions, so checking
+/// "still accepting" and registering a submission is one atomic RMW —
+/// a submission either observes the closed bit (and is rejected before
+/// acknowledgement) or its count is visible to the shutdown drain, which
+/// runs until the count reaches zero. No interleaving can acknowledge an
+/// op and then drop it.
+const CLOSED_BIT: usize = 1 << (usize::BITS - 1);
+const COUNT_MASK: usize = CLOSED_BIT - 1;
+
+/// A cheap, cloneable client of a running [`RmsService`]: submit
+/// operations (blocking or not) and read published snapshots. Handles
+/// outlive the service gracefully — submissions after shutdown return
+/// [`SubmitError::Disconnected`], snapshot reads keep returning the last
+/// published state.
+#[derive(Debug, Clone)]
+pub struct RmsHandle {
+    tx: SyncSender<Msg>,
+    state: Arc<AtomicUsize>,
+    cell: Arc<SnapshotCell>,
+}
+
+impl RmsHandle {
+    /// Registers one pending submission unless shutdown has begun.
+    fn register(&self) -> bool {
+        let prev = self.state.fetch_add(1, Ordering::SeqCst);
+        if prev & CLOSED_BIT != 0 {
+            self.state.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Enqueues one operation, blocking while the queue is full
+    /// (backpressure). `Ok` means the operation *will* be applied — a
+    /// graceful shutdown drains every acknowledged op. The application
+    /// itself is asynchronous; a later [`RmsHandle::snapshot`] whose
+    /// stats show it absorbed reflects it.
+    pub fn submit(&self, op: Op) -> Result<(), SubmitError> {
+        if !self.register() {
+            return Err(SubmitError::Disconnected(op));
+        }
+        match self.tx.send(Msg::Op(op)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.state.fetch_sub(1, Ordering::SeqCst);
+                let Msg::Op(op) = e.0 else {
+                    unreachable!("handles only send ops")
+                };
+                Err(SubmitError::Disconnected(op))
+            }
+        }
+    }
+
+    /// Non-blocking [`RmsHandle::submit`]: fails fast with
+    /// [`SubmitError::Full`] instead of waiting out backpressure.
+    pub fn try_submit(&self, op: Op) -> Result<(), SubmitError> {
+        if !self.register() {
+            return Err(SubmitError::Disconnected(op));
+        }
+        match self.tx.try_send(Msg::Op(op)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.state.fetch_sub(1, Ordering::SeqCst);
+                match e {
+                    TrySendError::Full(Msg::Op(op)) => Err(SubmitError::Full(op)),
+                    TrySendError::Disconnected(Msg::Op(op)) => Err(SubmitError::Disconnected(op)),
+                    _ => unreachable!("handles only send ops"),
+                }
+            }
+        }
+    }
+
+    /// The most recently published snapshot. Never blocks on the applier:
+    /// the call clones an `Arc` out of the publication cell, whose lock
+    /// is held only across pointer swaps.
+    pub fn snapshot(&self) -> Arc<ResultSnapshot> {
+        self.cell.load()
+    }
+
+    /// Operations currently queued (including submitters blocked on
+    /// backpressure). Approximate under concurrency.
+    pub fn queue_depth(&self) -> usize {
+        self.state.load(Ordering::Relaxed) & COUNT_MASK
+    }
+}
+
+/// A running FD-RMS instance behind an ingestion queue.
+///
+/// The engine lives on a dedicated applier thread fed by a bounded MPSC
+/// queue. The applier drains whatever is queued (up to
+/// [`ServeConfig::max_batch`]) into one [`FdRms::apply_batch`] call — so
+/// batch sizes adapt to load, amortising maintenance exactly where the
+/// batch engine makes it cheap — and after every batch publishes an
+/// immutable [`ResultSnapshot`] behind a swapped `Arc`. Any number of
+/// readers call [`RmsService::snapshot`] concurrently without ever
+/// blocking ingestion (and vice versa).
+///
+/// A batch containing an invalid operation is rejected atomically by the
+/// engine; the applier then replays that batch one op at a time, so one
+/// bad op costs only itself — its batch-mates still apply ([`ServiceStats`]
+/// counts `ops_rejected`).
+#[derive(Debug)]
+pub struct RmsService {
+    handle: RmsHandle,
+    applier: Option<JoinHandle<FdRms>>,
+    dim: usize,
+}
+
+impl RmsService {
+    /// Builds the engine from `builder` + `initial` (synchronously, so
+    /// configuration errors surface here), publishes the epoch-0
+    /// snapshot, and starts the applier thread.
+    pub fn start(
+        builder: FdRmsBuilder,
+        initial: Vec<Point>,
+        cfg: ServeConfig,
+    ) -> Result<Self, FdRmsError> {
+        let fd = builder.build(initial)?;
+        let dim = fd.dim();
+        let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
+        let state = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(SnapshotCell::new(make_snapshot(
+            &fd,
+            0,
+            ServiceStats::default(),
+            None,
+        )));
+        let applier = {
+            let cell = Arc::clone(&cell);
+            let state = Arc::clone(&state);
+            std::thread::Builder::new()
+                .name("rms-applier".into())
+                .spawn(move || applier_loop(fd, rx, cell, state, cfg))
+                .expect("spawn applier thread")
+        };
+        Ok(Self {
+            handle: RmsHandle { tx, state, cell },
+            applier: Some(applier),
+            dim,
+        })
+    }
+
+    /// A new cloneable client handle.
+    pub fn handle(&self) -> RmsHandle {
+        self.handle.clone()
+    }
+
+    /// See [`RmsHandle::snapshot`].
+    pub fn snapshot(&self) -> Arc<ResultSnapshot> {
+        self.handle.snapshot()
+    }
+
+    /// See [`RmsHandle::submit`].
+    pub fn submit(&self, op: Op) -> Result<(), SubmitError> {
+        self.handle.submit(op)
+    }
+
+    /// The configured tuple dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Graceful shutdown: the applier drains and applies every
+    /// *acknowledged* operation (every `submit` that returned `Ok`, even
+    /// from senders still blocked on a full queue), publishes a final
+    /// snapshot, and hands the engine back (e.g. for invariant checks or
+    /// persistence). Submissions racing the start of shutdown either
+    /// fail with [`SubmitError::Disconnected`] or are applied — never
+    /// acknowledged and dropped.
+    ///
+    /// Panics if the applier thread panicked (an engine invariant
+    /// failure), propagating that error.
+    pub fn shutdown(mut self) -> FdRms {
+        self.shutdown_inner()
+            .expect("applier taken only by shutdown")
+            .expect("applier thread panicked")
+    }
+
+    fn shutdown_inner(&mut self) -> Option<std::thread::Result<FdRms>> {
+        let applier = self.applier.take()?;
+        // Close the ingestion state word first: any submission that was
+        // not already counted is rejected from here on, so the drain's
+        // count target can only shrink once the marker is seen.
+        self.handle.state.fetch_or(CLOSED_BIT, Ordering::SeqCst);
+        let _ = self.handle.tx.send(Msg::Shutdown);
+        Some(applier.join())
+    }
+}
+
+impl Drop for RmsService {
+    fn drop(&mut self) {
+        // Unlike `shutdown`, a panicked applier is swallowed here: drops
+        // run during unwinding, and a second panic would abort the
+        // process and mask the original error.
+        let _ = self.shutdown_inner();
+    }
+}
+
+fn make_snapshot(fd: &FdRms, epoch: u64, stats: ServiceStats, mrr: Option<f64>) -> ResultSnapshot {
+    ResultSnapshot {
+        epoch,
+        result: fd.result(),
+        len: fd.len(),
+        m: fd.m(),
+        mrr,
+        stats,
+    }
+}
+
+/// Applies one coalesced batch, with the atomic-rejection fallback. The
+/// ops stay borrowed — `apply_batch_slice` clones nothing on the success
+/// path and the fallback can replay from the original.
+fn apply_batch(fd: &mut FdRms, batch: &[Op], stats: &mut ServiceStats) {
+    let n = batch.len();
+    if n == 0 {
+        return;
+    }
+    stats.last_batch_ops = n;
+    stats.max_coalesced = stats.max_coalesced.max(n);
+    let t = Instant::now();
+    match fd.apply_batch_slice(batch) {
+        Ok(report) => {
+            stats.rollup.absorb(&report);
+            stats.ops_applied += n as u64;
+            record_apply(stats, t);
+        }
+        Err(_) if n == 1 => {
+            stats.ops_rejected += 1;
+            record_apply(stats, t);
+        }
+        Err(_) => {
+            // The engine rejects a batch atomically on the first invalid
+            // op; replay individually so one bad op costs only itself.
+            record_apply(stats, t);
+            for op in batch {
+                let t = Instant::now();
+                match fd.apply_batch_slice(std::slice::from_ref(op)) {
+                    Ok(report) => {
+                        stats.rollup.absorb(&report);
+                        stats.ops_applied += 1;
+                    }
+                    Err(_) => stats.ops_rejected += 1,
+                }
+                record_apply(stats, t);
+            }
+        }
+    }
+}
+
+fn record_apply(stats: &mut ServiceStats, since: Instant) {
+    let ms = since.elapsed().as_secs_f64() * 1e3;
+    stats.last_apply_ms = ms;
+    stats.total_apply_ms += ms;
+    stats.batches += 1;
+}
+
+fn applier_loop(
+    mut fd: FdRms,
+    rx: Receiver<Msg>,
+    cell: Arc<SnapshotCell>,
+    state: Arc<AtomicUsize>,
+    cfg: ServeConfig,
+) -> FdRms {
+    let max_batch = cfg.max_batch.max(1);
+    let estimator = (cfg.mrr_directions > 0)
+        .then(|| RegretEstimator::new(fd.dim(), cfg.mrr_directions.max(fd.dim()), cfg.mrr_seed));
+    let mrr_every = cfg.mrr_every.max(1);
+    let mut stats = ServiceStats::default();
+    let mut epoch = 0u64;
+    let mut last_mrr = None;
+    loop {
+        // Block for the first message, then coalesce whatever else is
+        // already queued — the adaptive batch: size 1 under light load
+        // (the engine routes it to the classic per-op path), up to
+        // `max_batch` under sustained pressure.
+        let mut shutting_down = false;
+        let mut ops: Vec<Op> = Vec::new();
+        match rx.recv() {
+            Ok(Msg::Op(op)) => {
+                state.fetch_sub(1, Ordering::SeqCst);
+                ops.push(op);
+            }
+            Ok(Msg::Shutdown) => shutting_down = true,
+            // Every sender (service + all handles) dropped.
+            Err(_) => break,
+        }
+        while ops.len() < max_batch && !shutting_down {
+            match rx.try_recv() {
+                Ok(Msg::Op(op)) => {
+                    state.fetch_sub(1, Ordering::SeqCst);
+                    ops.push(op);
+                }
+                Ok(Msg::Shutdown) => shutting_down = true,
+                Err(_) => break,
+            }
+        }
+        if shutting_down {
+            // Drain until the submission count reaches zero, not just
+            // until the channel reads empty: every acknowledged op was
+            // counted *atomically with* observing the state word open
+            // (see `CLOSED_BIT`), and the closed bit was set before the
+            // shutdown marker was sent — so any count this loop still
+            // sees is an op that will arrive (possibly from a sender
+            // blocked on a full queue), and no new counts can appear.
+            loop {
+                match rx.try_recv() {
+                    Ok(Msg::Op(op)) => {
+                        state.fetch_sub(1, Ordering::SeqCst);
+                        ops.push(op);
+                    }
+                    Ok(Msg::Shutdown) => {}
+                    Err(_) => {
+                        if state.load(Ordering::SeqCst) & COUNT_MASK == 0 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        for chunk in ops.chunks(max_batch) {
+            apply_batch(&mut fd, chunk, &mut stats);
+        }
+        if !ops.is_empty() || shutting_down {
+            epoch += 1;
+            if let Some(est) = &estimator {
+                if epoch % mrr_every == 0 || shutting_down {
+                    let live = fd.live_points();
+                    last_mrr = Some(est.mrr(&live, &fd.result(), fd.k()));
+                }
+            }
+            stats.queue_depth = state.load(Ordering::Relaxed) & COUNT_MASK;
+            cell.store(make_snapshot(&fd, epoch, stats, last_mrr));
+        }
+        if shutting_down {
+            break;
+        }
+    }
+    fd
+}

@@ -1,0 +1,105 @@
+//! Immutable, versioned result snapshots and the swap cell that
+//! publishes them.
+
+use fdrms::BatchRollup;
+use rms_geom::{Point, PointId};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Aggregate service instrumentation carried on every snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Operations applied to the engine (accepted by validation).
+    pub ops_applied: u64,
+    /// Operations rejected by validation (duplicate insert, unknown
+    /// delete/update, dimension mismatch).
+    pub ops_rejected: u64,
+    /// `apply_batch` calls the applier issued (coalesced batches, plus
+    /// one per op replayed after an atomically rejected batch).
+    pub batches: u64,
+    /// Operation count of the most recent coalesced batch.
+    pub last_batch_ops: usize,
+    /// Largest batch the applier ever coalesced from the queue.
+    pub max_coalesced: usize,
+    /// Wall-clock of the most recent apply, milliseconds.
+    pub last_apply_ms: f64,
+    /// Total wall-clock spent inside `apply_batch`, milliseconds.
+    pub total_apply_ms: f64,
+    /// Ops sitting in the ingestion queue when the snapshot was
+    /// published (including submitters blocked on backpressure).
+    pub queue_depth: usize,
+    /// Engine-level roll-up across every applied batch.
+    pub rollup: BatchRollup,
+}
+
+impl ServiceStats {
+    /// Mean `apply_batch` wall-clock, milliseconds (0 before any batch).
+    pub fn avg_apply_ms(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.total_apply_ms / self.batches as f64
+        }
+    }
+}
+
+/// One published state of the service: everything a reader needs, frozen
+/// at a batch boundary. Snapshots are immutable and shared by `Arc`, so
+/// holding one never blocks the applier or other readers.
+#[derive(Debug, Clone)]
+pub struct ResultSnapshot {
+    /// Publication version: 0 is the initial build, +1 per applied batch.
+    /// Strictly monotone across the snapshots any single reader observes.
+    pub epoch: u64,
+    /// The maintained k-RMS solution `Q`, sorted by id.
+    pub result: Vec<Point>,
+    /// Live tuples `n` at publication.
+    pub len: usize,
+    /// Set-cover universe size `m` at publication.
+    pub m: usize,
+    /// Latest Monte-Carlo estimate of the max k-regret ratio of `result`
+    /// (refreshed every `mrr_every` epochs when the service was
+    /// configured with `mrr_directions > 0`; `None` otherwise).
+    pub mrr: Option<f64>,
+    /// Aggregate service instrumentation at publication.
+    pub stats: ServiceStats,
+}
+
+impl ResultSnapshot {
+    /// Ids of the published solution, sorted ascending.
+    pub fn result_ids(&self) -> Vec<PointId> {
+        self.result.iter().map(Point::id).collect()
+    }
+}
+
+/// The single-writer publication cell: the applier swaps a fresh
+/// `Arc<ResultSnapshot>` in after every batch; readers clone the `Arc`
+/// out. The lock is held only for the pointer clone/swap — never while a
+/// snapshot is built or a batch is applied — so readers are decoupled
+/// from maintenance (`std` offers no safe lock-free `Arc` swap and the
+/// workspace forbids `unsafe`; the nanosecond-scale critical section is
+/// the closest safe equivalent).
+#[derive(Debug)]
+pub(crate) struct SnapshotCell {
+    slot: RwLock<Arc<ResultSnapshot>>,
+}
+
+impl SnapshotCell {
+    pub(crate) fn new(initial: ResultSnapshot) -> Self {
+        Self {
+            slot: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// The most recently published snapshot.
+    pub(crate) fn load(&self) -> Arc<ResultSnapshot> {
+        self.slot
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publishes a new snapshot.
+    pub(crate) fn store(&self, snapshot: ResultSnapshot) {
+        *self.slot.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+    }
+}

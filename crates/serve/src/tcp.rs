@@ -1,0 +1,161 @@
+//! A `std::net`-only TCP front end over [`RmsService`], speaking the
+//! [line protocol](crate::protocol).
+
+use crate::protocol::{parse_request, Request};
+use crate::service::{RmsHandle, RmsService};
+use crate::snapshot::ResultSnapshot;
+use fdrms::FdRms;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A TCP server wrapping a running [`RmsService`]: one thread per
+/// connection, all of them feeding the single ingestion queue and
+/// reading the shared snapshot cell.
+#[derive(Debug)]
+pub struct RmsServer {
+    listener: TcpListener,
+    service: RmsService,
+}
+
+impl RmsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for an ephemeral
+    /// port — see [`RmsServer::local_addr`]) around a started service.
+    pub fn bind(addr: impl ToSocketAddrs, service: RmsService) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            service,
+        })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves connections until a client issues `SHUTDOWN`, then drains
+    /// the ingestion queue gracefully and returns the final engine state.
+    /// Connections still open at shutdown see `ERR service has shut
+    /// down` for further mutations.
+    pub fn run(self) -> std::io::Result<FdRms> {
+        let addr = self.listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let dim = self.service.dim();
+        for stream in self.listener.incoming() {
+            if shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(_) => {
+                    // Transient (ECONNABORTED) and persistent (EMFILE)
+                    // accept failures alike: back off instead of spinning
+                    // the accept loop at 100% CPU — but re-check the
+                    // shutdown flag first, since the failed accept may
+                    // have been the SHUTDOWN handler's nudge connection.
+                    if shutdown.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            };
+            let handle = self.service.handle();
+            let flag = Arc::clone(&shutdown);
+            // Connection threads are detached: they die with the process
+            // (CLI) or when their client hangs up (tests), and after
+            // shutdown every submit they attempt fails cleanly.
+            let _ = std::thread::Builder::new()
+                .name("rms-conn".into())
+                .spawn(move || handle_connection(stream, handle, dim, flag, addr));
+        }
+        Ok(self.service.shutdown())
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    handle: RmsHandle,
+    dim: usize,
+    shutdown: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    for line in BufReader::new(read_half).lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = match parse_request(&line, dim) {
+            Err(msg) => format!("ERR {msg}"),
+            Ok(Request::Shutdown) => {
+                shutdown.store(true, Ordering::Release);
+                let _ = writeln!(writer, "OK shutting down");
+                // Nudge the accept loop so it observes the flag. A
+                // wildcard bind reports the unspecified address, which
+                // is not connectable everywhere — nudge via loopback.
+                let mut nudge = addr;
+                if nudge.ip().is_unspecified() {
+                    nudge.set_ip(match nudge {
+                        SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                        SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+                    });
+                }
+                let _ = TcpStream::connect(nudge);
+                return;
+            }
+            // `submit` blocks on a full queue (backpressure propagates to
+            // the client as a delayed reply); the only error it returns
+            // is a shut-down service.
+            Ok(Request::Submit(op)) => match handle.submit(op) {
+                Ok(()) => "OK queued".to_string(),
+                Err(e) => format!("ERR {e}"),
+            },
+            Ok(Request::Query) => format_query(&handle.snapshot()),
+            Ok(Request::Stats) => format_stats(&handle.snapshot(), handle.queue_depth()),
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            break;
+        }
+    }
+}
+
+fn format_query(snap: &ResultSnapshot) -> String {
+    let ids: Vec<String> = snap.result.iter().map(|p| p.id().to_string()).collect();
+    format!(
+        "OK epoch={} n={} r={} ids={}",
+        snap.epoch,
+        snap.len,
+        snap.result.len(),
+        ids.join(",")
+    )
+}
+
+fn format_stats(snap: &ResultSnapshot, queue_depth: usize) -> String {
+    let s = &snap.stats;
+    let mut out = format!(
+        "OK epoch={} n={} m={} r={} queue_depth={} batches={} ops_applied={} \
+         ops_rejected={} last_batch={} max_coalesced={} avg_apply_ms={:.4} last_apply_ms={:.4}",
+        snap.epoch,
+        snap.len,
+        snap.m,
+        snap.result.len(),
+        queue_depth,
+        s.batches,
+        s.ops_applied,
+        s.ops_rejected,
+        s.last_batch_ops,
+        s.max_coalesced,
+        s.avg_apply_ms(),
+        s.last_apply_ms,
+    );
+    if let Some(mrr) = snap.mrr {
+        out.push_str(&format!(" mrr={mrr:.5}"));
+    }
+    out
+}

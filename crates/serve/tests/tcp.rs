@@ -1,0 +1,121 @@
+//! Loopback round-trip of the TCP line protocol, including
+//! malformed-input error replies and graceful shutdown.
+
+use fdrms::FdRms;
+use rms_geom::Point;
+use rms_serve::{RmsServer, RmsService, ServeConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("loopback connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        Self {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, request: &str) -> String {
+        writeln!(self.writer, "{request}").expect("write request");
+        let mut line = String::new();
+        self.reader.read_line(&mut line).expect("read reply");
+        line.trim_end().to_string()
+    }
+}
+
+/// Extracts `key=value` fields from an `OK key=… key=…` reply.
+fn field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
+    reply
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+}
+
+#[test]
+fn loopback_protocol_round_trip() {
+    let d = 2;
+    let initial: Vec<Point> = (0..50)
+        .map(|i| Point::new_unchecked(i, vec![(i as f64) / 50.0, 1.0 - (i as f64) / 50.0]))
+        .collect();
+    let service = RmsService::start(
+        FdRms::builder(d).r(4).max_utilities(64).seed(3),
+        initial,
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let server = RmsServer::bind("127.0.0.1:0", service).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let server = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect(addr);
+
+    // Reads work immediately off the epoch-0 snapshot.
+    let reply = client.roundtrip("QUERY");
+    assert!(reply.starts_with("OK epoch="), "{reply}");
+    assert_eq!(field(&reply, "n"), Some("50"));
+
+    // Mutations are acknowledged at enqueue time…
+    assert_eq!(client.roundtrip("INSERT 5000 0.9 0.9"), "OK queued");
+    assert_eq!(client.roundtrip("DELETE 0"), "OK queued");
+    assert_eq!(client.roundtrip("UPDATE 1 0.5 0.6"), "OK queued");
+    // …and an invalid op (unknown id) is accepted here but rejected by
+    // engine validation, visible in STATS.
+    assert_eq!(client.roundtrip("DELETE 99999"), "OK queued");
+
+    // Await visibility: ops_applied=3, ops_rejected=1.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let stats = loop {
+        let reply = client.roundtrip("STATS");
+        assert!(reply.starts_with("OK "), "{reply}");
+        if field(&reply, "ops_applied") == Some("3") && field(&reply, "ops_rejected") == Some("1") {
+            break reply;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ops never became visible: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(field(&stats, "n"), Some("50")); // 50 + 1 − 1
+    let epoch: u64 = field(&stats, "epoch").unwrap().parse().unwrap();
+    assert!(epoch >= 1);
+
+    // Malformed input never kills the connection: each bad line gets an
+    // ERR reply and the next request still works.
+    for bad in [
+        "FROB",
+        "INSERT",
+        "INSERT 1 0.5",
+        "INSERT x 0.5 0.5",
+        "INSERT 2 0.5 nope",
+        "INSERT 2 -1 0.5",
+        "DELETE",
+        "DELETE 1 2",
+        "QUERY now",
+    ] {
+        let reply = client.roundtrip(bad);
+        assert!(reply.starts_with("ERR "), "`{bad}` → {reply}");
+    }
+    let reply = client.roundtrip("QUERY");
+    assert!(reply.starts_with("OK epoch="), "{reply}");
+
+    // A second concurrent connection shares the same service.
+    let mut other = Client::connect(addr);
+    assert!(other.roundtrip("STATS").starts_with("OK "));
+
+    // Graceful shutdown: the queue drains and the engine comes back.
+    assert_eq!(client.roundtrip("SHUTDOWN"), "OK shutting down");
+    let fd = server.join().expect("server thread");
+    assert!(fd.contains(5000));
+    assert!(!fd.contains(0));
+    fd.check_invariants().unwrap();
+}

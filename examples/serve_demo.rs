@@ -1,0 +1,109 @@
+//! In-process tour of the serving subsystem: a writer thread streams
+//! updates through an `RmsService` while the main thread reads published
+//! snapshots — no TCP involved, just the queue → applier → snapshot
+//! pipeline (run `krms serve` for the network front end over the same
+//! machinery).
+//!
+//! ```sh
+//! cargo run --release --example serve_demo
+//! ```
+
+use krms::prelude::*;
+use krms::serve::ServeConfig;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+const N: usize = 2_000;
+const D: usize = 4;
+const R: usize = 8;
+const OPS: usize = 6_000;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let initial = krms::data::generators::independent(&mut rng, N, D);
+
+    let service = RmsService::start(
+        FdRms::builder(D)
+            .r(R)
+            .epsilon(0.03)
+            .max_utilities(1 << 10)
+            .seed(3),
+        initial.clone(),
+        ServeConfig {
+            queue_capacity: 512,
+            max_batch: 256,
+            mrr_directions: 2_000, // publish regret estimates…
+            mrr_every: 8,          // …every 8 epochs
+            ..ServeConfig::default()
+        },
+    )
+    .expect("valid configuration");
+
+    // Writer: steady churn (insert a fresh tuple / retire the oldest),
+    // blocking on queue backpressure when it outruns the applier.
+    let writer = {
+        let handle = service.handle();
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(23);
+            let mut live: VecDeque<PointId> = (0..N as PointId).collect();
+            let mut next: PointId = 1_000_000;
+            for i in 0..OPS {
+                let op = if i % 2 == 0 {
+                    let p = Point::new_unchecked(next, (0..D).map(|_| rng.gen()).collect());
+                    live.push_back(next);
+                    next += 1;
+                    Op::Insert(p)
+                } else {
+                    Op::Delete(live.pop_front().expect("window never drains"))
+                };
+                handle.submit(op).expect("service alive");
+            }
+        })
+    };
+
+    // Reader: poll the snapshot cell while ingestion runs. Reads are an
+    // `Arc` clone — they never wait on the applier.
+    println!("elapsed_ms  epoch  queue  n_live  |Q|   mrr     applied");
+    let handle = service.handle();
+    let start = Instant::now();
+    let mut last_epoch = u64::MAX;
+    while !writer.is_finished() {
+        let snap = handle.snapshot();
+        if snap.epoch != last_epoch {
+            last_epoch = snap.epoch;
+            println!(
+                "{:>10.1}  {:>5}  {:>5}  {:>6}  {:>3}   {}  {:>7}",
+                start.elapsed().as_secs_f64() * 1e3,
+                snap.epoch,
+                handle.queue_depth(),
+                snap.len,
+                snap.result.len(),
+                snap.mrr.map_or("  –  ".into(), |m| format!("{m:.3}")),
+                snap.stats.ops_applied,
+            );
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    writer.join().expect("writer thread");
+
+    // Graceful shutdown drains everything still queued and returns the
+    // engine for a final audit.
+    let fd = service.shutdown();
+    let snap = handle.snapshot();
+    println!(
+        "\ndrained: epoch={}, {} ops applied ({} rejected), max batch {}, avg apply {:.2} ms",
+        snap.epoch,
+        snap.stats.ops_applied,
+        snap.stats.ops_rejected,
+        snap.stats.max_coalesced,
+        snap.stats.avg_apply_ms(),
+    );
+    let est = RegretEstimator::new(D, 20_000, 99);
+    println!(
+        "final: n={}, |Q|={}, mrr_1={:.4}",
+        fd.len(),
+        fd.result().len(),
+        est.mrr(&fd.live_points(), &fd.result(), 1)
+    );
+}

@@ -5,6 +5,7 @@
 //! krms generate --dataset AntiCor --n 10000 --d 6 --out data.krms
 //! krms run      --in data.krms --algo FD-RMS --r 10 [--k 1] [--eps 0.02]
 //! krms workload --in data.krms --algo FD-RMS --r 10 [--ops 500]
+//! krms serve    --in data.krms --r 10 [--addr 127.0.0.1:7878]
 //! krms skyline  --in data.krms
 //! ```
 //!
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "run" => cmd_run(&flags),
         "workload" => cmd_workload(&flags),
+        "serve" => cmd_serve(&flags),
         "skyline" => cmd_skyline(&flags),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -57,6 +59,11 @@ USAGE:
   krms workload --in FILE --algo ALGO --r R [--k K] [--ops N] [--eval N]
                 [--batch B]   (B > 1 streams FD-RMS updates through the
                                batch engine, B operations at a time)
+  krms serve    --in FILE --r R [--k K] [--eps E] [--max-m M]
+                [--addr HOST:PORT] [--queue Q] [--max-batch B]
+                [--mrr-dirs N]   (TCP front end over RmsService; line
+                                  protocol: INSERT/DELETE/UPDATE/QUERY/
+                                  STATS/SHUTDOWN, one reply per line)
   krms skyline  --in FILE
 
 ALGO: FD-RMS | Greedy | GeoGreedy | Greedy* | DMM-RRMS | DMM-Greedy |
@@ -344,6 +351,53 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use krms::serve::{RmsServer, RmsService, ServeConfig};
+
+    let points = load_points(flags)?;
+    let d = points.first().map(Point::dim).ok_or("empty dataset")?;
+    let r: usize = get(flags, "r", 10)?;
+    let k: usize = get(flags, "k", 1)?;
+    let eps: f64 = get(flags, "eps", 0.02)?;
+    let max_m: usize = get(flags, "max-m", 1 << 12)?;
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let cfg = ServeConfig {
+        queue_capacity: get(flags, "queue", 1024usize)?,
+        max_batch: get(flags, "max-batch", 512usize)?,
+        mrr_directions: get(flags, "mrr-dirs", 0usize)?,
+        ..ServeConfig::default()
+    };
+
+    let n = points.len();
+    let service = RmsService::start(
+        FdRms::builder(d)
+            .k(k)
+            .r(r)
+            .epsilon(eps)
+            .max_utilities(max_m),
+        points,
+        cfg,
+    )
+    .map_err(|e| e.to_string())?;
+    let server = RmsServer::bind(&addr, service).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "serving FD-RMS (n = {n}, d = {d}, k = {k}, r = {r}, eps = {eps}) on {}",
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    println!("protocol: INSERT <id> <v1..vd> | DELETE <id> | UPDATE <id> <v1..vd> | QUERY | STATS | SHUTDOWN");
+    let fd = server.run().map_err(|e| e.to_string())?;
+    println!(
+        "shut down after {} ops; final n = {}, |Q| = {}",
+        fd.operations(),
+        fd.len(),
+        fd.result().len()
+    );
     Ok(())
 }
 

@@ -39,6 +39,7 @@ pub use rms_eval as eval;
 pub use rms_geom as geom;
 pub use rms_index as index;
 pub use rms_lp as lp;
+pub use rms_serve as serve;
 pub use rms_setcover as setcover;
 pub use rms_skyline as skyline;
 
@@ -48,6 +49,7 @@ pub mod prelude {
     pub use crate::engine_ops;
     pub use crate::eval::{max_regret_ratio, RegretEstimator};
     pub use crate::geom::{Point, PointId, Utility};
+    pub use crate::serve::{ResultSnapshot, RmsHandle, RmsServer, RmsService, ServeConfig};
     pub use crate::skyline::{skyline, DynamicSkyline};
 }
 
