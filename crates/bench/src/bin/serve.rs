@@ -18,10 +18,20 @@
 //! latency (an `Arc` clone) regardless of write pressure, while the
 //! blocking loop's readers stall behind maintenance.
 //!
+//! A third discipline measures scale-out:
+//!
+//! * **sharded** — `rms_serve::ShardedRmsService`: `S` independent
+//!   appliers, each owning the id partition `id % S`, one writer thread
+//!   per shard, readers merging the per-shard snapshots. The headline
+//!   here is ingestion throughput versus the single applier at equal
+//!   result quality (both report the Monte-Carlo max-regret-ratio of
+//!   their final solution).
+//!
 //! ```sh
 //! cargo run --release -p rms-bench --bin serve -- \
 //!     [--n N] [--d D] [--k K] [--r R] [--eps E] [--max-m M]
 //!     [--readers T] [--secs S] [--read-qps Q]   (Q=0: readers spin)
+//!     [--shards S]                              (0 disables the sharded phase)
 //! ```
 //!
 //! Set `KRMS_BENCH_SMOKE=1` (as CI does) for a sub-second configuration
@@ -30,8 +40,9 @@
 use fdrms::{FdRms, Op};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use rms_data::generators;
+use rms_eval::RegretEstimator;
 use rms_geom::{Point, PointId};
-use rms_serve::{RmsService, ServeConfig};
+use rms_serve::{RmsService, ServeConfig, ShardedRmsService};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -47,10 +58,13 @@ fn flag<T: std::str::FromStr>(name: &str, default: T) -> T {
 }
 
 /// Endless steady-state churn: alternating fresh inserts and deletions
-/// of the oldest live tuple, database size constant.
+/// of the oldest live tuple, database size constant. `partition` builds
+/// a stream confined to one residue class of `id % shards`, so per-shard
+/// writer threads manage disjoint id sets.
 struct OpStream {
     live: VecDeque<PointId>,
     next: PointId,
+    step: u64,
     rng: StdRng,
     d: usize,
     flip: bool,
@@ -58,9 +72,18 @@ struct OpStream {
 
 impl OpStream {
     fn new(initial: &[Point], d: usize, seed: u64) -> Self {
+        Self::partition(initial, d, seed, 0, 1)
+    }
+
+    fn partition(initial: &[Point], d: usize, seed: u64, shard: u64, shards: u64) -> Self {
         Self {
-            live: initial.iter().map(Point::id).collect(),
-            next: 10_000_000,
+            live: initial
+                .iter()
+                .map(Point::id)
+                .filter(|id| id % shards == shard)
+                .collect(),
+            next: 10_000_000 + shard,
+            step: shards,
             rng: StdRng::seed_from_u64(seed),
             d,
             flip: false,
@@ -72,7 +95,7 @@ impl OpStream {
         if self.flip {
             let p = Point::new_unchecked(self.next, (0..self.d).map(|_| self.rng.gen()).collect());
             self.live.push_back(self.next);
-            self.next += 1;
+            self.next += self.step;
             Op::Insert(p)
         } else {
             Op::Delete(self.live.pop_front().expect("database never drains"))
@@ -165,23 +188,143 @@ struct PhaseOutcome {
     ops_applied: u64,
     reads: ReadTally,
     secs: f64,
+    /// Monte-Carlo max-regret-ratio of the final published solution
+    /// against the final live database — the "equal result quality"
+    /// check across disciplines.
+    mrr: f64,
     detail: String,
 }
 
 fn report(name: &str, o: &PhaseOutcome) {
     println!(
-        "{name:<9}  {:>9.0}   {:>12.0}   {:>12.2}   {:>10.2}   {:>10.2}   {}",
+        "{name:<9}  {:>9.0}   {:>12.0}   {:>12.2}   {:>10.2}   {:>10.2}   {:>7.4}   {}",
         o.ops_applied as f64 / o.secs,
         o.reads.queries as f64 / o.secs,
         o.reads.mean_us(),
         o.reads.quantile_us(0.99),
         o.reads.quantile_us(0.999),
+        o.mrr,
         o.detail
     );
 }
 
+/// Sharded discipline: `S` independent appliers behind the id router,
+/// one writer thread per shard, readers merging per-shard snapshots.
+fn run_sharded(
+    initial: &[Point],
+    sc: Scenario,
+    shards: usize,
+    est: &RegretEstimator,
+) -> PhaseOutcome {
+    let Scenario {
+        d,
+        k,
+        r,
+        eps,
+        max_m,
+        readers,
+        pace,
+        window,
+    } = sc;
+    let service = ShardedRmsService::start(
+        FdRms::builder(d)
+            .k(k)
+            .r(r)
+            .epsilon(eps)
+            .max_utilities(max_m)
+            .seed(7),
+        initial.to_vec(),
+        ServeConfig {
+            queue_capacity: 4_096,
+            max_batch: 1_024,
+            ..ServeConfig::default()
+        },
+        shards,
+    )
+    .expect("valid bench configuration");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let reader_handles: Vec<_> = (0..readers)
+        .map(|_| {
+            let handle = service.handle();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut tally = ReadTally::default();
+                let mut last_epochs: Vec<u64> = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let snap = handle.snapshot();
+                    tally.record(t.elapsed());
+                    if !last_epochs.is_empty() {
+                        assert!(
+                            snap.epochs.iter().zip(&last_epochs).all(|(n, l)| n >= l),
+                            "per-shard epochs regressed"
+                        );
+                    }
+                    last_epochs = snap.epochs.clone();
+                    if !pace.is_zero() {
+                        std::thread::sleep(pace);
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    // One writer per shard, each confined to its own id residue class
+    // (its slice of the initial ids plus a disjoint fresh-id sequence),
+    // all submitting until the window closes.
+    let streams: Vec<OpStream> = (0..shards)
+        .map(|w| OpStream::partition(initial, d, 99 + w as u64, w as u64, shards as u64))
+        .collect();
+    let start = Instant::now();
+    let writer_handles: Vec<_> = streams
+        .into_iter()
+        .map(|mut stream| {
+            let handle = service.handle();
+            std::thread::spawn(move || {
+                let mut submitted = 0u64;
+                while start.elapsed() < window {
+                    handle.submit(stream.next_op()).expect("service alive");
+                    submitted += 1;
+                }
+                submitted
+            })
+        })
+        .collect();
+    let submitted: u64 = writer_handles
+        .into_iter()
+        .map(|h| h.join().expect("writer thread"))
+        .sum();
+    let handle = service.handle();
+    let fds = service.shutdown();
+    let secs = start.elapsed().as_secs_f64();
+    stop.store(true, Ordering::Relaxed);
+    let tallies: Vec<ReadTally> = reader_handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .collect();
+    let snap = handle.snapshot();
+    assert_eq!(snap.stats.ops_rejected, 0);
+    assert_eq!(snap.stats.ops_applied, submitted);
+    let live: Vec<Point> = fds.iter().flat_map(FdRms::live_points).collect();
+    let mrr = est.mrr(&live, &snap.result, k);
+    PhaseOutcome {
+        ops_applied: snap.stats.ops_applied,
+        reads: ReadTally::merge(&tallies),
+        secs,
+        mrr,
+        detail: format!(
+            "shards={shards} epochs={:?} max_coalesced={} avg_apply_ms={:.3}",
+            snap.epochs,
+            snap.stats.max_coalesced,
+            snap.stats.avg_apply_ms()
+        ),
+    }
+}
+
 /// Service discipline: applier thread + snapshot readers.
-fn run_service(initial: &[Point], sc: Scenario) -> PhaseOutcome {
+fn run_service(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> PhaseOutcome {
     let Scenario {
         d,
         k,
@@ -246,11 +389,13 @@ fn run_service(initial: &[Point], sc: Scenario) -> PhaseOutcome {
         .collect();
     let snap = handle.snapshot();
     assert_eq!(snap.stats.ops_rejected, 0);
+    let mrr = est.mrr(&fd.live_points(), &snap.result, sc.k);
     drop(fd);
     PhaseOutcome {
         ops_applied: snap.stats.ops_applied,
         reads: ReadTally::merge(&tallies),
         secs,
+        mrr,
         detail: format!(
             "epochs={} max_coalesced={} avg_apply_ms={:.3}",
             snap.epoch,
@@ -262,7 +407,7 @@ fn run_service(initial: &[Point], sc: Scenario) -> PhaseOutcome {
 
 /// Blocking discipline: one engine behind a mutex, per-op writer, readers
 /// locking for every query.
-fn run_blocking(initial: &[Point], sc: Scenario) -> PhaseOutcome {
+fn run_blocking(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> PhaseOutcome {
     let Scenario {
         d,
         k,
@@ -323,20 +468,25 @@ fn run_blocking(initial: &[Point], sc: Scenario) -> PhaseOutcome {
         .into_iter()
         .map(|h| h.join().expect("reader thread"))
         .collect();
+    let mrr = {
+        let guard = fd.lock().expect("engine lock");
+        est.mrr(&guard.live_points(), &guard.result(), sc.k)
+    };
     PhaseOutcome {
         ops_applied: applied,
         reads: ReadTally::merge(&tallies),
         secs,
+        mrr,
         detail: String::new(),
     }
 }
 
 fn main() {
     let smoke = std::env::var_os("KRMS_BENCH_SMOKE").is_some();
-    let (n_def, max_m_def, secs_def, readers_def) = if smoke {
-        (400usize, 256usize, 0.25f64, 2usize)
+    let (n_def, max_m_def, secs_def, readers_def, shards_def) = if smoke {
+        (400usize, 256usize, 0.25f64, 2usize, 2usize)
     } else {
-        (5_000, 1 << 12, 2.0, 4)
+        (5_000, 1 << 12, 2.0, 4, 4)
     };
     let n: usize = flag("--n", n_def);
     let d: usize = flag("--d", 6);
@@ -346,6 +496,7 @@ fn main() {
     let max_m: usize = flag("--max-m", max_m_def);
     let readers: usize = flag("--readers", readers_def);
     let secs: f64 = flag("--secs", secs_def);
+    let shards: usize = flag("--shards", shards_def);
     // Per-reader pacing: by default each reader issues ~2 000 queries/s
     // (a steady serving load) so reader CPU pressure does not drown the
     // applier on small hosts; `--read-qps 0` makes readers spin flat out
@@ -365,9 +516,10 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(42);
     let initial = generators::independent(&mut rng, n, d);
+    let est = RegretEstimator::new(d, if smoke { 500 } else { 2_000 }.max(d), 0xE7A1);
 
     println!(
-        "\ndiscipline  writes_per_s   reads_per_s   read_mean_us   read_p99_us   read_p999_us   notes"
+        "\ndiscipline  writes_per_s   reads_per_s   read_mean_us   read_p99_us   read_p999_us   mrr_{k}   notes"
     );
     let scenario = Scenario {
         d,
@@ -379,10 +531,15 @@ fn main() {
         pace,
         window,
     };
-    let blocking = run_blocking(&initial, scenario);
+    let blocking = run_blocking(&initial, scenario, &est);
     report("blocking", &blocking);
-    let service = run_service(&initial, scenario);
+    let service = run_service(&initial, scenario, &est);
     report("service", &service);
+    let sharded = (shards > 1).then(|| {
+        let outcome = run_sharded(&initial, scenario, shards, &est);
+        report("sharded", &outcome);
+        outcome
+    });
 
     if blocking.reads.queries > 0 && service.reads.queries > 0 {
         println!(
@@ -392,6 +549,18 @@ fn main() {
             blocking.reads.quantile_us(0.999) / service.reads.quantile_us(0.999).max(1e-9),
             (service.ops_applied as f64 / service.secs)
                 / (blocking.ops_applied as f64 / blocking.secs).max(1.0),
+        );
+    }
+    if let Some(sharded) = sharded {
+        println!(
+            "sharded ingestion: {:.2}x the single applier ({:.0} vs {:.0} writes/s) \
+             at mrr {:.4} vs {:.4}",
+            (sharded.ops_applied as f64 / sharded.secs)
+                / (service.ops_applied as f64 / service.secs).max(1.0),
+            sharded.ops_applied as f64 / sharded.secs,
+            service.ops_applied as f64 / service.secs,
+            sharded.mrr,
+            service.mrr,
         );
     }
 }

@@ -306,15 +306,17 @@ impl FdRms {
     /// equal-attributes short-circuit. Returns `false` when the update was
     /// a no-op.
     pub(crate) fn update_one(&mut self, p: Point) -> Result<bool, FdRmsError> {
-        let Some(stored) = self.points.get(&p.id()) else {
-            return Err(FdRmsError::UnknownId(p.id()));
-        };
+        // Dimension before id-existence, the uniform precedence across
+        // every verb and both the single-op and batched paths.
         if p.dim() != self.d {
             return Err(FdRmsError::DimensionMismatch {
                 expected: self.d,
                 got: p.dim(),
             });
         }
+        let Some(stored) = self.points.get(&p.id()) else {
+            return Err(FdRmsError::UnknownId(p.id()));
+        };
         if stored.coords() == p.coords() {
             return Ok(false);
         }

@@ -176,6 +176,24 @@ impl BatchRollup {
         self.stabilize_moves += r.stabilize_moves;
         self.max_batch_ops = self.max_batch_ops.max(r.ops);
     }
+
+    /// Folds another roll-up into this one (counters sum, high-water
+    /// marks take the max) — the sharded serving layer aggregates one
+    /// roll-up per shard into the published aggregate snapshot.
+    pub fn merge(&mut self, other: &BatchRollup) {
+        self.batches += other.batches;
+        self.ops += other.ops;
+        self.inserted += other.inserted;
+        self.deleted += other.deleted;
+        self.updated += other.updated;
+        self.noop_updates += other.noop_updates;
+        self.affected_utilities += other.affected_utilities;
+        self.requeried_utilities += other.requeried_utilities;
+        self.membership_additions += other.membership_additions;
+        self.membership_removals += other.membership_removals;
+        self.stabilize_moves += other.stabilize_moves;
+        self.max_batch_ops = self.max_batch_ops.max(other.max_batch_ops);
+    }
 }
 
 /// One affected utility's recomputed state, produced by a shard worker:
@@ -465,6 +483,15 @@ impl FdRms {
                     op_count += 1;
                 }
                 Op::Update(p) => {
+                    // Dimension before id-existence, matching `Op::Insert`:
+                    // the error a malformed op yields must not depend on
+                    // the verb.
+                    if p.dim() != self.d {
+                        return Err(FdRmsError::DimensionMismatch {
+                            expected: self.d,
+                            got: p.dim(),
+                        });
+                    }
                     let stored = match overlay.get(&p.id()) {
                         Some(o) => o.as_ref(),
                         None => self.points.get(&p.id()),
@@ -472,12 +499,6 @@ impl FdRms {
                     let Some(stored) = stored else {
                         return Err(FdRmsError::UnknownId(p.id()));
                     };
-                    if p.dim() != self.d {
-                        return Err(FdRmsError::DimensionMismatch {
-                            expected: self.d,
-                            got: p.dim(),
-                        });
-                    }
                     if stored.coords() == p.coords() {
                         report.noop_updates += 1;
                     } else {
@@ -937,6 +958,44 @@ mod tests {
             }
         );
         assert_eq!(fd.len(), 40);
+        fd.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn validation_precedence_is_uniform_across_verbs() {
+        // A mixed bad op — wrong dimension AND unknown/duplicate id —
+        // must yield the same error class regardless of verb: dimension
+        // is checked first, on the batched and the single-op path alike.
+        let pts = random_points(15, 30, 2);
+        let mut fd = builder(2).build(pts.clone()).unwrap();
+        let dim_err = FdRmsError::DimensionMismatch {
+            expected: 2,
+            got: 3,
+        };
+        // Unknown id + wrong dimension.
+        let bad_unknown = Point::new_unchecked(9_999, vec![0.1, 0.2, 0.3]);
+        // Live id (update) / duplicate id (insert) + wrong dimension.
+        let bad_live = Point::new_unchecked(0, vec![0.1, 0.2, 0.3]);
+        for op in [
+            Op::Insert(bad_unknown.clone()),
+            Op::Insert(bad_live.clone()),
+            Op::Update(bad_unknown.clone()),
+            Op::Update(bad_live.clone()),
+        ] {
+            // Batched path (a companion op forces the multi-op route).
+            assert_eq!(
+                fd.apply_batch(vec![Op::Delete(1), op.clone()]).unwrap_err(),
+                dim_err,
+                "batched {op:?}"
+            );
+            // Single-op path.
+            assert_eq!(
+                fd.apply_batch(vec![op.clone()]).unwrap_err(),
+                dim_err,
+                "single {op:?}"
+            );
+        }
+        assert_eq!(fd.len(), 30, "failed validation must not mutate");
         fd.check_invariants().unwrap();
     }
 

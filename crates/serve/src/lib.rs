@@ -27,6 +27,17 @@
 //!   [line protocol](crate::protocol) (`INSERT`/`DELETE`/`UPDATE`/
 //!   `QUERY`/`STATS`/`SHUTDOWN`) over the same handles, wired into the
 //!   `krms serve` CLI subcommand.
+//! * [`ShardedRmsService`] scales ingestion across cores: `S`
+//!   independent services, each owning the id partition `id % S`,
+//!   behind a router with the same submit/snapshot/shutdown surface.
+//!   Reads merge the per-shard solutions into one
+//!   [`AggregateSnapshot`] (per-shard epochs, summed stats, union
+//!   re-trimmed to `r`).
+//! * An optional [write-ahead log](crate::wal) makes acknowledgements
+//!   durable: every acknowledged op is framed into an append-only log
+//!   *before* its acknowledgement ([`RmsService::start_with_wal`]),
+//!   replayed on the next start after an unclean death; graceful
+//!   shutdown compacts the log to a checkpoint.
 //!
 //! ## Example
 //!
@@ -61,9 +72,12 @@
 
 pub mod protocol;
 mod service;
+mod sharded;
 mod snapshot;
 pub mod tcp;
+pub mod wal;
 
-pub use service::{RmsHandle, RmsService, ServeConfig, SubmitError};
+pub use service::{RmsHandle, RmsService, ServeConfig, ServeError, SubmitError};
+pub use sharded::{AggregateSnapshot, ShardedHandle, ShardedRmsService};
 pub use snapshot::{ResultSnapshot, ServiceStats};
 pub use tcp::RmsServer;

@@ -14,9 +14,16 @@
 //!
 //! Mutations are acknowledged at *enqueue* time and applied
 //! asynchronously; `STATS` exposes `ops_applied`/`ops_rejected` so a
-//! client can await visibility. Malformed input never kills the
-//! connection — the reply is `ERR <reason>` and the next line is parsed
-//! fresh.
+//! client can await visibility (plus `replayed_batches` and
+//! `wal_recovered` when relevant). On a WAL-backed server the
+//! acknowledgement additionally means the op is on the log. Malformed
+//! input never kills the connection — the reply is `ERR <reason>` and
+//! the next line is parsed fresh.
+//!
+//! Against a sharded backend the verbs are identical; `QUERY`/`STATS`
+//! report the per-shard epoch vector (`epochs=e0,e1,…` plus `shards=S`
+//! in `STATS`) instead of the single `epoch=E`, and the reported
+//! solution is the merged aggregate.
 
 use fdrms::Op;
 use rms_geom::{Point, PointId};

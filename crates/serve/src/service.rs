@@ -1,13 +1,16 @@
 //! The ingestion service: a dedicated applier thread over a bounded op
-//! queue, publishing immutable snapshots after every coalesced batch.
+//! queue, publishing immutable snapshots after every coalesced batch,
+//! with an optional write-ahead log for crash durability.
 
 use crate::snapshot::{ResultSnapshot, ServiceStats, SnapshotCell};
+use crate::wal::Wal;
 use fdrms::{FdRms, FdRmsBuilder, FdRmsError, Op};
 use rms_eval::RegretEstimator;
 use rms_geom::Point;
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -30,6 +33,13 @@ pub struct ServeConfig {
     pub mrr_every: u64,
     /// Seed for the regret estimator's test directions.
     pub mrr_seed: u64,
+    /// When serving with a write-ahead log
+    /// ([`RmsService::start_with_wal`]): `fsync` the log once per
+    /// coalesced batch (group commit). Off, the log still survives a
+    /// process kill (records reach the OS before acknowledgement) but
+    /// not a power failure; on, every *applied* batch is on stable
+    /// storage at the cost of one `fdatasync` per batch.
+    pub wal_fsync: bool,
 }
 
 impl Default for ServeConfig {
@@ -40,7 +50,34 @@ impl Default for ServeConfig {
             mrr_directions: 0,
             mrr_every: 16,
             mrr_seed: 0xE7A1,
+            wal_fsync: false,
         }
+    }
+}
+
+/// Why starting a WAL-backed service failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Engine construction or replay-base validation failed.
+    Engine(FdRmsError),
+    /// The write-ahead log could not be opened, scanned, or created.
+    Wal(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::Wal(e) => write!(f, "write-ahead log: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FdRmsError> for ServeError {
+    fn from(e: FdRmsError) -> Self {
+        ServeError::Engine(e)
     }
 }
 
@@ -69,6 +106,10 @@ impl std::error::Error for SubmitError {}
 enum Msg {
     Op(Op),
     Shutdown,
+    /// Durability-testing hook: stop the applier *immediately* — no
+    /// drain, no final snapshot, no WAL compaction — as an unclean kill
+    /// would. See [`RmsService::crash`].
+    Crash,
 }
 
 /// High bit of the ingestion state word: set when shutdown begins. The
@@ -91,6 +132,7 @@ pub struct RmsHandle {
     tx: SyncSender<Msg>,
     state: Arc<AtomicUsize>,
     cell: Arc<SnapshotCell>,
+    wal: Option<Arc<Mutex<Wal>>>,
 }
 
 impl RmsHandle {
@@ -104,15 +146,39 @@ impl RmsHandle {
         true
     }
 
+    /// Appends one pre-framed record to the write-ahead log. Runs *after*
+    /// Appends one op to the write-ahead log. Log IO failures cannot be
+    /// allowed to fail the submission (blocking callers have already
+    /// committed to enqueueing), so they are reported on stderr and the
+    /// op proceeds without durability.
+    fn log_op(&self, op: &Op) {
+        if let Some(wal) = &self.wal {
+            let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Err(e) = wal.append(op) {
+                eprintln!("rms-serve: WAL append failed ({e}); op applied without durability");
+            }
+        }
+    }
+
     /// Enqueues one operation, blocking while the queue is full
     /// (backpressure). `Ok` means the operation *will* be applied — a
-    /// graceful shutdown drains every acknowledged op. The application
-    /// itself is asynchronous; a later [`RmsHandle::snapshot`] whose
-    /// stats show it absorbed reflects it.
+    /// graceful shutdown drains every acknowledged op — and on a
+    /// WAL-backed service that the op is on the log: the record is
+    /// appended *before* the enqueue, so by the time the applier can see
+    /// the op (and group-commit fsync its batch) the record exists. The
+    /// one resulting anomaly is benign: if the enqueue then fails
+    /// (service died), the logged-but-unapplied record replays an op its
+    /// submitter saw rejected — recovery applies it, which the
+    /// at-least-once replay semantics already permit (and a graceful
+    /// shutdown's checkpoint compaction erases it).
+    ///
+    /// The application itself is asynchronous; a later
+    /// [`RmsHandle::snapshot`] whose stats show it absorbed reflects it.
     pub fn submit(&self, op: Op) -> Result<(), SubmitError> {
         if !self.register() {
             return Err(SubmitError::Disconnected(op));
         }
+        self.log_op(&op);
         match self.tx.send(Msg::Op(op)) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -127,12 +193,31 @@ impl RmsHandle {
 
     /// Non-blocking [`RmsHandle::submit`]: fails fast with
     /// [`SubmitError::Full`] instead of waiting out backpressure.
+    ///
+    /// Unlike [`RmsHandle::submit`], the WAL append runs *after* a
+    /// successful enqueue: `Full` bounces are routine, and logging every
+    /// bounced op would replay ops the caller knows were never accepted.
+    /// The ack ⇒ logged contract still holds (the append precedes the
+    /// `Ok` return); the group-commit fsync covering the op's own batch
+    /// may race it — an acknowledged `try_submit` op is fsync-durable
+    /// from the *next* batch commit on.
     pub fn try_submit(&self, op: Op) -> Result<(), SubmitError> {
         if !self.register() {
             return Err(SubmitError::Disconnected(op));
         }
+        let frame = self.wal.as_ref().map(|_| Wal::frame_op(&op));
         match self.tx.try_send(Msg::Op(op)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                if let (Some(wal), Some(frame)) = (&self.wal, frame) {
+                    let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Err(e) = wal.append_frame(&frame) {
+                        eprintln!(
+                            "rms-serve: WAL append failed ({e}); op applied without durability"
+                        );
+                    }
+                }
+                Ok(())
+            }
             Err(e) => {
                 self.state.fetch_sub(1, Ordering::SeqCst);
                 match e {
@@ -172,12 +257,19 @@ impl RmsHandle {
 /// A batch containing an invalid operation is rejected atomically by the
 /// engine; the applier then replays that batch one op at a time, so one
 /// bad op costs only itself — its batch-mates still apply ([`ServiceStats`]
-/// counts `ops_rejected`).
+/// counts `ops_rejected`, and the whole salvage counts as **one** logical
+/// batch, tallied in `replayed_batches`).
+///
+/// Started via [`RmsService::start_with_wal`], every acknowledged op is
+/// also framed into a [write-ahead log](crate::wal) before the
+/// acknowledgement, replayed by the next start after an unclean death.
 #[derive(Debug)]
 pub struct RmsService {
     handle: RmsHandle,
     applier: Option<JoinHandle<FdRms>>,
     dim: usize,
+    k: usize,
+    r: usize,
 }
 
 impl RmsService {
@@ -190,28 +282,116 @@ impl RmsService {
         cfg: ServeConfig,
     ) -> Result<Self, FdRmsError> {
         let fd = builder.build(initial)?;
+        Ok(Self::spawn(fd, cfg, None, ServiceStats::default()))
+    }
+
+    /// [`RmsService::start`] with crash durability: opens (or creates)
+    /// the write-ahead log at `wal_path`, replays whatever a previous
+    /// unclean death left there — the log's last checkpoint, if any,
+    /// supersedes `initial` as the replay base; ops after it are applied
+    /// one batch at a time with the per-op salvage fallback, and the
+    /// accepted count is published as `wal_recovered_ops` — and only then
+    /// goes live. From then on every acknowledged op is appended to the
+    /// log before its acknowledgement, and a graceful [`RmsService::
+    /// shutdown`] compacts the log to a checkpoint of the final state.
+    ///
+    /// Replay is idempotent over checkpoints: a logged op whose effect is
+    /// already in the checkpoint (the tail race of a graceful shutdown)
+    /// re-applies as a rejection or attribute no-op, never as corruption.
+    ///
+    /// **Ordering caveat**: each submitter's own ops are logged in its
+    /// submission order, but when *different threads* race conflicting
+    /// ops on the *same id*, the log order (WAL mutex order) can differ
+    /// from the apply order (queue order) — recovery then replays a
+    /// different, still-valid serial order of that race. Single-writer
+    /// and disjoint-id workloads (every TCP connection submits
+    /// sequentially; the sharded bench partitions ids per writer) are
+    /// unaffected.
+    pub fn start_with_wal(
+        builder: FdRmsBuilder,
+        initial: Vec<Point>,
+        cfg: ServeConfig,
+        wal_path: &Path,
+    ) -> Result<Self, ServeError> {
+        // A `<path>.meta` sidecar means these logs belong to a sharded
+        // group (`ShardedRmsService` logs to `<path>.<i>`); opening the
+        // bare path would create a fresh empty log and silently ignore
+        // every acknowledged op in the shard logs.
+        let meta = {
+            let mut p = wal_path.as_os_str().to_os_string();
+            p.push(".meta");
+            std::path::PathBuf::from(p)
+        };
+        if meta.exists() {
+            return Err(ServeError::Wal(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{} belongs to a sharded group (see {}); start a ShardedRmsService \
+                     with the matching shard count, or move the old logs aside",
+                    wal_path.display(),
+                    meta.display()
+                ),
+            )));
+        }
+        let (wal, replay) = Wal::open(wal_path).map_err(ServeError::Wal)?;
+        let base = replay.checkpoint.unwrap_or(initial);
+        let mut fd = builder.build(base)?;
+        let mut stats = ServiceStats::default();
+        for chunk in replay.ops.chunks(cfg.max_batch.max(1)) {
+            match fd.apply_batch_slice(chunk) {
+                Ok(report) => {
+                    stats.rollup.absorb(&report);
+                    stats.wal_recovered_ops += chunk.len() as u64;
+                }
+                Err(_) => {
+                    // Same salvage as live ingestion: one logged-but-bad
+                    // op (or one made redundant by a checkpoint) costs
+                    // only itself.
+                    for op in chunk {
+                        if let Ok(report) = fd.apply_batch_slice(std::slice::from_ref(op)) {
+                            stats.rollup.absorb(&report);
+                            stats.wal_recovered_ops += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Self::spawn(fd, cfg, Some(Arc::new(Mutex::new(wal))), stats))
+    }
+
+    fn spawn(
+        fd: FdRms,
+        cfg: ServeConfig,
+        wal: Option<Arc<Mutex<Wal>>>,
+        stats: ServiceStats,
+    ) -> Self {
         let dim = fd.dim();
+        let k = fd.k();
+        let r = fd.r();
         let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
         let state = Arc::new(AtomicUsize::new(0));
-        let cell = Arc::new(SnapshotCell::new(make_snapshot(
-            &fd,
-            0,
-            ServiceStats::default(),
-            None,
-        )));
+        let cell = Arc::new(SnapshotCell::new(make_snapshot(&fd, 0, stats, None)));
         let applier = {
             let cell = Arc::clone(&cell);
             let state = Arc::clone(&state);
+            let wal = wal.clone();
             std::thread::Builder::new()
                 .name("rms-applier".into())
-                .spawn(move || applier_loop(fd, rx, cell, state, cfg))
+                .spawn(move || applier_loop(fd, rx, cell, state, cfg, wal, stats))
                 .expect("spawn applier thread")
         };
-        Ok(Self {
-            handle: RmsHandle { tx, state, cell },
+        Self {
+            handle: RmsHandle {
+                tx,
+                state,
+                cell,
+                wal,
+            },
             applier: Some(applier),
             dim,
-        })
+            k,
+            r,
+        }
     }
 
     /// A new cloneable client handle.
@@ -234,13 +414,24 @@ impl RmsService {
         self.dim
     }
 
+    /// The configured rank depth `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured result size budget `r`.
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
     /// Graceful shutdown: the applier drains and applies every
     /// *acknowledged* operation (every `submit` that returned `Ok`, even
     /// from senders still blocked on a full queue), publishes a final
-    /// snapshot, and hands the engine back (e.g. for invariant checks or
-    /// persistence). Submissions racing the start of shutdown either
-    /// fail with [`SubmitError::Disconnected`] or are applied — never
-    /// acknowledged and dropped.
+    /// snapshot, compacts the write-ahead log (when configured) to a
+    /// checkpoint of the final state, and hands the engine back (e.g.
+    /// for invariant checks or persistence). Submissions racing the
+    /// start of shutdown either fail with [`SubmitError::Disconnected`]
+    /// or are applied — never acknowledged and dropped.
     ///
     /// Panics if the applier thread panicked (an engine invariant
     /// failure), propagating that error.
@@ -248,6 +439,22 @@ impl RmsService {
         self.shutdown_inner()
             .expect("applier taken only by shutdown")
             .expect("applier thread panicked")
+    }
+
+    /// Durability-testing hook: stop the service as an unclean kill
+    /// would. The applier exits without draining, without publishing a
+    /// final snapshot, and — crucially — **without compacting the
+    /// write-ahead log**; the in-memory engine state is discarded. A
+    /// subsequent [`RmsService::start_with_wal`] on the same log must
+    /// recover every acknowledged op. (A real kill −9 needs no
+    /// cooperation; this exists so tests can exercise the recovery path
+    /// in-process.)
+    pub fn crash(mut self) {
+        if let Some(applier) = self.applier.take() {
+            self.handle.state.fetch_or(CLOSED_BIT, Ordering::SeqCst);
+            let _ = self.handle.tx.send(Msg::Crash);
+            let _ = applier.join();
+        }
     }
 
     fn shutdown_inner(&mut self) -> Option<std::thread::Result<FdRms>> {
@@ -283,7 +490,12 @@ fn make_snapshot(fd: &FdRms, epoch: u64, stats: ServiceStats, mrr: Option<f64>) 
 
 /// Applies one coalesced batch, with the atomic-rejection fallback. The
 /// ops stay borrowed — `apply_batch_slice` clones nothing on the success
-/// path and the fallback can replay from the original.
+/// path and the fallback can replay from the original. Whether the batch
+/// applies wholesale or is salvaged per-op, it counts as **one** logical
+/// batch in the stats (salvaged batches additionally bump
+/// `replayed_batches`), so `batches` always equals the number of
+/// coalesced batches the applier issued and `avg_apply_ms` stays the
+/// mean wall-clock per coalesced batch.
 fn apply_batch(fd: &mut FdRms, batch: &[Op], stats: &mut ServiceStats) {
     let n = batch.len();
     if n == 0 {
@@ -296,18 +508,14 @@ fn apply_batch(fd: &mut FdRms, batch: &[Op], stats: &mut ServiceStats) {
         Ok(report) => {
             stats.rollup.absorb(&report);
             stats.ops_applied += n as u64;
-            record_apply(stats, t);
         }
         Err(_) if n == 1 => {
             stats.ops_rejected += 1;
-            record_apply(stats, t);
         }
         Err(_) => {
             // The engine rejects a batch atomically on the first invalid
             // op; replay individually so one bad op costs only itself.
-            record_apply(stats, t);
             for op in batch {
-                let t = Instant::now();
                 match fd.apply_batch_slice(std::slice::from_ref(op)) {
                     Ok(report) => {
                         stats.rollup.absorb(&report);
@@ -315,10 +523,11 @@ fn apply_batch(fd: &mut FdRms, batch: &[Op], stats: &mut ServiceStats) {
                     }
                     Err(_) => stats.ops_rejected += 1,
                 }
-                record_apply(stats, t);
             }
+            stats.replayed_batches += 1;
         }
     }
+    record_apply(stats, t);
 }
 
 fn record_apply(stats: &mut ServiceStats, since: Instant) {
@@ -328,18 +537,20 @@ fn record_apply(stats: &mut ServiceStats, since: Instant) {
     stats.batches += 1;
 }
 
+#[allow(clippy::too_many_arguments)]
 fn applier_loop(
     mut fd: FdRms,
     rx: Receiver<Msg>,
     cell: Arc<SnapshotCell>,
     state: Arc<AtomicUsize>,
     cfg: ServeConfig,
+    wal: Option<Arc<Mutex<Wal>>>,
+    mut stats: ServiceStats,
 ) -> FdRms {
     let max_batch = cfg.max_batch.max(1);
     let estimator = (cfg.mrr_directions > 0)
         .then(|| RegretEstimator::new(fd.dim(), cfg.mrr_directions.max(fd.dim()), cfg.mrr_seed));
     let mrr_every = cfg.mrr_every.max(1);
-    let mut stats = ServiceStats::default();
     let mut epoch = 0u64;
     let mut last_mrr = None;
     loop {
@@ -355,6 +566,9 @@ fn applier_loop(
                 ops.push(op);
             }
             Ok(Msg::Shutdown) => shutting_down = true,
+            // The simulated unclean kill: no drain, no final snapshot,
+            // no WAL compaction.
+            Ok(Msg::Crash) => return fd,
             // Every sender (service + all handles) dropped.
             Err(_) => break,
         }
@@ -365,6 +579,7 @@ fn applier_loop(
                     ops.push(op);
                 }
                 Ok(Msg::Shutdown) => shutting_down = true,
+                Ok(Msg::Crash) => return fd,
                 Err(_) => break,
             }
         }
@@ -383,6 +598,7 @@ fn applier_loop(
                         ops.push(op);
                     }
                     Ok(Msg::Shutdown) => {}
+                    Ok(Msg::Crash) => return fd,
                     Err(_) => {
                         if state.load(Ordering::SeqCst) & COUNT_MASK == 0 {
                             break;
@@ -394,6 +610,17 @@ fn applier_loop(
         }
         for chunk in ops.chunks(max_batch) {
             apply_batch(&mut fd, chunk, &mut stats);
+            // Group commit: the submitters' appends for this batch (and
+            // possibly later ones — strictly more durability) reach
+            // stable storage with one fdatasync per coalesced batch.
+            if cfg.wal_fsync {
+                if let Some(wal) = &wal {
+                    let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+                    if let Err(e) = wal.sync() {
+                        eprintln!("rms-serve: WAL fsync failed: {e}");
+                    }
+                }
+            }
         }
         if !ops.is_empty() || shutting_down {
             epoch += 1;
@@ -410,5 +637,64 @@ fn applier_loop(
             break;
         }
     }
+    // Graceful exit: compact the log to a checkpoint of the final state,
+    // bounding its size and making the next start replay-free. (IO
+    // failure leaves the op log intact — recovery still works, the log
+    // is merely uncompacted.)
+    if let Some(wal) = &wal {
+        let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = wal.checkpoint(&fd.live_points()) {
+            eprintln!("rms-serve: WAL compaction failed: {e}");
+        }
+    }
     fd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An atomically-rejected N-op batch used to bump `batches` N+1 times
+    /// (the failed attempt plus one per replayed op), deflating
+    /// `avg_apply_ms` and disagreeing with the coalescing counters. The
+    /// whole salvage is one logical batch, tallied in `replayed_batches`.
+    #[test]
+    fn rejected_batch_counts_as_one_logical_batch() {
+        let initial: Vec<Point> = (0..20)
+            .map(|i| Point::new_unchecked(i, vec![(i as f64) / 20.0, 1.0 - (i as f64) / 20.0]))
+            .collect();
+        let mut fd = FdRms::builder(2)
+            .r(3)
+            .max_utilities(64)
+            .build(initial)
+            .unwrap();
+        let mut stats = ServiceStats::default();
+
+        // 4 ops, one invalid (duplicate insert): atomic rejection, per-op
+        // replay salvages 3.
+        let batch = vec![
+            Op::Insert(Point::new_unchecked(100, vec![0.9, 0.8])),
+            Op::Insert(Point::new_unchecked(0, vec![0.1, 0.2])), // id 0 is live
+            Op::Delete(1),
+            Op::Update(Point::new_unchecked(2, vec![0.5, 0.6])),
+        ];
+        apply_batch(&mut fd, &batch, &mut stats);
+        assert_eq!(stats.batches, 1, "salvage is one logical batch");
+        assert_eq!(stats.replayed_batches, 1);
+        assert_eq!(stats.ops_applied, 3);
+        assert_eq!(stats.ops_rejected, 1);
+        assert_eq!(stats.last_batch_ops, 4);
+
+        // A clean batch keeps agreeing with the coalescing counters.
+        apply_batch(
+            &mut fd,
+            &[Op::Insert(Point::new_unchecked(101, vec![0.7, 0.7]))],
+            &mut stats,
+        );
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.replayed_batches, 1);
+        assert_eq!(stats.ops_applied, 4);
+        assert!(stats.avg_apply_ms() > 0.0);
+        fd.check_invariants().unwrap();
+    }
 }

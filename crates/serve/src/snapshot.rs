@@ -13,9 +13,18 @@ pub struct ServiceStats {
     /// Operations rejected by validation (duplicate insert, unknown
     /// delete/update, dimension mismatch).
     pub ops_rejected: u64,
-    /// `apply_batch` calls the applier issued (coalesced batches, plus
-    /// one per op replayed after an atomically rejected batch).
+    /// Coalesced batches the applier issued. A batch salvaged by the
+    /// per-op replay after an atomic rejection still counts as **one**
+    /// logical batch here (see `replayed_batches`), so this always
+    /// agrees with the coalescing counters.
     pub batches: u64,
+    /// Coalesced batches that were atomically rejected by the engine and
+    /// salvaged by the per-op replay.
+    pub replayed_batches: u64,
+    /// Operations recovered from the write-ahead log before the service
+    /// went live (0 without a WAL or after a clean shutdown's
+    /// checkpoint compaction).
+    pub wal_recovered_ops: u64,
     /// Operation count of the most recent coalesced batch.
     pub last_batch_ops: usize,
     /// Largest batch the applier ever coalesced from the queue.
@@ -39,6 +48,23 @@ impl ServiceStats {
         } else {
             self.total_apply_ms / self.batches as f64
         }
+    }
+
+    /// Folds another shard's stats into this one: counters and wall-clock
+    /// sum, high-water marks (`max_coalesced`, `last_*`) take the max.
+    /// The sharded serving layer publishes one aggregate built this way.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.ops_applied += other.ops_applied;
+        self.ops_rejected += other.ops_rejected;
+        self.batches += other.batches;
+        self.replayed_batches += other.replayed_batches;
+        self.wal_recovered_ops += other.wal_recovered_ops;
+        self.last_batch_ops = self.last_batch_ops.max(other.last_batch_ops);
+        self.max_coalesced = self.max_coalesced.max(other.max_coalesced);
+        self.last_apply_ms = self.last_apply_ms.max(other.last_apply_ms);
+        self.total_apply_ms += other.total_apply_ms;
+        self.queue_depth += other.queue_depth;
+        self.rollup.merge(&other.rollup);
     }
 }
 

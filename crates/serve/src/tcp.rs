@@ -1,22 +1,61 @@
-//! A `std::net`-only TCP front end over [`RmsService`], speaking the
-//! [line protocol](crate::protocol).
+//! A `std::net`-only TCP front end over [`RmsService`] or
+//! [`ShardedRmsService`], speaking the [line protocol](crate::protocol).
 
 use crate::protocol::{parse_request, Request};
-use crate::service::{RmsHandle, RmsService};
-use crate::snapshot::ResultSnapshot;
-use fdrms::FdRms;
+use crate::service::{RmsHandle, RmsService, SubmitError};
+use crate::sharded::{AggregateSnapshot, ShardedHandle, ShardedRmsService};
+use crate::snapshot::{ResultSnapshot, ServiceStats};
+use fdrms::{FdRms, Op};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-/// A TCP server wrapping a running [`RmsService`]: one thread per
-/// connection, all of them feeding the single ingestion queue and
-/// reading the shared snapshot cell.
+/// The service behind the listener: one engine or an id-partitioned
+/// shard group, behind the same protocol surface.
+#[derive(Debug)]
+enum Backend {
+    Single(RmsService),
+    Sharded(ShardedRmsService),
+}
+
+/// A per-connection client of the backend.
+#[derive(Clone)]
+enum ConnHandle {
+    Single(RmsHandle),
+    Sharded(ShardedHandle),
+}
+
+impl ConnHandle {
+    fn submit(&self, op: Op) -> Result<(), SubmitError> {
+        match self {
+            ConnHandle::Single(h) => h.submit(op),
+            ConnHandle::Sharded(h) => h.submit(op),
+        }
+    }
+
+    fn query_reply(&self) -> String {
+        match self {
+            ConnHandle::Single(h) => format_query(&h.snapshot()),
+            ConnHandle::Sharded(h) => format_query_sharded(&h.snapshot()),
+        }
+    }
+
+    fn stats_reply(&self) -> String {
+        match self {
+            ConnHandle::Single(h) => format_stats(&h.snapshot(), h.queue_depth()),
+            ConnHandle::Sharded(h) => format_stats_sharded(&h.snapshot(), h.queue_depth()),
+        }
+    }
+}
+
+/// A TCP server wrapping a running service: one thread per connection,
+/// all of them feeding the ingestion queue(s) and reading the shared
+/// snapshot state.
 #[derive(Debug)]
 pub struct RmsServer {
     listener: TcpListener,
-    service: RmsService,
+    backend: Backend,
 }
 
 impl RmsServer {
@@ -25,7 +64,20 @@ impl RmsServer {
     pub fn bind(addr: impl ToSocketAddrs, service: RmsService) -> std::io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            service,
+            backend: Backend::Single(service),
+        })
+    }
+
+    /// [`RmsServer::bind`] around an id-partitioned shard group. The
+    /// protocol is identical; `QUERY`/`STATS` report per-shard epochs
+    /// (`epochs=e0,e1,…`) and the merged solution.
+    pub fn bind_sharded(
+        addr: impl ToSocketAddrs,
+        service: ShardedRmsService,
+    ) -> std::io::Result<Self> {
+        Ok(Self {
+            listener: TcpListener::bind(addr)?,
+            backend: Backend::Sharded(service),
         })
     }
 
@@ -35,13 +87,17 @@ impl RmsServer {
     }
 
     /// Serves connections until a client issues `SHUTDOWN`, then drains
-    /// the ingestion queue gracefully and returns the final engine state.
-    /// Connections still open at shutdown see `ERR service has shut
-    /// down` for further mutations.
-    pub fn run(self) -> std::io::Result<FdRms> {
+    /// the ingestion queue(s) gracefully and returns the final engine
+    /// state — one engine for a single-service backend, one per shard
+    /// for a sharded backend. Connections still open at shutdown see
+    /// `ERR service has shut down` for further mutations.
+    pub fn run(self) -> std::io::Result<Vec<FdRms>> {
         let addr = self.listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let dim = self.service.dim();
+        let (dim, conn) = match &self.backend {
+            Backend::Single(s) => (s.dim(), ConnHandle::Single(s.handle())),
+            Backend::Sharded(s) => (s.dim(), ConnHandle::Sharded(s.handle())),
+        };
         for stream in self.listener.incoming() {
             if shutdown.load(Ordering::Acquire) {
                 break;
@@ -61,7 +117,7 @@ impl RmsServer {
                     continue;
                 }
             };
-            let handle = self.service.handle();
+            let handle = conn.clone();
             let flag = Arc::clone(&shutdown);
             // Connection threads are detached: they die with the process
             // (CLI) or when their client hangs up (tests), and after
@@ -70,13 +126,16 @@ impl RmsServer {
                 .name("rms-conn".into())
                 .spawn(move || handle_connection(stream, handle, dim, flag, addr));
         }
-        Ok(self.service.shutdown())
+        Ok(match self.backend {
+            Backend::Single(s) => vec![s.shutdown()],
+            Backend::Sharded(s) => s.shutdown(),
+        })
     }
 }
 
 fn handle_connection(
     stream: TcpStream,
-    handle: RmsHandle,
+    handle: ConnHandle,
     dim: usize,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
@@ -116,8 +175,8 @@ fn handle_connection(
                 Ok(()) => "OK queued".to_string(),
                 Err(e) => format!("ERR {e}"),
             },
-            Ok(Request::Query) => format_query(&handle.snapshot()),
-            Ok(Request::Stats) => format_stats(&handle.snapshot(), handle.queue_depth()),
+            Ok(Request::Query) => handle.query_reply(),
+            Ok(Request::Stats) => handle.stats_reply(),
         };
         if writeln!(writer, "{reply}").is_err() {
             break;
@@ -126,36 +185,97 @@ fn handle_connection(
 }
 
 fn format_query(snap: &ResultSnapshot) -> String {
-    let ids: Vec<String> = snap.result.iter().map(|p| p.id().to_string()).collect();
     format!(
         "OK epoch={} n={} r={} ids={}",
         snap.epoch,
         snap.len,
         snap.result.len(),
-        ids.join(",")
+        join_ids(&snap.result),
+    )
+}
+
+fn format_query_sharded(snap: &AggregateSnapshot) -> String {
+    format!(
+        "OK epochs={} n={} r={} ids={}",
+        join_u64(&snap.epochs),
+        snap.len,
+        snap.result.len(),
+        join_ids(&snap.result),
     )
 }
 
 fn format_stats(snap: &ResultSnapshot, queue_depth: usize) -> String {
-    let s = &snap.stats;
-    let mut out = format!(
-        "OK epoch={} n={} m={} r={} queue_depth={} batches={} ops_applied={} \
-         ops_rejected={} last_batch={} max_coalesced={} avg_apply_ms={:.4} last_apply_ms={:.4}",
-        snap.epoch,
+    let mut out = format!("OK epoch={}", snap.epoch);
+    push_stats_fields(
+        &mut out,
+        &snap.stats,
         snap.len,
         snap.m,
         snap.result.len(),
         queue_depth,
+        snap.mrr,
+    );
+    out
+}
+
+fn format_stats_sharded(snap: &AggregateSnapshot, queue_depth: usize) -> String {
+    let mut out = format!(
+        "OK epochs={} shards={}",
+        join_u64(&snap.epochs),
+        snap.epochs.len()
+    );
+    push_stats_fields(
+        &mut out,
+        &snap.stats,
+        snap.len,
+        snap.m,
+        snap.result.len(),
+        queue_depth,
+        snap.mrr,
+    );
+    out
+}
+
+fn push_stats_fields(
+    out: &mut String,
+    s: &ServiceStats,
+    n: usize,
+    m: usize,
+    r: usize,
+    queue_depth: usize,
+    mrr: Option<f64>,
+) {
+    out.push_str(&format!(
+        " n={n} m={m} r={r} queue_depth={queue_depth} batches={} replayed_batches={} \
+         ops_applied={} ops_rejected={} wal_recovered={} last_batch={} max_coalesced={} \
+         avg_apply_ms={:.4} last_apply_ms={:.4}",
         s.batches,
+        s.replayed_batches,
         s.ops_applied,
         s.ops_rejected,
+        s.wal_recovered_ops,
         s.last_batch_ops,
         s.max_coalesced,
         s.avg_apply_ms(),
         s.last_apply_ms,
-    );
-    if let Some(mrr) = snap.mrr {
+    ));
+    if let Some(mrr) = mrr {
         out.push_str(&format!(" mrr={mrr:.5}"));
     }
-    out
+}
+
+fn join_ids(points: &[rms_geom::Point]) -> String {
+    points
+        .iter()
+        .map(|p| p.id().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn join_u64(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
 }

@@ -114,8 +114,71 @@ fn loopback_protocol_round_trip() {
 
     // Graceful shutdown: the queue drains and the engine comes back.
     assert_eq!(client.roundtrip("SHUTDOWN"), "OK shutting down");
-    let fd = server.join().expect("server thread");
+    let fds = server.join().expect("server thread");
+    let [fd] = fds.as_slice() else {
+        panic!("single backend returns one engine");
+    };
     assert!(fd.contains(5000));
     assert!(!fd.contains(0));
     fd.check_invariants().unwrap();
+}
+
+#[test]
+fn loopback_round_trip_sharded() {
+    let d = 2;
+    let initial: Vec<Point> = (0..60)
+        .map(|i| Point::new_unchecked(i, vec![(i as f64) / 60.0, 1.0 - (i as f64) / 60.0]))
+        .collect();
+    let service = rms_serve::ShardedRmsService::start(
+        FdRms::builder(d).r(4).max_utilities(64).seed(3),
+        initial,
+        ServeConfig::default(),
+        3,
+    )
+    .unwrap();
+    let server = RmsServer::bind_sharded("127.0.0.1:0", service).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let server = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = Client::connect(addr);
+
+    // Sharded reads report the per-shard epoch vector and the merged
+    // solution, trimmed to r.
+    let reply = client.roundtrip("QUERY");
+    assert!(reply.starts_with("OK epochs="), "{reply}");
+    assert_eq!(field(&reply, "epochs"), Some("0,0,0"));
+    assert_eq!(field(&reply, "n"), Some("60"));
+    let r: usize = field(&reply, "r").unwrap().parse().unwrap();
+    assert!(r <= 4, "merged solution exceeds budget: {reply}");
+
+    // Mutations route by id; ids 300, 301, 302 hit three distinct shards.
+    for id in 300..303 {
+        assert_eq!(
+            client.roundtrip(&format!("INSERT {id} 0.9 0.9")),
+            "OK queued"
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let reply = client.roundtrip("STATS");
+        assert!(reply.starts_with("OK epochs="), "{reply}");
+        assert_eq!(field(&reply, "shards"), Some("3"));
+        if field(&reply, "ops_applied") == Some("3") {
+            assert_eq!(field(&reply, "n"), Some("63"));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ops never became visible: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    assert_eq!(client.roundtrip("SHUTDOWN"), "OK shutting down");
+    let fds = server.join().expect("server thread");
+    assert_eq!(fds.len(), 3);
+    for (i, fd) in fds.iter().enumerate() {
+        fd.check_invariants().unwrap();
+        assert!(fd.contains(300 + i as u64), "shard {i} owns id {}", 300 + i);
+    }
 }

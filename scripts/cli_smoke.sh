@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the `krms` CLI: generate → run → skyline →
+# flag-parser regressions → sharded WAL-backed serve round-trip over
+# loopback (INSERT/QUERY/STATS and a SHUTDOWN drain), using only bash
+# built-ins (/dev/tcp) for the client side.
+#
+# Usage: bash scripts/cli_smoke.sh   (expects target/release/krms to exist,
+# or set KRMS_BIN)
+set -euo pipefail
+
+BIN=${KRMS_BIN:-target/release/krms}
+PORT=${KRMS_SMOKE_PORT:-17878}
+TMP=$(mktemp -d)
+SERVE_PID=""
+cleanup() {
+    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $1" >&2; exit 1; }
+
+# Opens fd 3 to the server, retrying while it boots. The fd persists
+# past the function; the stderr redirect on the call site swallows the
+# expected connection-refused noise from the retries.
+connect() {
+    for _ in $(seq 1 100); do
+        if exec 3<>"/dev/tcp/127.0.0.1/$PORT"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+[ -x "$BIN" ] || fail "$BIN not built (run cargo build --release first)"
+
+# --- generate → run → skyline ------------------------------------------
+"$BIN" generate --dataset Indep --n 400 --d 3 --seed 7 --out "$TMP/ds.krms" \
+    || fail "generate"
+[ -s "$TMP/ds.krms" ] || fail "generate wrote no dataset"
+"$BIN" run --in "$TMP/ds.krms" --algo FD-RMS --r 8 --eval 2000 | grep -q "mrr" \
+    || fail "run FD-RMS"
+"$BIN" skyline --in "$TMP/ds.krms" | grep -q "skyline" || fail "skyline"
+
+# --- flag-parser regressions -------------------------------------------
+# A flag with a missing value must error, not swallow the next flag.
+if "$BIN" serve --in "$TMP/ds.krms" --addr --queue 64 2>/dev/null; then
+    fail "missing flag value was not rejected"
+fi
+# Positional arguments must error.
+if "$BIN" run --in "$TMP/ds.krms" stray 2>/dev/null; then
+    fail "positional argument was not rejected"
+fi
+# Unknown command must error.
+if "$BIN" frobnicate 2>/dev/null; then
+    fail "unknown command was not rejected"
+fi
+
+# --- sharded WAL-backed serve round-trip -------------------------------
+"$BIN" serve --in "$TMP/ds.krms" --r 8 --addr "127.0.0.1:$PORT" \
+    --shards 2 --wal "$TMP/ops.wal" >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+
+connect 2>/dev/null || { cat "$TMP/serve.log" >&2; fail "server never came up"; }
+
+printf 'INSERT 100000 0.9 0.9 0.9\nINSERT 100001 0.8 0.8 0.8\nQUERY\nSTATS\nSHUTDOWN\n' >&3
+mapfile -t replies <&3
+exec 3<&- 3>&-
+
+[ "${#replies[@]}" -eq 5 ] || fail "expected 5 replies, got ${#replies[@]}: ${replies[*]}"
+[[ "${replies[0]}" == "OK queued" ]] || fail "INSERT reply: ${replies[0]}"
+[[ "${replies[1]}" == "OK queued" ]] || fail "INSERT reply: ${replies[1]}"
+[[ "${replies[2]}" == OK\ epochs=* ]] || fail "QUERY reply: ${replies[2]}"
+[[ "${replies[3]}" == *"shards=2"* ]] || fail "STATS reply: ${replies[3]}"
+[[ "${replies[4]}" == "OK shutting down" ]] || fail "SHUTDOWN reply: ${replies[4]}"
+
+# The SHUTDOWN drain must let the process exit cleanly...
+drained=""
+for _ in $(seq 1 100); do
+    if ! kill -0 "$SERVE_PID" 2>/dev/null; then
+        drained=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$drained" ] || { cat "$TMP/serve.log" >&2; fail "server did not drain after SHUTDOWN"; }
+wait "$SERVE_PID" || { cat "$TMP/serve.log" >&2; fail "server exited non-zero"; }
+SERVE_PID=""
+grep -q "shut down after" "$TMP/serve.log" || fail "missing drain summary"
+
+# ...and graceful shutdown compacts the per-shard write-ahead logs.
+[ -f "$TMP/ops.wal.0" ] && [ -f "$TMP/ops.wal.1" ] || fail "per-shard WALs missing"
+
+# A restart from the compacted logs recovers the state (n = 402) without
+# a living writer.
+"$BIN" serve --in "$TMP/ds.krms" --r 8 --addr "127.0.0.1:$PORT" \
+    --shards 2 --wal "$TMP/ops.wal" >"$TMP/serve2.log" 2>&1 &
+SERVE_PID=$!
+connect 2>/dev/null || { cat "$TMP/serve2.log" >&2; fail "restarted server never came up"; }
+printf 'QUERY\nSHUTDOWN\n' >&3
+mapfile -t replies <&3
+exec 3<&- 3>&-
+[[ "${replies[0]}" == *"n=402"* ]] || fail "restart lost state: ${replies[0]}"
+wait "$SERVE_PID" || fail "restarted server exited non-zero"
+SERVE_PID=""
+
+echo "cli smoke: OK"

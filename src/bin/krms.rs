@@ -28,19 +28,18 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(&args[1..]);
-    let result = match cmd.as_str() {
+    if args.iter().any(|a| a == "--help" || a == "-h") || cmd == "help" {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = parse_flags(&args[1..]).and_then(|flags| match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "run" => cmd_run(&flags),
         "workload" => cmd_workload(&flags),
         "serve" => cmd_serve(&flags),
         "skyline" => cmd_skyline(&flags),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
-        }
         other => Err(format!("unknown command `{other}`\n{USAGE}")),
-    };
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
@@ -61,7 +60,21 @@ USAGE:
                                batch engine, B operations at a time)
   krms serve    --in FILE --r R [--k K] [--eps E] [--max-m M]
                 [--addr HOST:PORT] [--queue Q] [--max-batch B]
-                [--mrr-dirs N]   (TCP front end over RmsService; line
+                [--shards S]     (S > 1: id-partitioned shard group —
+                                  mutations route by id % S, QUERY merges
+                                  the per-shard solutions)
+                [--wal PATH]     (write-ahead op log: acknowledged ops
+                                  are logged before the ack and replayed
+                                  on restart; with --shards S, shard i
+                                  logs to PATH.i)
+                [--wal-fsync true|false]  (fsync the log once per applied
+                                  batch: survives power loss, not just
+                                  process death; default false)
+                [--mrr-dirs N] [--mrr-every E] [--mrr-seed S]
+                                 (Monte-Carlo max-regret-ratio estimate in
+                                  STATS: N test directions, refreshed
+                                  every E epochs, sampled from seed S)
+                                 (TCP front end over RmsService; line
                                   protocol: INSERT/DELETE/UPDATE/QUERY/
                                   STATS/SHUTDOWN, one reply per line)
   krms skyline  --in FILE
@@ -69,19 +82,37 @@ USAGE:
 ALGO: FD-RMS | Greedy | GeoGreedy | Greedy* | DMM-RRMS | DMM-Greedy |
       eps-Kernel | HS | Sphere | 2D-Sweep";
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+/// Parses `--key value` pairs. Every flag takes exactly one value;
+/// a flag followed by another `--flag` (or by nothing) is an error, as is
+/// any positional token — silently swallowing either is how `--addr
+/// --queue 64` once set `addr="--queue"` and dropped the queue size.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut map = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            let val = args.get(i + 1).cloned().unwrap_or_default();
-            map.insert(key.to_string(), val);
-            i += 2;
-        } else {
-            i += 1;
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(format!(
+                "unexpected positional argument `{}` (flags are --key value pairs)",
+                args[i]
+            ));
+        };
+        if key.is_empty() {
+            return Err("bare `--` is not a flag".into());
         }
+        match args.get(i + 1) {
+            None => return Err(format!("flag --{key} is missing its value")),
+            Some(val) if val.starts_with("--") => {
+                return Err(format!(
+                    "flag --{key} is missing its value (found flag `{val}` instead)"
+                ));
+            }
+            Some(val) => {
+                map.insert(key.to_string(), val.clone());
+            }
+        }
+        i += 2;
     }
-    map
+    Ok(map)
 }
 
 fn get<T: std::str::FromStr>(
@@ -355,7 +386,8 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    use krms::serve::{RmsServer, RmsService, ServeConfig};
+    use krms::serve::{RmsServer, RmsService, ServeConfig, ShardedRmsService};
+    use std::path::PathBuf;
 
     let points = load_points(flags)?;
     let d = points.first().map(Point::dim).ok_or("empty dataset")?;
@@ -363,40 +395,71 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let k: usize = get(flags, "k", 1)?;
     let eps: f64 = get(flags, "eps", 0.02)?;
     let max_m: usize = get(flags, "max-m", 1 << 12)?;
+    let shards: usize = get(flags, "shards", 1)?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let wal: Option<PathBuf> = flags.get("wal").map(PathBuf::from);
     let addr = flags
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         queue_capacity: get(flags, "queue", 1024usize)?,
         max_batch: get(flags, "max-batch", 512usize)?,
         mrr_directions: get(flags, "mrr-dirs", 0usize)?,
-        ..ServeConfig::default()
+        mrr_every: get(flags, "mrr-every", defaults.mrr_every)?,
+        mrr_seed: get(flags, "mrr-seed", defaults.mrr_seed)?,
+        wal_fsync: get(flags, "wal-fsync", false)?,
     };
+    if cfg.wal_fsync && wal.is_none() {
+        return Err("--wal-fsync true requires --wal PATH".into());
+    }
+    // Single↔sharded WAL mismatches are refused by the serve layer
+    // itself: `RmsService::start_with_wal` rejects a path with a
+    // `.meta` sidecar (a shard group's logs), and the shard group
+    // rejects a bare single-service log or a different shard count.
 
     let n = points.len();
-    let service = RmsService::start(
-        FdRms::builder(d)
-            .k(k)
-            .r(r)
-            .epsilon(eps)
-            .max_utilities(max_m),
-        points,
-        cfg,
-    )
-    .map_err(|e| e.to_string())?;
-    let server = RmsServer::bind(&addr, service).map_err(|e| format!("bind {addr}: {e}"))?;
+    let builder = FdRms::builder(d)
+        .k(k)
+        .r(r)
+        .epsilon(eps)
+        .max_utilities(max_m);
+    let server =
+        if shards > 1 {
+            let service = match &wal {
+                Some(path) => ShardedRmsService::start_with_wal(builder, points, cfg, shards, path)
+                    .map_err(|e| e.to_string())?,
+                None => ShardedRmsService::start(builder, points, cfg, shards)
+                    .map_err(|e| e.to_string())?,
+            };
+            RmsServer::bind_sharded(&addr, service)
+        } else {
+            let service = match &wal {
+                Some(path) => RmsService::start_with_wal(builder, points, cfg, path)
+                    .map_err(|e| e.to_string())?,
+                None => RmsService::start(builder, points, cfg).map_err(|e| e.to_string())?,
+            };
+            RmsServer::bind(&addr, service)
+        }
+        .map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
-        "serving FD-RMS (n = {n}, d = {d}, k = {k}, r = {r}, eps = {eps}) on {}",
+        "serving FD-RMS (n = {n}, d = {d}, k = {k}, r = {r}, eps = {eps}, shards = {shards}{}) on {}",
+        wal.as_deref()
+            .map(|p| format!(", wal = {}", p.display()))
+            .unwrap_or_default(),
         server.local_addr().map_err(|e| e.to_string())?
     );
     println!("protocol: INSERT <id> <v1..vd> | DELETE <id> | UPDATE <id> <v1..vd> | QUERY | STATS | SHUTDOWN");
-    let fd = server.run().map_err(|e| e.to_string())?;
+    let fds = server.run().map_err(|e| e.to_string())?;
+    let ops: u64 = fds.iter().map(FdRms::operations).sum();
+    let live: usize = fds.iter().map(FdRms::len).sum();
+    let solution: usize = fds.iter().map(|fd| fd.result().len()).sum();
     println!(
-        "shut down after {} ops; final n = {}, |Q| = {}",
-        fd.operations(),
-        fd.len(),
-        fd.result().len()
+        "shut down after {ops} ops across {} shard(s); final n = {live}, Σ|Q_s| = {solution}",
+        fds.len()
     );
     Ok(())
 }
@@ -414,4 +477,53 @@ fn cmd_skyline(flags: &HashMap<String, String>) -> Result<(), String> {
         sw.elapsed_ms()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_flags;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let flags = parse_flags(&args(&["--in", "x.krms", "--r", "10"])).unwrap();
+        assert_eq!(flags.get("in").map(String::as_str), Some("x.krms"));
+        assert_eq!(flags.get("r").map(String::as_str), Some("10"));
+        assert!(parse_flags(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_value_does_not_swallow_the_next_flag() {
+        // The regression: `--addr --queue 64` once set addr="--queue"
+        // and silently dropped the queue size.
+        let err = parse_flags(&args(&["--in", "x", "--addr", "--queue", "64"])).unwrap_err();
+        assert!(err.contains("--addr"), "{err}");
+        assert!(err.contains("--queue"), "{err}");
+    }
+
+    #[test]
+    fn trailing_flag_without_value_errors() {
+        let err = parse_flags(&args(&["--in", "x", "--queue"])).unwrap_err();
+        assert!(err.contains("--queue"), "{err}");
+    }
+
+    #[test]
+    fn positional_arguments_error() {
+        let err = parse_flags(&args(&["stray"])).unwrap_err();
+        assert!(err.contains("stray"), "{err}");
+        let err = parse_flags(&args(&["--in", "x", "stray"])).unwrap_err();
+        assert!(err.contains("stray"), "{err}");
+        assert!(parse_flags(&args(&["--"])).is_err());
+    }
+
+    #[test]
+    fn values_may_look_like_anything_but_flags() {
+        // Single-dash and negative-number values are legitimate.
+        let flags = parse_flags(&args(&["--out", "-", "--seed", "-5"])).unwrap();
+        assert_eq!(flags.get("out").map(String::as_str), Some("-"));
+        assert_eq!(flags.get("seed").map(String::as_str), Some("-5"));
+    }
 }

@@ -49,7 +49,10 @@ pub mod prelude {
     pub use crate::engine_ops;
     pub use crate::eval::{max_regret_ratio, RegretEstimator};
     pub use crate::geom::{Point, PointId, Utility};
-    pub use crate::serve::{ResultSnapshot, RmsHandle, RmsServer, RmsService, ServeConfig};
+    pub use crate::serve::{
+        AggregateSnapshot, ResultSnapshot, RmsHandle, RmsServer, RmsService, ServeConfig,
+        ShardedHandle, ShardedRmsService,
+    };
     pub use crate::skyline::{skyline, DynamicSkyline};
 }
 
