@@ -1,37 +1,44 @@
 //! Reader throughput under sustained ingestion: the serving subsystem's
 //! headline experiment.
 //!
-//! Two disciplines absorb the same steady-state churn (alternating fresh
-//! inserts and oldest-tuple deletions) for a fixed wall-clock window
-//! while reader threads query the current solution as fast as they can:
+//! Four disciplines absorb the same steady-state churn (alternating
+//! fresh inserts and oldest-tuple deletions) for a fixed wall-clock
+//! window while reader threads query the current solution as fast as
+//! they can:
 //!
+//! * **blocking** — the pre-serve architecture: the engine behind a
+//!   `Mutex`, the writer locking per operation, every reader locking to
+//!   call `result()`.
 //! * **service** — `rms_serve::RmsService`: one applier thread drains a
 //!   bounded op queue into adaptive `apply_batch` calls and publishes
 //!   immutable snapshots; readers clone an `Arc` and never touch the
 //!   engine.
-//! * **blocking** — the pre-serve architecture: the engine behind a
-//!   `Mutex`, the writer locking per operation, every reader locking to
-//!   call `result()`.
+//! * **sharded** — `rms_serve::ShardedRmsService`: `S` independent
+//!   appliers, each owning the id partition `id % S`, one writer thread
+//!   per shard, readers merging the per-shard snapshots. Both in-process
+//!   service disciplines run through the same generic harness — they are
+//!   just two `RmsBackend`s.
+//! * **tcp** — the full wire path: an `RmsServer` on loopback driven by
+//!   the typed `rms-client` crate. The writer pipelines mutations with
+//!   protocol-v2 `BATCH` frames (one ack per batch), readers issue
+//!   `QUERY` round-trips, and a `SUBSCRIBE` connection applies every
+//!   pushed delta — at the end its reconstructed solution must equal the
+//!   server's final `QUERY`, so the bench doubles as an end-to-end
+//!   protocol check.
 //!
 //! The interesting read is reader QPS and worst-case read latency during
 //! ingestion: the service keeps reads at near-constant nanosecond-scale
 //! latency (an `Arc` clone) regardless of write pressure, while the
-//! blocking loop's readers stall behind maintenance.
-//!
-//! A third discipline measures scale-out:
-//!
-//! * **sharded** — `rms_serve::ShardedRmsService`: `S` independent
-//!   appliers, each owning the id partition `id % S`, one writer thread
-//!   per shard, readers merging the per-shard snapshots. The headline
-//!   here is ingestion throughput versus the single applier at equal
-//!   result quality (both report the Monte-Carlo max-regret-ratio of
-//!   their final solution).
+//! blocking loop's readers stall behind maintenance (and the tcp
+//! discipline shows what the wire adds on top).
 //!
 //! ```sh
 //! cargo run --release -p rms-bench --bin serve -- \
 //!     [--n N] [--d D] [--k K] [--r R] [--eps E] [--max-m M]
 //!     [--readers T] [--secs S] [--read-qps Q]   (Q=0: readers spin)
 //!     [--shards S]                              (0 disables the sharded phase)
+//!     [--wire-batch B]                          (tcp phase batch size; 0 disables
+//!                                                the tcp phase)
 //! ```
 //!
 //! Set `KRMS_BENCH_SMOKE=1` (as CI does) for a sub-second configuration
@@ -39,10 +46,13 @@
 
 use fdrms::{FdRms, Op};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use rms_client::{ClientOp, RmsClient};
 use rms_data::generators;
 use rms_eval::RegretEstimator;
 use rms_geom::{Point, PointId};
-use rms_serve::{RmsService, ServeConfig, ShardedRmsService};
+use rms_serve::{
+    RmsBackend, RmsBackendHandle, RmsServer, RmsService, ServeConfig, ShardedRmsService,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -99,6 +109,15 @@ impl OpStream {
             Op::Insert(p)
         } else {
             Op::Delete(self.live.pop_front().expect("database never drains"))
+        }
+    }
+
+    /// The same op, encoded for the wire client.
+    fn next_client_op(&mut self) -> ClientOp {
+        match self.next_op() {
+            Op::Insert(p) => ClientOp::insert(p.id(), p.coords().to_vec()),
+            Op::Delete(id) => ClientOp::delete(id),
+            Op::Update(p) => ClientOp::update(p.id(), p.coords().to_vec()),
         }
     }
 }
@@ -184,6 +203,25 @@ struct Scenario {
     window: Duration,
 }
 
+impl Scenario {
+    fn builder(&self) -> fdrms::FdRmsBuilder {
+        FdRms::builder(self.d)
+            .k(self.k)
+            .r(self.r)
+            .epsilon(self.eps)
+            .max_utilities(self.max_m)
+            .seed(7)
+    }
+
+    fn serve_config(&self) -> ServeConfig {
+        ServeConfig {
+            queue_capacity: 4_096,
+            max_batch: 1_024,
+            ..ServeConfig::default()
+        }
+    }
+}
+
 struct PhaseOutcome {
     ops_applied: u64,
     reads: ReadTally,
@@ -208,62 +246,40 @@ fn report(name: &str, o: &PhaseOutcome) {
     );
 }
 
-/// Sharded discipline: `S` independent appliers behind the id router,
-/// one writer thread per shard, readers merging per-shard snapshots.
-fn run_sharded(
+/// In-process service discipline, generic over the backend: the single
+/// applier and the id-partitioned shard group run the identical harness —
+/// one writer per shard (each confined to its own id residue class),
+/// readers asserting pointwise-monotone epoch vectors.
+fn run_backend<B: RmsBackend>(
     initial: &[Point],
     sc: Scenario,
-    shards: usize,
+    backend: B,
     est: &RegretEstimator,
 ) -> PhaseOutcome {
-    let Scenario {
-        d,
-        k,
-        r,
-        eps,
-        max_m,
-        readers,
-        pace,
-        window,
-    } = sc;
-    let service = ShardedRmsService::start(
-        FdRms::builder(d)
-            .k(k)
-            .r(r)
-            .epsilon(eps)
-            .max_utilities(max_m)
-            .seed(7),
-        initial.to_vec(),
-        ServeConfig {
-            queue_capacity: 4_096,
-            max_batch: 1_024,
-            ..ServeConfig::default()
-        },
-        shards,
-    )
-    .expect("valid bench configuration");
+    let shards = backend.shards();
     let stop = Arc::new(AtomicBool::new(false));
 
-    let reader_handles: Vec<_> = (0..readers)
+    let reader_handles: Vec<_> = (0..sc.readers)
         .map(|_| {
-            let handle = service.handle();
+            let handle = backend.handle();
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut tally = ReadTally::default();
                 let mut last_epochs: Vec<u64> = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     let t = Instant::now();
-                    let snap = handle.snapshot();
+                    let view = handle.view();
                     tally.record(t.elapsed());
+                    let epochs = view.epochs();
                     if !last_epochs.is_empty() {
                         assert!(
-                            snap.epochs.iter().zip(&last_epochs).all(|(n, l)| n >= l),
-                            "per-shard epochs regressed"
+                            epochs.iter().zip(&last_epochs).all(|(n, l)| n >= l),
+                            "epochs regressed"
                         );
                     }
-                    last_epochs = snap.epochs.clone();
-                    if !pace.is_zero() {
-                        std::thread::sleep(pace);
+                    last_epochs = epochs;
+                    if !sc.pace.is_zero() {
+                        std::thread::sleep(sc.pace);
                     }
                 }
                 tally
@@ -271,17 +287,15 @@ fn run_sharded(
         })
         .collect();
 
-    // One writer per shard, each confined to its own id residue class
-    // (its slice of the initial ids plus a disjoint fresh-id sequence),
-    // all submitting until the window closes.
     let streams: Vec<OpStream> = (0..shards)
-        .map(|w| OpStream::partition(initial, d, 99 + w as u64, w as u64, shards as u64))
+        .map(|w| OpStream::partition(initial, sc.d, 99 + w as u64, w as u64, shards as u64))
         .collect();
     let start = Instant::now();
     let writer_handles: Vec<_> = streams
         .into_iter()
         .map(|mut stream| {
-            let handle = service.handle();
+            let handle = backend.handle();
+            let window = sc.window;
             std::thread::spawn(move || {
                 let mut submitted = 0u64;
                 while start.elapsed() < window {
@@ -296,111 +310,29 @@ fn run_sharded(
         .into_iter()
         .map(|h| h.join().expect("writer thread"))
         .sum();
-    let handle = service.handle();
-    let fds = service.shutdown();
+    let handle = backend.handle();
+    let fds = backend.shutdown();
     let secs = start.elapsed().as_secs_f64();
     stop.store(true, Ordering::Relaxed);
     let tallies: Vec<ReadTally> = reader_handles
         .into_iter()
         .map(|h| h.join().expect("reader thread"))
         .collect();
-    let snap = handle.snapshot();
-    assert_eq!(snap.stats.ops_rejected, 0);
-    assert_eq!(snap.stats.ops_applied, submitted);
+    let view = handle.view();
+    assert_eq!(view.stats().ops_rejected, 0);
+    assert_eq!(view.stats().ops_applied, submitted);
     let live: Vec<Point> = fds.iter().flat_map(FdRms::live_points).collect();
-    let mrr = est.mrr(&live, &snap.result, k);
+    let mrr = est.mrr(&live, view.result(), sc.k);
     PhaseOutcome {
-        ops_applied: snap.stats.ops_applied,
+        ops_applied: view.stats().ops_applied,
         reads: ReadTally::merge(&tallies),
         secs,
         mrr,
         detail: format!(
             "shards={shards} epochs={:?} max_coalesced={} avg_apply_ms={:.3}",
-            snap.epochs,
-            snap.stats.max_coalesced,
-            snap.stats.avg_apply_ms()
-        ),
-    }
-}
-
-/// Service discipline: applier thread + snapshot readers.
-fn run_service(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> PhaseOutcome {
-    let Scenario {
-        d,
-        k,
-        r,
-        eps,
-        max_m,
-        readers,
-        pace,
-        window,
-    } = sc;
-    let service = RmsService::start(
-        FdRms::builder(d)
-            .k(k)
-            .r(r)
-            .epsilon(eps)
-            .max_utilities(max_m)
-            .seed(7),
-        initial.to_vec(),
-        ServeConfig {
-            queue_capacity: 4_096,
-            max_batch: 1_024,
-            ..ServeConfig::default()
-        },
-    )
-    .expect("valid bench configuration");
-    let stop = Arc::new(AtomicBool::new(false));
-
-    let reader_handles: Vec<_> = (0..readers)
-        .map(|_| {
-            let handle = service.handle();
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                let mut tally = ReadTally::default();
-                let mut last_epoch = 0u64;
-                while !stop.load(Ordering::Relaxed) {
-                    let t = Instant::now();
-                    let snap = handle.snapshot();
-                    tally.record(t.elapsed());
-                    assert!(snap.epoch >= last_epoch, "epochs regressed");
-                    last_epoch = snap.epoch;
-                    if !pace.is_zero() {
-                        std::thread::sleep(pace);
-                    }
-                }
-                tally
-            })
-        })
-        .collect();
-
-    let mut stream = OpStream::new(initial, d, 99);
-    let handle = service.handle();
-    let start = Instant::now();
-    while start.elapsed() < window {
-        handle.submit(stream.next_op()).expect("service alive");
-    }
-    let fd = service.shutdown();
-    let secs = start.elapsed().as_secs_f64();
-    stop.store(true, Ordering::Relaxed);
-    let tallies: Vec<ReadTally> = reader_handles
-        .into_iter()
-        .map(|h| h.join().expect("reader thread"))
-        .collect();
-    let snap = handle.snapshot();
-    assert_eq!(snap.stats.ops_rejected, 0);
-    let mrr = est.mrr(&fd.live_points(), &snap.result, sc.k);
-    drop(fd);
-    PhaseOutcome {
-        ops_applied: snap.stats.ops_applied,
-        reads: ReadTally::merge(&tallies),
-        secs,
-        mrr,
-        detail: format!(
-            "epochs={} max_coalesced={} avg_apply_ms={:.3}",
-            snap.epoch,
-            snap.stats.max_coalesced,
-            snap.stats.avg_apply_ms()
+            view.epochs(),
+            view.stats().max_coalesced,
+            view.stats().avg_apply_ms()
         ),
     }
 }
@@ -408,31 +340,18 @@ fn run_service(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> PhaseO
 /// Blocking discipline: one engine behind a mutex, per-op writer, readers
 /// locking for every query.
 fn run_blocking(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> PhaseOutcome {
-    let Scenario {
-        d,
-        k,
-        r,
-        eps,
-        max_m,
-        readers,
-        pace,
-        window,
-    } = sc;
-    let fd = FdRms::builder(d)
-        .k(k)
-        .r(r)
-        .epsilon(eps)
-        .max_utilities(max_m)
-        .seed(7)
+    let fd = sc
+        .builder()
         .build(initial.to_vec())
         .expect("valid bench configuration");
     let fd = Arc::new(Mutex::new(fd));
     let stop = Arc::new(AtomicBool::new(false));
 
-    let reader_handles: Vec<_> = (0..readers)
+    let reader_handles: Vec<_> = (0..sc.readers)
         .map(|_| {
             let fd = Arc::clone(&fd);
             let stop = Arc::clone(&stop);
+            let pace = sc.pace;
             std::thread::spawn(move || {
                 let mut tally = ReadTally::default();
                 while !stop.load(Ordering::Relaxed) {
@@ -449,10 +368,10 @@ fn run_blocking(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> Phase
         })
         .collect();
 
-    let mut stream = OpStream::new(initial, d, 99);
+    let mut stream = OpStream::new(initial, sc.d, 99);
     let mut applied = 0u64;
     let start = Instant::now();
-    while start.elapsed() < window {
+    while start.elapsed() < sc.window {
         let op = stream.next_op();
         let mut guard = fd.lock().expect("engine lock");
         match op {
@@ -481,6 +400,115 @@ fn run_blocking(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> Phase
     }
 }
 
+/// Wire discipline: the same churn through `RmsServer` on loopback,
+/// driven end-to-end by the typed `rms-client` — pipelined `BATCH`
+/// writes, `QUERY` round-trip readers, and one `SUBSCRIBE` stream whose
+/// reconstructed solution is checked against the final `QUERY`.
+fn run_tcp(
+    initial: &[Point],
+    sc: Scenario,
+    wire_batch: usize,
+    est: &RegretEstimator,
+) -> PhaseOutcome {
+    let service = RmsService::start(sc.builder(), initial.to_vec(), sc.serve_config())
+        .expect("valid bench configuration");
+    let server = RmsServer::bind("127.0.0.1:0", service).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || server.run().expect("server run"));
+
+    // The subscriber applies every pushed delta until the server closes
+    // the stream at shutdown.
+    let subscriber = std::thread::spawn(move || {
+        let client = RmsClient::connect(addr).expect("subscriber connect");
+        let mut sub = client.subscribe(1).expect("subscribe");
+        let mut deltas = 0u64;
+        while let Some(_delta) = sub.next_delta().expect("delta stream") {
+            deltas += 1;
+        }
+        (deltas, sub.ids())
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_handles: Vec<_> = (0..sc.readers)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let pace = sc.pace;
+            std::thread::spawn(move || {
+                let mut client = RmsClient::connect(addr).expect("reader connect");
+                let mut tally = ReadTally::default();
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    let q = client.query().expect("query");
+                    tally.record(t.elapsed());
+                    assert!(q.epochs[0] >= last_epoch, "epochs regressed over the wire");
+                    last_epoch = q.epochs[0];
+                    if !pace.is_zero() {
+                        std::thread::sleep(pace);
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+
+    let mut writer = RmsClient::connect(addr).expect("writer connect");
+    assert_eq!(writer.hello().version, 2, "server must negotiate v2");
+    let mut stream = OpStream::new(initial, sc.d, 99);
+    let mut submitted = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < sc.window {
+        let ops: Vec<ClientOp> = (0..wire_batch).map(|_| stream.next_client_op()).collect();
+        let acked = writer.submit_batch(&ops).expect("batch ack");
+        assert_eq!(acked, ops.len());
+        submitted += acked as u64;
+    }
+    let ingest_secs = start.elapsed().as_secs_f64();
+
+    // Quiesce: all acknowledged ops visible before the final QUERY. The
+    // deadline turns a lost/rejected op into a diagnostic instead of a
+    // silent hang of the CI smoke run.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = writer.stats().expect("stats");
+        if stats.ops_applied() == Some(submitted) {
+            assert_eq!(stats.ops_rejected(), Some(0));
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "submitted {submitted} ops but only {:?} applied ({:?} rejected) after 60s",
+            stats.ops_applied(),
+            stats.ops_rejected()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    stop.store(true, Ordering::Relaxed);
+    let tallies: Vec<ReadTally> = reader_handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .collect();
+    let final_q = writer.query().expect("final query");
+    writer.shutdown().expect("shutdown ack");
+    let fds = server.join().expect("server thread");
+    let (deltas, sub_ids) = subscriber.join().expect("subscriber thread");
+    assert_eq!(
+        sub_ids, final_q.ids,
+        "subscriber delta replay diverged from the final QUERY"
+    );
+    let [fd] = fds.as_slice() else {
+        panic!("single backend returns one engine");
+    };
+    let mrr = est.mrr(&fd.live_points(), &fd.result(), sc.k);
+    PhaseOutcome {
+        ops_applied: submitted,
+        reads: ReadTally::merge(&tallies),
+        secs: ingest_secs,
+        mrr,
+        detail: format!("wire_batch={wire_batch} deltas={deltas} (replay == final QUERY)"),
+    }
+}
+
 fn main() {
     let smoke = std::env::var_os("KRMS_BENCH_SMOKE").is_some();
     let (n_def, max_m_def, secs_def, readers_def, shards_def) = if smoke {
@@ -497,6 +525,7 @@ fn main() {
     let readers: usize = flag("--readers", readers_def);
     let secs: f64 = flag("--secs", secs_def);
     let shards: usize = flag("--shards", shards_def);
+    let wire_batch: usize = flag("--wire-batch", 128usize);
     // Per-reader pacing: by default each reader issues ~2 000 queries/s
     // (a steady serving load) so reader CPU pressure does not drown the
     // applier on small hosts; `--read-qps 0` makes readers spin flat out
@@ -533,13 +562,30 @@ fn main() {
     };
     let blocking = run_blocking(&initial, scenario, &est);
     report("blocking", &blocking);
-    let service = run_service(&initial, scenario, &est);
+    let service = run_backend(
+        &initial,
+        scenario,
+        RmsService::start(scenario.builder(), initial.clone(), scenario.serve_config())
+            .expect("valid bench configuration"),
+        &est,
+    );
     report("service", &service);
     let sharded = (shards > 1).then(|| {
-        let outcome = run_sharded(&initial, scenario, shards, &est);
+        let backend = ShardedRmsService::start(
+            scenario.builder(),
+            initial.clone(),
+            scenario.serve_config(),
+            shards,
+        )
+        .expect("valid bench configuration");
+        let outcome = run_backend(&initial, scenario, backend, &est);
         report("sharded", &outcome);
         outcome
     });
+    if wire_batch > 0 {
+        let tcp = run_tcp(&initial, scenario, wire_batch, &est);
+        report("tcp", &tcp);
+    }
 
     if blocking.reads.queries > 0 && service.reads.queries > 0 {
         println!(

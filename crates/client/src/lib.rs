@@ -1,0 +1,643 @@
+//! # rms-client — a typed, std-only client for the krms serving protocol
+//!
+//! Speaks the line protocol of `rms-serve`'s TCP front end (v1 verbs
+//! plus the v2 `HELLO`/`BATCH`/`SUBSCRIBE` extensions) over a plain
+//! `std::net::TcpStream`. The encoding and reply parsing are
+//! implemented here from the protocol specification, *not* shared with
+//! the server crate, so the wire format has two independent in-tree
+//! implementations testing each other.
+//!
+//! ```no_run
+//! use rms_client::{ClientOp, RmsClient};
+//!
+//! let mut client = RmsClient::connect("127.0.0.1:7878").unwrap();
+//! client.insert(42, &[0.9, 0.8]).unwrap();
+//! client.submit_batch(&[
+//!     ClientOp::insert(43, vec![0.5, 0.5]),
+//!     ClientOp::delete(7),
+//! ]).unwrap();
+//! let q = client.query().unwrap();
+//! println!("epoch(s) {:?}: solution {:?}", q.epochs, q.ids);
+//!
+//! // Push mode: the connection becomes a delta stream.
+//! let mut sub = client.subscribe(1).unwrap();
+//! while let Some(delta) = sub.next_delta().unwrap() {
+//!     println!("v{} +{:?} -{:?} (ids now {:?})",
+//!              delta.version, delta.added, delta.removed, sub.ids());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The newest protocol version this client speaks.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// The server's cap on op lines per `BATCH` frame (a larger header makes
+/// the server close the connection). [`RmsClient::submit_batch`] chunks
+/// transparently, so callers never need to check it themselves.
+pub const MAX_BATCH_LINES: usize = 1 << 16;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or was closed mid-reply.
+    Io(std::io::Error),
+    /// The server replied `ERR <reason>`; the connection is still usable.
+    Server(String),
+    /// The reply did not have the documented shape.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One mutation, as the client encodes it (ids and raw coordinates — no
+/// dependency on the engine's types).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientOp {
+    /// Insert a fresh tuple.
+    Insert {
+        /// Tuple id (must not be live).
+        id: u64,
+        /// Attribute values, one per dimension.
+        coords: Vec<f64>,
+    },
+    /// Delete a live tuple.
+    Delete {
+        /// Tuple id (must be live).
+        id: u64,
+    },
+    /// Replace a live tuple's attributes.
+    Update {
+        /// Tuple id (must be live).
+        id: u64,
+        /// Replacement attribute values.
+        coords: Vec<f64>,
+    },
+}
+
+impl ClientOp {
+    /// Shorthand for [`ClientOp::Insert`].
+    pub fn insert(id: u64, coords: Vec<f64>) -> Self {
+        ClientOp::Insert { id, coords }
+    }
+
+    /// Shorthand for [`ClientOp::Delete`].
+    pub fn delete(id: u64) -> Self {
+        ClientOp::Delete { id }
+    }
+
+    /// Shorthand for [`ClientOp::Update`].
+    pub fn update(id: u64, coords: Vec<f64>) -> Self {
+        ClientOp::Update { id, coords }
+    }
+
+    fn encode(&self) -> String {
+        fn coords_str(coords: &[f64]) -> String {
+            coords
+                .iter()
+                .map(f64::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        }
+        match self {
+            ClientOp::Insert { id, coords } => format!("INSERT {id} {}", coords_str(coords)),
+            ClientOp::Delete { id } => format!("DELETE {id}"),
+            ClientOp::Update { id, coords } => format!("UPDATE {id} {}", coords_str(coords)),
+        }
+    }
+}
+
+/// What the server advertised in its `HELLO` reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerHello {
+    /// The negotiated protocol version (min of both sides).
+    pub version: u32,
+    /// Tuple dimensionality `d`.
+    pub dim: usize,
+    /// Rank depth `k`.
+    pub k: usize,
+    /// Result size budget `r`.
+    pub r: usize,
+    /// Shard count (1 for a single service).
+    pub shards: usize,
+}
+
+/// A parsed `QUERY` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Per-shard publication epochs (one entry against a single
+    /// service).
+    pub epochs: Vec<u64>,
+    /// Live tuples `n`.
+    pub n: usize,
+    /// Ids of the published solution, ascending.
+    pub ids: Vec<u64>,
+}
+
+/// A parsed `STATS` reply: every `key=value` field, with typed access to
+/// the common ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerStats {
+    fields: BTreeMap<String, String>,
+}
+
+impl ServerStats {
+    /// The raw value of `key`, if the server reported it.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// `key` parsed as an integer.
+    pub fn get_u64(&self, key: &str) -> Option<u64> {
+        self.get(key)?.parse().ok()
+    }
+
+    /// Per-shard publication epochs (from `epoch=` or `epochs=`).
+    pub fn epochs(&self) -> Vec<u64> {
+        parse_epoch_fields(&self.fields)
+    }
+
+    /// Operations the engine accepted so far.
+    pub fn ops_applied(&self) -> Option<u64> {
+        self.get_u64("ops_applied")
+    }
+
+    /// Operations validation rejected so far.
+    pub fn ops_rejected(&self) -> Option<u64> {
+        self.get_u64("ops_rejected")
+    }
+}
+
+/// One pushed `DELTA` line, already parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delta {
+    /// Per-shard epochs after the delta.
+    pub epochs: Vec<u64>,
+    /// Scalar version after the delta (epoch, or epoch-vector sum).
+    pub version: u64,
+    /// Scalar version the delta applies on top of.
+    pub from: u64,
+    /// Live tuples after the delta.
+    pub n: usize,
+    /// Ids that entered (or changed within) the solution.
+    pub added: Vec<u64>,
+    /// Ids that left the solution.
+    pub removed: Vec<u64>,
+}
+
+/// A typed client connection. Every call sends one request line and
+/// reads one reply line; [`RmsClient::subscribe`] consumes the client
+/// and turns the connection into a push-mode [`Subscription`].
+#[derive(Debug)]
+pub struct RmsClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    hello: ServerHello,
+}
+
+impl RmsClient {
+    /// Connects and negotiates protocol v2 (`HELLO v2`). The returned
+    /// client still speaks every v1 verb; [`RmsClient::hello`] reports
+    /// what the server advertised.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = Self {
+            reader,
+            writer: stream,
+            hello: ServerHello {
+                version: 1,
+                dim: 0,
+                k: 0,
+                r: 0,
+                shards: 1,
+            },
+        };
+        let reply = client.roundtrip(&format!("HELLO v{PROTOCOL_VERSION}"))?;
+        client.hello = parse_hello(&reply)?;
+        Ok(client)
+    }
+
+    /// What the server advertised at connect time.
+    pub fn hello(&self) -> ServerHello {
+        self.hello
+    }
+
+    /// Sets (or clears, with `None`) the socket read timeout for replies
+    /// and pushed deltas.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn read_reply(&mut self) -> Result<String, ClientError> {
+        read_ok_line(&mut self.reader)
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, ClientError> {
+        self.send(line)?;
+        self.read_reply()
+    }
+
+    /// Submits one mutation; `Ok` means the server acknowledged the
+    /// enqueue (`OK queued`).
+    pub fn submit(&mut self, op: &ClientOp) -> Result<(), ClientError> {
+        self.roundtrip(&op.encode()).map(|_| ())
+    }
+
+    /// Enqueues an insertion.
+    pub fn insert(&mut self, id: u64, coords: &[f64]) -> Result<(), ClientError> {
+        self.submit(&ClientOp::insert(id, coords.to_vec()))
+    }
+
+    /// Enqueues a deletion.
+    pub fn delete(&mut self, id: u64) -> Result<(), ClientError> {
+        self.submit(&ClientOp::delete(id))
+    }
+
+    /// Enqueues an attribute update.
+    pub fn update(&mut self, id: u64, coords: &[f64]) -> Result<(), ClientError> {
+        self.submit(&ClientOp::update(id, coords.to_vec()))
+    }
+
+    /// Submits `ops` as one pipelined `BATCH`: all op lines go out in a
+    /// single write and the server acknowledges once for all of them —
+    /// the ingest hot path amortization (requires a v2 server, which
+    /// [`RmsClient::connect`] negotiates).
+    ///
+    /// A frame the server rejects as *malformed* queues none of its ops
+    /// (all-or-nothing at the framing level). A mid-batch failure after
+    /// framing — the server shutting down part-way — can leave a prefix
+    /// queued; the `ERR` reply reports how many (`… (i of n queued)`),
+    /// so retrying the whole batch against a recovered server may
+    /// re-apply that prefix. Batches above the server's per-frame cap
+    /// ([`MAX_BATCH_LINES`]) are split into multiple frames
+    /// transparently (one ack each; the returned count sums them).
+    pub fn submit_batch(&mut self, ops: &[ClientOp]) -> Result<usize, ClientError> {
+        let mut total = 0;
+        for chunk in ops.chunks(MAX_BATCH_LINES.max(1)) {
+            let mut lines = format!("BATCH {}\n", chunk.len());
+            for op in chunk {
+                lines.push_str(&op.encode());
+                lines.push('\n');
+            }
+            self.writer.write_all(lines.as_bytes())?;
+            let reply = self.read_reply()?;
+            total += field(&reply, "n")
+                .and_then(|v| v.parse::<usize>().ok())
+                .ok_or_else(|| ClientError::Protocol(format!("no n= in batch ack `{reply}`")))?;
+        }
+        Ok(total)
+    }
+
+    /// Reads the published solution.
+    pub fn query(&mut self) -> Result<QueryResult, ClientError> {
+        let reply = self.roundtrip("QUERY")?;
+        let fields = parse_fields(&reply);
+        let epochs = parse_epoch_fields(&fields);
+        if epochs.is_empty() {
+            return Err(ClientError::Protocol(format!(
+                "no epoch(s) in query reply `{reply}`"
+            )));
+        }
+        let n = fields
+            .get("n")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("no n= in query reply `{reply}`")))?;
+        let ids = fields
+            .get("ids")
+            .map(|v| parse_id_list(v))
+            .transpose()?
+            .ok_or_else(|| ClientError::Protocol(format!("no ids= in query reply `{reply}`")))?;
+        Ok(QueryResult { epochs, n, ids })
+    }
+
+    /// Reads service metrics.
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        let reply = self.roundtrip("STATS")?;
+        Ok(ServerStats {
+            fields: parse_fields(&reply),
+        })
+    }
+
+    /// Asks the server to drain and stop (`SHUTDOWN`).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        self.roundtrip("SHUTDOWN").map(|_| ())
+    }
+
+    /// Switches the connection to push mode: the server acknowledges
+    /// with the starting solution and then streams one `DELTA` line per
+    /// `every` published epochs. The returned [`Subscription`] applies
+    /// each delta to its mirror of the solution as it yields it.
+    pub fn subscribe(mut self, every: u64) -> Result<Subscription, ClientError> {
+        let reply = self.roundtrip(&format!("SUBSCRIBE every={every}"))?;
+        let fields = parse_fields(&reply);
+        let epochs = parse_epoch_fields(&fields);
+        if epochs.is_empty() {
+            return Err(ClientError::Protocol(format!(
+                "no epoch(s) in subscribe ack `{reply}`"
+            )));
+        }
+        let ids = fields
+            .get("ids")
+            .map(|v| parse_id_list(v))
+            .transpose()?
+            .ok_or_else(|| ClientError::Protocol(format!("no ids= in subscribe ack `{reply}`")))?;
+        Ok(Subscription {
+            reader: self.reader,
+            solution: ids.into_iter().collect(),
+            epochs,
+        })
+    }
+}
+
+/// A push-mode connection produced by [`RmsClient::subscribe`]: yields
+/// parsed [`Delta`]s and maintains the solution they reconstruct.
+#[derive(Debug)]
+pub struct Subscription {
+    reader: BufReader<TcpStream>,
+    solution: BTreeSet<u64>,
+    epochs: Vec<u64>,
+}
+
+impl Subscription {
+    /// The reconstructed solution ids (base state plus every delta
+    /// yielded so far), ascending.
+    pub fn ids(&self) -> Vec<u64> {
+        self.solution.iter().copied().collect()
+    }
+
+    /// Per-shard epochs of the last yielded delta (the base state's
+    /// before any delta arrives).
+    pub fn epochs(&self) -> &[u64] {
+        &self.epochs
+    }
+
+    /// Blocks for the next delta, applies it to the mirrored solution,
+    /// and returns it; `Ok(None)` means the stream ended (server
+    /// shutdown).
+    pub fn next_delta(&mut self) -> Result<Option<Delta>, ClientError> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            let delta = parse_delta(trimmed)?;
+            for id in &delta.removed {
+                self.solution.remove(id);
+            }
+            for id in &delta.added {
+                self.solution.insert(*id);
+            }
+            self.epochs.clone_from(&delta.epochs);
+            return Ok(Some(delta));
+        }
+    }
+}
+
+impl Iterator for Subscription {
+    type Item = Result<Delta, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.next_delta().transpose()
+    }
+}
+
+/// Reads one reply line, mapping `ERR …` to [`ClientError::Server`] and
+/// EOF to an unexpected-close error.
+fn read_ok_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ClientError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection",
+        )));
+    }
+    let line = line.trim_end();
+    if let Some(msg) = line.strip_prefix("ERR ") {
+        return Err(ClientError::Server(msg.to_string()));
+    }
+    if line == "ERR" {
+        return Err(ClientError::Server(String::new()));
+    }
+    if !line.starts_with("OK") {
+        return Err(ClientError::Protocol(format!(
+            "reply is neither OK nor ERR: `{line}`"
+        )));
+    }
+    Ok(line.to_string())
+}
+
+/// Splits a reply into its `key=value` fields (tokens without `=` are
+/// ignored).
+fn parse_fields(line: &str) -> BTreeMap<String, String> {
+    line.split_whitespace()
+        .filter_map(|tok| {
+            tok.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+/// One token's `key=value` value, straight off a reply line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace().find_map(|tok| {
+        tok.split_once('=')
+            .filter(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    })
+}
+
+/// The epoch vector of a reply: `epochs=e0,e1,…` (sharded) or `epoch=E`
+/// (single); empty when neither field is present.
+fn parse_epoch_fields(fields: &BTreeMap<String, String>) -> Vec<u64> {
+    if let Some(v) = fields.get("epochs") {
+        return parse_id_list(v).unwrap_or_default();
+    }
+    if let Some(v) = fields.get("epoch") {
+        if let Ok(e) = v.parse() {
+            return vec![e];
+        }
+    }
+    Vec::new()
+}
+
+/// Parses a comma-separated id list (empty string → empty list).
+fn parse_id_list(raw: &str) -> Result<Vec<u64>, ClientError> {
+    if raw.is_empty() {
+        return Ok(Vec::new());
+    }
+    raw.split(',')
+        .map(|tok| {
+            tok.parse()
+                .map_err(|_| ClientError::Protocol(format!("invalid id `{tok}`")))
+        })
+        .collect()
+}
+
+fn parse_hello(reply: &str) -> Result<ServerHello, ClientError> {
+    let version = reply
+        .split_whitespace()
+        .nth(1)
+        .and_then(|tok| tok.strip_prefix('v'))
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| ClientError::Protocol(format!("no version in hello reply `{reply}`")))?;
+    let get = |key: &str| field(reply, key).and_then(|v| v.parse().ok());
+    Ok(ServerHello {
+        version,
+        dim: get("dim").unwrap_or(0),
+        k: get("k").unwrap_or(0),
+        r: get("r").unwrap_or(0),
+        shards: get("shards").unwrap_or(1),
+    })
+}
+
+/// Parses one pushed `DELTA` line.
+fn parse_delta(line: &str) -> Result<Delta, ClientError> {
+    let rest = line
+        .strip_prefix("DELTA")
+        .ok_or_else(|| ClientError::Protocol(format!("expected a DELTA line, got `{line}`")))?;
+    let mut epochs = Vec::new();
+    let mut version = None;
+    let mut from = None;
+    let mut n = None;
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    for tok in rest.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("epoch=") {
+            let e = v
+                .parse()
+                .map_err(|_| ClientError::Protocol(format!("invalid epoch `{v}`")))?;
+            epochs = vec![e];
+            version.get_or_insert(e);
+        } else if let Some(v) = tok.strip_prefix("epochs=") {
+            epochs = parse_id_list(v)?;
+        } else if let Some(v) = tok.strip_prefix("version=") {
+            version = Some(
+                v.parse()
+                    .map_err(|_| ClientError::Protocol(format!("invalid version `{v}`")))?,
+            );
+        } else if let Some(v) = tok.strip_prefix("from=") {
+            from = Some(
+                v.parse()
+                    .map_err(|_| ClientError::Protocol(format!("invalid from `{v}`")))?,
+            );
+        } else if let Some(v) = tok.strip_prefix("n=") {
+            n = Some(
+                v.parse()
+                    .map_err(|_| ClientError::Protocol(format!("invalid n `{v}`")))?,
+            );
+        } else if let Some(v) = tok.strip_prefix('+') {
+            added = parse_id_list(v)?;
+        } else if let Some(v) = tok.strip_prefix('-') {
+            removed = parse_id_list(v)?;
+        }
+    }
+    let version = version.or_else(|| (!epochs.is_empty()).then(|| epochs.iter().sum()));
+    match (version, from, n) {
+        (Some(version), Some(from), Some(n)) if !epochs.is_empty() => Ok(Delta {
+            epochs,
+            version,
+            from,
+            n,
+            added,
+            removed,
+        }),
+        _ => Err(ClientError::Protocol(format!(
+            "incomplete DELTA line `{line}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_ops() {
+        assert_eq!(
+            ClientOp::insert(7, vec![0.5, 0.25]).encode(),
+            "INSERT 7 0.5 0.25"
+        );
+        assert_eq!(ClientOp::delete(9).encode(), "DELETE 9");
+        assert_eq!(ClientOp::update(3, vec![1.0, 0.0]).encode(), "UPDATE 3 1 0");
+    }
+
+    #[test]
+    fn parses_single_service_delta() {
+        let d = parse_delta("DELTA epoch=7 from=5 n=120 +10,11 -3").unwrap();
+        assert_eq!(d.epochs, vec![7]);
+        assert_eq!(d.version, 7);
+        assert_eq!(d.from, 5);
+        assert_eq!(d.n, 120);
+        assert_eq!(d.added, vec![10, 11]);
+        assert_eq!(d.removed, vec![3]);
+    }
+
+    #[test]
+    fn parses_sharded_delta_and_empty_sets() {
+        let d = parse_delta("DELTA epochs=2,0,1 version=3 from=1 n=60").unwrap();
+        assert_eq!(d.epochs, vec![2, 0, 1]);
+        assert_eq!(d.version, 3);
+        assert_eq!(d.from, 1);
+        assert!(d.added.is_empty() && d.removed.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_deltas() {
+        assert!(parse_delta("NOPE epoch=1 from=0 n=1").is_err());
+        assert!(parse_delta("DELTA from=0 n=1").is_err(), "no epochs");
+        assert!(parse_delta("DELTA epoch=1 n=1").is_err(), "no from");
+        assert!(parse_delta("DELTA epoch=x from=0 n=1").is_err());
+    }
+
+    #[test]
+    fn parses_hello() {
+        let h = parse_hello("OK v2 dim=4 k=2 r=16 shards=3").unwrap();
+        assert_eq!(
+            h,
+            ServerHello {
+                version: 2,
+                dim: 4,
+                k: 2,
+                r: 16,
+                shards: 3
+            }
+        );
+        assert!(parse_hello("OK queued").is_err());
+    }
+}

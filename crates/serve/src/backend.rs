@@ -1,0 +1,334 @@
+//! The unified serving surface: one pair of traits over the
+//! single-engine [`RmsService`] and the id-partitioned
+//! [`ShardedRmsService`], so every front end (TCP server, CLI, bench,
+//! tests) is written once against [`RmsBackend`] instead of
+//! special-casing both concrete types.
+//!
+//! * [`RmsBackend`] is the *owner's* surface: construction stays on the
+//!   concrete types (their start signatures differ), but everything
+//!   after — handles, parameters, graceful shutdown — is uniform.
+//! * [`RmsBackendHandle`] is the *client's* surface: submit (blocking or
+//!   not), read the published state as a [`BackendView`], and
+//!   [`watch`](RmsBackendHandle::watch) the delta stream.
+//! * [`BackendView`] wraps either backend's snapshot `Arc` without
+//!   copying it, exposing the common accessors front ends need.
+
+use crate::service::{RmsHandle, RmsService, SubmitError};
+use crate::sharded::{AggregateSnapshot, ShardedHandle, ShardedRmsService};
+use crate::snapshot::{ResultSnapshot, ServiceStats, SnapshotDelta};
+use fdrms::{FdRms, Op};
+use rms_geom::{Point, PointId};
+use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, TryRecvError};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A zero-copy, point-in-time view over either backend's published
+/// state: an `Arc` clone of the single service's [`ResultSnapshot`] or
+/// of the shard group's merged [`AggregateSnapshot`].
+#[derive(Debug, Clone)]
+pub enum BackendView {
+    /// One engine's published snapshot.
+    Single(Arc<ResultSnapshot>),
+    /// A shard group's merged snapshot.
+    Merged(Arc<AggregateSnapshot>),
+}
+
+impl BackendView {
+    /// Per-shard publication epochs (one entry for a single service).
+    pub fn epochs(&self) -> Vec<u64> {
+        match self {
+            BackendView::Single(s) => vec![s.epoch],
+            BackendView::Merged(s) => s.epochs.clone(),
+        }
+    }
+
+    /// A scalar version label: the epoch for a single service, the
+    /// epoch-vector sum for a shard group. Monotone for any single
+    /// reader in both cases.
+    pub fn version(&self) -> u64 {
+        match self {
+            BackendView::Single(s) => s.epoch,
+            BackendView::Merged(s) => s.epochs.iter().sum(),
+        }
+    }
+
+    /// `true` when the view is a shard group's merged snapshot.
+    pub fn is_merged(&self) -> bool {
+        matches!(self, BackendView::Merged(_))
+    }
+
+    /// The published solution, sorted by id.
+    pub fn result(&self) -> &[Point] {
+        match self {
+            BackendView::Single(s) => &s.result,
+            BackendView::Merged(s) => &s.result,
+        }
+    }
+
+    /// Ids of the published solution, sorted ascending.
+    pub fn result_ids(&self) -> Vec<PointId> {
+        self.result().iter().map(Point::id).collect()
+    }
+
+    /// Live tuples `n` at publication.
+    pub fn len(&self) -> usize {
+        match self {
+            BackendView::Single(s) => s.len,
+            BackendView::Merged(s) => s.len,
+        }
+    }
+
+    /// `true` when no tuples are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Set-cover universe size `m` at publication (summed across shards).
+    pub fn m(&self) -> usize {
+        match self {
+            BackendView::Single(s) => s.m,
+            BackendView::Merged(s) => s.m,
+        }
+    }
+
+    /// Latest Monte-Carlo regret estimate, when estimation is enabled.
+    pub fn mrr(&self) -> Option<f64> {
+        match self {
+            BackendView::Single(s) => s.mrr,
+            BackendView::Merged(s) => s.mrr,
+        }
+    }
+
+    /// Service instrumentation at publication (summed across shards).
+    pub fn stats(&self) -> &ServiceStats {
+        match self {
+            BackendView::Single(s) => &s.stats,
+            BackendView::Merged(s) => &s.stats,
+        }
+    }
+}
+
+/// The receiving end of a delta subscription: the starting
+/// [`BackendView`] plus a stream of [`SnapshotDelta`]s that apply on top
+/// of it, pushed by the publish path (no polling). The stream is
+/// *gap-free*: the first delta's `from_version` equals the base view's
+/// version and each subsequent delta continues where the previous ended.
+/// It closes when the backend shuts down or the receiver is dropped.
+///
+/// Delivery is unbounded-buffered: a subscriber that stops receiving
+/// accumulates pending deltas (each at most `2r` entries) until it is
+/// dropped — it can never stall the applier.
+#[derive(Debug)]
+pub struct DeltaReceiver {
+    rx: Receiver<SnapshotDelta>,
+    base: BackendView,
+}
+
+impl DeltaReceiver {
+    pub(crate) fn new(rx: Receiver<SnapshotDelta>, base: BackendView) -> Self {
+        Self { rx, base }
+    }
+
+    /// The published state the delta stream starts from.
+    pub fn base(&self) -> &BackendView {
+        &self.base
+    }
+
+    /// Blocks for the next delta; `Err` means the stream closed (backend
+    /// shut down).
+    pub fn recv(&self) -> Result<SnapshotDelta, RecvError> {
+        self.rx.recv()
+    }
+
+    /// Non-blocking [`DeltaReceiver::recv`].
+    pub fn try_recv(&self) -> Result<SnapshotDelta, TryRecvError> {
+        self.rx.try_recv()
+    }
+
+    /// [`DeltaReceiver::recv`] with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<SnapshotDelta, RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Iterates deltas until the stream closes.
+    pub fn iter(&self) -> impl Iterator<Item = SnapshotDelta> + '_ {
+        self.rx.iter()
+    }
+}
+
+/// The client surface shared by [`RmsHandle`] and [`ShardedHandle`]:
+/// cheap to clone, safe to use from any thread, outlives the backend
+/// gracefully.
+pub trait RmsBackendHandle: Clone + Send + 'static {
+    /// Enqueues one operation, blocking on backpressure. `Ok` means the
+    /// operation will be applied (and, on a WAL-backed backend, is on
+    /// the log).
+    fn submit(&self, op: Op) -> Result<(), SubmitError>;
+
+    /// Non-blocking [`RmsBackendHandle::submit`]: fails fast with
+    /// [`SubmitError::Full`] instead of waiting out backpressure.
+    fn try_submit(&self, op: Op) -> Result<(), SubmitError>;
+
+    /// The most recently published state. Never blocks on maintenance.
+    fn view(&self) -> BackendView;
+
+    /// Operations currently queued (including submitters blocked on
+    /// backpressure), summed across shards. Approximate under
+    /// concurrency.
+    fn queue_depth(&self) -> usize;
+
+    /// Subscribes to the delta stream: the returned receiver's base view
+    /// plus every subsequent [`SnapshotDelta`], gap-free, pushed at
+    /// publish time.
+    fn watch(&self) -> DeltaReceiver;
+
+    /// Aggregate-merge cache counters `(hits, misses)` — `Some` only for
+    /// a sharded backend, where a hit means a read was served by the
+    /// cached merge (an `Arc` clone) instead of a re-merge.
+    fn merge_cache_stats(&self) -> Option<(u64, u64)> {
+        None
+    }
+}
+
+impl RmsBackendHandle for RmsHandle {
+    fn submit(&self, op: Op) -> Result<(), SubmitError> {
+        RmsHandle::submit(self, op)
+    }
+
+    fn try_submit(&self, op: Op) -> Result<(), SubmitError> {
+        RmsHandle::try_submit(self, op)
+    }
+
+    fn view(&self) -> BackendView {
+        BackendView::Single(self.snapshot())
+    }
+
+    fn queue_depth(&self) -> usize {
+        RmsHandle::queue_depth(self)
+    }
+
+    fn watch(&self) -> DeltaReceiver {
+        RmsHandle::watch(self)
+    }
+}
+
+impl RmsBackendHandle for ShardedHandle {
+    fn submit(&self, op: Op) -> Result<(), SubmitError> {
+        ShardedHandle::submit(self, op)
+    }
+
+    fn try_submit(&self, op: Op) -> Result<(), SubmitError> {
+        ShardedHandle::try_submit(self, op)
+    }
+
+    fn view(&self) -> BackendView {
+        BackendView::Merged(self.snapshot())
+    }
+
+    fn queue_depth(&self) -> usize {
+        ShardedHandle::queue_depth(self)
+    }
+
+    fn watch(&self) -> DeltaReceiver {
+        ShardedHandle::watch(self)
+    }
+
+    fn merge_cache_stats(&self) -> Option<(u64, u64)> {
+        Some(ShardedHandle::merge_cache_stats(self))
+    }
+}
+
+/// The owner surface shared by [`RmsService`] and [`ShardedRmsService`]:
+/// what a front end needs beyond the client handle — configuration
+/// introspection and the graceful shutdown that hands the engines back.
+///
+/// Construction stays on the concrete types (single and sharded start
+/// signatures differ); everything downstream of construction is written
+/// once against this trait.
+pub trait RmsBackend: Send + Sized + 'static {
+    /// The backend's cheap, cloneable client handle type.
+    type Handle: RmsBackendHandle;
+
+    /// A new client handle.
+    fn handle(&self) -> Self::Handle;
+
+    /// The configured tuple dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// The configured rank depth `k`.
+    fn k(&self) -> usize;
+
+    /// The configured result size budget `r`.
+    fn r(&self) -> usize;
+
+    /// The number of shards (1 for a single service).
+    fn shards(&self) -> usize;
+
+    /// Graceful shutdown: drains every acknowledged op, compacts
+    /// write-ahead logs when configured, and returns the engines,
+    /// indexed by shard (one element for a single service).
+    fn shutdown(self) -> Vec<FdRms>;
+
+    /// See [`RmsBackendHandle::watch`]. A per-call convenience (it
+    /// constructs a handle); loops should hold a handle and go through
+    /// its surface instead.
+    fn watch(&self) -> DeltaReceiver {
+        self.handle().watch()
+    }
+}
+
+impl RmsBackend for RmsService {
+    type Handle = RmsHandle;
+
+    fn handle(&self) -> RmsHandle {
+        RmsService::handle(self)
+    }
+
+    fn dim(&self) -> usize {
+        RmsService::dim(self)
+    }
+
+    fn k(&self) -> usize {
+        RmsService::k(self)
+    }
+
+    fn r(&self) -> usize {
+        RmsService::r(self)
+    }
+
+    fn shards(&self) -> usize {
+        1
+    }
+
+    fn shutdown(self) -> Vec<FdRms> {
+        vec![RmsService::shutdown(self)]
+    }
+}
+
+impl RmsBackend for ShardedRmsService {
+    type Handle = ShardedHandle;
+
+    fn handle(&self) -> ShardedHandle {
+        ShardedRmsService::handle(self)
+    }
+
+    fn dim(&self) -> usize {
+        ShardedRmsService::dim(self)
+    }
+
+    fn k(&self) -> usize {
+        ShardedRmsService::k(self)
+    }
+
+    fn r(&self) -> usize {
+        ShardedRmsService::r(self)
+    }
+
+    fn shards(&self) -> usize {
+        ShardedRmsService::shards(self)
+    }
+
+    fn shutdown(self) -> Vec<FdRms> {
+        ShardedRmsService::shutdown(self)
+    }
+}

@@ -25,19 +25,29 @@
 //!   out and keep it as long as they like.
 //! * A `std::net`-only [TCP front end](crate::tcp) speaks a small
 //!   [line protocol](crate::protocol) (`INSERT`/`DELETE`/`UPDATE`/
-//!   `QUERY`/`STATS`/`SHUTDOWN`) over the same handles, wired into the
-//!   `krms serve` CLI subcommand.
+//!   `QUERY`/`STATS`/`SHUTDOWN`, plus the v2 `HELLO`/`BATCH`/`SUBSCRIBE`
+//!   verbs) over the same handles, wired into the `krms serve` CLI
+//!   subcommand. The in-tree `rms-client` crate is a typed, std-only
+//!   client for it.
 //! * [`ShardedRmsService`] scales ingestion across cores: `S`
 //!   independent services, each owning the id partition `id % S`,
 //!   behind a router with the same submit/snapshot/shutdown surface.
 //!   Reads merge the per-shard solutions into one
 //!   [`AggregateSnapshot`] (per-shard epochs, summed stats, union
 //!   re-trimmed to `r`).
+//! * Both backends implement [`RmsBackend`] (their handles implement
+//!   [`RmsBackendHandle`]), so front ends are written once against the
+//!   trait pair: submit, read a unified [`BackendView`], or
+//!   [`watch`](RmsBackendHandle::watch) the push stream of
+//!   [`SnapshotDelta`]s computed at publish time — applying every delta
+//!   to the starting snapshot reproduces the published solution at each
+//!   delivered version.
 //! * An optional [write-ahead log](crate::wal) makes acknowledgements
 //!   durable: every acknowledged op is framed into an append-only log
 //!   *before* its acknowledgement ([`RmsService::start_with_wal`]),
-//!   replayed on the next start after an unclean death; graceful
-//!   shutdown compacts the log to a checkpoint.
+//!   with enqueue and append serialized so log order equals apply
+//!   order; the log is replayed on the next start after an unclean
+//!   death, and graceful shutdown compacts it to a checkpoint.
 //!
 //! ## Example
 //!
@@ -70,6 +80,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod protocol;
 mod service;
 mod sharded;
@@ -77,7 +88,8 @@ mod snapshot;
 pub mod tcp;
 pub mod wal;
 
+pub use backend::{BackendView, DeltaReceiver, RmsBackend, RmsBackendHandle};
 pub use service::{RmsHandle, RmsService, ServeConfig, ServeError, SubmitError};
 pub use sharded::{AggregateSnapshot, ShardedHandle, ShardedRmsService};
-pub use snapshot::{ResultSnapshot, ServiceStats};
+pub use snapshot::{ResultSnapshot, ServiceStats, SnapshotDelta, StatsDelta};
 pub use tcp::RmsServer;

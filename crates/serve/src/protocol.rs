@@ -1,7 +1,8 @@
 //! The line protocol spoken by the TCP front end.
 //!
 //! One request per `\n`-terminated line, one reply line per request
-//! (replies start with `OK` or `ERR`):
+//! (replies start with `OK` or `ERR`) — except the v2 framing verbs
+//! below. The v1 verb set:
 //!
 //! ```text
 //! INSERT <id> <v1> … <vd>     enqueue an insertion            → OK queued
@@ -12,13 +13,39 @@
 //! SHUTDOWN                    drain, stop serving             → OK shutting down
 //! ```
 //!
+//! **Protocol v2** keeps every v1 verb byte-compatible and adds:
+//!
+//! ```text
+//! HELLO v<N>            negotiate the session version           → OK v<min(N,2)> dim=D k=K r=R shards=S
+//! BATCH <n>             the next n lines are mutation verbs,
+//!                       submitted with ONE ack for all of them  → OK queued n=<n>
+//! SUBSCRIBE [every=K]   switch the connection to push mode      → OK subscribed every=K epoch=E n=N ids=…
+//!                       then one line per published delta:        DELTA epoch=E from=F n=N +<ids> -<ids>
+//! ```
+//!
+//! A connection starts at v1; `BATCH` and `SUBSCRIBE` require a prior
+//! `HELLO v2` (the server replies `ERR … requires protocol v2` until
+//! then), so v1 clients can never trip over framing they do not speak.
+//! `BATCH` is all-or-nothing at the framing level: the server reads all
+//! `n` lines first and submits none of them if any line is malformed.
+//! `SUBSCRIBE every=K` coalesces deltas so at most one `DELTA` line is
+//! pushed per K published epochs while the stream is active (an idle
+//! stream flushes the remainder after a short beat). Against a sharded
+//! backend the pushed lines carry the epoch vector —
+//! `DELTA epochs=e0,e1,… version=V from=F …` — mirroring `QUERY`'s
+//! `epochs=` form; `+`/`-` id lists are omitted when empty.
+//!
 //! Mutations are acknowledged at *enqueue* time and applied
 //! asynchronously; `STATS` exposes `ops_applied`/`ops_rejected` so a
-//! client can await visibility (plus `replayed_batches` and
-//! `wal_recovered` when relevant). On a WAL-backed server the
-//! acknowledgement additionally means the op is on the log. Malformed
-//! input never kills the connection — the reply is `ERR <reason>` and
-//! the next line is parsed fresh.
+//! client can await visibility (plus `replayed_batches`, `wal_recovered`
+//! and — sharded — `merge_hits`/`merge_misses` when relevant). On a
+//! WAL-backed server the acknowledgement additionally means the op is on
+//! the log. Malformed input never kills the connection — the reply is
+//! `ERR <reason>` and the next line is parsed fresh — with one class of
+//! exceptions: in a v2 session, a `BATCH` header the server cannot
+//! honor (count above [`MAX_BATCH_LINES`], or unparseable at all)
+//! closes the connection, because the announced op lines can neither be
+//! consumed nor safely reinterpreted as requests.
 //!
 //! Against a sharded backend the verbs are identical; `QUERY`/`STATS`
 //! report the per-shard epoch vector (`epochs=e0,e1,…` plus `shards=S`
@@ -27,6 +54,15 @@
 
 use fdrms::Op;
 use rms_geom::{Point, PointId};
+
+/// The newest protocol version this module speaks.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Upper bound on the op lines one `BATCH` header may announce. A
+/// header above the cap is refused *and closes the connection* — the
+/// framing contract says those lines are ops, so they cannot safely be
+/// reinterpreted as requests.
+pub const MAX_BATCH_LINES: usize = 1 << 16;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +75,42 @@ pub enum Request {
     Stats,
     /// Drain the queue and stop the server.
     Shutdown,
+    /// Negotiate the session protocol version (`HELLO v<N>`).
+    Hello(u32),
+    /// Header of a pipelined mutation batch: the next `n` lines are
+    /// mutation verbs, acknowledged with one reply (v2).
+    Batch(usize),
+    /// Switch the connection to push mode, streaming snapshot deltas
+    /// every `every` epochs (v2).
+    Subscribe {
+        /// Coalescing factor: at most one `DELTA` line per this many
+        /// published epochs (≥ 1).
+        every: u64,
+    },
+}
+
+/// Encodes a request into its canonical wire line (no trailing newline).
+/// [`parse_request`] inverts it: `parse_request(&encode_request(r), d)`
+/// returns `r` for any request valid at dimensionality `d` — the
+/// round-trip property pinned by `tests/protocol_props.rs`.
+pub fn encode_request(req: &Request) -> String {
+    fn point_args(p: &Point) -> String {
+        // `{}` on f64 prints the shortest representation that parses
+        // back exactly, so coordinates survive the round-trip.
+        let coords: Vec<String> = p.coords().iter().map(f64::to_string).collect();
+        format!("{} {}", p.id(), coords.join(" "))
+    }
+    match req {
+        Request::Submit(Op::Insert(p)) => format!("INSERT {}", point_args(p)),
+        Request::Submit(Op::Update(p)) => format!("UPDATE {}", point_args(p)),
+        Request::Submit(Op::Delete(id)) => format!("DELETE {id}"),
+        Request::Query => "QUERY".into(),
+        Request::Stats => "STATS".into(),
+        Request::Shutdown => "SHUTDOWN".into(),
+        Request::Hello(v) => format!("HELLO v{v}"),
+        Request::Batch(n) => format!("BATCH {n}"),
+        Request::Subscribe { every } => format!("SUBSCRIBE every={every}"),
+    }
 }
 
 /// Parses one request line against dimensionality `d`.
@@ -65,8 +137,49 @@ pub fn parse_request(line: &str, d: usize) -> Result<Request, String> {
         "QUERY" => no_args(Request::Query),
         "STATS" => no_args(Request::Stats),
         "SHUTDOWN" => no_args(Request::Shutdown),
+        "HELLO" => {
+            let [version] = rest.as_slice() else {
+                return Err("usage: HELLO v<version>".into());
+            };
+            let digits = version
+                .strip_prefix(['v', 'V'])
+                .ok_or_else(|| format!("invalid version `{version}` (expected e.g. `v2`)"))?;
+            let version: u32 = digits
+                .parse()
+                .map_err(|_| format!("invalid version number `{digits}`"))?;
+            if version == 0 {
+                return Err("protocol versions start at v1".into());
+            }
+            Ok(Request::Hello(version))
+        }
+        "BATCH" => {
+            let [count] = rest.as_slice() else {
+                return Err("usage: BATCH <n>".into());
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("invalid batch size `{count}`"))?;
+            Ok(Request::Batch(count))
+        }
+        "SUBSCRIBE" => match rest.as_slice() {
+            [] => Ok(Request::Subscribe { every: 1 }),
+            [arg] => {
+                let value = arg
+                    .strip_prefix("every=")
+                    .ok_or("usage: SUBSCRIBE [every=K]")?;
+                let every: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid every value `{value}`"))?;
+                if every == 0 {
+                    return Err("every must be at least 1".into());
+                }
+                Ok(Request::Subscribe { every })
+            }
+            _ => Err("usage: SUBSCRIBE [every=K]".into()),
+        },
         other => Err(format!(
-            "unknown command `{other}` (expected INSERT/DELETE/UPDATE/QUERY/STATS/SHUTDOWN)"
+            "unknown command `{other}` (expected INSERT/DELETE/UPDATE/QUERY/STATS/SHUTDOWN, \
+             or v2: HELLO/BATCH/SUBSCRIBE)"
         )),
     }
 }
@@ -129,6 +242,22 @@ mod tests {
     }
 
     #[test]
+    fn parses_v2_verbs() {
+        assert_eq!(parse_request("HELLO v2", 2), Ok(Request::Hello(2)));
+        assert_eq!(parse_request("hello V17", 2), Ok(Request::Hello(17)));
+        assert_eq!(parse_request("BATCH 64", 2), Ok(Request::Batch(64)));
+        assert_eq!(parse_request("BATCH 0", 2), Ok(Request::Batch(0)));
+        assert_eq!(
+            parse_request("SUBSCRIBE", 2),
+            Ok(Request::Subscribe { every: 1 })
+        );
+        assert_eq!(
+            parse_request("SUBSCRIBE every=8", 2),
+            Ok(Request::Subscribe { every: 8 })
+        );
+    }
+
+    #[test]
     fn rejects_malformed() {
         assert!(parse_request("", 2).is_err());
         assert!(parse_request("FROB 1", 2).is_err());
@@ -141,5 +270,41 @@ mod tests {
         assert!(parse_request("DELETE", 2).is_err());
         assert!(parse_request("DELETE 1 2", 2).is_err());
         assert!(parse_request("QUERY now", 2).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_v2() {
+        assert!(parse_request("HELLO", 2).is_err());
+        assert!(parse_request("HELLO 2", 2).is_err(), "missing v prefix");
+        assert!(parse_request("HELLO v0", 2).is_err());
+        assert!(parse_request("HELLO vx", 2).is_err());
+        assert!(parse_request("HELLO v2 now", 2).is_err());
+        assert!(parse_request("BATCH", 2).is_err());
+        assert!(parse_request("BATCH -3", 2).is_err());
+        assert!(parse_request("BATCH many", 2).is_err());
+        assert!(parse_request("BATCH 1 2", 2).is_err());
+        assert!(parse_request("SUBSCRIBE every=0", 2).is_err());
+        assert!(parse_request("SUBSCRIBE every=x", 2).is_err());
+        assert!(parse_request("SUBSCRIBE now", 2).is_err());
+        assert!(parse_request("SUBSCRIBE every=1 x", 2).is_err());
+    }
+
+    #[test]
+    fn encode_round_trips() {
+        let reqs = [
+            Request::Submit(Op::Insert(Point::new_unchecked(7, vec![0.5, 0.25]))),
+            Request::Submit(Op::Update(Point::new_unchecked(3, vec![1.0, 0.0]))),
+            Request::Submit(Op::Delete(9)),
+            Request::Query,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Hello(2),
+            Request::Batch(128),
+            Request::Subscribe { every: 4 },
+        ];
+        for req in reqs {
+            let line = encode_request(&req);
+            assert_eq!(parse_request(&line, 2), Ok(req), "{line}");
+        }
     }
 }

@@ -2,17 +2,37 @@
 //! queue, publishing immutable snapshots after every coalesced batch,
 //! with an optional write-ahead log for crash durability.
 
-use crate::snapshot::{ResultSnapshot, ServiceStats, SnapshotCell};
-use crate::wal::Wal;
+use crate::backend::{BackendView, DeltaReceiver};
+use crate::snapshot::{ResultSnapshot, ServiceStats, SnapshotCell, SnapshotDelta};
+use crate::wal::{Wal, WalSyncHandle};
 use fdrms::{FdRms, FdRmsBuilder, FdRmsError, Op};
 use rms_eval::RegretEstimator;
 use rms_geom::Point;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// One registered subscriber of the publish stream. The sharded router
+/// only needs to be *woken* per publish (it re-merges and diffs merged
+/// states itself), so it registers as `Signal` and the applier skips
+/// computing — let alone cloning — a delta for it.
+#[derive(Debug)]
+pub(crate) enum Watcher {
+    /// Receives the full [`SnapshotDelta`] computed at publish time.
+    Full(Sender<SnapshotDelta>),
+    /// Receives a unit wake-up per publish.
+    Signal(Sender<()>),
+}
+
+/// The watcher registry shared by handles (which register) and the
+/// applier (which broadcasts per publish and prunes dead watchers).
+/// Registration reads the snapshot cell *under this lock*, and the
+/// applier swaps the cell and broadcasts under it too, so a watcher's
+/// base snapshot and its first delta always line up gap-free.
+type WatcherRegistry = Arc<Mutex<Vec<Watcher>>>;
 
 /// Tuning knobs for [`RmsService`].
 #[derive(Debug, Clone)]
@@ -37,8 +57,11 @@ pub struct ServeConfig {
     /// ([`RmsService::start_with_wal`]): `fsync` the log once per
     /// coalesced batch (group commit). Off, the log still survives a
     /// process kill (records reach the OS before acknowledgement) but
-    /// not a power failure; on, every *applied* batch is on stable
-    /// storage at the cost of one `fdatasync` per batch.
+    /// not a power failure; on, every *acknowledged* op is on stable
+    /// storage no later than the batch commit after its acknowledgement
+    /// (the record lands between the enqueue and the ack, so the commit
+    /// covering its own batch can race it), at the cost of one
+    /// `fdatasync` per batch.
     pub wal_fsync: bool,
 }
 
@@ -133,6 +156,7 @@ pub struct RmsHandle {
     state: Arc<AtomicUsize>,
     cell: Arc<SnapshotCell>,
     wal: Option<Arc<Mutex<Wal>>>,
+    watchers: WatcherRegistry,
 }
 
 impl RmsHandle {
@@ -146,31 +170,22 @@ impl RmsHandle {
         true
     }
 
-    /// Appends one pre-framed record to the write-ahead log. Runs *after*
-    /// Appends one op to the write-ahead log. Log IO failures cannot be
-    /// allowed to fail the submission (blocking callers have already
-    /// committed to enqueueing), so they are reported on stderr and the
-    /// op proceeds without durability.
-    fn log_op(&self, op: &Op) {
-        if let Some(wal) = &self.wal {
-            let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Err(e) = wal.append(op) {
-                eprintln!("rms-serve: WAL append failed ({e}); op applied without durability");
-            }
-        }
-    }
-
     /// Enqueues one operation, blocking while the queue is full
     /// (backpressure). `Ok` means the operation *will* be applied — a
     /// graceful shutdown drains every acknowledged op — and on a
-    /// WAL-backed service that the op is on the log: the record is
-    /// appended *before* the enqueue, so by the time the applier can see
-    /// the op (and group-commit fsync its batch) the record exists. The
-    /// one resulting anomaly is benign: if the enqueue then fails
-    /// (service died), the logged-but-unapplied record replays an op its
-    /// submitter saw rejected — recovery applies it, which the
-    /// at-least-once replay semantics already permit (and a graceful
-    /// shutdown's checkpoint compaction erases it).
+    /// WAL-backed service that the op is on the log before this returns.
+    ///
+    /// **WAL ordering**: the enqueue and the log append happen atomically
+    /// under the log mutex (a try-send loop, so the mutex is never held
+    /// across a blocking wait), which makes log order equal queue order —
+    /// the order the applier applies ops in — even when different threads
+    /// race conflicting ops on the same id. Recovery therefore replays
+    /// exactly the serialization the live service applied. The applier's
+    /// group-commit fsync runs on a duplicated descriptor and never takes
+    /// this mutex, so submitters cannot deadlock against it; the append
+    /// lands after the enqueue, so an op's own batch commit can race its
+    /// record — an acknowledged op is fsync-durable no later than the
+    /// batch commit *after* its acknowledgement.
     ///
     /// The application itself is asynchronous; a later
     /// [`RmsHandle::snapshot`] whose stats show it absorbed reflects it.
@@ -178,15 +193,46 @@ impl RmsHandle {
         if !self.register() {
             return Err(SubmitError::Disconnected(op));
         }
-        self.log_op(&op);
-        match self.tx.send(Msg::Op(op)) {
-            Ok(()) => Ok(()),
-            Err(e) => {
-                self.state.fetch_sub(1, Ordering::SeqCst);
-                let Msg::Op(op) = e.0 else {
-                    unreachable!("handles only send ops")
-                };
-                Err(SubmitError::Disconnected(op))
+        let Some(wal) = &self.wal else {
+            return match self.tx.send(Msg::Op(op)) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    self.state.fetch_sub(1, Ordering::SeqCst);
+                    let Msg::Op(op) = e.0 else {
+                        unreachable!("handles only send ops")
+                    };
+                    Err(SubmitError::Disconnected(op))
+                }
+            };
+        };
+        // The op is framed once, outside the lock; the loop backs off
+        // outside the lock too, so the critical section is only the
+        // non-blocking try-send plus the append.
+        let frame = Wal::frame_op(&op);
+        let mut msg = Msg::Op(op);
+        loop {
+            let mut guard = wal.lock().unwrap_or_else(PoisonError::into_inner);
+            match self.tx.try_send(msg) {
+                Ok(()) => {
+                    append_logged(&mut guard, &frame);
+                    return Ok(());
+                }
+                Err(TrySendError::Disconnected(m)) => {
+                    drop(guard);
+                    self.state.fetch_sub(1, Ordering::SeqCst);
+                    let Msg::Op(op) = m else {
+                        unreachable!("handles only send ops")
+                    };
+                    return Err(SubmitError::Disconnected(op));
+                }
+                Err(TrySendError::Full(m)) => {
+                    drop(guard);
+                    msg = m;
+                    // Backpressure: the queue drains at applier-batch
+                    // cadence (milliseconds), so a sub-millisecond poll
+                    // wastes neither latency nor CPU.
+                    std::thread::sleep(Duration::from_micros(100));
+                }
             }
         }
     }
@@ -194,31 +240,28 @@ impl RmsHandle {
     /// Non-blocking [`RmsHandle::submit`]: fails fast with
     /// [`SubmitError::Full`] instead of waiting out backpressure.
     ///
-    /// Unlike [`RmsHandle::submit`], the WAL append runs *after* a
-    /// successful enqueue: `Full` bounces are routine, and logging every
-    /// bounced op would replay ops the caller knows were never accepted.
-    /// The ack ⇒ logged contract still holds (the append precedes the
-    /// `Ok` return); the group-commit fsync covering the op's own batch
-    /// may race it — an acknowledged `try_submit` op is fsync-durable
-    /// from the *next* batch commit on.
+    /// Shares the blocking path's enqueue+append critical section, so
+    /// log order equals apply order across both entry points; a `Full`
+    /// bounce is never logged (recovery must not replay ops the caller
+    /// knows were rejected).
     pub fn try_submit(&self, op: Op) -> Result<(), SubmitError> {
         if !self.register() {
             return Err(SubmitError::Disconnected(op));
         }
         let frame = self.wal.as_ref().map(|_| Wal::frame_op(&op));
+        let mut guard = self
+            .wal
+            .as_ref()
+            .map(|wal| wal.lock().unwrap_or_else(PoisonError::into_inner));
         match self.tx.try_send(Msg::Op(op)) {
             Ok(()) => {
-                if let (Some(wal), Some(frame)) = (&self.wal, frame) {
-                    let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
-                    if let Err(e) = wal.append_frame(&frame) {
-                        eprintln!(
-                            "rms-serve: WAL append failed ({e}); op applied without durability"
-                        );
-                    }
+                if let (Some(guard), Some(frame)) = (guard.as_mut(), frame) {
+                    append_logged(guard, &frame);
                 }
                 Ok(())
             }
             Err(e) => {
+                drop(guard);
                 self.state.fetch_sub(1, Ordering::SeqCst);
                 match e {
                     TrySendError::Full(Msg::Op(op)) => Err(SubmitError::Full(op)),
@@ -227,6 +270,39 @@ impl RmsHandle {
                 }
             }
         }
+    }
+
+    /// Subscribes to the service's delta stream: the returned receiver
+    /// carries the current snapshot as its base plus every subsequent
+    /// [`SnapshotDelta`], computed and pushed by the applier at publish
+    /// time. The stream closes on shutdown; registration after shutdown
+    /// yields an already-closed stream.
+    pub fn watch(&self) -> DeltaReceiver {
+        let (tx, rx) = channel();
+        let base = self.register_watcher(Watcher::Full(tx));
+        DeltaReceiver::new(rx, BackendView::Single(base))
+    }
+
+    /// Registers a signal-only watcher (the sharded router funnels every
+    /// shard's publish wake-ups into one channel this way; it diffs
+    /// merged snapshots itself, so it never needs the per-shard deltas)
+    /// and returns the base snapshot current at registration.
+    pub(crate) fn watch_signal(&self, tx: Sender<()>) -> Arc<ResultSnapshot> {
+        self.register_watcher(Watcher::Signal(tx))
+    }
+
+    /// Registers a watcher under the registry lock, so the base snapshot
+    /// and the first notification line up gap-free.
+    fn register_watcher(&self, watcher: Watcher) -> Arc<ResultSnapshot> {
+        let mut watchers = self.watchers.lock().unwrap_or_else(PoisonError::into_inner);
+        let base = self.cell.load();
+        // After shutdown the applier has already dropped every watcher;
+        // registering would leak a never-closing stream. Dropping the
+        // sender instead closes the subscriber's receiver immediately.
+        if self.state.load(Ordering::SeqCst) & CLOSED_BIT == 0 {
+            watchers.push(watcher);
+        }
+        base
     }
 
     /// The most recently published snapshot. Never blocks on the applier:
@@ -299,14 +375,12 @@ impl RmsService {
     /// already in the checkpoint (the tail race of a graceful shutdown)
     /// re-applies as a rejection or attribute no-op, never as corruption.
     ///
-    /// **Ordering caveat**: each submitter's own ops are logged in its
-    /// submission order, but when *different threads* race conflicting
-    /// ops on the *same id*, the log order (WAL mutex order) can differ
-    /// from the apply order (queue order) — recovery then replays a
-    /// different, still-valid serial order of that race. Single-writer
-    /// and disjoint-id workloads (every TCP connection submits
-    /// sequentially; the sharded bench partitions ids per writer) are
-    /// unaffected.
+    /// **Ordering**: enqueue and append are serialized under the log
+    /// mutex (see [`RmsHandle::submit`]), so log order equals apply order
+    /// even when different threads race conflicting ops on the same id —
+    /// recovery replays exactly the serialization the live service
+    /// applied, pinned by `tests/wal.rs::
+    /// contended_id_recovery_matches_live_outcome`.
     pub fn start_with_wal(
         builder: FdRmsBuilder,
         initial: Vec<Point>,
@@ -371,13 +445,27 @@ impl RmsService {
         let (tx, rx) = sync_channel(cfg.queue_capacity.max(1));
         let state = Arc::new(AtomicUsize::new(0));
         let cell = Arc::new(SnapshotCell::new(make_snapshot(&fd, 0, stats, None)));
+        let watchers: WatcherRegistry = Arc::new(Mutex::new(Vec::new()));
+        // Group commits run on a duplicated descriptor so the applier
+        // never contends with the submitters' enqueue+append mutex; if
+        // duplication fails, syncs fall back to taking that mutex (safe —
+        // submitters never hold it across a blocking wait — just slower).
+        let wal_sync = wal.as_ref().and_then(|w| {
+            w.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .sync_handle()
+                .ok()
+        });
         let applier = {
             let cell = Arc::clone(&cell);
             let state = Arc::clone(&state);
             let wal = wal.clone();
+            let watchers = Arc::clone(&watchers);
             std::thread::Builder::new()
                 .name("rms-applier".into())
-                .spawn(move || applier_loop(fd, rx, cell, state, cfg, wal, stats))
+                .spawn(move || {
+                    applier_loop(fd, rx, cell, state, cfg, wal, wal_sync, watchers, stats)
+                })
                 .expect("spawn applier thread")
         };
         Self {
@@ -386,6 +474,7 @@ impl RmsService {
                 state,
                 cell,
                 wal,
+                watchers,
             },
             applier: Some(applier),
             dim,
@@ -402,6 +491,11 @@ impl RmsService {
     /// See [`RmsHandle::snapshot`].
     pub fn snapshot(&self) -> Arc<ResultSnapshot> {
         self.handle.snapshot()
+    }
+
+    /// See [`RmsHandle::watch`].
+    pub fn watch(&self) -> DeltaReceiver {
+        self.handle.watch()
     }
 
     /// See [`RmsHandle::submit`].
@@ -537,14 +631,62 @@ fn record_apply(stats: &mut ServiceStats, since: Instant) {
     stats.batches += 1;
 }
 
+/// Appends one pre-framed record, reporting (not propagating) IO
+/// failures: the op is already enqueued, so the submission proceeds; it
+/// merely loses durability.
+fn append_logged(wal: &mut Wal, frame: &[u8]) {
+    if let Err(e) = wal.append_frame(frame) {
+        eprintln!("rms-serve: WAL append failed ({e}); op applied without durability");
+    }
+}
+
+/// Group commit: one `fdatasync` per coalesced batch, preferring the
+/// duplicated descriptor (no mutex) and falling back to locking the log.
+fn group_commit(wal: &Option<Arc<Mutex<Wal>>>, sync: &Option<WalSyncHandle>) {
+    let result = match (sync, wal) {
+        (Some(sync), _) => sync.sync(),
+        (None, Some(wal)) => wal.lock().unwrap_or_else(PoisonError::into_inner).sync(),
+        (None, None) => return,
+    };
+    if let Err(e) = result {
+        eprintln!("rms-serve: WAL fsync failed: {e}");
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn applier_loop(
+    fd: FdRms,
+    rx: Receiver<Msg>,
+    cell: Arc<SnapshotCell>,
+    state: Arc<AtomicUsize>,
+    cfg: ServeConfig,
+    wal: Option<Arc<Mutex<Wal>>>,
+    wal_sync: Option<WalSyncHandle>,
+    watchers: WatcherRegistry,
+    stats: ServiceStats,
+) -> FdRms {
+    let fd = applier_inner(fd, rx, cell, state, cfg, wal, wal_sync, &watchers, stats);
+    // Dropping the senders closes every subscriber's delta stream; the
+    // closed ingestion bit (set before any exit path reaches here, or
+    // implied by every handle being gone) keeps late registrations
+    // from registering into the cleared registry.
+    watchers
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clear();
+    fd
+}
+
+#[allow(clippy::too_many_arguments)]
+fn applier_inner(
     mut fd: FdRms,
     rx: Receiver<Msg>,
     cell: Arc<SnapshotCell>,
     state: Arc<AtomicUsize>,
     cfg: ServeConfig,
     wal: Option<Arc<Mutex<Wal>>>,
+    wal_sync: Option<WalSyncHandle>,
+    watchers: &WatcherRegistry,
     mut stats: ServiceStats,
 ) -> FdRms {
     let max_batch = cfg.max_batch.max(1);
@@ -553,6 +695,9 @@ fn applier_loop(
     let mrr_every = cfg.mrr_every.max(1);
     let mut epoch = 0u64;
     let mut last_mrr = None;
+    // The previously published snapshot, kept for publish-time delta
+    // computation (watchers receive the diff, not the whole solution).
+    let mut prev = cell.load();
     loop {
         // Block for the first message, then coalesce whatever else is
         // already queued — the adaptive batch: size 1 under light load
@@ -614,12 +759,7 @@ fn applier_loop(
             // possibly later ones — strictly more durability) reach
             // stable storage with one fdatasync per coalesced batch.
             if cfg.wal_fsync {
-                if let Some(wal) = &wal {
-                    let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
-                    if let Err(e) = wal.sync() {
-                        eprintln!("rms-serve: WAL fsync failed: {e}");
-                    }
-                }
+                group_commit(&wal, &wal_sync);
             }
         }
         if !ops.is_empty() || shutting_down {
@@ -631,7 +771,33 @@ fn applier_loop(
                 }
             }
             stats.queue_depth = state.load(Ordering::Relaxed) & COUNT_MASK;
-            cell.store(make_snapshot(&fd, epoch, stats, last_mrr));
+            let snap = Arc::new(make_snapshot(&fd, epoch, stats, last_mrr));
+            // The cell swap and the delta broadcast happen under the
+            // registry lock, atomically with any concurrent watcher
+            // registration — so every subscriber's base snapshot meets
+            // its first delta gap-free.
+            let mut registry = watchers.lock().unwrap_or_else(PoisonError::into_inner);
+            cell.store(Arc::clone(&snap));
+            if !registry.is_empty() {
+                // The O(r) diff + clone runs only when someone actually
+                // consumes deltas; signal-only watchers (the sharded
+                // router) cost one unit send.
+                let delta = registry
+                    .iter()
+                    .any(|w| matches!(w, Watcher::Full(_)))
+                    .then(|| snap.delta_from(&prev));
+                registry.retain(|watcher| match watcher {
+                    Watcher::Full(tx) => {
+                        let delta = delta
+                            .as_ref()
+                            .expect("computed while a Full watcher exists");
+                        tx.send(delta.clone()).is_ok()
+                    }
+                    Watcher::Signal(tx) => tx.send(()).is_ok(),
+                });
+            }
+            drop(registry);
+            prev = snap;
         }
         if shutting_down {
             break;

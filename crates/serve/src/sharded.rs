@@ -15,12 +15,15 @@
 //! `<base>.<i>` — `S` independent logs, recovered independently on the
 //! next start.
 
+use crate::backend::{BackendView, DeltaReceiver};
 use crate::service::{RmsService, ServeConfig, ServeError, SubmitError};
-use crate::snapshot::{ResultSnapshot, ServiceStats};
+use crate::snapshot::{diff_results, ResultSnapshot, ServiceStats, SnapshotDelta, StatsDelta};
 use fdrms::{FdRms, FdRmsBuilder, Op};
 use rms_baselines::{GreedyStar, StaticRms};
 use rms_geom::Point;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex, PoisonError};
 
 /// Utility-vector samples for the aggregate re-trim. The union being
@@ -58,6 +61,22 @@ impl AggregateSnapshot {
     /// Ids of the merged solution, sorted ascending.
     pub fn result_ids(&self) -> Vec<rms_geom::PointId> {
         self.result.iter().map(Point::id).collect()
+    }
+
+    /// The delta from `prev` to this merged snapshot. Versions are
+    /// epoch-vector sums: pointwise-monotone vectors make the sum
+    /// strictly increase across distinct merged states.
+    pub fn delta_from(&self, prev: &AggregateSnapshot) -> SnapshotDelta {
+        let (added, removed) = diff_results(&prev.result, &self.result);
+        SnapshotDelta {
+            from_version: prev.epochs.iter().sum(),
+            version: self.epochs.iter().sum(),
+            epochs: self.epochs.clone(),
+            added,
+            removed,
+            len: self.len,
+            stats: StatsDelta::between(&prev.stats, &self.stats),
+        }
     }
 }
 
@@ -139,6 +158,12 @@ struct Merger {
     k: usize,
     r: usize,
     cache: Mutex<Option<Arc<AggregateSnapshot>>>,
+    /// Reads served by the cached merge (an `Arc` clone).
+    hits: AtomicU64,
+    /// Reads that had to re-merge because some shard published a new
+    /// epoch. Exposed as `merge_hits=`/`merge_misses=` in `STATS` so the
+    /// epoch-vector cache's effectiveness is observable from outside.
+    misses: AtomicU64,
 }
 
 impl Merger {
@@ -147,9 +172,11 @@ impl Merger {
         let snaps: Vec<Arc<ResultSnapshot>> = shards.iter().map(|h| h.snapshot()).collect();
         if let Some(cached) = guard.as_ref() {
             if snaps.iter().zip(&cached.epochs).all(|(s, &e)| s.epoch == e) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 return Arc::clone(cached);
             }
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let merged = Arc::new(self.merge(&snaps));
         *guard = Some(Arc::clone(&merged));
         merged
@@ -235,6 +262,68 @@ impl ShardedHandle {
     /// The number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Aggregate-merge cache counters `(hits, misses)` since start.
+    pub fn merge_cache_stats(&self) -> (u64, u64) {
+        (
+            self.merger.hits.load(Ordering::Relaxed),
+            self.merger.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Subscribes to the group's merged delta stream.
+    ///
+    /// Every shard applier funnels its publish signal into one channel; a
+    /// router thread then re-merges through the (serialized, cached)
+    /// merge path and pushes the diff between consecutive merged states.
+    /// Bursts coalesce — a subscriber sees a gap-free chain of
+    /// [`SnapshotDelta`]s over merged states, not one delta per shard
+    /// epoch. The stream closes when every shard has shut down (after a
+    /// final catch-up merge) or the receiver is dropped.
+    pub fn watch(&self) -> DeltaReceiver {
+        let (signal_tx, signal_rx) = channel();
+        for shard in &self.shards {
+            // Signal-only registration: the router diffs merged
+            // snapshots itself, so the shard appliers never compute a
+            // per-shard delta on its behalf (and can never double-apply).
+            let _ = shard.watch_signal(signal_tx.clone());
+        }
+        drop(signal_tx);
+        // The base merge runs *after* registration: anything published
+        // before it is already in the base, anything after wakes the
+        // router and shows up as a delta.
+        let handle = self.clone();
+        let base = self.merger.snapshot(&self.shards);
+        let (tx, rx) = channel();
+        let mut prev = Arc::clone(&base);
+        let router = move || {
+            loop {
+                let closed = signal_rx.recv().is_err();
+                // Coalesce the burst: one merge covers every signal
+                // drained here.
+                while signal_rx.try_recv().is_ok() {}
+                let cur = handle.merger.snapshot(&handle.shards);
+                if cur.epochs != prev.epochs {
+                    if tx.send(cur.delta_from(&prev)).is_err() {
+                        return; // subscriber hung up
+                    }
+                    prev = cur;
+                }
+                if closed {
+                    return; // every shard shut down; final merge done
+                }
+            }
+        };
+        if std::thread::Builder::new()
+            .name("rms-delta-router".into())
+            .spawn(router)
+            .is_err()
+        {
+            // Spawn failure: fall back to an already-closed stream (the
+            // sender side was moved into the failed closure and dropped).
+        }
+        DeltaReceiver::new(rx, BackendView::Merged(base))
     }
 }
 
@@ -334,6 +423,8 @@ impl ShardedRmsService {
             k: services[0].k(),
             r: services[0].r(),
             cache: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         });
         let handle = ShardedHandle {
             shards: services.iter().map(RmsService::handle).collect(),
@@ -360,6 +451,22 @@ impl ShardedRmsService {
     /// The configured tuple dimensionality `d`.
     pub fn dim(&self) -> usize {
         self.services[0].dim()
+    }
+
+    /// The configured rank depth `k`.
+    pub fn k(&self) -> usize {
+        self.services[0].k()
+    }
+
+    /// The configured result size budget `r` (per shard and for the
+    /// merged aggregate).
+    pub fn r(&self) -> usize {
+        self.services[0].r()
+    }
+
+    /// See [`ShardedHandle::watch`].
+    pub fn watch(&self) -> DeltaReceiver {
+        self.handle.watch()
     }
 
     /// The number of shards.

@@ -1,8 +1,10 @@
-//! Immutable, versioned result snapshots and the swap cell that
-//! publishes them.
+//! Immutable, versioned result snapshots, the swap cell that publishes
+//! them, and the [`SnapshotDelta`]s computed at publish time for
+//! push-subscribed watchers.
 
 use fdrms::BatchRollup;
 use rms_geom::{Point, PointId};
+use std::collections::BTreeMap;
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// Aggregate service instrumentation carried on every snapshot.
@@ -95,6 +97,263 @@ impl ResultSnapshot {
     pub fn result_ids(&self) -> Vec<PointId> {
         self.result.iter().map(Point::id).collect()
     }
+
+    /// The delta from `prev` to this snapshot, computed at publish time
+    /// by the applier so watchers receive it pushed instead of polling.
+    pub fn delta_from(&self, prev: &ResultSnapshot) -> SnapshotDelta {
+        let (added, removed) = diff_results(&prev.result, &self.result);
+        SnapshotDelta {
+            from_version: prev.epoch,
+            version: self.epoch,
+            epochs: vec![self.epoch],
+            added,
+            removed,
+            len: self.len,
+            stats: StatsDelta::between(&prev.stats, &self.stats),
+        }
+    }
+}
+
+/// Counter increments across a delta's epoch range — the "stats diff"
+/// carried on every [`SnapshotDelta`] (high-water marks and wall-clock
+/// means do not diff meaningfully and are read from full snapshots).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsDelta {
+    /// Operations the engine accepted in the range.
+    pub ops_applied: u64,
+    /// Operations validation rejected in the range.
+    pub ops_rejected: u64,
+    /// Coalesced batches applied in the range.
+    pub batches: u64,
+    /// Atomically-rejected batches salvaged per-op in the range.
+    pub replayed_batches: u64,
+}
+
+impl StatsDelta {
+    /// The counter increments from `prev` to `next` (saturating, so a
+    /// stale `prev` never underflows).
+    pub fn between(prev: &ServiceStats, next: &ServiceStats) -> Self {
+        Self {
+            ops_applied: next.ops_applied.saturating_sub(prev.ops_applied),
+            ops_rejected: next.ops_rejected.saturating_sub(prev.ops_rejected),
+            batches: next.batches.saturating_sub(prev.batches),
+            replayed_batches: next.replayed_batches.saturating_sub(prev.replayed_batches),
+        }
+    }
+
+    /// Accumulates another range's increments.
+    pub fn absorb(&mut self, other: &StatsDelta) {
+        self.ops_applied += other.ops_applied;
+        self.ops_rejected += other.ops_rejected;
+        self.batches += other.batches;
+        self.replayed_batches += other.replayed_batches;
+    }
+}
+
+/// The difference between two published solutions, computed at publish
+/// time and pushed to every watcher ([`RmsHandle::watch`](crate::RmsHandle::watch),
+/// wire verb `SUBSCRIBE`). Applying every delta in order to the starting
+/// snapshot reproduces the server's published solution at each delivered
+/// version — the contract pinned by `tests/delta.rs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotDelta {
+    /// The version this delta applies on top of: the previous snapshot's
+    /// epoch for a single service, the previous epoch-vector sum for a
+    /// shard group.
+    pub from_version: u64,
+    /// The version after applying: strictly greater than `from_version`.
+    pub version: u64,
+    /// Per-shard epoch vector at `version` (one entry for a single
+    /// service). `version` is its sum, so it is strictly monotone while
+    /// each component is monotone.
+    pub epochs: Vec<u64>,
+    /// Solution entries that appeared — or changed coordinates — since
+    /// `from_version`, sorted by id. Applied as *upserts*.
+    pub added: Vec<Point>,
+    /// Ids no longer in the solution at `version`, sorted. Disjoint from
+    /// the ids of `added`. A coalesced delta ([`SnapshotDelta::merge`])
+    /// may list an id that was already absent at `from_version`; applying
+    /// such a removal is a no-op, never an error.
+    pub removed: Vec<PointId>,
+    /// Live tuples `n` at `version`.
+    pub len: usize,
+    /// Counter increments across the range.
+    pub stats: StatsDelta,
+}
+
+impl SnapshotDelta {
+    /// Applies the delta to a solution map: removals first, then upserts.
+    pub fn apply_to(&self, solution: &mut BTreeMap<PointId, Point>) {
+        for id in &self.removed {
+            solution.remove(id);
+        }
+        for p in &self.added {
+            solution.insert(p.id(), p.clone());
+        }
+    }
+
+    /// Composes a later delta onto this one, so `self` then covers the
+    /// range `self.from_version..next.version`. This is how `SUBSCRIBE
+    /// every=K` coalesces K epochs into one pushed line.
+    pub fn merge(&mut self, next: &SnapshotDelta) {
+        self.version = next.version;
+        self.epochs = next.epochs.clone();
+        self.len = next.len;
+        self.stats.absorb(&next.stats);
+        for id in &next.removed {
+            // Drop any pending upsert of the id — but still record the
+            // removal: the upsert may have been a coordinate change of an
+            // entry that existed *before* this delta's range (an `added`
+            // entry does not imply the id was absent at `from_version`),
+            // so only the explicit removal makes a subscriber drop it.
+            // For a genuinely fresh add-then-remove the extra removal
+            // applies as a no-op.
+            if let Ok(i) = self.added.binary_search_by_key(id, Point::id) {
+                self.added.remove(i);
+            }
+            if let Err(i) = self.removed.binary_search(id) {
+                self.removed.insert(i, *id);
+            }
+        }
+        for p in &next.added {
+            // A re-add cancels a pending removal; otherwise upsert.
+            if let Ok(i) = self.removed.binary_search(&p.id()) {
+                self.removed.remove(i);
+            }
+            match self.added.binary_search_by_key(&p.id(), Point::id) {
+                Ok(i) => self.added[i] = p.clone(),
+                Err(i) => self.added.insert(i, p.clone()),
+            }
+        }
+    }
+}
+
+/// Diffs two solutions sorted by id: entries only in `next` (or in both
+/// with different coordinates) are upserts, ids only in `prev` are
+/// removals.
+pub(crate) fn diff_results(prev: &[Point], next: &[Point]) -> (Vec<Point>, Vec<PointId>) {
+    let mut added = Vec::new();
+    let mut removed = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < prev.len() && j < next.len() {
+        match prev[i].id().cmp(&next[j].id()) {
+            std::cmp::Ordering::Less => {
+                removed.push(prev[i].id());
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                added.push(next[j].clone());
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if prev[i].coords() != next[j].coords() {
+                    added.push(next[j].clone());
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    removed.extend(prev[i..].iter().map(Point::id));
+    added.extend(next[j..].iter().cloned());
+    (added, removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(from: u64, to: u64, added: Vec<Point>, removed: Vec<PointId>) -> SnapshotDelta {
+        SnapshotDelta {
+            from_version: from,
+            version: to,
+            epochs: vec![to],
+            added,
+            removed,
+            len: 0,
+            stats: StatsDelta::default(),
+        }
+    }
+
+    fn apply_all(base: &[Point], deltas: &[SnapshotDelta]) -> Vec<PointId> {
+        let mut solution: BTreeMap<PointId, Point> =
+            base.iter().map(|p| (p.id(), p.clone())).collect();
+        for d in deltas {
+            d.apply_to(&mut solution);
+        }
+        solution.into_keys().collect()
+    }
+
+    /// The regression the `SUBSCRIBE every=K` coalescing path hit: an
+    /// `added` entry can be a coordinate-change *upsert* of an id that
+    /// existed before the delta's range, so a later removal of that id
+    /// must survive the merge — dropping the pair as an "add-then-remove
+    /// no-op" leaves the subscriber holding a stale id forever.
+    #[test]
+    fn merge_keeps_removal_of_an_upserted_id() {
+        let base = vec![
+            Point::new_unchecked(5, vec![0.1, 0.2]),
+            Point::new_unchecked(9, vec![0.3, 0.4]),
+        ];
+        // Epoch 1: id 5 changes coordinates (upsert); epoch 2: it leaves.
+        let d1 = delta(0, 1, vec![Point::new_unchecked(5, vec![0.6, 0.7])], vec![]);
+        let d2 = delta(1, 2, vec![], vec![5]);
+        let mut coalesced = d1.clone();
+        coalesced.merge(&d2);
+        // The coalesced delta must reach the same state as the sequence.
+        assert_eq!(
+            apply_all(&base, std::slice::from_ref(&coalesced)),
+            apply_all(&base, &[d1, d2]),
+        );
+        assert!(coalesced.added.is_empty());
+        assert_eq!(coalesced.removed, vec![5]);
+        assert_eq!((coalesced.from_version, coalesced.version), (0, 2));
+    }
+
+    /// The rest of the composition algebra: fresh-add-then-remove nets
+    /// out (modulo a harmless no-op removal), remove-then-readd nets to
+    /// an upsert, and later upserts win.
+    #[test]
+    fn merge_composes_like_the_sequence() {
+        let base = vec![
+            Point::new_unchecked(1, vec![0.1, 0.1]),
+            Point::new_unchecked(2, vec![0.2, 0.2]),
+        ];
+        let d1 = delta(
+            0,
+            1,
+            vec![Point::new_unchecked(7, vec![0.5, 0.5])], // fresh add
+            vec![1],                                       // remove 1
+        );
+        let d2 = delta(
+            1,
+            2,
+            vec![
+                Point::new_unchecked(1, vec![0.9, 0.9]), // re-add 1
+                Point::new_unchecked(7, vec![0.6, 0.6]), // upsert 7 again
+            ],
+            vec![2], // remove 2
+        );
+        let d3 = delta(2, 3, vec![], vec![7]); // fresh-added 7 leaves
+        let mut coalesced = d1.clone();
+        coalesced.merge(&d2);
+        coalesced.merge(&d3);
+        assert_eq!(
+            apply_all(&base, std::slice::from_ref(&coalesced)),
+            apply_all(&base, &[d1, d2, d3]),
+        );
+        // 1 was re-added with new coordinates: an upsert, not a removal.
+        assert_eq!(
+            coalesced.added.iter().map(Point::id).collect::<Vec<_>>(),
+            vec![1]
+        );
+        assert_eq!(coalesced.added[0].coords(), &[0.9, 0.9]);
+        // added and removed stay disjoint.
+        assert!(coalesced
+            .removed
+            .iter()
+            .all(|id| coalesced.added.binary_search_by_key(id, Point::id).is_err()));
+    }
 }
 
 /// The single-writer publication cell: the applier swaps a fresh
@@ -124,8 +383,9 @@ impl SnapshotCell {
             .clone()
     }
 
-    /// Publishes a new snapshot.
-    pub(crate) fn store(&self, snapshot: ResultSnapshot) {
-        *self.slot.write().unwrap_or_else(PoisonError::into_inner) = Arc::new(snapshot);
+    /// Publishes a new snapshot. Takes the `Arc` so the applier can keep
+    /// a reference for publish-time delta computation.
+    pub(crate) fn store(&self, snapshot: Arc<ResultSnapshot>) {
+        *self.slot.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
     }
 }

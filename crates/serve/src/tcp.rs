@@ -1,83 +1,51 @@
-//! A `std::net`-only TCP front end over [`RmsService`] or
-//! [`ShardedRmsService`], speaking the [line protocol](crate::protocol).
+//! A `std::net`-only TCP front end over any [`RmsBackend`] — the single
+//! [`RmsService`](crate::RmsService) and the sharded
+//! [`ShardedRmsService`](crate::ShardedRmsService) behind one generic
+//! code path — speaking the [line protocol](crate::protocol), v1 and v2.
 
-use crate::protocol::{parse_request, Request};
-use crate::service::{RmsHandle, RmsService, SubmitError};
-use crate::sharded::{AggregateSnapshot, ShardedHandle, ShardedRmsService};
-use crate::snapshot::{ResultSnapshot, ServiceStats};
+use crate::backend::{BackendView, RmsBackend, RmsBackendHandle};
+use crate::protocol::{parse_request, Request, MAX_BATCH_LINES, PROTOCOL_VERSION};
+use crate::snapshot::SnapshotDelta;
 use fdrms::{FdRms, Op};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-/// The service behind the listener: one engine or an id-partitioned
-/// shard group, behind the same protocol surface.
-#[derive(Debug)]
-enum Backend {
-    Single(RmsService),
-    Sharded(ShardedRmsService),
+/// How long an idle `SUBSCRIBE` stream waits before flushing a pending
+/// coalesced delta that has not yet spanned `every` epochs.
+const SUBSCRIBE_IDLE_FLUSH: Duration = Duration::from_millis(200);
+
+/// Static backend parameters every connection needs (for `HELLO`
+/// replies and op parsing), captured once at bind time.
+#[derive(Clone, Copy)]
+struct ServerInfo {
+    dim: usize,
+    k: usize,
+    r: usize,
+    shards: usize,
 }
 
-/// A per-connection client of the backend.
-#[derive(Clone)]
-enum ConnHandle {
-    Single(RmsHandle),
-    Sharded(ShardedHandle),
-}
-
-impl ConnHandle {
-    fn submit(&self, op: Op) -> Result<(), SubmitError> {
-        match self {
-            ConnHandle::Single(h) => h.submit(op),
-            ConnHandle::Sharded(h) => h.submit(op),
-        }
-    }
-
-    fn query_reply(&self) -> String {
-        match self {
-            ConnHandle::Single(h) => format_query(&h.snapshot()),
-            ConnHandle::Sharded(h) => format_query_sharded(&h.snapshot()),
-        }
-    }
-
-    fn stats_reply(&self) -> String {
-        match self {
-            ConnHandle::Single(h) => format_stats(&h.snapshot(), h.queue_depth()),
-            ConnHandle::Sharded(h) => format_stats_sharded(&h.snapshot(), h.queue_depth()),
-        }
-    }
-}
-
-/// A TCP server wrapping a running service: one thread per connection,
+/// A TCP server wrapping a running backend: one thread per connection,
 /// all of them feeding the ingestion queue(s) and reading the shared
-/// snapshot state.
+/// snapshot state through the backend's cloneable handle.
 #[derive(Debug)]
-pub struct RmsServer {
+pub struct RmsServer<B: RmsBackend> {
     listener: TcpListener,
-    backend: Backend,
+    backend: B,
 }
 
-impl RmsServer {
+impl<B: RmsBackend> RmsServer<B> {
     /// Binds `addr` (e.g. `"127.0.0.1:7878"`, or port 0 for an ephemeral
-    /// port — see [`RmsServer::local_addr`]) around a started service.
-    pub fn bind(addr: impl ToSocketAddrs, service: RmsService) -> std::io::Result<Self> {
+    /// port — see [`RmsServer::local_addr`]) around a started backend:
+    /// a single service or a shard group, behind the same protocol
+    /// surface (a sharded backend reports `epochs=e0,e1,…` instead of
+    /// `epoch=E` in `QUERY`/`STATS` and in pushed `DELTA` lines).
+    pub fn bind(addr: impl ToSocketAddrs, backend: B) -> std::io::Result<Self> {
         Ok(Self {
             listener: TcpListener::bind(addr)?,
-            backend: Backend::Single(service),
-        })
-    }
-
-    /// [`RmsServer::bind`] around an id-partitioned shard group. The
-    /// protocol is identical; `QUERY`/`STATS` report per-shard epochs
-    /// (`epochs=e0,e1,…`) and the merged solution.
-    pub fn bind_sharded(
-        addr: impl ToSocketAddrs,
-        service: ShardedRmsService,
-    ) -> std::io::Result<Self> {
-        Ok(Self {
-            listener: TcpListener::bind(addr)?,
-            backend: Backend::Sharded(service),
+            backend,
         })
     }
 
@@ -88,15 +56,18 @@ impl RmsServer {
 
     /// Serves connections until a client issues `SHUTDOWN`, then drains
     /// the ingestion queue(s) gracefully and returns the final engine
-    /// state — one engine for a single-service backend, one per shard
-    /// for a sharded backend. Connections still open at shutdown see
-    /// `ERR service has shut down` for further mutations.
+    /// state, indexed by shard (one engine for a single-service
+    /// backend). Connections still open at shutdown see `ERR service has
+    /// shut down` for further mutations, and open `SUBSCRIBE` streams
+    /// end.
     pub fn run(self) -> std::io::Result<Vec<FdRms>> {
         let addr = self.listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (dim, conn) = match &self.backend {
-            Backend::Single(s) => (s.dim(), ConnHandle::Single(s.handle())),
-            Backend::Sharded(s) => (s.dim(), ConnHandle::Sharded(s.handle())),
+        let info = ServerInfo {
+            dim: self.backend.dim(),
+            k: self.backend.k(),
+            r: self.backend.r(),
+            shards: self.backend.shards(),
         };
         for stream in self.listener.incoming() {
             if shutdown.load(Ordering::Acquire) {
@@ -113,30 +84,42 @@ impl RmsServer {
                     if shutdown.load(Ordering::Acquire) {
                         break;
                     }
-                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    std::thread::sleep(Duration::from_millis(20));
                     continue;
                 }
             };
-            let handle = conn.clone();
+            let handle = self.backend.handle();
             let flag = Arc::clone(&shutdown);
             // Connection threads are detached: they die with the process
             // (CLI) or when their client hangs up (tests), and after
             // shutdown every submit they attempt fails cleanly.
             let _ = std::thread::Builder::new()
                 .name("rms-conn".into())
-                .spawn(move || handle_connection(stream, handle, dim, flag, addr));
+                .spawn(move || handle_connection(stream, handle, info, flag, addr));
         }
-        Ok(match self.backend {
-            Backend::Single(s) => vec![s.shutdown()],
-            Backend::Sharded(s) => s.shutdown(),
-        })
+        Ok(self.backend.shutdown())
     }
 }
 
-fn handle_connection(
+/// What one parsed request asks the connection loop to do next.
+enum Step {
+    Reply(String),
+    /// `SHUTDOWN`: acknowledge, nudge the accept loop, close.
+    Shutdown,
+    /// `SUBSCRIBE`: acknowledge, then switch to push mode until the
+    /// client hangs up or the backend shuts down.
+    Subscribe {
+        every: u64,
+    },
+    /// Protocol violation that cannot preserve framing (oversized
+    /// `BATCH`): report and close.
+    Fatal(String),
+}
+
+fn handle_connection<H: RmsBackendHandle>(
     stream: TcpStream,
-    handle: ConnHandle,
-    dim: usize,
+    handle: H,
+    info: ServerInfo,
     shutdown: Arc<AtomicBool>,
     addr: SocketAddr,
 ) {
@@ -144,15 +127,79 @@ fn handle_connection(
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    for line in BufReader::new(read_half).lines() {
-        let Ok(line) = line else { break };
+    // Sessions start at v1; `HELLO v2` upgrades, unlocking BATCH and
+    // SUBSCRIBE. Every v1 verb behaves identically at either version.
+    let mut version = 1u32;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match parse_request(&line, dim) {
-            Err(msg) => format!("ERR {msg}"),
-            Ok(Request::Shutdown) => {
+        let step = match parse_request(&line, info.dim) {
+            // In a v2 session a BATCH header is *framing*: if it cannot
+            // be parsed (e.g. a count that overflows), the announced op
+            // lines cannot be consumed, and replying ERR while keeping
+            // the connection would reinterpret them as requests. Closing
+            // is the only framing-safe refusal — same as the oversized
+            // case in `read_batch`. (In a v1 session there is no batch
+            // framing — every line gets its own reply — so the plain ERR
+            // below is correct there.)
+            Err(msg)
+                if version >= 2
+                    && line
+                        .split_whitespace()
+                        .next()
+                        .is_some_and(|verb| verb.eq_ignore_ascii_case("BATCH")) =>
+            {
+                Step::Fatal(format!(
+                    "ERR {msg}; closing connection (unusable BATCH framing)"
+                ))
+            }
+            Err(msg) => Step::Reply(format!("ERR {msg}")),
+            Ok(Request::Hello(requested)) => {
+                version = requested.min(PROTOCOL_VERSION);
+                Step::Reply(format!(
+                    "OK v{version} dim={} k={} r={} shards={}",
+                    info.dim, info.k, info.r, info.shards
+                ))
+            }
+            Ok(Request::Shutdown) => Step::Shutdown,
+            // `submit` blocks on a full queue (backpressure propagates to
+            // the client as a delayed reply); the only error it returns
+            // is a shut-down service.
+            Ok(Request::Submit(op)) => Step::Reply(match handle.submit(op) {
+                Ok(()) => "OK queued".to_string(),
+                Err(e) => format!("ERR {e}"),
+            }),
+            Ok(Request::Query) => Step::Reply(format_query(&handle.view())),
+            Ok(Request::Stats) => Step::Reply(format_stats(&handle)),
+            Ok(Request::Batch(_)) if version < 2 => {
+                Step::Reply("ERR BATCH requires protocol v2 (send HELLO v2 first)".into())
+            }
+            Ok(Request::Batch(n)) => read_batch(&mut reader, &handle, info.dim, n),
+            Ok(Request::Subscribe { .. }) if version < 2 => {
+                Step::Reply("ERR SUBSCRIBE requires protocol v2 (send HELLO v2 first)".into())
+            }
+            Ok(Request::Subscribe { every }) => Step::Subscribe { every },
+        };
+        match step {
+            Step::Reply(reply) => {
+                if writeln!(writer, "{reply}").is_err() {
+                    return;
+                }
+            }
+            Step::Fatal(reply) => {
+                let _ = writeln!(writer, "{reply}");
+                return;
+            }
+            Step::Shutdown => {
                 shutdown.store(true, Ordering::Release);
                 let _ = writeln!(writer, "OK shutting down");
                 // Nudge the accept loop so it observes the flag. A
@@ -168,87 +215,185 @@ fn handle_connection(
                 let _ = TcpStream::connect(nudge);
                 return;
             }
-            // `submit` blocks on a full queue (backpressure propagates to
-            // the client as a delayed reply); the only error it returns
-            // is a shut-down service.
-            Ok(Request::Submit(op)) => match handle.submit(op) {
-                Ok(()) => "OK queued".to_string(),
-                Err(e) => format!("ERR {e}"),
-            },
-            Ok(Request::Query) => handle.query_reply(),
-            Ok(Request::Stats) => handle.stats_reply(),
-        };
-        if writeln!(writer, "{reply}").is_err() {
-            break;
+            Step::Subscribe { every } => {
+                run_subscription(&mut writer, &handle, every);
+                return;
+            }
         }
     }
 }
 
-fn format_query(snap: &ResultSnapshot) -> String {
-    format!(
-        "OK epoch={} n={} r={} ids={}",
-        snap.epoch,
-        snap.len,
-        snap.result.len(),
-        join_ids(&snap.result),
-    )
-}
-
-fn format_query_sharded(snap: &AggregateSnapshot) -> String {
-    format!(
-        "OK epochs={} n={} r={} ids={}",
-        join_u64(&snap.epochs),
-        snap.len,
-        snap.result.len(),
-        join_ids(&snap.result),
-    )
-}
-
-fn format_stats(snap: &ResultSnapshot, queue_depth: usize) -> String {
-    let mut out = format!("OK epoch={}", snap.epoch);
-    push_stats_fields(
-        &mut out,
-        &snap.stats,
-        snap.len,
-        snap.m,
-        snap.result.len(),
-        queue_depth,
-        snap.mrr,
-    );
-    out
-}
-
-fn format_stats_sharded(snap: &AggregateSnapshot, queue_depth: usize) -> String {
-    let mut out = format!(
-        "OK epochs={} shards={}",
-        join_u64(&snap.epochs),
-        snap.epochs.len()
-    );
-    push_stats_fields(
-        &mut out,
-        &snap.stats,
-        snap.len,
-        snap.m,
-        snap.result.len(),
-        queue_depth,
-        snap.mrr,
-    );
-    out
-}
-
-fn push_stats_fields(
-    out: &mut String,
-    s: &ServiceStats,
+/// Consumes the `n` op lines a `BATCH` header announced and submits them
+/// with one acknowledgement. All-or-nothing at the framing level: every
+/// line is read and parsed first, and a single malformed line drops the
+/// whole batch (nothing submitted) — pipelined clients must never wonder
+/// which prefix was accepted.
+fn read_batch<H: RmsBackendHandle>(
+    reader: &mut impl BufRead,
+    handle: &H,
+    dim: usize,
     n: usize,
-    m: usize,
-    r: usize,
-    queue_depth: usize,
-    mrr: Option<f64>,
-) {
+) -> Step {
+    if n > MAX_BATCH_LINES {
+        // Refusing without consuming would reinterpret the announced op
+        // lines as requests; closing is the only framing-safe refusal.
+        return Step::Fatal(format!(
+            "ERR BATCH size {n} exceeds {MAX_BATCH_LINES}; closing connection"
+        ));
+    }
+    let mut ops: Vec<Op> = Vec::with_capacity(n);
+    let mut bad: Option<(usize, String)> = None;
+    let mut line = String::new();
+    for i in 1..=n {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => {
+                return Step::Fatal(format!(
+                    "ERR BATCH truncated: got {} of {n} operation lines",
+                    i - 1
+                ))
+            }
+            Ok(_) => {}
+        }
+        if bad.is_some() {
+            continue; // keep consuming to preserve framing
+        }
+        match parse_request(&line, dim) {
+            Ok(Request::Submit(op)) => ops.push(op),
+            Ok(_) => bad = Some((i, "only INSERT/DELETE/UPDATE allowed in a batch".into())),
+            Err(msg) => bad = Some((i, msg)),
+        }
+    }
+    if let Some((i, msg)) = bad {
+        return Step::Reply(format!("ERR line {i}: {msg} (batch dropped)"));
+    }
+    let total = ops.len();
+    for (i, op) in ops.into_iter().enumerate() {
+        if let Err(e) = handle.submit(op) {
+            return Step::Reply(format!("ERR {e} ({i} of {total} queued)"));
+        }
+    }
+    Step::Reply(format!("OK queued n={total}"))
+}
+
+/// Push mode: acknowledge with the starting solution, then stream
+/// `DELTA` lines — one per published delta, coalesced so at most one
+/// line goes out per `every` epochs (an idle stream flushes whatever is
+/// pending after a short beat). Ends when the backend shuts down (final
+/// pending delta flushed) or the client hangs up.
+fn run_subscription<H: RmsBackendHandle>(writer: &mut impl Write, handle: &H, every: u64) {
+    let rx = handle.watch();
+    let base = rx.base();
+    let sharded = base.is_merged();
+    let ack = format!(
+        "OK subscribed every={every} {} n={} ids={}",
+        version_fields(sharded, &base.epochs()),
+        base.len(),
+        join_ids(base.result()),
+    );
+    if writeln!(writer, "{ack}").is_err() {
+        return;
+    }
+    let mut pending: Option<SnapshotDelta> = None;
+    loop {
+        match rx.recv_timeout(SUBSCRIBE_IDLE_FLUSH) {
+            Ok(delta) => {
+                let coalesced = match pending.take() {
+                    None => delta,
+                    Some(mut acc) => {
+                        acc.merge(&delta);
+                        acc
+                    }
+                };
+                if coalesced.version - coalesced.from_version >= every {
+                    if writeln!(writer, "{}", format_delta(&coalesced, sharded)).is_err() {
+                        return;
+                    }
+                } else {
+                    pending = Some(coalesced);
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if let Some(delta) = pending.take() {
+                    if writeln!(writer, "{}", format_delta(&delta, sharded)).is_err() {
+                        return;
+                    }
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                if let Some(delta) = pending.take() {
+                    let _ = writeln!(writer, "{}", format_delta(&delta, sharded));
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// The `epoch=E` / `epochs=e0,e1,… version=V` field pair, matching the
+/// single/sharded dichotomy of `QUERY` replies.
+fn version_fields(merged: bool, epochs: &[u64]) -> String {
+    if merged {
+        format!(
+            "epochs={} version={}",
+            join_u64(epochs),
+            epochs.iter().sum::<u64>()
+        )
+    } else {
+        format!("epoch={}", epochs.first().copied().unwrap_or(0))
+    }
+}
+
+fn format_delta(delta: &SnapshotDelta, sharded: bool) -> String {
+    let mut out = format!(
+        "DELTA {} from={} n={}",
+        version_fields(sharded, &delta.epochs),
+        delta.from_version,
+        delta.len,
+    );
+    if !delta.added.is_empty() {
+        out.push_str(" +");
+        out.push_str(&join_ids(&delta.added));
+    }
+    if !delta.removed.is_empty() {
+        out.push_str(" -");
+        out.push_str(&join_u64(&delta.removed));
+    }
+    out
+}
+
+fn format_query(view: &BackendView) -> String {
+    let epochs = view.epochs();
+    let head = if view.is_merged() {
+        format!("OK epochs={}", join_u64(&epochs))
+    } else {
+        format!("OK epoch={}", epochs[0])
+    };
+    format!(
+        "{head} n={} r={} ids={}",
+        view.len(),
+        view.result().len(),
+        join_ids(view.result()),
+    )
+}
+
+fn format_stats<H: RmsBackendHandle>(handle: &H) -> String {
+    let view = handle.view();
+    let epochs = view.epochs();
+    let s = view.stats();
+    let mut out = if view.is_merged() {
+        format!("OK epochs={} shards={}", join_u64(&epochs), epochs.len())
+    } else {
+        format!("OK epoch={}", epochs[0])
+    };
     out.push_str(&format!(
-        " n={n} m={m} r={r} queue_depth={queue_depth} batches={} replayed_batches={} \
+        " n={} m={} r={} queue_depth={} batches={} replayed_batches={} \
          ops_applied={} ops_rejected={} wal_recovered={} last_batch={} max_coalesced={} \
          avg_apply_ms={:.4} last_apply_ms={:.4}",
+        view.len(),
+        view.m(),
+        view.result().len(),
+        handle.queue_depth(),
         s.batches,
         s.replayed_batches,
         s.ops_applied,
@@ -259,9 +404,13 @@ fn push_stats_fields(
         s.avg_apply_ms(),
         s.last_apply_ms,
     ));
-    if let Some(mrr) = mrr {
+    if let Some(mrr) = view.mrr() {
         out.push_str(&format!(" mrr={mrr:.5}"));
     }
+    if let Some((hits, misses)) = handle.merge_cache_stats() {
+        out.push_str(&format!(" merge_hits={hits} merge_misses={misses}"));
+    }
+    out
 }
 
 fn join_ids(points: &[rms_geom::Point]) -> String {

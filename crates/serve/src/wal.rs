@@ -194,6 +194,19 @@ impl Wal {
         self.file.sync_data()
     }
 
+    /// An independent fsync handle over the same log file (a duplicated
+    /// descriptor), so the applier's group-commit `fdatasync` never
+    /// contends with — let alone deadlocks against — the append mutex
+    /// the submitters serialize enqueue+append under. After a
+    /// [`Wal::checkpoint`] the handle points at the unlinked pre-compaction
+    /// file; syncing that is harmless, and compaction only happens at
+    /// shutdown, after the last group commit.
+    pub fn sync_handle(&self) -> io::Result<WalSyncHandle> {
+        Ok(WalSyncHandle {
+            file: self.file.try_clone()?,
+        })
+    }
+
     /// Compacts the log to a single checkpoint of `points`: the new
     /// content is written to a sibling temp file, synced, and atomically
     /// renamed over the log, so a crash mid-compaction leaves either the
@@ -229,6 +242,20 @@ impl Wal {
         self.end = self.file.seek(SeekFrom::End(0))?;
         self.poisoned = false;
         Ok(())
+    }
+}
+
+/// A duplicated descriptor of an open [`Wal`], used only for
+/// `fdatasync` — see [`Wal::sync_handle`].
+#[derive(Debug)]
+pub struct WalSyncHandle {
+    file: File,
+}
+
+impl WalSyncHandle {
+    /// Flushes everything appended to the log so far to stable storage.
+    pub fn sync(&self) -> io::Result<()> {
+        self.file.sync_data()
     }
 }
 

@@ -1,9 +1,16 @@
 //! Loopback round-trip of the TCP line protocol, including
 //! malformed-input error replies and graceful shutdown.
+//!
+//! The first two tests speak raw v1 byte sequences (no `HELLO`) against
+//! the v2 server — they *are* the back-compat pin: every v1 verb and
+//! reply must stay byte-identical. The later tests cover the v2 verbs
+//! (`HELLO`/`BATCH`/`SUBSCRIBE`), both raw and through the typed
+//! `rms-client`.
 
 use fdrms::FdRms;
+use rms_client::{ClientOp, RmsClient};
 use rms_geom::Point;
-use rms_serve::{RmsServer, RmsService, ServeConfig};
+use rms_serve::{RmsServer, RmsService, ServeConfig, ShardedRmsService};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -136,7 +143,7 @@ fn loopback_round_trip_sharded() {
         3,
     )
     .unwrap();
-    let server = RmsServer::bind_sharded("127.0.0.1:0", service).expect("bind ephemeral port");
+    let server = RmsServer::bind("127.0.0.1:0", service).expect("bind ephemeral port");
     let addr = server.local_addr().unwrap();
     let server = std::thread::spawn(move || server.run().expect("server run"));
 
@@ -180,5 +187,295 @@ fn loopback_round_trip_sharded() {
     for (i, fd) in fds.iter().enumerate() {
         fd.check_invariants().unwrap();
         assert!(fd.contains(300 + i as u64), "shard {i} owns id {}", 300 + i);
+    }
+}
+
+fn spawn_single(n: u64) -> (std::net::SocketAddr, std::thread::JoinHandle<Vec<FdRms>>) {
+    let initial: Vec<Point> = (0..n)
+        .map(|i| Point::new_unchecked(i, vec![(i as f64) / n as f64, 1.0 - (i as f64) / n as f64]))
+        .collect();
+    let service = RmsService::start(
+        FdRms::builder(2).r(4).max_utilities(64).seed(3),
+        initial,
+        ServeConfig::default(),
+    )
+    .unwrap();
+    let server = RmsServer::bind("127.0.0.1:0", service).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    (
+        addr,
+        std::thread::spawn(move || server.run().expect("server run")),
+    )
+}
+
+/// v2 session over raw lines: HELLO negotiation, version gating of the
+/// v2 verbs, BATCH framing (single ack, all-or-nothing on parse errors),
+/// and the error paths that must preserve framing.
+#[test]
+fn v2_hello_and_batch_raw() {
+    let (addr, server) = spawn_single(50);
+    let mut client = Client::connect(addr);
+
+    // v2 verbs are gated until HELLO v2 upgrades the session.
+    let reply = client.roundtrip("BATCH 2");
+    assert!(
+        reply.starts_with("ERR BATCH requires protocol v2"),
+        "{reply}"
+    );
+    let reply = client.roundtrip("SUBSCRIBE");
+    assert!(
+        reply.starts_with("ERR SUBSCRIBE requires protocol v2"),
+        "{reply}"
+    );
+
+    // Negotiation: the server caps at v2 and advertises its parameters.
+    let reply = client.roundtrip("HELLO v7");
+    assert_eq!(reply, "OK v2 dim=2 k=1 r=4 shards=1");
+    // Re-negotiating down works too (and v1 re-locks the v2 verbs).
+    assert_eq!(client.roundtrip("HELLO v1"), "OK v1 dim=2 k=1 r=4 shards=1");
+    assert!(client.roundtrip("BATCH 1").starts_with("ERR "), "re-locked");
+    assert_eq!(client.roundtrip("HELLO v2"), "OK v2 dim=2 k=1 r=4 shards=1");
+
+    // A pipelined batch: n lines, one ack.
+    writeln!(
+        client.writer,
+        "BATCH 3\nINSERT 900 0.9 0.9\nDELETE 0\nUPDATE 1 0.5 0.6"
+    )
+    .unwrap();
+    let mut line = String::new();
+    client.reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), "OK queued n=3");
+
+    // A malformed line drops the whole batch after consuming it — the
+    // next request parses from a clean framing boundary.
+    writeln!(
+        client.writer,
+        "BATCH 3\nINSERT 901 0.9 0.9\nFROB x\nDELETE 2"
+    )
+    .unwrap();
+    line.clear();
+    client.reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR line 2:"), "{line}");
+    assert!(line.contains("batch dropped"), "{line}");
+
+    // Nothing from the dropped batch was submitted: 901 never appears,
+    // id 2 stays live.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let reply = client.roundtrip("STATS");
+        if field(&reply, "ops_applied") == Some("3") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "batch ops never applied: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(client.roundtrip("STATS").contains("ops_rejected=0"));
+
+    // Non-mutation verbs are refused inside a batch (also all-or-nothing).
+    writeln!(client.writer, "BATCH 2\nQUERY\nINSERT 902 0.9 0.9").unwrap();
+    line.clear();
+    client.reader.read_line(&mut line).unwrap();
+    assert!(
+        line.starts_with("ERR line 1: only INSERT/DELETE/UPDATE"),
+        "{line}"
+    );
+
+    // An oversized header closes the connection (framing cannot be
+    // preserved) — with an explanatory error first.
+    writeln!(client.writer, "BATCH 1000000").unwrap();
+    line.clear();
+    client.reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR BATCH size"), "{line}");
+    line.clear();
+    assert_eq!(client.reader.read_line(&mut line).unwrap(), 0, "closed");
+
+    let mut other = Client::connect(addr);
+    assert_eq!(other.roundtrip("SHUTDOWN"), "OK shutting down");
+    let fds = server.join().expect("server thread");
+    let fd = &fds[0];
+    assert!(fd.contains(900));
+    assert!(!fd.contains(0));
+    assert!(!fd.contains(901), "dropped batch must submit nothing");
+    assert!(fd.contains(2), "dropped batch must submit nothing");
+    fd.check_invariants().unwrap();
+}
+
+/// A BATCH header the server cannot honor must close the connection in
+/// a v2 session (the announced op lines can neither be consumed nor
+/// reinterpreted), while a v1 session — which has no batch framing —
+/// just gets an ERR and keeps going.
+#[test]
+fn unusable_batch_header_closes_v2_sessions_only() {
+    let (addr, server) = spawn_single(30);
+
+    // v2 session: an overflowing count is unparseable framing → close.
+    let mut v2 = Client::connect(addr);
+    assert!(v2.roundtrip("HELLO v2").starts_with("OK v2"));
+    let reply = v2.roundtrip("BATCH 18446744073709551616");
+    assert!(reply.starts_with("ERR "), "{reply}");
+    assert!(reply.contains("closing connection"), "{reply}");
+    let mut line = String::new();
+    assert_eq!(v2.reader.read_line(&mut line).unwrap(), 0, "closed");
+
+    // v1 session: the same line is just an erroneous request; the
+    // connection stays usable and each following line gets its reply.
+    let mut v1 = Client::connect(addr);
+    let reply = v1.roundtrip("BATCH 18446744073709551616");
+    assert!(reply.starts_with("ERR "), "{reply}");
+    assert!(!reply.contains("closing connection"), "{reply}");
+    assert!(v1.roundtrip("QUERY").starts_with("OK epoch="));
+
+    assert_eq!(v1.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("server thread");
+}
+
+/// SUBSCRIBE over raw lines: the ack carries the starting solution, the
+/// pushed DELTA lines reconstruct the final QUERY exactly, and the
+/// stream closes at server shutdown.
+#[test]
+fn v2_subscribe_raw_stream_reconstructs_query() {
+    let (addr, server) = spawn_single(40);
+
+    let mut sub = Client::connect(addr);
+    assert!(sub.roundtrip("HELLO v2").starts_with("OK v2"));
+    let ack = sub.roundtrip("SUBSCRIBE every=1");
+    assert!(ack.starts_with("OK subscribed every=1 epoch="), "{ack}");
+    let mut ids: std::collections::BTreeSet<u64> = match field(&ack, "ids") {
+        Some("") | None => Default::default(),
+        Some(raw) => raw.split(',').map(|t| t.parse().unwrap()).collect(),
+    };
+
+    let mut writer = Client::connect(addr);
+    for i in 0..20 {
+        assert_eq!(
+            writer.roundtrip(&format!("INSERT {} 0.9{} 0.9", 500 + i, i)),
+            "OK queued"
+        );
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let final_ids = loop {
+        let stats = writer.roundtrip("STATS");
+        if field(&stats, "ops_applied") == Some("20") {
+            let query = writer.roundtrip("QUERY");
+            break field(&query, "ids").unwrap().to_string();
+        }
+        assert!(Instant::now() < deadline, "ops never applied: {stats}");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert_eq!(writer.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("server thread");
+
+    // Drain the push stream to EOF, applying every delta.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if sub.reader.read_line(&mut line).unwrap() == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        assert!(line.starts_with("DELTA epoch="), "{line}");
+        for tok in line.split_whitespace() {
+            if let Some(added) = tok.strip_prefix('+') {
+                for id in added.split(',') {
+                    ids.insert(id.parse().unwrap());
+                }
+            } else if let Some(removed) = tok.strip_prefix('-') {
+                for id in removed.split(',') {
+                    ids.remove(&id.parse::<u64>().unwrap());
+                }
+            }
+        }
+    }
+    let reconstructed: Vec<String> = ids.iter().map(u64::to_string).collect();
+    assert_eq!(reconstructed.join(","), final_ids);
+}
+
+/// The typed client against both backends: negotiation, batch ingest,
+/// query/stats, and a subscription whose replay matches the final
+/// QUERY — the protocol's second, independent implementation driving
+/// the first.
+#[test]
+fn rms_client_end_to_end_single_and_sharded() {
+    for shards in [1usize, 3] {
+        let d = 2;
+        let initial: Vec<Point> = (0..60)
+            .map(|i| Point::new_unchecked(i, vec![(i as f64) / 60.0, 1.0 - (i as f64) / 60.0]))
+            .collect();
+        let builder = FdRms::builder(d).r(4).max_utilities(64).seed(3);
+        let server = if shards == 1 {
+            let service = RmsService::start(builder, initial, ServeConfig::default()).unwrap();
+            RmsServer::bind("127.0.0.1:0", service).map(|s| {
+                let addr = s.local_addr().unwrap();
+                (addr, std::thread::spawn(move || s.run().expect("run")))
+            })
+        } else {
+            let service =
+                ShardedRmsService::start(builder, initial, ServeConfig::default(), shards).unwrap();
+            RmsServer::bind("127.0.0.1:0", service).map(|s| {
+                let addr = s.local_addr().unwrap();
+                (addr, std::thread::spawn(move || s.run().expect("run")))
+            })
+        };
+        let (addr, server) = server.expect("bind ephemeral port");
+
+        let sub_client = RmsClient::connect(addr).expect("subscriber connect");
+        assert_eq!(sub_client.hello().shards, shards);
+        // every=3 exercises the server-side coalescing (SnapshotDelta::
+        // merge + idle flush) rather than the one-line-per-epoch path the
+        // raw test covers; replay must still reconstruct exactly.
+        let subscriber = std::thread::spawn(move || {
+            let mut sub = sub_client.subscribe(3).expect("subscribe");
+            while let Some(delta) = sub.next_delta().expect("delta stream") {
+                assert!(delta.version > delta.from, "versions advance");
+            }
+            sub.ids()
+        });
+
+        let mut client = RmsClient::connect(addr).expect("client connect");
+        let hello = client.hello();
+        assert_eq!(
+            (hello.version, hello.dim, hello.k, hello.r, hello.shards),
+            (2, d, 1, 4, shards)
+        );
+
+        // Mixed single + batched ingest through the typed surface.
+        client.insert(700, &[0.95, 0.9]).expect("insert");
+        let ops: Vec<ClientOp> = (701..721)
+            .map(|id| ClientOp::insert(id, vec![0.8, 0.8]))
+            .chain([ClientOp::delete(700), ClientOp::update(1, vec![0.4, 0.6])])
+            .collect();
+        assert_eq!(client.submit_batch(&ops).expect("batch"), 22);
+
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = client.stats().expect("stats");
+            if stats.ops_applied() == Some(23) {
+                assert_eq!(stats.ops_rejected(), Some(0));
+                assert_eq!(stats.epochs().len(), shards);
+                if shards > 1 {
+                    assert!(stats.get_u64("merge_misses").unwrap() >= 1);
+                    assert!(stats.get("merge_hits").is_some());
+                }
+                break;
+            }
+            assert!(Instant::now() < deadline, "ops never became visible");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let q = client.query().expect("query");
+        assert_eq!(q.n, 60 + 21 - 1);
+        assert_eq!(q.epochs.len(), shards);
+        assert!(q.ids.len() <= 4, "budget respected: {:?}", q.ids);
+
+        client.shutdown().expect("shutdown");
+        let fds = server.join().expect("server thread");
+        assert_eq!(fds.len(), shards);
+        let replayed = subscriber.join().expect("subscriber thread");
+        assert_eq!(replayed, q.ids, "subscription replay == final QUERY");
+        for fd in &fds {
+            fd.check_invariants().unwrap();
+        }
     }
 }

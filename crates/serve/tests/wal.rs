@@ -302,6 +302,95 @@ fn single_service_refuses_a_shard_groups_logs() {
     cleanup();
 }
 
+/// Two writers race *conflicting* ops on the same ids: one inserts each
+/// contended id, the other deletes it. The live outcome of each race is
+/// readable from the stats — if the delete was applied first it was
+/// rejected (the id was not live yet) and the id survives; if the insert
+/// went first, both ops applied and the id is gone. Log order must equal
+/// apply order (enqueue and append are serialized under the log mutex),
+/// so a crash + replay must reproduce the *same* outcome for every
+/// contended id — before that fix, the log could record `insert, delete`
+/// while the live service applied `delete, insert`, and recovery
+/// resurrected ids the live service had settled differently.
+#[test]
+fn contended_id_recovery_matches_live_outcome() {
+    let d = 2;
+    let rounds = 12;
+    let pairs: u64 = 8;
+    for round in 0..rounds {
+        let path = temp_wal(&format!("contended-{round}"));
+        let _ = std::fs::remove_file(&path);
+        let initial = random_points(20 + round, 40, d);
+        let service = RmsService::start_with_wal(
+            builder(d),
+            initial.clone(),
+            ServeConfig {
+                // A tiny queue forces real interleaving through the
+                // try-send path, not just uncontended fast-path sends.
+                queue_capacity: 2,
+                max_batch: 4,
+                ..ServeConfig::default()
+            },
+            &path,
+        )
+        .unwrap();
+
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let inserter = {
+            let h = service.handle();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..pairs {
+                    h.submit(Op::Insert(Point::new_unchecked(7_000 + i, vec![0.9, 0.8])))
+                        .unwrap();
+                }
+            })
+        };
+        let deleter = {
+            let h = service.handle();
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..pairs {
+                    h.submit(Op::Delete(7_000 + i)).unwrap();
+                }
+            })
+        };
+        inserter.join().unwrap();
+        deleter.join().unwrap();
+
+        // Quiesce: every acknowledged op accounted for (applied or
+        // rejected), then record each race's live outcome and crash.
+        let handle = service.handle();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let stats = loop {
+            let snap = handle.snapshot();
+            if snap.stats.ops_applied + snap.stats.ops_rejected == 2 * pairs {
+                break snap.stats;
+            }
+            assert!(std::time::Instant::now() < deadline, "ops never settled");
+            std::thread::yield_now();
+        };
+        // Rejected ops are exactly the deletes that ran before their
+        // insert; each such id must be live (its insert applied after).
+        let survivors = stats.ops_rejected;
+        service.crash();
+
+        let restarted =
+            RmsService::start_with_wal(builder(d), initial, ServeConfig::default(), &path).unwrap();
+        let fd = restarted.shutdown();
+        fd.check_invariants().unwrap();
+        let recovered: u64 = (0..pairs).filter(|i| fd.contains(7_000 + i)).count() as u64;
+        assert_eq!(
+            recovered, survivors,
+            "round {round}: recovery replayed a different serialization than the live \
+             service applied ({survivors} contended ids survived live, {recovered} after replay)"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
 #[test]
 fn sharded_crash_recovery_loses_nothing() {
     let d = 3;

@@ -1,23 +1,28 @@
-//! In-process tour of the serving subsystem: a writer thread streams
-//! updates through an `RmsService` while the main thread reads published
-//! snapshots — no TCP involved, just the queue → applier → snapshot
-//! pipeline (run `krms serve` for the network front end over the same
-//! machinery).
+//! End-to-end tour of the serving stack over the wire: an `RmsServer`
+//! on loopback, driven entirely by the typed `rms-client` crate — a
+//! writer pipelines mutations with protocol-v2 `BATCH` frames while the
+//! main thread holds a `SUBSCRIBE` connection and applies the pushed
+//! `DELTA` stream, reconstructing the server's solution without ever
+//! polling `QUERY` (run `krms serve` for the same server over a real
+//! port, or see PR 3's history for the original in-process variant).
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
 //! ```
 
 use krms::prelude::*;
-use krms::serve::ServeConfig;
+use krms::serve::{RmsServer, ServeConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use rms_client::{ClientOp, RmsClient};
 use std::collections::VecDeque;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 const N: usize = 2_000;
 const D: usize = 4;
 const R: usize = 8;
-const OPS: usize = 6_000;
+const BATCH: usize = 64;
+/// Whole batches only — the quiesce loop waits for exactly this count.
+const OPS: usize = 94 * BATCH;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(11);
@@ -29,7 +34,7 @@ fn main() {
             .epsilon(0.03)
             .max_utilities(1 << 10)
             .seed(3),
-        initial.clone(),
+        initial,
         ServeConfig {
             queue_capacity: 512,
             max_batch: 256,
@@ -39,69 +44,86 @@ fn main() {
         },
     )
     .expect("valid configuration");
+    let server = RmsServer::bind("127.0.0.1:0", service).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || server.run().expect("server run"));
 
     // Writer: steady churn (insert a fresh tuple / retire the oldest),
-    // blocking on queue backpressure when it outruns the applier.
-    let writer = {
-        let handle = service.handle();
-        std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(23);
-            let mut live: VecDeque<PointId> = (0..N as PointId).collect();
-            let mut next: PointId = 1_000_000;
-            for i in 0..OPS {
-                let op = if i % 2 == 0 {
-                    let p = Point::new_unchecked(next, (0..D).map(|_| rng.gen()).collect());
-                    live.push_back(next);
-                    next += 1;
-                    Op::Insert(p)
-                } else {
-                    Op::Delete(live.pop_front().expect("window never drains"))
-                };
-                handle.submit(op).expect("service alive");
-            }
-        })
-    };
-
-    // Reader: poll the snapshot cell while ingestion runs. Reads are an
-    // `Arc` clone — they never wait on the applier.
-    println!("elapsed_ms  epoch  queue  n_live  |Q|   mrr     applied");
-    let handle = service.handle();
-    let start = Instant::now();
-    let mut last_epoch = u64::MAX;
-    while !writer.is_finished() {
-        let snap = handle.snapshot();
-        if snap.epoch != last_epoch {
-            last_epoch = snap.epoch;
-            println!(
-                "{:>10.1}  {:>5}  {:>5}  {:>6}  {:>3}   {}  {:>7}",
-                start.elapsed().as_secs_f64() * 1e3,
-                snap.epoch,
-                handle.queue_depth(),
-                snap.len,
-                snap.result.len(),
-                snap.mrr.map_or("  –  ".into(), |m| format!("{m:.3}")),
-                snap.stats.ops_applied,
-            );
+    // pipelined BATCH frames — one ack per 64 ops instead of 64 acks.
+    let writer = std::thread::spawn(move || {
+        let mut client = RmsClient::connect(addr).expect("writer connect");
+        let hello = client.hello();
+        println!(
+            "negotiated v{} (dim={}, r={}, shards={})",
+            hello.version, hello.dim, hello.r, hello.shards
+        );
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut live: VecDeque<PointId> = (0..N as PointId).collect();
+        let mut next: PointId = 1_000_000;
+        for chunk in 0..(OPS / BATCH) {
+            let ops: Vec<ClientOp> = (0..BATCH)
+                .map(|i| {
+                    if (chunk * BATCH + i) % 2 == 0 {
+                        let coords = (0..D).map(|_| rng.gen()).collect();
+                        live.push_back(next);
+                        next += 1;
+                        ClientOp::insert(next - 1, coords)
+                    } else {
+                        ClientOp::delete(live.pop_front().expect("window never drains"))
+                    }
+                })
+                .collect();
+            let acked = client.submit_batch(&ops).expect("batch ack");
+            assert_eq!(acked, BATCH);
         }
-        std::thread::sleep(Duration::from_millis(20));
+        // Quiesce, then stop the server gracefully.
+        loop {
+            let stats = client.stats().expect("stats");
+            if stats.ops_applied() == Some(OPS as u64) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        client.shutdown().expect("shutdown ack");
+    });
+
+    // Subscriber: the push stream replaces polling. Every DELTA line is
+    // applied to the mirrored solution; the server closes the stream
+    // after its final publish.
+    let mut sub = RmsClient::connect(addr)
+        .expect("subscriber connect")
+        .subscribe(1)
+        .expect("subscribe");
+    println!(
+        "subscribed: epoch(s) {:?}, |Q| = {}",
+        sub.epochs(),
+        sub.ids().len()
+    );
+    println!("elapsed_ms  version  +added  -removed  n_live  |Q|");
+    let start = Instant::now();
+    let mut deltas = 0u64;
+    while let Some(delta) = sub.next_delta().expect("delta stream") {
+        deltas += 1;
+        println!(
+            "{:>10.1}  {:>7}  {:>6}  {:>8}  {:>6}  {:>3}",
+            start.elapsed().as_secs_f64() * 1e3,
+            delta.version,
+            delta.added.len(),
+            delta.removed.len(),
+            delta.n,
+            sub.ids().len(),
+        );
     }
     writer.join().expect("writer thread");
 
-    // Graceful shutdown drains everything still queued and returns the
-    // engine for a final audit.
-    let fd = service.shutdown();
-    let snap = handle.snapshot();
-    println!(
-        "\ndrained: epoch={}, {} ops applied ({} rejected), max batch {}, avg apply {:.2} ms",
-        snap.epoch,
-        snap.stats.ops_applied,
-        snap.stats.ops_rejected,
-        snap.stats.max_coalesced,
-        snap.stats.avg_apply_ms(),
-    );
+    // The reconstructed solution must equal the engine's final result.
+    let fds = server.join().expect("server thread");
+    let fd = &fds[0];
+    let final_ids: Vec<u64> = fd.result().iter().map(Point::id).collect();
+    assert_eq!(sub.ids(), final_ids, "delta replay diverged");
     let est = RegretEstimator::new(D, 20_000, 99);
     println!(
-        "final: n={}, |Q|={}, mrr_1={:.4}",
+        "\n{deltas} deltas reconstructed the final solution exactly: n={}, |Q|={}, mrr_1={:.4}",
         fd.len(),
         fd.result().len(),
         est.mrr(&fd.live_points(), &fd.result(), 1)

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the `krms` CLI: generate → run → skyline →
 # flag-parser regressions → sharded WAL-backed serve round-trip over
-# loopback (INSERT/QUERY/STATS and a SHUTDOWN drain), using only bash
-# built-ins (/dev/tcp) for the client side.
+# loopback (INSERT/QUERY/STATS and a SHUTDOWN drain), plus a protocol-v2
+# session (HELLO negotiation, one-ack BATCH ingest, SUBSCRIBE delta
+# push), using only bash built-ins (/dev/tcp) for the client side.
 #
 # Usage: bash scripts/cli_smoke.sh   (expects target/release/krms to exist,
 # or set KRMS_BIN)
@@ -103,6 +104,41 @@ mapfile -t replies <&3
 exec 3<&- 3>&-
 [[ "${replies[0]}" == *"n=402"* ]] || fail "restart lost state: ${replies[0]}"
 wait "$SERVE_PID" || fail "restarted server exited non-zero"
+SERVE_PID=""
+
+# --- protocol v2: HELLO + BATCH + SUBSCRIBE over loopback ---------------
+"$BIN" serve --in "$TMP/ds.krms" --r 8 --addr "127.0.0.1:$PORT" \
+    >"$TMP/serve3.log" 2>&1 &
+SERVE_PID=$!
+connect 2>/dev/null || { cat "$TMP/serve3.log" >&2; fail "v2 server never came up"; }
+
+# fd 3: the subscriber. Negotiate v2, then switch to push mode.
+printf 'HELLO v2\nSUBSCRIBE every=1\n' >&3
+read -r -u 3 hello_reply || fail "no HELLO reply"
+[[ "$hello_reply" == OK\ v2\ * ]] || fail "HELLO reply: $hello_reply"
+read -r -u 3 sub_reply || fail "no SUBSCRIBE reply"
+[[ "$sub_reply" == "OK subscribed every=1 epoch="* ]] || fail "SUBSCRIBE reply: $sub_reply"
+
+# fd 4: the writer. BATCH gating before HELLO, then a one-ack batch.
+exec 4<>"/dev/tcp/127.0.0.1/$PORT" || fail "writer connect"
+printf 'BATCH 1\n' >&4
+read -r -u 4 gate || fail "no gating reply"
+[[ "$gate" == "ERR BATCH requires protocol v2"* ]] || fail "BATCH gating: $gate"
+printf 'HELLO v2\nBATCH 3\nINSERT 200000 0.99 0.99 0.99\nINSERT 200001 0.98 0.98 0.98\nDELETE 200000\n' >&4
+read -r -u 4 hello2 || fail "no writer HELLO reply"
+[[ "$hello2" == OK\ v2\ * ]] || fail "writer HELLO: $hello2"
+read -r -u 4 batch_ack || fail "no BATCH ack"
+[[ "$batch_ack" == "OK queued n=3" ]] || fail "BATCH ack: $batch_ack"
+
+# The subscriber must receive a pushed DELTA line without ever polling.
+read -r -t 30 -u 3 delta || fail "no DELTA pushed within 30s"
+[[ "$delta" == DELTA\ epoch=* ]] || fail "DELTA line: $delta"
+
+printf 'SHUTDOWN\n' >&4
+read -r -u 4 bye || fail "no SHUTDOWN reply"
+[[ "$bye" == "OK shutting down" ]] || fail "SHUTDOWN reply: $bye"
+exec 3<&- 3>&- 4<&- 4>&-
+wait "$SERVE_PID" || { cat "$TMP/serve3.log" >&2; fail "v2 server exited non-zero"; }
 SERVE_PID=""
 
 echo "cli smoke: OK"

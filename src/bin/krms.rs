@@ -74,9 +74,11 @@ USAGE:
                                  (Monte-Carlo max-regret-ratio estimate in
                                   STATS: N test directions, refreshed
                                   every E epochs, sampled from seed S)
-                                 (TCP front end over RmsService; line
-                                  protocol: INSERT/DELETE/UPDATE/QUERY/
-                                  STATS/SHUTDOWN, one reply per line)
+                                 (TCP front end over the serving backend;
+                                  line protocol v1: INSERT/DELETE/UPDATE/
+                                  QUERY/STATS/SHUTDOWN, one reply per line;
+                                  v2 after HELLO v2: BATCH <n> pipelining
+                                  and SUBSCRIBE [every=K] delta push)
   krms skyline  --in FILE
 
 ALGO: FD-RMS | Greedy | GeoGreedy | Greedy* | DMM-RRMS | DMM-Greedy |
@@ -385,8 +387,38 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Binds, serves, and summarizes any started backend — the single
+/// service and the shard group share this path end to end (the
+/// `RmsBackend` trait carries everything the front end needs).
+fn serve_backend<B: krms::serve::RmsBackend>(
+    backend: B,
+    addr: &str,
+    banner: &str,
+) -> Result<(), String> {
+    use krms::serve::RmsServer;
+
+    let server = RmsServer::bind(addr, backend).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "{banner} on {}",
+        server.local_addr().map_err(|e| e.to_string())?
+    );
+    println!("protocol: INSERT <id> <v1..vd> | DELETE <id> | UPDATE <id> <v1..vd> | QUERY | STATS | SHUTDOWN");
+    println!(
+        "       v2: HELLO v2 | BATCH <n> (one ack for n ops) | SUBSCRIBE [every=K] (DELTA push)"
+    );
+    let fds = server.run().map_err(|e| e.to_string())?;
+    let ops: u64 = fds.iter().map(FdRms::operations).sum();
+    let live: usize = fds.iter().map(FdRms::len).sum();
+    let solution: usize = fds.iter().map(|fd| fd.result().len()).sum();
+    println!(
+        "shut down after {ops} ops across {} shard(s); final n = {live}, Σ|Q_s| = {solution}",
+        fds.len()
+    );
+    Ok(())
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    use krms::serve::{RmsServer, RmsService, ServeConfig, ShardedRmsService};
+    use krms::serve::{RmsService, ServeConfig, ShardedRmsService};
     use std::path::PathBuf;
 
     let points = load_points(flags)?;
@@ -427,41 +459,30 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .r(r)
         .epsilon(eps)
         .max_utilities(max_m);
-    let server =
-        if shards > 1 {
-            let service = match &wal {
-                Some(path) => ShardedRmsService::start_with_wal(builder, points, cfg, shards, path)
-                    .map_err(|e| e.to_string())?,
-                None => ShardedRmsService::start(builder, points, cfg, shards)
-                    .map_err(|e| e.to_string())?,
-            };
-            RmsServer::bind_sharded(&addr, service)
-        } else {
-            let service = match &wal {
-                Some(path) => RmsService::start_with_wal(builder, points, cfg, path)
-                    .map_err(|e| e.to_string())?,
-                None => RmsService::start(builder, points, cfg).map_err(|e| e.to_string())?,
-            };
-            RmsServer::bind(&addr, service)
-        }
-        .map_err(|e| format!("bind {addr}: {e}"))?;
-    println!(
-        "serving FD-RMS (n = {n}, d = {d}, k = {k}, r = {r}, eps = {eps}, shards = {shards}{}) on {}",
+    let banner = format!(
+        "serving FD-RMS (n = {n}, d = {d}, k = {k}, r = {r}, eps = {eps}, shards = {shards}{})",
         wal.as_deref()
             .map(|p| format!(", wal = {}", p.display()))
             .unwrap_or_default(),
-        server.local_addr().map_err(|e| e.to_string())?
     );
-    println!("protocol: INSERT <id> <v1..vd> | DELETE <id> | UPDATE <id> <v1..vd> | QUERY | STATS | SHUTDOWN");
-    let fds = server.run().map_err(|e| e.to_string())?;
-    let ops: u64 = fds.iter().map(FdRms::operations).sum();
-    let live: usize = fds.iter().map(FdRms::len).sum();
-    let solution: usize = fds.iter().map(|fd| fd.result().len()).sum();
-    println!(
-        "shut down after {ops} ops across {} shard(s); final n = {live}, Σ|Q_s| = {solution}",
-        fds.len()
-    );
-    Ok(())
+    if shards > 1 {
+        let service = match &wal {
+            Some(path) => ShardedRmsService::start_with_wal(builder, points, cfg, shards, path)
+                .map_err(|e| e.to_string())?,
+            None => {
+                ShardedRmsService::start(builder, points, cfg, shards).map_err(|e| e.to_string())?
+            }
+        };
+        serve_backend(service, &addr, &banner)
+    } else {
+        let service = match &wal {
+            Some(path) => {
+                RmsService::start_with_wal(builder, points, cfg, path).map_err(|e| e.to_string())?
+            }
+            None => RmsService::start(builder, points, cfg).map_err(|e| e.to_string())?,
+        };
+        serve_backend(service, &addr, &banner)
+    }
 }
 
 fn cmd_skyline(flags: &HashMap<String, String>) -> Result<(), String> {

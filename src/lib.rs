@@ -50,8 +50,9 @@ pub mod prelude {
     pub use crate::eval::{max_regret_ratio, RegretEstimator};
     pub use crate::geom::{Point, PointId, Utility};
     pub use crate::serve::{
-        AggregateSnapshot, ResultSnapshot, RmsHandle, RmsServer, RmsService, ServeConfig,
-        ShardedHandle, ShardedRmsService,
+        AggregateSnapshot, BackendView, DeltaReceiver, ResultSnapshot, RmsBackend,
+        RmsBackendHandle, RmsHandle, RmsServer, RmsService, ServeConfig, ShardedHandle,
+        ShardedRmsService, SnapshotDelta,
     };
     pub use crate::skyline::{skyline, DynamicSkyline};
 }
