@@ -1,0 +1,345 @@
+//! `rms-analyze` — project-specific static analysis for the krms
+//! workspace: a hand-rolled lexer (no full AST, no dependencies) plus
+//! four lint rules encoding the concurrency and wire-protocol invariants
+//! this codebase has historically broken in review-invisible ways.
+//!
+//! Rules:
+//!
+//! | id | checks |
+//! |----|--------|
+//! | `guard-across-blocking` | no `Mutex`/`RwLock` guard alive across a blocking call (`send`, `recv`, `sync_data`, `write_all`, `accept`, …) in `crates/serve` |
+//! | `unwrap-nontest` | no `.unwrap()`/`.expect(…)`/`panic!`-family in non-test serve/client code |
+//! | `wire-grammar` | the verb/`OK`/`ERR`/`DELTA` vocabulary of `crates/serve` protocol files and `rms-client` must match exactly |
+//! | `lock-poison-policy` | `lock()`/`read()`/`write()` results go through `recover_poisoned`, not ad-hoc unwraps |
+//!
+//! Any finding can be suppressed in place with
+//! `// rms-analyze: allow(<rule-id>, "<reason>")` — on the offending
+//! line, or on its own line covering the next line. The reason is
+//! mandatory; unused or malformed pragmas are findings themselves
+//! (rule id `pragma`).
+
+pub mod lexer;
+pub mod rules;
+
+use lexer::{LexOutput, Token};
+use rules::Finding;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+pub use rules::{ALL_RULES, RULE_GUARD, RULE_POISON, RULE_PRAGMA, RULE_UNWRAP, RULE_WIRE};
+
+/// The outcome of an analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving findings, in file-then-line order. Nonzero ⇒ exit 1.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by a pragma, with the pragma's reason —
+    /// reported (to stderr) but not fatal.
+    pub suppressed: Vec<(Finding, String)>,
+    /// Total number of well-formed `allow` pragmas seen.
+    pub pragma_count: usize,
+    /// Number of files lexed.
+    pub files_scanned: usize,
+}
+
+/// A lexed source file ready for rule application.
+struct SourceFile {
+    path: PathBuf,
+    rel: PathBuf,
+    lex: LexOutput,
+}
+
+fn read_and_lex(root: &Path, rel: PathBuf) -> std::io::Result<SourceFile> {
+    let path = root.join(&rel);
+    let src = std::fs::read_to_string(&path)?;
+    Ok(SourceFile {
+        path,
+        rel,
+        lex: lexer::lex(&src),
+    })
+}
+
+/// Collects the `.rs` files under `dir` (recursively), as paths
+/// relative to `root`. Sorted for deterministic output.
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let abs = root.join(dir);
+    if !abs.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<_> = std::fs::read_dir(&abs)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for p in entries {
+        let rel = dir.join(p.file_name().unwrap_or_default());
+        if p.is_dir() {
+            collect_rs(root, &rel, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace file set `--workspace` scans: every crate's `src/`
+/// plus `examples/` and `benches/`, and the root binary's `src/`.
+/// `vendor/` (vendored stand-in dependencies) is deliberately excluded
+/// — we lint our code, not our stand-ins. Fixture trees under
+/// `tests/fixtures/` are likewise excluded (they violate rules on
+/// purpose), but regular integration tests are scanned.
+fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(root, Path::new("src"), &mut files)?;
+    collect_rs(root, Path::new("examples"), &mut files)?;
+    collect_rs(root, Path::new("benches"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for m in members {
+            let Some(name) = m.file_name().map(std::ffi::OsStr::to_os_string) else {
+                continue;
+            };
+            let base = Path::new("crates").join(&name);
+            collect_rs(root, &base.join("src"), &mut files)?;
+            collect_rs(root, &base.join("examples"), &mut files)?;
+            collect_rs(root, &base.join("benches"), &mut files)?;
+            // Integration tests, but never tests/fixtures/.
+            let tests = base.join("tests");
+            if root.join(&tests).is_dir() {
+                let mut sub = Vec::new();
+                collect_rs(root, &tests, &mut sub)?;
+                files.extend(
+                    sub.into_iter()
+                        .filter(|p| !p.starts_with(tests.join("fixtures"))),
+                );
+            }
+        }
+    }
+    Ok(files)
+}
+
+/// Per-rule file scoping for a workspace run. Paths are relative,
+/// `/`-separated as produced by [`workspace_files`].
+fn rule_applies(rule: &'static str, rel: &Path) -> bool {
+    let in_serve_src = rel.starts_with("crates/serve/src");
+    let in_client_src = rel.starts_with("crates/client/src");
+    match rule {
+        // The PR-4/PR-5 bug class lives in the serving layer.
+        rules::RULE_GUARD => in_serve_src,
+        // Burn-down scope: the hot serving path and the client library.
+        // CLI/bench/example code may still unwrap.
+        rules::RULE_UNWRAP => in_serve_src || in_client_src,
+        // Everything scanned must follow the one poison policy.
+        rules::RULE_POISON => true,
+        // R3 is cross-file; handled separately in `analyze`.
+        rules::RULE_WIRE => false,
+        _ => false,
+    }
+}
+
+/// The two file sets R3 diffs: the serve-side protocol implementation
+/// and the client re-implementation.
+const WIRE_SERVER_FILES: &[&str] = &["crates/serve/src/protocol.rs", "crates/serve/src/tcp.rs"];
+const WIRE_CLIENT_FILES: &[&str] = &["crates/client/src/lib.rs"];
+
+/// Options for an analysis run.
+pub struct Options {
+    /// Rule ids to run (defaults to all).
+    pub rules: Vec<&'static str>,
+    /// Run R3 (needs the fixed server/client file pairing; only
+    /// meaningful for workspace runs, or fixture trees shaped like one).
+    pub wire: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            rules: ALL_RULES.to_vec(),
+            wire: true,
+        }
+    }
+}
+
+/// Analyzes the workspace rooted at `root`.
+///
+/// # Errors
+/// Propagates I/O errors from walking or reading the source tree.
+pub fn analyze_workspace(root: &Path, opts: &Options) -> std::io::Result<Report> {
+    let rels = workspace_files(root)?;
+    let mut sources = Vec::with_capacity(rels.len());
+    for rel in rels {
+        sources.push(read_and_lex(root, rel)?);
+    }
+    Ok(analyze(&sources, opts))
+}
+
+/// Analyzes an explicit list of files (paths used verbatim in output).
+/// Scoping is disabled: every requested rule runs on every file, and R3
+/// runs only if the set contains both a `protocol`-named and a
+/// `client`-named file (fixture convention).
+///
+/// # Errors
+/// Propagates I/O errors from reading the files.
+pub fn analyze_files(paths: &[PathBuf], opts: &Options) -> std::io::Result<Report> {
+    let mut sources = Vec::with_capacity(paths.len());
+    for p in paths {
+        let src = std::fs::read_to_string(p)?;
+        sources.push(SourceFile {
+            path: p.clone(),
+            rel: p.clone(),
+            lex: lexer::lex(&src),
+        });
+    }
+    Ok(analyze_adhoc(&sources, opts))
+}
+
+fn analyze(sources: &[SourceFile], opts: &Options) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
+    for sf in sources {
+        for rule in &opts.rules {
+            if rule_applies(rule, &sf.rel) {
+                raw.extend(run_rule(rule, &sf.path, &sf.lex.tokens));
+            }
+        }
+    }
+    if opts.wire && opts.rules.contains(&rules::RULE_WIRE) {
+        let pick = |names: &[&str]| -> Vec<(PathBuf, Vec<Token>)> {
+            sources
+                .iter()
+                .filter(|sf| names.iter().any(|n| sf.rel == Path::new(n)))
+                .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
+                .collect()
+        };
+        let server = pick(WIRE_SERVER_FILES);
+        let client = pick(WIRE_CLIENT_FILES);
+        if !server.is_empty() && !client.is_empty() {
+            raw.extend(rules::wire_grammar(&server, &client));
+        }
+    }
+    apply_pragmas(sources, raw)
+}
+
+fn analyze_adhoc(sources: &[SourceFile], opts: &Options) -> Report {
+    let mut raw: Vec<Finding> = Vec::new();
+    for sf in sources {
+        for rule in &opts.rules {
+            if *rule != rules::RULE_WIRE {
+                raw.extend(run_rule(rule, &sf.path, &sf.lex.tokens));
+            }
+        }
+    }
+    if opts.wire && opts.rules.contains(&rules::RULE_WIRE) {
+        let name_has = |sf: &&SourceFile, frag: &str| {
+            sf.rel
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(frag))
+        };
+        let server: Vec<_> = sources
+            .iter()
+            .filter(|sf| name_has(sf, "protocol") || name_has(sf, "server"))
+            .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
+            .collect();
+        let client: Vec<_> = sources
+            .iter()
+            .filter(|sf| name_has(sf, "client"))
+            .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
+            .collect();
+        if !server.is_empty() && !client.is_empty() {
+            raw.extend(rules::wire_grammar(&server, &client));
+        }
+    }
+    apply_pragmas(sources, raw)
+}
+
+fn run_rule(rule: &'static str, path: &Path, toks: &[Token]) -> Vec<Finding> {
+    match rule {
+        rules::RULE_GUARD => rules::guard_across_blocking(path, toks),
+        rules::RULE_UNWRAP => rules::unwrap_nontest(path, toks),
+        rules::RULE_POISON => rules::lock_poison_policy(path, toks),
+        _ => Vec::new(),
+    }
+}
+
+/// Applies `allow` pragmas to the raw findings: a pragma on the finding
+/// line (or an own-line pragma covering the next line) with a matching
+/// rule id suppresses the finding. Unknown-rule and unused pragmas,
+/// plus the lexer's malformed-pragma notes, become `pragma` findings.
+fn apply_pragmas(sources: &[SourceFile], raw: Vec<Finding>) -> Report {
+    let mut report = Report {
+        files_scanned: sources.len(),
+        ..Report::default()
+    };
+    // (path, rule, covered-line) → (pragma index within file, reason)
+    let mut allow: BTreeMap<(PathBuf, String, u32), (usize, String)> = BTreeMap::new();
+    let mut used: BTreeMap<(PathBuf, usize), bool> = BTreeMap::new();
+    for sf in sources {
+        for (idx, p) in sf.lex.pragmas.iter().enumerate() {
+            report.pragma_count += 1;
+            if !ALL_RULES.contains(&p.rule.as_str()) {
+                report.findings.push(Finding {
+                    file: sf.path.clone(),
+                    line: p.line,
+                    rule: rules::RULE_PRAGMA,
+                    msg: format!(
+                        "pragma names unknown rule `{}` (known: {})",
+                        p.rule,
+                        ALL_RULES.join(", ")
+                    ),
+                });
+                continue;
+            }
+            used.insert((sf.path.clone(), idx), false);
+            let covered = if p.own_line { p.line + 1 } else { p.line };
+            allow.insert(
+                (sf.path.clone(), p.rule.clone(), covered),
+                (idx, p.reason.clone()),
+            );
+        }
+        for (line, msg) in &sf.lex.pragma_errors {
+            report.findings.push(Finding {
+                file: sf.path.clone(),
+                line: *line,
+                rule: rules::RULE_PRAGMA,
+                msg: msg.clone(),
+            });
+        }
+    }
+    for f in raw {
+        let key = (f.file.clone(), f.rule.to_string(), f.line);
+        if let Some((idx, reason)) = allow.get(&key) {
+            used.insert((f.file.clone(), *idx), true);
+            report.suppressed.push((f, reason.clone()));
+        } else {
+            report.findings.push(f);
+        }
+    }
+    for ((path, idx), was_used) in &used {
+        if !was_used {
+            // Recover the pragma for its line/rule.
+            if let Some(sf) = sources.iter().find(|s| &s.path == path) {
+                let p = &sf.lex.pragmas[*idx];
+                report.findings.push(Finding {
+                    file: path.clone(),
+                    line: p.line,
+                    rule: rules::RULE_PRAGMA,
+                    msg: format!(
+                        "unused pragma: allow({}) suppresses nothing on its line — remove it",
+                        p.rule
+                    ),
+                });
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    report
+}

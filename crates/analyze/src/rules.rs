@@ -1,0 +1,425 @@
+//! The rule implementations. Each rule is a pure function from a lexed
+//! token stream to findings; scoping (which files a rule runs over) and
+//! pragma suppression live in [`crate`].
+//!
+//! All rules skip tokens marked `in_test` — test code may unwrap, hold
+//! guards across asserts, and spell malformed wire lines on purpose.
+
+use crate::lexer::{Tok, Token};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One rule violation (or pragma-hygiene problem), printable as
+/// `file:line rule-id message`.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule id (`guard-across-blocking`, `unwrap-nontest`,
+    /// `wire-grammar`, `lock-poison-policy`, or `pragma`).
+    pub rule: &'static str,
+    /// What is wrong and what to do about it.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// Rule id for [`guard_across_blocking`].
+pub const RULE_GUARD: &str = "guard-across-blocking";
+/// Rule id for [`unwrap_nontest`].
+pub const RULE_UNWRAP: &str = "unwrap-nontest";
+/// Rule id for [`wire_grammar`].
+pub const RULE_WIRE: &str = "wire-grammar";
+/// Rule id for [`lock_poison_policy`].
+pub const RULE_POISON: &str = "lock-poison-policy";
+/// Pseudo-rule id for pragma hygiene findings (malformed, unknown rule,
+/// unused) — not allowable by pragma, on purpose.
+pub const RULE_PRAGMA: &str = "pragma";
+
+/// Every real (pragma-allowable) rule id.
+pub const ALL_RULES: &[&str] = &[RULE_GUARD, RULE_UNWRAP, RULE_WIRE, RULE_POISON];
+
+/// Method/function names whose calls block (or may block arbitrarily
+/// long): channel sends/receives, fsyncs, socket accepts, buffered IO,
+/// thread joins/sleeps. Holding a lock guard across any of these is the
+/// PR-4/PR-5 bug class. `try_send`/`try_recv` are deliberately absent —
+/// the serve layer's enqueue+append critical section is built on them.
+const BLOCKING_CALLS: &[&str] = &[
+    "send",
+    "recv",
+    "recv_timeout",
+    "sync_all",
+    "sync_data",
+    "write_all",
+    "flush",
+    "accept",
+    "sleep",
+    "join",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "wait",
+    "wait_timeout",
+    "park",
+];
+
+/// Guard-acquiring method names: `.lock()`, `.read()`, `.write()` called
+/// with no arguments (the empty-parens requirement is what keeps
+/// `io::Read::read(&mut buf)` and `io::Write::write(&buf)` out).
+const GUARD_CALLS: &[&str] = &["lock", "read", "write"];
+
+fn ident(t: Option<&Token>) -> Option<&str> {
+    match t.map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(t: Option<&Token>, ch: char) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Punct(c)) if *c == ch)
+}
+
+/// Does `toks[i..]` start with `.name(` or `::name(` for some `name`
+/// in `set`? Returns the matched name.
+fn call_of<'a>(toks: &'a [Token], i: usize, set: &[&'static str]) -> Option<&'a str> {
+    let name_at = if punct(toks.get(i), '.') {
+        i + 1
+    } else if punct(toks.get(i), ':') && punct(toks.get(i + 1), ':') {
+        i + 2
+    } else {
+        return None;
+    };
+    let name = ident(toks.get(name_at))?;
+    if !set.contains(&name) {
+        return None;
+    }
+    // Must actually be a call. (Turbofish between name and parens is
+    // not used by any matched name in this codebase.)
+    if !punct(toks.get(name_at + 1), '(') {
+        return None;
+    }
+    Some(name)
+}
+
+/// Is `toks[i..]` the sequence `.name()` (empty parens) for `name` in
+/// `GUARD_CALLS`?
+fn guard_acquisition(toks: &[Token], i: usize) -> bool {
+    punct(toks.get(i), '.')
+        && ident(toks.get(i + 1)).is_some_and(|n| GUARD_CALLS.contains(&n))
+        && punct(toks.get(i + 2), '(')
+        && punct(toks.get(i + 3), ')')
+}
+
+/// **R1 — `guard-across-blocking`.** A `let` binding whose initializer
+/// acquires a `Mutex`/`RwLock` guard must not stay alive across a
+/// blocking call (`.send(`, `.recv(`, `sync_data`, `write_all`,
+/// `accept(`, …). The guard dies at the end of its block or at an
+/// explicit `drop(name)`. Heuristic, not flow-sensitive: `drop` in any
+/// branch ends tracking (false negatives over false positives).
+pub fn guard_across_blocking(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0u32;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].in_test {
+            i += 1;
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Tok::Ident(kw) if kw == "drop" && punct(toks.get(i + 1), '(') => {
+                if let Some(name) = ident(toks.get(i + 2)) {
+                    if punct(toks.get(i + 3), ')') {
+                        guards.retain(|g| g.name != name);
+                    }
+                }
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                i = track_let_binding(file, toks, i, depth, &mut guards, &mut findings);
+                continue;
+            }
+            _ => {
+                if let Some(name) = call_of(toks, i, BLOCKING_CALLS) {
+                    if let Some(g) = guards.last() {
+                        findings.push(Finding {
+                            file: file.to_path_buf(),
+                            line: toks[i + 1].line,
+                            rule: RULE_GUARD,
+                            msg: format!(
+                                "lock guard `{}` (acquired line {}) is alive across blocking \
+                                 call `{name}(…)`; drop the guard first, or justify with \
+                                 `// rms-analyze: allow({RULE_GUARD}, \"…\")`",
+                                g.name, g.line
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    findings
+}
+
+/// Parses one `let` statement starting at `toks[start]` (the `let`
+/// keyword): records a guard if the initializer acquires one, checks the
+/// initializer for blocking calls under already-live guards, and returns
+/// the index to resume scanning from (the statement's terminator).
+fn track_let_binding(
+    file: &Path,
+    toks: &[Token],
+    start: usize,
+    depth: u32,
+    guards: &mut Vec<Guard>,
+    findings: &mut Vec<Finding>,
+) -> usize {
+    // Pattern: tokens up to `=` at zero bracket nesting. The bound name
+    // is the last identifier before a `:` (type ascription) — handles
+    // `let mut g`, `let Ok(g)`, `let g: Type`.
+    let mut i = start + 1;
+    let mut nest = 0i32;
+    let mut name: Option<(String, u32)> = None;
+    let mut saw_colon = false;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('(' | '[') => nest += 1,
+            Tok::Punct(')' | ']') => nest -= 1,
+            Tok::Punct(':') if nest == 0 => saw_colon = true,
+            Tok::Punct('=') if nest == 0 => break,
+            Tok::Punct(';') if nest == 0 => return i, // `let x;`
+            Tok::Punct('{') => return i,              // not a binding form we track
+            Tok::Ident(id) if !saw_colon && id != "mut" && id != "ref" => {
+                name = Some((id.clone(), toks[i].line));
+                // Tuple-struct patterns like `Ok(g)`: the inner ident
+                // overwrites the constructor, which is what we want.
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Initializer: to `;` or `{` at zero nesting. A struct-literal or
+    // match initializer ends the scan early — acceptable imprecision.
+    let mut acquires = false;
+    let mut j = i + 1;
+    let mut inest = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('(' | '[') => inest += 1,
+            Tok::Punct(')' | ']') => inest -= 1,
+            Tok::Punct(';') if inest == 0 => break,
+            Tok::Punct('{') if inest == 0 => break,
+            _ => {}
+        }
+        if guard_acquisition(toks, j) {
+            acquires = true;
+        }
+        if let Some(bname) = call_of(toks, j, BLOCKING_CALLS) {
+            if let Some(g) = guards.last() {
+                findings.push(Finding {
+                    file: file.to_path_buf(),
+                    line: toks[j + 1].line,
+                    rule: RULE_GUARD,
+                    msg: format!(
+                        "lock guard `{}` (acquired line {}) is alive across blocking \
+                         call `{bname}(…)`; drop the guard first, or justify with \
+                         `// rms-analyze: allow({RULE_GUARD}, \"…\")`",
+                        g.name, g.line
+                    ),
+                });
+            }
+        }
+        j += 1;
+    }
+    if acquires {
+        if let Some((name, line)) = name {
+            guards.push(Guard { name, depth, line });
+        }
+    }
+    j
+}
+
+/// A live lock-guard binding tracked by [`guard_across_blocking`].
+struct Guard {
+    name: String,
+    depth: u32,
+    line: u32,
+}
+
+/// **R2 — `unwrap-nontest`.** `.unwrap()` / `.expect(…)` (and their
+/// `_err` variants) plus `panic!` / `unreachable!` / `todo!` /
+/// `unimplemented!` in non-test code: the serving layer must degrade, not
+/// die — propagate the error or justify with a pragma.
+pub fn unwrap_nontest(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    const PANICKY_METHODS: &[&str] = &["unwrap", "expect", "unwrap_err", "expect_err"];
+    const PANICKY_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        let flagged = if PANICKY_METHODS.contains(&name.as_str()) {
+            i > 0 && punct(toks.get(i - 1), '.') && punct(toks.get(i + 1), '(')
+        } else if PANICKY_MACROS.contains(&name.as_str()) {
+            punct(toks.get(i + 1), '!')
+        } else {
+            false
+        };
+        if flagged {
+            let call = if punct(toks.get(i + 1), '!') {
+                format!("{name}!")
+            } else {
+                format!(".{name}()")
+            };
+            findings.push(Finding {
+                file: file.to_path_buf(),
+                line: t.line,
+                rule: RULE_UNWRAP,
+                msg: format!(
+                    "`{call}` in non-test code; propagate the error (or justify with \
+                     `// rms-analyze: allow({RULE_UNWRAP}, \"…\")`)"
+                ),
+            });
+        }
+    }
+    findings
+}
+
+/// **R4 — `lock-poison-policy`.** `lock()`/`read()`/`write()` results
+/// must go through the sanctioned recovery helper
+/// (`rms_serve::sync::recover_poisoned`), not ad-hoc
+/// `.unwrap()`/`.expect(…)`/`.unwrap_or_else(…)` — one audited place
+/// decides what lock poisoning means for this project.
+pub fn lock_poison_policy(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    const ADHOC: &[&str] = &[
+        "unwrap",
+        "expect",
+        "unwrap_or_else",
+        "unwrap_or_default",
+        "unwrap_or",
+    ];
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if !guard_acquisition(toks, i) {
+            continue;
+        }
+        // toks[i..i+4] is `.lock()`; what follows the empty parens?
+        if punct(toks.get(i + 4), '.') {
+            if let Some(next) = ident(toks.get(i + 5)) {
+                if ADHOC.contains(&next) && punct(toks.get(i + 6), '(') {
+                    let Some(Tok::Ident(which)) = toks.get(i + 1).map(|t| &t.tok) else {
+                        continue;
+                    };
+                    findings.push(Finding {
+                        file: file.to_path_buf(),
+                        line: toks[i + 1].line,
+                        rule: RULE_POISON,
+                        msg: format!(
+                            "`.{which}().{next}(…)` handles lock poisoning ad hoc; route the \
+                             result through `recover_poisoned(…)` (crates/serve/src/sync.rs), \
+                             the project's one audited poison-recovery point"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings
+}
+
+/// The wire vocabulary of one file set: every leading ALL-CAPS word of a
+/// non-test string literal (`"INSERT {id} …"` → `INSERT`, `"OK queued"`
+/// → `OK`), mapped to its first occurrence.
+pub fn wire_vocabulary(files: &[(PathBuf, Vec<Token>)]) -> BTreeMap<String, (PathBuf, u32)> {
+    let mut vocab = BTreeMap::new();
+    for (path, toks) in files {
+        for t in toks {
+            if t.in_test {
+                continue;
+            }
+            let Tok::Str(s) = &t.tok else { continue };
+            let word: String = s.chars().take_while(char::is_ascii_uppercase).collect();
+            if word.len() < 2 {
+                continue;
+            }
+            // The run must end the literal or be followed by a
+            // non-word character (`"OKish"` is not the verb `OK`).
+            if s[word.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            vocab.entry(word).or_insert_with(|| (path.clone(), t.line));
+        }
+    }
+    vocab
+}
+
+/// **R3 — `wire-grammar`.** The serve-side protocol implementation and
+/// the `rms-client` re-implementation each define the wire vocabulary
+/// (verbs plus the `OK`/`ERR`/`DELTA` reply heads) in string literals;
+/// this rule extracts both sets and reports every word one side speaks
+/// and the other does not — the two in-tree grammars cannot drift
+/// silently.
+pub fn wire_grammar(
+    server: &[(PathBuf, Vec<Token>)],
+    client: &[(PathBuf, Vec<Token>)],
+) -> Vec<Finding> {
+    let sv = wire_vocabulary(server);
+    let cv = wire_vocabulary(client);
+    let mut findings = Vec::new();
+    let mut drift = |word: &str,
+                     present: &(PathBuf, u32),
+                     absent_side: &[(PathBuf, Vec<Token>)],
+                     side: &str| {
+        let Some((absent_file, _)) = absent_side.first() else {
+            return;
+        };
+        findings.push(Finding {
+            file: absent_file.clone(),
+            line: 1,
+            rule: RULE_WIRE,
+            msg: format!(
+                "wire word `{word}` (spoken at {}:{}) has no {side} occurrence — the two \
+                 protocol implementations have drifted",
+                present.0.display(),
+                present.1
+            ),
+        });
+    };
+    for (word, at) in &sv {
+        if !cv.contains_key(word) {
+            drift(word, at, client, "client-side");
+        }
+    }
+    for (word, at) in &cv {
+        if !sv.contains_key(word) {
+            drift(word, at, server, "server-side");
+        }
+    }
+    findings
+}

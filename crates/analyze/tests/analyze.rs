@@ -1,0 +1,173 @@
+//! End-to-end tests for the `rms-analyze` binary: each rule's fixture
+//! pair (violating ⇒ exit 1 with the right findings, clean ⇒ exit 0),
+//! pragma suppression and hygiene, and the pin that the checked-in
+//! workspace itself is finding-free.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .display()
+        .to_string()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rms-analyze"))
+        .args(args)
+        .output()
+        .expect("spawn rms-analyze")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn count_rule(out: &Output, rule: &str) -> usize {
+    stdout(out)
+        .lines()
+        .filter(|l| l.split_whitespace().nth(1) == Some(rule))
+        .count()
+}
+
+#[test]
+fn workspace_is_finding_free() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = run(&["--workspace", &root.display().to_string()]);
+    assert!(
+        out.status.success(),
+        "checked-in workspace has findings:\n{}",
+        stdout(&out)
+    );
+    assert!(stdout(&out).is_empty(), "stdout: {}", stdout(&out));
+}
+
+#[test]
+fn r1_guard_across_blocking() {
+    let out = run(&[&fixture("r1_violating.rs")]);
+    assert!(!out.status.success());
+    assert_eq!(
+        count_rule(&out, "guard-across-blocking"),
+        2,
+        "expected the send and the fsync:\n{}",
+        stdout(&out)
+    );
+
+    let out = run(&[&fixture("r1_clean.rs")]);
+    assert!(
+        out.status.success(),
+        "clean fixture flagged:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn r2_unwrap_nontest() {
+    let out = run(&[&fixture("r2_violating.rs")]);
+    assert!(!out.status.success());
+    assert_eq!(
+        count_rule(&out, "unwrap-nontest"),
+        3,
+        "expected unwrap + expect + panic!:\n{}",
+        stdout(&out)
+    );
+
+    let out = run(&[&fixture("r2_clean.rs")]);
+    assert!(
+        out.status.success(),
+        "clean fixture flagged:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn r3_wire_grammar() {
+    let out = run(&[
+        &fixture("r3_protocol_drift.rs"),
+        &fixture("r3_client_drift.rs"),
+    ]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert_eq!(
+        count_rule(&out, "wire-grammar"),
+        2,
+        "expected ERR and NACK drift:\n{text}"
+    );
+    assert!(text.contains("`ERR`"), "missing ERR drift:\n{text}");
+    assert!(text.contains("`NACK`"), "missing NACK drift:\n{text}");
+
+    let out = run(&[&fixture("r3_protocol_ok.rs"), &fixture("r3_client_ok.rs")]);
+    assert!(
+        out.status.success(),
+        "consistent pair flagged:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn r4_lock_poison_policy() {
+    let out = run(&["--rules", "lock-poison-policy", &fixture("r4_violating.rs")]);
+    assert!(!out.status.success());
+    assert_eq!(
+        count_rule(&out, "lock-poison-policy"),
+        3,
+        "expected unwrap + expect + inline unwrap_or_else:\n{}",
+        stdout(&out)
+    );
+
+    let out = run(&[&fixture("r4_clean.rs")]);
+    assert!(
+        out.status.success(),
+        "clean fixture flagged:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn pragmas_suppress_with_reason() {
+    let out = run(&[&fixture("pragma_suppressed.rs")]);
+    assert!(
+        out.status.success(),
+        "pragma-covered violations still fatal:\n{}",
+        stdout(&out)
+    );
+    let err = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(
+        err.contains("2 suppressed by 2 pragma(s)"),
+        "suppressions not reported: {err}"
+    );
+    assert!(
+        err.contains("demonstrates same-line suppression")
+            && err.contains("demonstrates own-line suppression"),
+        "pragma reasons not echoed: {err}"
+    );
+}
+
+#[test]
+fn pragma_hygiene_is_enforced() {
+    let out = run(&[&fixture("pragma_bad.rs")]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert_eq!(
+        count_rule(&out, "pragma"),
+        4,
+        "expected reason-less, unquoted, unknown-rule, unused:\n{text}"
+    );
+    assert!(text.contains("no reason argument"), "{text}");
+    assert!(text.contains("non-empty quoted string"), "{text}");
+    assert!(text.contains("unknown rule `no-such-rule`"), "{text}");
+    assert!(text.contains("unused pragma"), "{text}");
+    // The broken pragmas must not have suppressed the real findings.
+    assert_eq!(count_rule(&out, "unwrap-nontest"), 3, "{text}");
+}
+
+#[test]
+fn unknown_rule_flag_is_rejected() {
+    let out = run(&["--rules", "no-such-rule", &fixture("r2_clean.rs")]);
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+}

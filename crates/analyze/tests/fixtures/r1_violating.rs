@@ -1,0 +1,26 @@
+// Fixture: a Mutex guard held across blocking calls — the PR-4/PR-5
+// bug class rule `guard-across-blocking` exists to catch. Expected
+// findings: the send on the channel and the fsync, both while `guard`
+// is alive.
+
+fn held_across_send(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    let guard = recover_poisoned(m.lock());
+    tx.send(*guard).ok();
+}
+
+fn held_across_fsync(m: &std::sync::Mutex<std::fs::File>) -> std::io::Result<()> {
+    let file = recover_poisoned(m.lock());
+    file.sync_data()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hold guards across whatever it likes.
+    #[test]
+    fn in_tests_this_is_fine() {
+        let m = std::sync::Mutex::new(0u32);
+        let (tx, _rx) = std::sync::mpsc::channel();
+        let guard = m.lock().unwrap();
+        tx.send(*guard).ok();
+    }
+}

@@ -1,0 +1,25 @@
+// Fixture: the same shapes with errors propagated. Expected findings:
+// none.
+
+fn parses(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+fn opens(path: &str) -> std::io::Result<std::fs::File> {
+    std::fs::File::open(path)
+}
+
+fn degrades(flag: bool) -> Result<(), String> {
+    if flag {
+        return Err("boom".to_string());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!(super::parses("7").unwrap(), 7);
+    }
+}

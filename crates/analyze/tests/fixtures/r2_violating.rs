@@ -1,0 +1,24 @@
+// Fixture: panics in non-test code. Expected findings: the unwrap, the
+// expect, and the panic! — three `unwrap-nontest` violations.
+
+fn parses(s: &str) -> u32 {
+    s.parse().unwrap()
+}
+
+fn opens(path: &str) -> std::fs::File {
+    std::fs::File::open(path).expect("file exists")
+}
+
+fn gives_up(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        assert_eq!("7".parse::<u32>().unwrap(), 7);
+    }
+}

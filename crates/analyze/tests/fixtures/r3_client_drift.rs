@@ -1,0 +1,13 @@
+// Fixture (client half of a drifted pair): speaks HELLO/OK/NACK where
+// the server speaks HELLO/OK/ERR.
+
+fn classify(line: &str) -> bool {
+    if line.starts_with("NACK ") {
+        return false;
+    }
+    line.starts_with("OK ")
+}
+
+fn greet() -> &'static str {
+    "HELLO v1"
+}

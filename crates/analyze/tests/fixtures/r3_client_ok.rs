@@ -1,0 +1,13 @@
+// Fixture (client half of a consistent pair): speaks HELLO/OK/ERR,
+// matching the server half exactly.
+
+fn classify(line: &str) -> bool {
+    if line.starts_with("ERR ") {
+        return false;
+    }
+    line.starts_with("OK ")
+}
+
+fn greet() -> &'static str {
+    "HELLO v1"
+}

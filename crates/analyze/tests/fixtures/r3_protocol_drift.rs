@@ -1,0 +1,15 @@
+// Fixture (server half of a drifted pair): speaks HELLO/OK/ERR. The
+// client half speaks HELLO/OK/NACK — expected findings: `ERR` has no
+// client-side occurrence, `NACK` has no server-side occurrence.
+
+fn reply(ok: bool) -> String {
+    if ok {
+        format!("OK {}", 1)
+    } else {
+        "ERR bad request".to_string()
+    }
+}
+
+fn greet() -> &'static str {
+    "HELLO v1"
+}

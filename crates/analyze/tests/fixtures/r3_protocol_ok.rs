@@ -1,0 +1,14 @@
+// Fixture (server half of a consistent pair): both halves speak exactly
+// HELLO/OK/ERR. Expected findings: none.
+
+fn reply(ok: bool) -> String {
+    if ok {
+        format!("OK {}", 1)
+    } else {
+        "ERR bad request".to_string()
+    }
+}
+
+fn greet() -> &'static str {
+    "HELLO v1"
+}

@@ -24,11 +24,11 @@ fn bench_table1_skyline(c: &mut Criterion) {
     for &n in &[5_000usize, 20_000] {
         let points = db(1, n, 6);
         group.bench_with_input(BenchmarkId::new("sfs", n), &n, |b, _| {
-            b.iter(|| black_box(skyline(&points).len()))
+            b.iter(|| black_box(skyline(&points).len()));
         });
         if n <= 5_000 {
             group.bench_with_input(BenchmarkId::new("bnl", n), &n, |b, _| {
-                b.iter(|| black_box(skyline_bnl(&points).len()))
+                b.iter(|| black_box(skyline_bnl(&points).len()));
             });
         }
     }
@@ -56,7 +56,7 @@ fn bench_static_recompute(c: &mut Criterion) {
     ];
     for algo in algos {
         group.bench_function(algo.name(), |b| {
-            b.iter(|| black_box(algo.compute(&sky, &points, 1, r).len()))
+            b.iter(|| black_box(algo.compute(&sky, &points, 1, r).len()));
         });
     }
     group.finish();

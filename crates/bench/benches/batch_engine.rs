@@ -99,7 +99,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
                         .expect("churn ops are valid")
                         .affected_utilities,
                 )
-            })
+            });
         });
         group.bench_with_input(BenchmarkId::new("sequential", size), &size, |b, &size| {
             let mut ch = Churn::new(1, n, 6, k, r, eps, max_m);
@@ -112,7 +112,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
                     }
                 }
                 black_box(ch.fd.m())
-            })
+            });
         });
     }
     group.finish();

@@ -64,7 +64,7 @@ fn bench_fig5_eps(c: &mut Criterion) {
             b.iter(|| {
                 churn_once(&mut fd, &mut rng, &mut next, 6);
                 black_box(fd.m())
-            })
+            });
         });
     }
     group.finish();
@@ -82,7 +82,7 @@ fn bench_fig6_r(c: &mut Criterion) {
             b.iter(|| {
                 churn_once(&mut fd, &mut rng, &mut next, 6);
                 black_box(fd.m())
-            })
+            });
         });
     }
     group.finish();
@@ -100,7 +100,7 @@ fn bench_fig7_k(c: &mut Criterion) {
             b.iter(|| {
                 churn_once(&mut fd, &mut rng, &mut next, 6);
                 black_box(fd.m())
-            })
+            });
         });
     }
     group.finish();
@@ -115,7 +115,7 @@ fn bench_fig8_scale(c: &mut Criterion) {
             b.iter(|| {
                 churn_once(&mut fd, &mut rng, &mut next, d);
                 black_box(fd.m())
-            })
+            });
         });
     }
     for &n in &[2_000usize, 10_000, 50_000] {
@@ -125,7 +125,7 @@ fn bench_fig8_scale(c: &mut Criterion) {
             b.iter(|| {
                 churn_once(&mut fd, &mut rng, &mut next, 6);
                 black_box(fd.m())
-            })
+            });
         });
     }
     group.finish();
@@ -145,7 +145,7 @@ fn bench_ablation_stability(c: &mut Criterion) {
         b.iter(|| {
             churn_once(&mut fd, &mut rng, &mut next, 6);
             black_box(fd.result_ids().len())
-        })
+        });
     });
     group.bench_function("rebuild_from_scratch", |b| {
         // The honest static comparison: rebuild the whole FD-RMS state
@@ -165,7 +165,7 @@ fn bench_ablation_stability(c: &mut Criterion) {
                 .build(points.clone())
                 .unwrap();
             black_box(fd.result_ids().len())
-        })
+        });
     });
     group.finish();
 }

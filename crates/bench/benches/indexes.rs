@@ -29,7 +29,7 @@ fn bench_kdtree_topk(c: &mut Criterion) {
                 let u = &us[i % us.len()];
                 i += 1;
                 black_box(tree.top_k(u, 10))
-            })
+            });
         });
         let mut j = 0;
         group.bench_with_input(BenchmarkId::new("bruteforce", n), &n, |b, _| {
@@ -37,7 +37,7 @@ fn bench_kdtree_topk(c: &mut Criterion) {
                 let u = &us[j % us.len()];
                 j += 1;
                 black_box(rms_geom::top_k(&points, u, 10))
-            })
+            });
         });
     }
     group.finish();
@@ -126,7 +126,7 @@ fn bench_ablation_dualtree(c: &mut Criterion) {
                 let p = &probes[i % probes.len()];
                 i += 1;
                 black_box(tree.affected_by(p))
-            })
+            });
         });
         let mut j = 0;
         group.bench_with_input(BenchmarkId::new("scan", m), &m, |b, _| {
@@ -134,7 +134,7 @@ fn bench_ablation_dualtree(c: &mut Criterion) {
                 let p = &probes[j % probes.len()];
                 j += 1;
                 black_box(tree.affected_by_scan(p))
-            })
+            });
         });
     }
     group.finish();

@@ -60,7 +60,7 @@ fn main() {
             }
         }
     }
-    let records = run_cells(cells, scale);
+    let records = run_cells(&cells, scale);
     println!("{}", format_table(&records));
     maybe_save("fig6", &records);
     println!(

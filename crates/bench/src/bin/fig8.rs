@@ -70,7 +70,7 @@ fn main() {
             }
         }
     }
-    let records = run_cells(cells, scale);
+    let records = run_cells(&cells, scale);
     println!("{}", format_table(&records));
     maybe_save(&format!("fig8_{axis}"), &records);
     println!(

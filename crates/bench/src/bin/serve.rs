@@ -50,6 +50,7 @@ use rms_client::{ClientOp, RmsClient};
 use rms_data::generators;
 use rms_eval::RegretEstimator;
 use rms_geom::{Point, PointId};
+use rms_serve::sync::recover_poisoned;
 use rms_serve::{
     RmsBackend, RmsBackendHandle, RmsServer, RmsService, ServeConfig, ShardedRmsService,
 };
@@ -356,7 +357,7 @@ fn run_blocking(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> Phase
                 let mut tally = ReadTally::default();
                 while !stop.load(Ordering::Relaxed) {
                     let t = Instant::now();
-                    let q = fd.lock().expect("engine lock").result();
+                    let q = recover_poisoned(fd.lock()).result();
                     tally.record(t.elapsed());
                     std::hint::black_box(q.len());
                     if !pace.is_zero() {
@@ -373,7 +374,7 @@ fn run_blocking(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> Phase
     let start = Instant::now();
     while start.elapsed() < sc.window {
         let op = stream.next_op();
-        let mut guard = fd.lock().expect("engine lock");
+        let mut guard = recover_poisoned(fd.lock());
         match op {
             Op::Insert(p) => guard.insert(p).expect("fresh id"),
             Op::Delete(id) => guard.delete(id).expect("live id"),
@@ -388,7 +389,7 @@ fn run_blocking(initial: &[Point], sc: Scenario, est: &RegretEstimator) -> Phase
         .map(|h| h.join().expect("reader thread"))
         .collect();
     let mrr = {
-        let guard = fd.lock().expect("engine lock");
+        let guard = recover_poisoned(fd.lock());
         est.mrr(&guard.live_points(), &guard.result(), sc.k)
     };
     PhaseOutcome {

@@ -24,6 +24,7 @@ use rms_baselines::{
 use rms_data::{paper_workload, DatasetSpec, Operation, WorkloadConfig};
 use rms_eval::{ExperimentRecord, RegretEstimator, UpdateTimer};
 use rms_geom::Point;
+use rms_serve::sync::recover_poisoned;
 
 /// Harness-wide scale knobs parsed from the command line.
 #[derive(Debug, Clone, Copy)]
@@ -354,7 +355,7 @@ impl StaticRms for BoxedStatic {
 
 /// Runs independent cells in parallel (one worker per CPU, std scoped
 /// threads) and returns records in the input order.
-pub fn run_cells(cells: Vec<Cell>, scale: Scale) -> Vec<ExperimentRecord> {
+pub fn run_cells(cells: &[Cell], scale: Scale) -> Vec<ExperimentRecord> {
     let n = cells.len();
     let results: Vec<std::sync::Mutex<Option<ExperimentRecord>>> =
         (0..n).map(|_| std::sync::Mutex::new(None)).collect();
@@ -375,7 +376,7 @@ pub fn run_cells(cells: Vec<Cell>, scale: Scale) -> Vec<ExperimentRecord> {
                     "  done: {} / {} / {}={}",
                     rec.dataset, rec.algorithm, rec.param, rec.value
                 );
-                *results[i].lock().expect("cell mutex poisoned") = Some(rec);
+                *recover_poisoned(results[i].lock()) = Some(rec);
             });
         }
     });
@@ -494,7 +495,7 @@ mod tests {
             max_m: 128,
             ops: 20,
         };
-        let recs = run_cells(vec![mk(Algo::FdRms), mk(Algo::Greedy)], scale);
+        let recs = run_cells(&[mk(Algo::FdRms), mk(Algo::Greedy)], scale);
         assert_eq!(recs.len(), 2);
         assert_eq!(recs[0].algorithm, "FD-RMS");
         assert_eq!(recs[1].algorithm, "Greedy");

@@ -108,10 +108,13 @@ impl FdRms {
     // Algorithm 2: INITIALIZATION
     // ------------------------------------------------------------------
 
-    pub(crate) fn initialize(cfg: FdRmsBuilder, initial: Vec<Point>) -> Result<Self, FdRmsError> {
+    pub(crate) fn initialize(cfg: &FdRmsBuilder, initial: Vec<Point>) -> Result<Self, FdRmsError> {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let utilities = with_basis_prefix(&mut rng, cfg.d, cfg.max_utilities);
-        let kd = KdTree::build(cfg.d, initial.clone()).map_err(|e| match e {
+        let points: HashMap<_, _> = initial.iter().map(|p| (p.id(), p.clone())).collect();
+        let mut memberships: HashMap<PointId, Vec<ElemId>> =
+            initial.iter().map(|p| (p.id(), Vec::new())).collect();
+        let kd = KdTree::build(cfg.d, initial).map_err(|e| match e {
             rms_index::KdTreeError::DuplicateId(id) => FdRmsError::DuplicateId(id),
             rms_index::KdTreeError::DimensionMismatch { expected, got } => {
                 FdRmsError::DimensionMismatch { expected, got }
@@ -131,7 +134,7 @@ impl FdRms {
             kd,
             cone,
             cover: DynamicSetCover::new(cfg.level_base),
-            points: initial.iter().map(|p| (p.id(), p.clone())).collect(),
+            points,
             pending: BTreeSet::new(),
             ops: 0,
             stats: UpdateStats::default(),
@@ -144,8 +147,6 @@ impl FdRms {
 
         // Compute Φ_{k,ε}(u_i, P0) for every i ∈ [1, M] and build the full
         // membership (tuple → utilities it approximates).
-        let mut memberships: HashMap<PointId, Vec<ElemId>> =
-            initial.iter().map(|p| (p.id(), Vec::new())).collect();
         for i in 0..fd.cap_m {
             let (phi, _omega) = fd.kd.top_k_approx(&fd.utilities[i], fd.k, fd.eps);
             let exact_len = fd.k.min(phi.len());
@@ -305,7 +306,7 @@ impl FdRms {
     /// The classic single-tuple update path (delete + insert), with the
     /// equal-attributes short-circuit. Returns `false` when the update was
     /// a no-op.
-    pub(crate) fn update_one(&mut self, p: Point) -> Result<bool, FdRmsError> {
+    pub(crate) fn update_one(&mut self, p: &Point) -> Result<bool, FdRmsError> {
         // Dimension before id-existence, the uniform precedence across
         // every verb and both the single-op and batched paths.
         if p.dim() != self.d {
@@ -358,7 +359,7 @@ impl FdRms {
     }
 
     /// The classic single-insert path (Algorithm 3, insertion).
-    pub(crate) fn insert_one(&mut self, p: Point) -> Result<(), FdRmsError> {
+    pub(crate) fn insert_one(&mut self, p: &Point) -> Result<(), FdRmsError> {
         if p.dim() != self.d {
             return Err(FdRmsError::DimensionMismatch {
                 expected: self.d,
@@ -376,7 +377,7 @@ impl FdRms {
         // Utilities whose ε-approximate top-k admits p (the cone tree
         // prunes the scan; thresholds are 0 while fewer than k tuples
         // exist, so those utilities always appear).
-        let affected = self.cone.affected_by(&p);
+        let affected = self.cone.affected_by(p);
         self.stats.affected_utilities += affected.len() as u64;
 
         // p joins Φ_{k,ε}(u_i) for every affected i: register S(p) first
@@ -386,7 +387,7 @@ impl FdRms {
             .expect("id vetted above");
 
         for &i in &affected {
-            let score = self.utilities[i].score(&p);
+            let score = self.utilities[i].score(p);
             let k = self.k;
             let st = &mut self.topk[i];
             // Does p enter the exact top-k?
@@ -846,7 +847,7 @@ mod tests {
             .r(6)
             .epsilon(0.05)
             .max_utilities(256)
-            .build(pts.clone())
+            .build(pts)
             .unwrap();
         fd.check_invariants().unwrap();
         let mut rng = StdRng::seed_from_u64(42);
@@ -864,11 +865,7 @@ mod tests {
     #[test]
     fn update_replaces_attributes_in_place() {
         let pts = random_points(61, 80, 2);
-        let mut fd = FdRms::builder(2)
-            .r(3)
-            .max_utilities(64)
-            .build(pts.clone())
-            .unwrap();
+        let mut fd = FdRms::builder(2).r(3).max_utilities(64).build(pts).unwrap();
         // Update tuple 0 to dominate everything: it must enter the result.
         fd.update(Point::new_unchecked(0, vec![1.0, 1.0])).unwrap();
         fd.check_invariants().unwrap();
@@ -894,7 +891,7 @@ mod tests {
         let mut fd = FdRms::builder(3)
             .r(4)
             .max_utilities(128)
-            .build(pts.clone())
+            .build(pts)
             .unwrap();
         assert_eq!(fd.stats(), UpdateStats::default());
         let mut rng = StdRng::seed_from_u64(72);
@@ -939,7 +936,7 @@ mod tests {
         let mut fd = FdRms::builder(2)
             .r(4)
             .max_utilities(128)
-            .build(pts.clone())
+            .build(pts)
             .unwrap();
         for id in 0..50u64 {
             fd.delete(id).unwrap();

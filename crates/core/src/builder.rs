@@ -39,7 +39,7 @@ impl std::error::Error for FdRmsError {}
 
 /// Builder for [`FdRms`] (the two tunables of the paper are `epsilon` and
 /// `max_utilities`; Section III-C discusses how to choose them).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct FdRmsBuilder {
     pub(crate) d: usize,
     pub(crate) k: usize,
@@ -153,7 +153,7 @@ impl FdRmsBuilder {
                 });
             }
         }
-        FdRms::initialize(self, initial)
+        FdRms::initialize(&self, initial)
     }
 }
 

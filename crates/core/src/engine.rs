@@ -774,7 +774,7 @@ impl FdRms {
         };
         match op {
             Op::Insert(p) => {
-                self.insert_one(p)?;
+                self.insert_one(&p)?;
                 report.inserted = 1;
             }
             Op::Delete(id) => {
@@ -782,7 +782,7 @@ impl FdRms {
                 report.deleted = 1;
             }
             Op::Update(p) => {
-                if self.update_one(p)? {
+                if self.update_one(&p)? {
                     report.updated = 1;
                 } else {
                     report.noop_updates = 1;
@@ -919,7 +919,7 @@ mod tests {
     #[test]
     fn failed_batch_mutates_nothing() {
         let pts = random_points(7, 40, 2);
-        let mut fd = builder(2).build(pts.clone()).unwrap();
+        let mut fd = builder(2).build(pts).unwrap();
         let before_ids = fd.result_ids();
         let before_ops = fd.operations();
         // Fails on the last op: id 9999 is not live.
@@ -967,7 +967,7 @@ mod tests {
         // must yield the same error class regardless of verb: dimension
         // is checked first, on the batched and the single-op path alike.
         let pts = random_points(15, 30, 2);
-        let mut fd = builder(2).build(pts.clone()).unwrap();
+        let mut fd = builder(2).build(pts).unwrap();
         let dim_err = FdRmsError::DimensionMismatch {
             expected: 2,
             got: 3,
@@ -979,8 +979,8 @@ mod tests {
         for op in [
             Op::Insert(bad_unknown.clone()),
             Op::Insert(bad_live.clone()),
-            Op::Update(bad_unknown.clone()),
-            Op::Update(bad_live.clone()),
+            Op::Update(bad_unknown),
+            Op::Update(bad_live),
         ] {
             // Batched path (a companion op forces the multi-op route).
             assert_eq!(
@@ -1002,7 +1002,7 @@ mod tests {
     #[test]
     fn transient_tuples_are_normalised_away() {
         let pts = random_points(9, 50, 2);
-        let mut fd = builder(2).build(pts.clone()).unwrap();
+        let mut fd = builder(2).build(pts).unwrap();
         let report = fd
             .apply_batch(vec![
                 Op::Insert(Point::new_unchecked(100, vec![0.99, 0.99])),
@@ -1022,7 +1022,7 @@ mod tests {
     #[test]
     fn in_batch_delete_then_reinsert_is_an_update() {
         let pts = random_points(10, 50, 2);
-        let mut fd = builder(2).build(pts.clone()).unwrap();
+        let mut fd = builder(2).build(pts).unwrap();
         let report = fd
             .apply_batch(vec![
                 Op::Delete(3),
@@ -1104,7 +1104,7 @@ mod tests {
     #[test]
     fn report_counters_are_consistent() {
         let pts = random_points(17, 90, 3);
-        let mut fd = builder(3).build(pts.clone()).unwrap();
+        let mut fd = builder(3).build(pts).unwrap();
         let mut rng = StdRng::seed_from_u64(18);
         let ops: Vec<Op> = (0..40)
             .map(|i| {

@@ -55,7 +55,7 @@ impl Node {
     fn set_min_threshold(&mut self, v: f64) {
         match self {
             Node::Internal { min_threshold, .. } | Node::Leaf { min_threshold, .. } => {
-                *min_threshold = v
+                *min_threshold = v;
             }
         }
     }

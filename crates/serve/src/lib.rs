@@ -85,6 +85,7 @@ pub mod protocol;
 mod service;
 mod sharded;
 mod snapshot;
+pub mod sync;
 pub mod tcp;
 pub mod wal;
 

@@ -4,6 +4,7 @@
 
 use crate::backend::{BackendView, DeltaReceiver};
 use crate::snapshot::{ResultSnapshot, ServiceStats, SnapshotCell, SnapshotDelta};
+use crate::sync::recover_poisoned;
 use crate::wal::{Wal, WalSyncHandle};
 use fdrms::{FdRms, FdRmsBuilder, FdRmsError, Op};
 use rms_eval::RegretEstimator;
@@ -11,7 +12,7 @@ use rms_geom::Point;
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -35,7 +36,7 @@ pub(crate) enum Watcher {
 type WatcherRegistry = Arc<Mutex<Vec<Watcher>>>;
 
 /// Tuning knobs for [`RmsService`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Capacity of the bounded ingestion queue. A full queue blocks
     /// [`RmsHandle::submit`] (backpressure) until the applier drains.
@@ -199,6 +200,7 @@ impl RmsHandle {
                 Err(e) => {
                     self.state.fetch_sub(1, Ordering::SeqCst);
                     let Msg::Op(op) = e.0 else {
+                        // rms-analyze: allow(unwrap-nontest, "send() above only ever sends Msg::Op; the error returns that value")
                         unreachable!("handles only send ops")
                     };
                     Err(SubmitError::Disconnected(op))
@@ -211,7 +213,7 @@ impl RmsHandle {
         let frame = Wal::frame_op(&op);
         let mut msg = Msg::Op(op);
         loop {
-            let mut guard = wal.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut guard = recover_poisoned(wal.lock());
             match self.tx.try_send(msg) {
                 Ok(()) => {
                     append_logged(&mut guard, &frame);
@@ -221,6 +223,7 @@ impl RmsHandle {
                     drop(guard);
                     self.state.fetch_sub(1, Ordering::SeqCst);
                     let Msg::Op(op) = m else {
+                        // rms-analyze: allow(unwrap-nontest, "try_send() above only ever sends Msg::Op; the error returns that value")
                         unreachable!("handles only send ops")
                     };
                     return Err(SubmitError::Disconnected(op));
@@ -249,10 +252,7 @@ impl RmsHandle {
             return Err(SubmitError::Disconnected(op));
         }
         let frame = self.wal.as_ref().map(|_| Wal::frame_op(&op));
-        let mut guard = self
-            .wal
-            .as_ref()
-            .map(|wal| wal.lock().unwrap_or_else(PoisonError::into_inner));
+        let mut guard = self.wal.as_ref().map(|wal| recover_poisoned(wal.lock()));
         match self.tx.try_send(Msg::Op(op)) {
             Ok(()) => {
                 if let (Some(guard), Some(frame)) = (guard.as_mut(), frame) {
@@ -266,6 +266,7 @@ impl RmsHandle {
                 match e {
                     TrySendError::Full(Msg::Op(op)) => Err(SubmitError::Full(op)),
                     TrySendError::Disconnected(Msg::Op(op)) => Err(SubmitError::Disconnected(op)),
+                    // rms-analyze: allow(unwrap-nontest, "try_send() above only ever sends Msg::Op; the error returns that value")
                     _ => unreachable!("handles only send ops"),
                 }
             }
@@ -294,7 +295,7 @@ impl RmsHandle {
     /// Registers a watcher under the registry lock, so the base snapshot
     /// and the first notification line up gap-free.
     fn register_watcher(&self, watcher: Watcher) -> Arc<ResultSnapshot> {
-        let mut watchers = self.watchers.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut watchers = recover_poisoned(self.watchers.lock());
         let base = self.cell.load();
         // After shutdown the applier has already dropped every watcher;
         // registering would leak a never-closing stream. Dropping the
@@ -450,12 +451,9 @@ impl RmsService {
         // never contends with the submitters' enqueue+append mutex; if
         // duplication fails, syncs fall back to taking that mutex (safe —
         // submitters never hold it across a blocking wait — just slower).
-        let wal_sync = wal.as_ref().and_then(|w| {
-            w.lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .sync_handle()
-                .ok()
-        });
+        let wal_sync = wal
+            .as_ref()
+            .and_then(|w| recover_poisoned(w.lock()).sync_handle().ok());
         let applier = {
             let cell = Arc::clone(&cell);
             let state = Arc::clone(&state);
@@ -464,8 +462,19 @@ impl RmsService {
             std::thread::Builder::new()
                 .name("rms-applier".into())
                 .spawn(move || {
-                    applier_loop(fd, rx, cell, state, cfg, wal, wal_sync, watchers, stats)
+                    applier_loop(
+                        fd,
+                        &rx,
+                        &cell,
+                        &state,
+                        &cfg,
+                        wal.as_ref(),
+                        wal_sync.as_ref(),
+                        &watchers,
+                        stats,
+                    )
                 })
+                // rms-analyze: allow(unwrap-nontest, "thread-spawn failure at service construction is unrecoverable; fail fast")
                 .expect("spawn applier thread")
         };
         Self {
@@ -531,7 +540,9 @@ impl RmsService {
     /// failure), propagating that error.
     pub fn shutdown(mut self) -> FdRms {
         self.shutdown_inner()
+            // rms-analyze: allow(unwrap-nontest, "shutdown consumes self, so the applier handle is still present")
             .expect("applier taken only by shutdown")
+            // rms-analyze: allow(unwrap-nontest, "documented: shutdown() propagates an applier panic (engine invariant failure)")
             .expect("applier thread panicked")
     }
 
@@ -642,10 +653,10 @@ fn append_logged(wal: &mut Wal, frame: &[u8]) {
 
 /// Group commit: one `fdatasync` per coalesced batch, preferring the
 /// duplicated descriptor (no mutex) and falling back to locking the log.
-fn group_commit(wal: &Option<Arc<Mutex<Wal>>>, sync: &Option<WalSyncHandle>) {
+fn group_commit(wal: Option<&Arc<Mutex<Wal>>>, sync: Option<&WalSyncHandle>) {
     let result = match (sync, wal) {
         (Some(sync), _) => sync.sync(),
-        (None, Some(wal)) => wal.lock().unwrap_or_else(PoisonError::into_inner).sync(),
+        (None, Some(wal)) => recover_poisoned(wal.lock()).sync(),
         (None, None) => return,
     };
     if let Err(e) = result {
@@ -656,36 +667,33 @@ fn group_commit(wal: &Option<Arc<Mutex<Wal>>>, sync: &Option<WalSyncHandle>) {
 #[allow(clippy::too_many_arguments)]
 fn applier_loop(
     fd: FdRms,
-    rx: Receiver<Msg>,
-    cell: Arc<SnapshotCell>,
-    state: Arc<AtomicUsize>,
-    cfg: ServeConfig,
-    wal: Option<Arc<Mutex<Wal>>>,
-    wal_sync: Option<WalSyncHandle>,
-    watchers: WatcherRegistry,
+    rx: &Receiver<Msg>,
+    cell: &SnapshotCell,
+    state: &AtomicUsize,
+    cfg: &ServeConfig,
+    wal: Option<&Arc<Mutex<Wal>>>,
+    wal_sync: Option<&WalSyncHandle>,
+    watchers: &WatcherRegistry,
     stats: ServiceStats,
 ) -> FdRms {
-    let fd = applier_inner(fd, rx, cell, state, cfg, wal, wal_sync, &watchers, stats);
+    let fd = applier_inner(fd, rx, cell, state, cfg, wal, wal_sync, watchers, stats);
     // Dropping the senders closes every subscriber's delta stream; the
     // closed ingestion bit (set before any exit path reaches here, or
     // implied by every handle being gone) keeps late registrations
     // from registering into the cleared registry.
-    watchers
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .clear();
+    recover_poisoned(watchers.lock()).clear();
     fd
 }
 
 #[allow(clippy::too_many_arguments)]
 fn applier_inner(
     mut fd: FdRms,
-    rx: Receiver<Msg>,
-    cell: Arc<SnapshotCell>,
-    state: Arc<AtomicUsize>,
-    cfg: ServeConfig,
-    wal: Option<Arc<Mutex<Wal>>>,
-    wal_sync: Option<WalSyncHandle>,
+    rx: &Receiver<Msg>,
+    cell: &SnapshotCell,
+    state: &AtomicUsize,
+    cfg: &ServeConfig,
+    wal: Option<&Arc<Mutex<Wal>>>,
+    wal_sync: Option<&WalSyncHandle>,
     watchers: &WatcherRegistry,
     mut stats: ServiceStats,
 ) -> FdRms {
@@ -759,7 +767,7 @@ fn applier_inner(
             // possibly later ones — strictly more durability) reach
             // stable storage with one fdatasync per coalesced batch.
             if cfg.wal_fsync {
-                group_commit(&wal, &wal_sync);
+                group_commit(wal, wal_sync);
             }
         }
         if !ops.is_empty() || shutting_down {
@@ -776,7 +784,7 @@ fn applier_inner(
             // registry lock, atomically with any concurrent watcher
             // registration — so every subscriber's base snapshot meets
             // its first delta gap-free.
-            let mut registry = watchers.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut registry = recover_poisoned(watchers.lock());
             cell.store(Arc::clone(&snap));
             if !registry.is_empty() {
                 // The O(r) diff + clone runs only when someone actually
@@ -786,14 +794,21 @@ fn applier_inner(
                     .iter()
                     .any(|w| matches!(w, Watcher::Full(_)))
                     .then(|| snap.delta_from(&prev));
-                registry.retain(|watcher| match watcher {
-                    Watcher::Full(tx) => {
-                        let delta = delta
-                            .as_ref()
-                            .expect("computed while a Full watcher exists");
+                registry.retain(|watcher| match (watcher, &delta) {
+                    // Watcher channels are unbounded, so these sends
+                    // under the registry lock never block.
+                    (Watcher::Full(tx), Some(delta)) => {
+                        // rms-analyze: allow(guard-across-blocking, "unbounded channel: send enqueues without blocking")
                         tx.send(delta.clone()).is_ok()
                     }
-                    Watcher::Signal(tx) => tx.send(()).is_ok(),
+                    // Unreachable (the delta is computed whenever a Full
+                    // watcher exists); dropping the watcher beats
+                    // panicking the applier.
+                    (Watcher::Full(_), None) => false,
+                    (Watcher::Signal(tx), _) => {
+                        // rms-analyze: allow(guard-across-blocking, "unbounded channel: send enqueues without blocking")
+                        tx.send(()).is_ok()
+                    }
                 });
             }
             drop(registry);
@@ -807,8 +822,8 @@ fn applier_inner(
     // bounding its size and making the next start replay-free. (IO
     // failure leaves the op log intact — recovery still works, the log
     // is merely uncompacted.)
-    if let Some(wal) = &wal {
-        let mut wal = wal.lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(wal) = wal {
+        let mut wal = recover_poisoned(wal.lock());
         if let Err(e) = wal.checkpoint(&fd.live_points()) {
             eprintln!("rms-serve: WAL compaction failed: {e}");
         }

@@ -18,13 +18,14 @@
 use crate::backend::{BackendView, DeltaReceiver};
 use crate::service::{RmsService, ServeConfig, ServeError, SubmitError};
 use crate::snapshot::{diff_results, ResultSnapshot, ServiceStats, SnapshotDelta, StatsDelta};
+use crate::sync::recover_poisoned;
 use fdrms::{FdRms, FdRmsBuilder, Op};
 use rms_baselines::{GreedyStar, StaticRms};
 use rms_geom::Point;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 /// Utility-vector samples for the aggregate re-trim. The union being
 /// trimmed holds at most `S·r` tuples, so the sampled greedy is cheap;
@@ -168,7 +169,7 @@ struct Merger {
 
 impl Merger {
     fn snapshot(&self, shards: &[crate::RmsHandle]) -> Arc<AggregateSnapshot> {
-        let mut guard = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = recover_poisoned(self.cache.lock());
         let snaps: Vec<Arc<ResultSnapshot>> = shards.iter().map(|h| h.snapshot()).collect();
         if let Some(cached) = guard.as_ref() {
             if snaps.iter().zip(&cached.epochs).all(|(s, &e)| s.epoch == e) {
@@ -399,16 +400,11 @@ impl ShardedRmsService {
         let mut services = Vec::with_capacity(shards);
         for (i, part) in partitions.into_iter().enumerate() {
             let service = match wal_base {
-                None => RmsService::start(builder.clone(), part, cfg.clone())?,
+                None => RmsService::start(builder, part, cfg)?,
                 Some(base) => {
                     let mut path = base.as_os_str().to_os_string();
                     path.push(format!(".{i}"));
-                    RmsService::start_with_wal(
-                        builder.clone(),
-                        part,
-                        cfg.clone(),
-                        &PathBuf::from(path),
-                    )?
+                    RmsService::start_with_wal(builder, part, cfg, &PathBuf::from(path))?
                 }
             };
             services.push(service);

@@ -2,10 +2,11 @@
 //! them, and the [`SnapshotDelta`]s computed at publish time for
 //! push-subscribed watchers.
 
+use crate::sync::recover_poisoned;
 use fdrms::BatchRollup;
 use rms_geom::{Point, PointId};
 use std::collections::BTreeMap;
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, RwLock};
 
 /// Aggregate service instrumentation carried on every snapshot.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -377,15 +378,12 @@ impl SnapshotCell {
 
     /// The most recently published snapshot.
     pub(crate) fn load(&self) -> Arc<ResultSnapshot> {
-        self.slot
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        recover_poisoned(self.slot.read()).clone()
     }
 
     /// Publishes a new snapshot. Takes the `Arc` so the applier can keep
     /// a reference for publish-time delta computation.
     pub(crate) fn store(&self, snapshot: Arc<ResultSnapshot>) {
-        *self.slot.write().unwrap_or_else(PoisonError::into_inner) = snapshot;
+        *recover_poisoned(self.slot.write()) = snapshot;
     }
 }

@@ -95,7 +95,7 @@ impl<B: RmsBackend> RmsServer<B> {
             // shutdown every submit they attempt fails cleanly.
             let _ = std::thread::Builder::new()
                 .name("rms-conn".into())
-                .spawn(move || handle_connection(stream, handle, info, flag, addr));
+                .spawn(move || handle_connection(stream, &handle, info, &flag, addr));
         }
         Ok(self.backend.shutdown())
     }
@@ -118,9 +118,9 @@ enum Step {
 
 fn handle_connection<H: RmsBackendHandle>(
     stream: TcpStream,
-    handle: H,
+    handle: &H,
     info: ServerInfo,
-    shutdown: Arc<AtomicBool>,
+    shutdown: &AtomicBool,
     addr: SocketAddr,
 ) {
     let _ = stream.set_nodelay(true);
@@ -179,11 +179,11 @@ fn handle_connection<H: RmsBackendHandle>(
                 Err(e) => format!("ERR {e}"),
             }),
             Ok(Request::Query) => Step::Reply(format_query(&handle.view())),
-            Ok(Request::Stats) => Step::Reply(format_stats(&handle)),
+            Ok(Request::Stats) => Step::Reply(format_stats(handle)),
             Ok(Request::Batch(_)) if version < 2 => {
                 Step::Reply("ERR BATCH requires protocol v2 (send HELLO v2 first)".into())
             }
-            Ok(Request::Batch(n)) => read_batch(&mut reader, &handle, info.dim, n),
+            Ok(Request::Batch(n)) => read_batch(&mut reader, handle, info.dim, n),
             Ok(Request::Subscribe { .. }) if version < 2 => {
                 Step::Reply("ERR SUBSCRIBE requires protocol v2 (send HELLO v2 first)".into())
             }
@@ -216,7 +216,7 @@ fn handle_connection<H: RmsBackendHandle>(
                 return;
             }
             Step::Subscribe { every } => {
-                run_subscription(&mut writer, &handle, every);
+                run_subscription(&mut writer, handle, every);
                 return;
             }
         }

@@ -287,20 +287,34 @@ fn encode_point(p: &Point) -> Vec<u8> {
     buf
 }
 
+/// Reads a little-endian `u32` at `at`, `None` past the end — the
+/// fallible primitive all decode paths are built on, so a torn or
+/// corrupt record can never panic the replay.
+fn le_u32(buf: &[u8], at: usize) -> Option<u32> {
+    buf.get(at..)?
+        .first_chunk::<4>()
+        .map(|b| u32::from_le_bytes(*b))
+}
+
+/// Reads a little-endian `u64` at `at`, `None` past the end.
+fn le_u64(buf: &[u8], at: usize) -> Option<u64> {
+    buf.get(at..)?
+        .first_chunk::<8>()
+        .map(|b| u64::from_le_bytes(*b))
+}
+
 fn decode_point(payload: &[u8]) -> Option<Point> {
-    if payload.len() < 12 {
+    let id = le_u64(payload, 0)?;
+    let d = le_u32(payload, 8)? as usize;
+    let mut rest = payload.get(12..)?;
+    if rest.len() != d.checked_mul(8)? {
         return None;
     }
-    let id = u64::from_le_bytes(payload[..8].try_into().ok()?);
-    let d = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
-    let coords_raw = &payload[12..];
-    if coords_raw.len() != d * 8 {
-        return None;
+    let mut coords = Vec::with_capacity(d);
+    while let Some((c, tail)) = rest.split_first_chunk::<8>() {
+        coords.push(f64::from_le_bytes(*c));
+        rest = tail;
     }
-    let coords: Vec<f64> = coords_raw
-        .chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
-        .collect();
     Some(Point::new_unchecked(id, coords))
 }
 
@@ -311,10 +325,7 @@ fn scan(raw: &[u8]) -> io::Result<(WalReplay, u64)> {
     if raw.is_empty() {
         return Ok((WalReplay::default(), 0));
     }
-    if raw.len() < HEADER_LEN
-        || u32::from_le_bytes(raw[..4].try_into().expect("4 bytes")) != MAGIC
-        || u32::from_le_bytes(raw[4..8].try_into().expect("4 bytes")) != VERSION
-    {
+    if raw.len() < HEADER_LEN || le_u32(raw, 0) != Some(MAGIC) || le_u32(raw, 4) != Some(VERSION) {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "not a KRMS write-ahead log (refusing to overwrite)",
@@ -336,14 +347,14 @@ fn parse_record(buf: &[u8], replay: &mut WalReplay) -> Option<usize> {
     if buf.len() < FRAME_OVERHEAD {
         return None;
     }
-    let tag = buf[0];
-    let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes")) as usize;
+    let tag = *buf.first()?;
+    let len = le_u32(buf, 1)? as usize;
     let total = FRAME_OVERHEAD.checked_add(len)?;
     if buf.len() < total {
         return None;
     }
-    let payload = &buf[5..5 + len];
-    let stored = u64::from_le_bytes(buf[5 + len..total].try_into().expect("8 bytes"));
+    let payload = buf.get(5..5 + len)?;
+    let stored = le_u64(buf, 5 + len)?;
     if record_hash(tag, payload) != stored {
         return None;
     }
@@ -354,9 +365,7 @@ fn parse_record(buf: &[u8], replay: &mut WalReplay) -> Option<usize> {
             if payload.len() != 8 {
                 return None;
             }
-            replay.ops.push(Op::Delete(u64::from_le_bytes(
-                payload.try_into().expect("8 bytes"),
-            )));
+            replay.ops.push(Op::Delete(le_u64(payload, 0)?));
         }
         TAG_CHECKPOINT => {
             let points = rms_data::cache::decode(payload).ok()?;

@@ -165,8 +165,7 @@ fn graceful_shutdown_compacts_to_a_checkpoint() {
     let ops = random_ops(6, &initial, 120, d);
 
     let service =
-        RmsService::start_with_wal(builder(d), initial.clone(), ServeConfig::default(), &path)
-            .unwrap();
+        RmsService::start_with_wal(builder(d), initial, ServeConfig::default(), &path).unwrap();
     for op in ops {
         service.submit(op).unwrap();
     }

@@ -14,7 +14,9 @@ PORT=${KRMS_SMOKE_PORT:-17878}
 TMP=$(mktemp -d)
 SERVE_PID=""
 cleanup() {
-    [ -n "$SERVE_PID" ] && kill "$SERVE_PID" 2>/dev/null || true
+    if [ -n "$SERVE_PID" ]; then
+        kill "$SERVE_PID" 2>/dev/null || true
+    fi
     rm -rf "$TMP"
 }
 trap cleanup EXIT
@@ -91,7 +93,7 @@ SERVE_PID=""
 grep -q "shut down after" "$TMP/serve.log" || fail "missing drain summary"
 
 # ...and graceful shutdown compacts the per-shard write-ahead logs.
-[ -f "$TMP/ops.wal.0" ] && [ -f "$TMP/ops.wal.1" ] || fail "per-shard WALs missing"
+{ [ -f "$TMP/ops.wal.0" ] && [ -f "$TMP/ops.wal.1" ]; } || fail "per-shard WALs missing"
 
 # A restart from the compacted logs recovers the state (n = 402) without
 # a living writer.

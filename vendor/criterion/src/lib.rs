@@ -123,6 +123,9 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Registers a benchmark parameterised by `input`.
+    // Signature mirrors the real criterion API (id by value), so callers
+    // port unchanged when swapping in the registry crate.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
     where
         I: ?Sized,
