@@ -1,7 +1,8 @@
 //! `rms-analyze` — project-specific static analysis for the krms
 //! workspace: a hand-rolled lexer (no full AST, no dependencies) plus
-//! four lint rules encoding the concurrency and wire-protocol invariants
-//! this codebase has historically broken in review-invisible ways.
+//! five lint rules encoding the concurrency, wire-protocol, and memory-
+//! layout invariants this codebase has historically broken in
+//! review-invisible ways.
 //!
 //! Rules:
 //!
@@ -11,6 +12,7 @@
 //! | `unwrap-nontest` | no `.unwrap()`/`.expect(…)`/`panic!`-family in non-test serve/client code |
 //! | `wire-grammar` | the verb/`OK`/`ERR`/`DELTA` vocabulary of `crates/serve` protocol files and `rms-client` must match exactly |
 //! | `lock-poison-policy` | `lock()`/`read()`/`write()` results go through `recover_poisoned`, not ad-hoc unwraps |
+//! | `index-no-box-node` | no per-node `Box` allocations in `crates/index/src` — the trees stay flat struct-of-arrays |
 //!
 //! Any finding can be suppressed in place with
 //! `// rms-analyze: allow(<rule-id>, "<reason>")` — on the offending
@@ -26,7 +28,9 @@ use rules::Finding;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-pub use rules::{ALL_RULES, RULE_GUARD, RULE_POISON, RULE_PRAGMA, RULE_UNWRAP, RULE_WIRE};
+pub use rules::{
+    ALL_RULES, RULE_BOXNODE, RULE_GUARD, RULE_POISON, RULE_PRAGMA, RULE_UNWRAP, RULE_WIRE,
+};
 
 /// The outcome of an analysis run.
 #[derive(Debug, Default)]
@@ -138,6 +142,8 @@ fn rule_applies(rule: &'static str, rel: &Path) -> bool {
         rules::RULE_UNWRAP => in_serve_src || in_client_src,
         // Everything scanned must follow the one poison policy.
         rules::RULE_POISON => true,
+        // The flat-layout guarantee is an index-crate invariant.
+        rules::RULE_BOXNODE => rel.starts_with("crates/index/src"),
         // R3 is cross-file; handled separately in `analyze`.
         rules::RULE_WIRE => false,
         _ => false,
@@ -264,6 +270,7 @@ fn run_rule(rule: &'static str, path: &Path, toks: &[Token]) -> Vec<Finding> {
         rules::RULE_GUARD => rules::guard_across_blocking(path, toks),
         rules::RULE_UNWRAP => rules::unwrap_nontest(path, toks),
         rules::RULE_POISON => rules::lock_poison_policy(path, toks),
+        rules::RULE_BOXNODE => rules::index_no_box_node(path, toks),
         _ => Vec::new(),
     }
 }

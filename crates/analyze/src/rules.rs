@@ -45,12 +45,20 @@ pub const RULE_UNWRAP: &str = "unwrap-nontest";
 pub const RULE_WIRE: &str = "wire-grammar";
 /// Rule id for [`lock_poison_policy`].
 pub const RULE_POISON: &str = "lock-poison-policy";
+/// Rule id for [`index_no_box_node`].
+pub const RULE_BOXNODE: &str = "index-no-box-node";
 /// Pseudo-rule id for pragma hygiene findings (malformed, unknown rule,
 /// unused) — not allowable by pragma, on purpose.
 pub const RULE_PRAGMA: &str = "pragma";
 
 /// Every real (pragma-allowable) rule id.
-pub const ALL_RULES: &[&str] = &[RULE_GUARD, RULE_UNWRAP, RULE_WIRE, RULE_POISON];
+pub const ALL_RULES: &[&str] = &[
+    RULE_GUARD,
+    RULE_UNWRAP,
+    RULE_WIRE,
+    RULE_POISON,
+    RULE_BOXNODE,
+];
 
 /// Method/function names whose calls block (or may block arbitrarily
 /// long): channel sends/receives, fsyncs, socket accepts, buffered IO,
@@ -345,6 +353,45 @@ pub fn lock_poison_policy(file: &Path, toks: &[Token]) -> Vec<Finding> {
                 }
             }
         }
+    }
+    findings
+}
+
+/// **R5 — `index-no-box-node`.** The index trees (`crates/index/src`)
+/// are flat struct-of-arrays structures: nodes live in contiguous `Vec`s
+/// addressed by index, never behind per-node heap allocations. Any
+/// `Box<…>` or `Box::new(…)` in non-test index code reintroduces the
+/// pointer-chasing layout the flat refactor removed, so it is flagged.
+pub fn index_no_box_node(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let Tok::Ident(name) = &t.tok else { continue };
+        if name != "Box" {
+            continue;
+        }
+        // `Box<…>` (a boxed field or alias) or `Box::new(…)` (an
+        // allocation); a bare `Box` ident in any other position is not
+        // a layout decision.
+        let usage = if punct(toks.get(i + 1), '<') {
+            "Box<…>"
+        } else if punct(toks.get(i + 1), ':') && punct(toks.get(i + 2), ':') {
+            "Box::…"
+        } else {
+            continue;
+        };
+        findings.push(Finding {
+            file: file.to_path_buf(),
+            line: t.line,
+            rule: RULE_BOXNODE,
+            msg: format!(
+                "`{usage}` in index code; the trees are flat struct-of-arrays layouts — \
+                 store nodes in contiguous `Vec`s addressed by index (or justify with \
+                 `// rms-analyze: allow({RULE_BOXNODE}, \"…\")`)"
+            ),
+        });
     }
     findings
 }

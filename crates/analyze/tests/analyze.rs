@@ -129,6 +129,25 @@ fn r4_lock_poison_policy() {
 }
 
 #[test]
+fn r5_index_no_box_node() {
+    let out = run(&[&fixture("r5_violating.rs")]);
+    assert!(!out.status.success());
+    assert_eq!(
+        count_rule(&out, "index-no-box-node"),
+        3,
+        "expected the boxed field, boxed child, and Box::new:\n{}",
+        stdout(&out)
+    );
+
+    let out = run(&[&fixture("r5_clean.rs")]);
+    assert!(
+        out.status.success(),
+        "clean fixture flagged:\n{}",
+        stdout(&out)
+    );
+}
+
+#[test]
 fn pragmas_suppress_with_reason() {
     let out = run(&[&fixture("pragma_suppressed.rs")]);
     assert!(

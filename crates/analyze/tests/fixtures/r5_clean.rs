@@ -1,0 +1,27 @@
+// Fixture: flat struct-of-arrays tree layout — nodes in contiguous
+// vectors addressed by index, no per-node heap allocations.
+// Expected findings: none.
+
+const NO_CHILD: u32 = u32::MAX;
+
+struct Node {
+    split_val: f64,
+    left: u32,
+    right: u32,
+}
+
+struct Tree {
+    nodes: Vec<Node>,
+    bounds: Vec<f64>,
+    coords: Vec<f64>,
+}
+
+impl Tree {
+    fn is_leaf(&self, n: usize) -> bool {
+        self.nodes[n].left == NO_CHILD
+    }
+
+    fn bound_row(&self, n: usize, dim: usize) -> &[f64] {
+        &self.bounds[n * dim..(n + 1) * dim]
+    }
+}

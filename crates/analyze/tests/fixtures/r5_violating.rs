@@ -1,0 +1,29 @@
+// Fixture: per-node heap allocations in index-style tree code.
+// Expected findings: 3 (the boxed field, the boxed slice alias, the
+// Box::new allocation).
+
+enum Node {
+    Internal {
+        hi: Box<[f64]>,
+        left: Box<Node>,
+    },
+    Leaf {
+        points: Vec<f64>,
+    },
+}
+
+fn grow(n: Node) -> Node {
+    Node::Internal {
+        hi: vec![0.0].into_boxed_slice(),
+        left: Box::new(n),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_box() {
+        let b: Box<u32> = Box::new(7);
+        assert_eq!(*b, 7);
+    }
+}

@@ -11,9 +11,11 @@
 //! ```sh
 //! cargo run --release -p rms-bench --bin batch -- \
 //!     [--n N] [--d D] [--r R] [--ops N] [--eps E] [--max-m M] [--threads T]
+//!     [--json PATH]   (emit a machine-readable per-phase report)
 //! ```
 
 use rand::{rngs::StdRng, SeedableRng};
+use rms_bench::report::{write_json, JsonArray, JsonObject};
 use rms_data::{generators, mixed_workload, MixedConfig, Operation};
 use rms_eval::{RegretEstimator, Stopwatch};
 
@@ -56,6 +58,7 @@ fn main() {
         "--threads",
         std::thread::available_parallelism().map_or(1, |p| p.get()),
     );
+    let json_path: String = flag("--json", String::new());
     println!("batch engine throughput — n={n}, d={d}, k={k}, r={r}, ops={ops}, eps={eps}, max_m={max_m}, threads={threads}");
 
     let mut rng = StdRng::seed_from_u64(42);
@@ -93,13 +96,25 @@ fn main() {
     let seq_ms = sw.elapsed_ms();
     let seq_stats = fd.stats();
     let total_ops = workload.operations.len() as f64;
+    let seq_mrr = est.mrr(&live, &fd.result(), 1);
+    let mut phases = JsonArray::new();
+    phases.push(
+        &JsonObject::new()
+            .str("phase", "sequential")
+            .int("batch", 1)
+            .num("total_ms", seq_ms)
+            .num("ops_per_s", total_ops * 1_000.0 / seq_ms)
+            .num("speedup", 1.0)
+            .num("mrr", seq_mrr)
+            .finish(),
+    );
     println!(
         "sequential   {:>5}   {:>8.1}   {:>10.0}   {:>6.2}x   {:.4}",
         1,
         seq_ms,
         total_ops * 1_000.0 / seq_ms,
         1.0,
-        est.mrr(&live, &fd.result(), 1)
+        seq_mrr
     );
     eprintln!(
         "  [sequential: affected={}, requeries={}, stabilize_moves={}]",
@@ -124,17 +139,47 @@ fn main() {
             requeried += rep.requeried_utilities;
         }
         let ms = sw.elapsed_ms();
+        let mrr = est.mrr(&live, &fd.result(), 1);
+        phases.push(
+            &JsonObject::new()
+                .str("phase", "batched")
+                .int("batch", batch as u64)
+                .num("total_ms", ms)
+                .num("ops_per_s", total_ops * 1_000.0 / ms)
+                .num("speedup", seq_ms / ms)
+                .num("mrr", mrr)
+                .finish(),
+        );
         println!(
             "batched      {:>5}   {:>8.1}   {:>10.0}   {:>6.2}x   {:.4}",
             batch,
             ms,
             total_ops * 1_000.0 / ms,
             seq_ms / ms,
-            est.mrr(&live, &fd.result(), 1)
+            mrr
         );
         eprintln!(
             "  [batched {batch}: affected={affected}, requeries={requeried}, stabilize_moves={}]",
             fd.stabilize_moves()
         );
+    }
+
+    if !json_path.is_empty() {
+        let params = JsonObject::new()
+            .int("n", n as u64)
+            .int("d", d as u64)
+            .int("k", k as u64)
+            .int("r", r as u64)
+            .int("ops", ops as u64)
+            .num("eps", eps)
+            .int("max_m", max_m as u64)
+            .int("threads", threads as u64)
+            .finish();
+        let doc = JsonObject::new()
+            .str("bench", "batch")
+            .raw("params", &params)
+            .raw("phases", &phases.finish())
+            .finish();
+        write_json(std::path::Path::new(&json_path), &doc);
     }
 }

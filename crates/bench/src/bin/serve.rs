@@ -39,6 +39,8 @@
 //!     [--shards S]                              (0 disables the sharded phase)
 //!     [--wire-batch B]                          (tcp phase batch size; 0 disables
 //!                                                the tcp phase)
+//!     [--json PATH]                             (emit a machine-readable
+//!                                                per-phase report)
 //! ```
 //!
 //! Set `KRMS_BENCH_SMOKE=1` (as CI does) for a sub-second configuration
@@ -46,6 +48,7 @@
 
 use fdrms::{FdRms, Op};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use rms_bench::report::{write_json, JsonArray, JsonObject};
 use rms_client::{ClientOp, RmsClient};
 use rms_data::generators;
 use rms_eval::RegretEstimator;
@@ -245,6 +248,21 @@ fn report(name: &str, o: &PhaseOutcome) {
         o.mrr,
         o.detail
     );
+}
+
+/// The same phase row, as a JSON fragment for `--json`.
+fn phase_json(name: &str, o: &PhaseOutcome) -> String {
+    JsonObject::new()
+        .str("phase", name)
+        .int("ops_applied", o.ops_applied)
+        .num("writes_per_s", o.ops_applied as f64 / o.secs)
+        .num("reads_per_s", o.reads.queries as f64 / o.secs)
+        .num("read_mean_us", o.reads.mean_us())
+        .num("read_p50_us", o.reads.quantile_us(0.50))
+        .num("read_p99_us", o.reads.quantile_us(0.99))
+        .num("read_p999_us", o.reads.quantile_us(0.999))
+        .num("mrr", o.mrr)
+        .finish()
 }
 
 /// In-process service discipline, generic over the backend: the single
@@ -532,6 +550,7 @@ fn main() {
     // applier on small hosts; `--read-qps 0` makes readers spin flat out
     // to measure raw snapshot throughput instead.
     let read_qps: u64 = flag("--read-qps", 2_000u64);
+    let json_path: String = flag("--json", String::new());
     let pace = if read_qps == 0 {
         Duration::ZERO
     } else {
@@ -561,8 +580,10 @@ fn main() {
         pace,
         window,
     };
+    let mut phases = JsonArray::new();
     let blocking = run_blocking(&initial, scenario, &est);
     report("blocking", &blocking);
+    phases.push(&phase_json("blocking", &blocking));
     let service = run_backend(
         &initial,
         scenario,
@@ -571,6 +592,7 @@ fn main() {
         &est,
     );
     report("service", &service);
+    phases.push(&phase_json("service", &service));
     let sharded = (shards > 1).then(|| {
         let backend = ShardedRmsService::start(
             scenario.builder(),
@@ -583,9 +605,36 @@ fn main() {
         report("sharded", &outcome);
         outcome
     });
+    if let Some(sharded) = &sharded {
+        phases.push(&phase_json("sharded", sharded));
+    }
     if wire_batch > 0 {
         let tcp = run_tcp(&initial, scenario, wire_batch, &est);
         report("tcp", &tcp);
+        phases.push(&phase_json("tcp", &tcp));
+    }
+
+    if !json_path.is_empty() {
+        let params = JsonObject::new()
+            .int("n", n as u64)
+            .int("d", d as u64)
+            .int("k", k as u64)
+            .int("r", r as u64)
+            .num("eps", eps)
+            .int("max_m", max_m as u64)
+            .int("readers", readers as u64)
+            .int("shards", shards as u64)
+            .int("wire_batch", wire_batch as u64)
+            .int("read_qps", read_qps)
+            .num("secs", secs)
+            .raw("smoke", if smoke { "true" } else { "false" })
+            .finish();
+        let doc = JsonObject::new()
+            .str("bench", "serve")
+            .raw("params", &params)
+            .raw("phases", &phases.finish())
+            .finish();
+        write_json(std::path::Path::new(&json_path), &doc);
     }
 
     if blocking.reads.queries > 0 && service.reads.queries > 0 {

@@ -1,0 +1,164 @@
+//! Minimal machine-readable report emission for the perf-gating benches.
+//!
+//! The `batch` and `serve` binaries accept `--json PATH` and write one
+//! JSON object each (per-phase throughput, latency quantiles where the
+//! phase has readers, and mrr). `scripts/bench_report.sh` assembles those
+//! fragments into the checked-in `BENCH_7.json` that perf PRs diff
+//! against. Hand-rolled writer: the workspace deliberately carries no
+//! JSON dependency, and the schema is flat enough that a tiny builder is
+//! clearer than a serializer.
+
+use std::fmt::Write as _;
+
+/// Formats an `f64` as a JSON number; non-finite values become `null`
+/// (JSON has no NaN/Infinity).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes a string for a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Incremental JSON object builder.
+#[derive(Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(&json_str(key));
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, v: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(&json_str(v));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, v: u64) -> Self {
+        self.key(key);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn num(mut self, key: &str, v: f64) -> Self {
+        self.key(key);
+        self.buf.push_str(&json_f64(v));
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (nested object or array).
+    pub fn raw(mut self, key: &str, v: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Incremental JSON array builder over pre-rendered values.
+#[derive(Default)]
+pub struct JsonArray {
+    buf: String,
+}
+
+impl JsonArray {
+    /// Starts an empty array.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a pre-rendered JSON value.
+    pub fn push(&mut self, v: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push_str(v);
+    }
+
+    /// Renders the array.
+    pub fn finish(self) -> String {
+        format!("[{}]", self.buf)
+    }
+}
+
+/// Writes a rendered JSON document to `path` (with a trailing newline),
+/// creating parent directories as needed.
+pub fn write_json(path: &std::path::Path, doc: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+    }
+    std::fs::write(path, format!("{doc}\n")).expect("write json report");
+    eprintln!("wrote {}", path.display());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_and_array_render_valid_json() {
+        let mut arr = JsonArray::new();
+        arr.push(&JsonObject::new().str("phase", "a").num("x", 1.5).finish());
+        arr.push(&JsonObject::new().int("n", 7).finish());
+        let doc = JsonObject::new()
+            .str("bench", "batch")
+            .raw("phases", &arr.finish())
+            .finish();
+        assert_eq!(
+            doc,
+            r#"{"bench":"batch","phases":[{"phase":"a","x":1.5},{"n":7}]}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_and_escapes() {
+        let doc = JsonObject::new()
+            .num("nan", f64::NAN)
+            .num("inf", f64::INFINITY)
+            .str("s", "a\"b\\c\nd")
+            .finish();
+        assert_eq!(doc, r#"{"nan":null,"inf":null,"s":"a\"b\\c\nd"}"#);
+    }
+}

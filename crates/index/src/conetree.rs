@@ -15,56 +15,26 @@
 //! where `c` is the cone's unit centre and `φ` its half-angle. A subtree
 //! can be skipped when this bound is below the *minimum* threshold stored
 //! in the subtree.
+//!
+//! The tree is stored as parallel flat arrays (struct-of-arrays): cone
+//! centres pack into one `f64` array at `node·dim`, scalar node fields
+//! into their own `Vec`s, and leaf membership into a single member-order
+//! block whose utility weights and thresholds are duplicated contiguously
+//! (`packed_weights` / `packed_thresholds`) so a leaf scan is one
+//! straight-line sweep with no per-member indirection. Parents always
+//! precede their children in node order, which is what lets
+//! [`ConeTree::set_thresholds`] repair every subtree minimum in a single
+//! reverse pass.
 
+use crate::kernels::dot;
 use rms_geom::{Point, Utility};
 
 /// Leaf capacity of the cone tree.
 const LEAF_CAPACITY: usize = 16;
 
-#[derive(Debug, Clone)]
-enum Node {
-    Internal {
-        /// Unit-norm centre of the cone.
-        center: Box<[f64]>,
-        /// cos of the cone half-angle (cosine is cheaper than the angle).
-        cos_half_angle: f64,
-        /// Minimum threshold over the subtree's vectors.
-        min_threshold: f64,
-        left: usize,
-        right: usize,
-        parent: Option<usize>,
-    },
-    Leaf {
-        center: Box<[f64]>,
-        cos_half_angle: f64,
-        min_threshold: f64,
-        /// Indices into the utility pool.
-        members: Vec<usize>,
-        parent: Option<usize>,
-    },
-}
-
-impl Node {
-    fn min_threshold(&self) -> f64 {
-        match self {
-            Node::Internal { min_threshold, .. } | Node::Leaf { min_threshold, .. } => {
-                *min_threshold
-            }
-        }
-    }
-    fn set_min_threshold(&mut self, v: f64) {
-        match self {
-            Node::Internal { min_threshold, .. } | Node::Leaf { min_threshold, .. } => {
-                *min_threshold = v;
-            }
-        }
-    }
-    fn parent(&self) -> Option<usize> {
-        match self {
-            Node::Internal { parent, .. } | Node::Leaf { parent, .. } => *parent,
-        }
-    }
-}
+/// Node-index sentinel: marks a leaf (in `left`/`right`) or the root (in
+/// `parent`).
+const NO_NODE: u32 = u32::MAX;
 
 /// A cone tree over a fixed pool of utility vectors with per-vector
 /// thresholds.
@@ -72,9 +42,33 @@ impl Node {
 pub struct ConeTree {
     utilities: Vec<Utility>,
     thresholds: Vec<f64>,
+    dim: usize,
     /// Leaf node holding each utility.
     leaf_of: Vec<usize>,
-    nodes: Vec<Node>,
+    /// Packed member slot of each utility (index into `members` /
+    /// `packed_weights` / `packed_thresholds`).
+    slot_of: Vec<usize>,
+    // Per-node arrays, indexed by node id. Parents precede children.
+    /// Unit-norm cone centres, packed at `node·dim .. (node+1)·dim`.
+    centers: Vec<f64>,
+    /// cos of each cone's half-angle (cosine is cheaper than the angle).
+    cos_half: Vec<f64>,
+    /// Minimum threshold over each subtree's vectors.
+    min_threshold: Vec<f64>,
+    /// Child indices; `left == NO_NODE` marks a leaf.
+    left: Vec<u32>,
+    right: Vec<u32>,
+    /// Parent index; `NO_NODE` at the root.
+    parent: Vec<u32>,
+    /// Leaf member range `member_start[n] .. member_start[n] + member_len[n]`
+    /// into the packed member block (empty for internal nodes).
+    member_start: Vec<u32>,
+    member_len: Vec<u32>,
+    // Leaf payload in member order: utility indices plus their weights and
+    // thresholds duplicated contiguously for the scan kernel.
+    members: Vec<u32>,
+    packed_weights: Vec<f64>,
+    packed_thresholds: Vec<f64>,
     root: usize,
 }
 
@@ -90,22 +84,28 @@ impl ConeTree {
             utilities.iter().all(|u| u.dim() == d),
             "mixed dimensionality"
         );
+        let m = utilities.len();
         let mut tree = Self {
-            thresholds: vec![f64::INFINITY; utilities.len()],
-            leaf_of: vec![usize::MAX; utilities.len()],
+            thresholds: vec![f64::INFINITY; m],
+            dim: d,
+            leaf_of: vec![usize::MAX; m],
+            slot_of: vec![usize::MAX; m],
             utilities,
-            nodes: Vec::new(),
+            centers: Vec::new(),
+            cos_half: Vec::new(),
+            min_threshold: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            parent: Vec::new(),
+            member_start: Vec::new(),
+            member_len: Vec::new(),
+            members: Vec::with_capacity(m),
+            packed_weights: Vec::with_capacity(m * d),
+            packed_thresholds: Vec::with_capacity(m),
             root: 0,
         };
-        let all: Vec<usize> = (0..tree.utilities.len()).collect();
-        tree.root = tree.build_rec(all, None);
-        for (idx, node) in tree.nodes.iter().enumerate() {
-            if let Node::Leaf { members, .. } = node {
-                for &m in members {
-                    tree.leaf_of[m] = idx;
-                }
-            }
-        }
+        let all: Vec<usize> = (0..m).collect();
+        tree.root = tree.build_rec(all, NO_NODE);
         tree
     }
 
@@ -129,17 +129,71 @@ impl ConeTree {
         self.thresholds[idx]
     }
 
-    fn build_rec(&mut self, members: Vec<usize>, parent: Option<usize>) -> usize {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.left.len()
+    }
+
+    #[inline]
+    fn is_leaf(&self, n: usize) -> bool {
+        self.left[n] == NO_NODE
+    }
+
+    #[inline]
+    fn center_of(&self, n: usize) -> &[f64] {
+        &self.centers[n * self.dim..(n + 1) * self.dim]
+    }
+
+    #[inline]
+    fn member_range(&self, n: usize) -> std::ops::Range<usize> {
+        let start = self.member_start[n] as usize;
+        start..start + self.member_len[n] as usize
+    }
+
+    /// Minimum packed threshold over a leaf's member block.
+    #[inline]
+    fn leaf_min(&self, n: usize) -> f64 {
+        self.packed_thresholds[self.member_range(n)]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Appends a node with empty children/members and returns its index.
+    fn push_node(&mut self, center: &[f64], cos_half: f64, parent: u32) -> usize {
+        let idx = self.num_nodes();
+        self.centers.extend_from_slice(center);
+        self.cos_half.push(cos_half);
+        self.min_threshold.push(f64::INFINITY);
+        self.left.push(NO_NODE);
+        self.right.push(NO_NODE);
+        self.parent.push(parent);
+        self.member_start.push(self.members.len() as u32);
+        self.member_len.push(0);
+        idx
+    }
+
+    /// Appends a leaf owning `mem`, packing each member's weights and
+    /// threshold into the contiguous leaf block.
+    fn push_leaf(&mut self, mem: &[usize], center: &[f64], cos_half: f64, parent: u32) -> usize {
+        let idx = self.push_node(center, cos_half, parent);
+        self.member_len[idx] = mem.len() as u32;
+        for &m in mem {
+            let slot = self.members.len();
+            self.members.push(m as u32);
+            self.slot_of[m] = slot;
+            self.leaf_of[m] = idx;
+            self.packed_weights
+                .extend_from_slice(self.utilities[m].weights());
+            self.packed_thresholds.push(self.thresholds[m]);
+        }
+        idx
+    }
+
+    fn build_rec(&mut self, members: Vec<usize>, parent: u32) -> usize {
         let (center, cos_half_angle) = self.cone_of(&members);
         if members.len() <= LEAF_CAPACITY {
-            self.nodes.push(Node::Leaf {
-                center,
-                cos_half_angle,
-                min_threshold: f64::INFINITY,
-                members,
-                parent,
-            });
-            return self.nodes.len() - 1;
+            return self.push_leaf(&members, &center, cos_half_angle, parent);
         }
         // Two-pivot angular split (Ram & Gray): pick the vector farthest
         // from an arbitrary seed, then the vector farthest from it; assign
@@ -180,28 +234,20 @@ impl ConeTree {
             right_members = all.split_off(mid);
             left_members = all;
         }
-        let placeholder = self.nodes.len();
-        self.nodes.push(Node::Internal {
-            center,
-            cos_half_angle,
-            min_threshold: f64::INFINITY,
-            left: usize::MAX,
-            right: usize::MAX,
-            parent,
-        });
-        let l = self.build_rec(left_members, Some(placeholder));
-        let r = self.build_rec(right_members, Some(placeholder));
-        if let Node::Internal { left, right, .. } = &mut self.nodes[placeholder] {
-            *left = l;
-            *right = r;
-        }
+        // Push the internal node before recursing so parents always carry
+        // smaller indices than their children; children get patched in.
+        let placeholder = self.push_node(&center, cos_half_angle, parent);
+        let l = self.build_rec(left_members, placeholder as u32);
+        let r = self.build_rec(right_members, placeholder as u32);
+        self.left[placeholder] = l as u32;
+        self.right[placeholder] = r as u32;
         placeholder
     }
 
     /// Computes the unit centre (normalised mean) and cos of the
     /// half-angle covering `members`.
-    fn cone_of(&self, members: &[usize]) -> (Box<[f64]>, f64) {
-        let d = self.utilities[0].dim();
+    fn cone_of(&self, members: &[usize]) -> (Vec<f64>, f64) {
+        let d = self.dim;
         let mut center = vec![0.0f64; d];
         for &m in members {
             for (c, w) in center.iter_mut().zip(self.utilities[m].weights()) {
@@ -218,42 +264,29 @@ impl ConeTree {
         }
         let mut cos_half = 1.0f64;
         for &m in members {
-            let cos = center
-                .iter()
-                .zip(self.utilities[m].weights())
-                .map(|(c, w)| c * w)
-                .sum::<f64>()
-                .clamp(-1.0, 1.0);
+            let cos = dot(&center, self.utilities[m].weights()).clamp(-1.0, 1.0);
             cos_half = cos_half.min(cos);
         }
-        (center.into_boxed_slice(), cos_half)
+        (center, cos_half)
     }
 
     /// Sets the threshold of vector `idx` and repairs the subtree minima
     /// along the path to the root.
     pub fn set_threshold(&mut self, idx: usize, tau: f64) {
         self.thresholds[idx] = tau;
-        let mut node = Some(self.leaf_of[idx]);
-        while let Some(n) = node {
-            let new_min = match &self.nodes[n] {
-                Node::Leaf { members, .. } => members
-                    .iter()
-                    .map(|&m| self.thresholds[m])
-                    .fold(f64::INFINITY, f64::min),
-                Node::Internal { left, right, .. } => self.nodes[*left]
-                    .min_threshold()
-                    .min(self.nodes[*right].min_threshold()),
+        self.packed_thresholds[self.slot_of[idx]] = tau;
+        let mut node = self.leaf_of[idx];
+        loop {
+            self.min_threshold[node] = if self.is_leaf(node) {
+                self.leaf_min(node)
+            } else {
+                self.min_threshold[self.left[node] as usize]
+                    .min(self.min_threshold[self.right[node] as usize])
             };
-            if (new_min - self.nodes[n].min_threshold()).abs() == 0.0 {
-                // Unchanged minimum: ancestors cannot change either, but
-                // only if the stored value already matched. Cheap early
-                // exit for the common case of a non-minimal leaf update.
-                self.nodes[n].set_min_threshold(new_min);
-                node = self.nodes[n].parent();
-                continue;
+            if self.parent[node] == NO_NODE {
+                break;
             }
-            self.nodes[n].set_min_threshold(new_min);
-            node = self.nodes[n].parent();
+            node = self.parent[node] as usize;
         }
     }
 
@@ -265,6 +298,7 @@ impl ConeTree {
         let mut any = false;
         for (idx, tau) in updates {
             self.thresholds[idx] = tau;
+            self.packed_thresholds[self.slot_of[idx]] = tau;
             any = true;
         }
         if !any {
@@ -273,17 +307,13 @@ impl ConeTree {
         // Children always carry larger node indices than their parent
         // (internal nodes are pushed as placeholders before recursing), so
         // one reverse pass recomputes every minimum bottom-up.
-        for n in (0..self.nodes.len()).rev() {
-            let new_min = match &self.nodes[n] {
-                Node::Leaf { members, .. } => members
-                    .iter()
-                    .map(|&m| self.thresholds[m])
-                    .fold(f64::INFINITY, f64::min),
-                Node::Internal { left, right, .. } => self.nodes[*left]
-                    .min_threshold()
-                    .min(self.nodes[*right].min_threshold()),
+        for n in (0..self.num_nodes()).rev() {
+            self.min_threshold[n] = if self.is_leaf(n) {
+                self.leaf_min(n)
+            } else {
+                self.min_threshold[self.left[n] as usize]
+                    .min(self.min_threshold[self.right[n] as usize])
             };
-            self.nodes[n].set_min_threshold(new_min);
         }
     }
 
@@ -300,13 +330,7 @@ impl ConeTree {
         if p_norm <= f64::EPSILON {
             return 0.0;
         }
-        let cos_cp = center
-            .iter()
-            .zip(p.coords())
-            .map(|(c, x)| c * x)
-            .sum::<f64>()
-            / p_norm;
-        let cos_cp = cos_cp.clamp(-1.0, 1.0);
+        let cos_cp = (dot(center, p.coords()) / p_norm).clamp(-1.0, 1.0);
         let cos_half = cos_half.clamp(-1.0, 1.0);
         if cos_cp >= cos_half {
             p_norm
@@ -314,6 +338,25 @@ impl ConeTree {
             let sin_cp = (1.0 - cos_cp * cos_cp).max(0.0).sqrt();
             let sin_half = (1.0 - cos_half * cos_half).max(0.0).sqrt();
             p_norm * (cos_cp * cos_half + sin_cp * sin_half)
+        }
+    }
+
+    /// The cone bound of node `n` against `p`.
+    #[inline]
+    fn node_bound(&self, n: usize, p: &Point, p_norm: f64) -> f64 {
+        Self::cone_bound(self.center_of(n), self.cos_half[n], p, p_norm)
+    }
+
+    /// Scans a leaf's packed member block, appending every member whose
+    /// exact score reaches its threshold.
+    #[inline]
+    fn scan_leaf(&self, n: usize, p: &Point, out: &mut Vec<usize>) {
+        let coords = p.coords();
+        for slot in self.member_range(n) {
+            let w = &self.packed_weights[slot * self.dim..(slot + 1) * self.dim];
+            if dot(w, coords) >= self.packed_thresholds[slot] {
+                out.push(self.members[slot] as usize);
+            }
         }
     }
 
@@ -326,36 +369,14 @@ impl ConeTree {
         let p_norm = p.norm();
         let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
-            match &self.nodes[n] {
-                Node::Internal {
-                    center,
-                    cos_half_angle,
-                    min_threshold,
-                    left,
-                    right,
-                    ..
-                } => {
-                    if Self::cone_bound(center, *cos_half_angle, p, p_norm) >= *min_threshold {
-                        stack.push(*left);
-                        stack.push(*right);
-                    }
-                }
-                Node::Leaf {
-                    center,
-                    cos_half_angle,
-                    min_threshold,
-                    members,
-                    ..
-                } => {
-                    if Self::cone_bound(center, *cos_half_angle, p, p_norm) < *min_threshold {
-                        continue;
-                    }
-                    for &m in members {
-                        if self.utilities[m].score(p) >= self.thresholds[m] {
-                            out.push(m);
-                        }
-                    }
-                }
+            if self.node_bound(n, p, p_norm) < self.min_threshold[n] {
+                continue;
+            }
+            if self.is_leaf(n) {
+                self.scan_leaf(n, p, &mut out);
+            } else {
+                stack.push(self.left[n] as usize);
+                stack.push(self.right[n] as usize);
             }
         }
         out.sort_unstable();
@@ -398,45 +419,28 @@ impl ConeTree {
         }
         let mut stack = vec![self.root];
         while let Some(n) = stack.pop() {
-            match &self.nodes[n] {
-                Node::Internal {
-                    center,
-                    cos_half_angle,
-                    min_threshold,
-                    left,
-                    right,
-                    ..
-                } => {
-                    if pts.iter().any(|&(p, norm)| {
-                        Self::cone_bound(center, *cos_half_angle, p, norm) >= *min_threshold
-                    }) {
-                        stack.push(*left);
-                        stack.push(*right);
-                    }
-                }
-                Node::Leaf {
-                    center,
-                    cos_half_angle,
-                    min_threshold,
-                    members,
-                    ..
-                } => {
-                    if pts.iter().all(|&(p, norm)| {
-                        Self::cone_bound(center, *cos_half_angle, p, norm) < *min_threshold
-                    }) {
-                        continue;
-                    }
-                    for &m in members {
-                        let hits: Vec<usize> = pts
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, (p, _))| self.utilities[m].score(p) >= self.thresholds[m])
-                            .map(|(i, _)| i)
-                            .collect();
-                        if !hits.is_empty() {
-                            out.push((m, hits));
-                        }
-                    }
+            if pts
+                .iter()
+                .all(|&(p, norm)| self.node_bound(n, p, norm) < self.min_threshold[n])
+            {
+                continue;
+            }
+            if !self.is_leaf(n) {
+                stack.push(self.left[n] as usize);
+                stack.push(self.right[n] as usize);
+                continue;
+            }
+            for slot in self.member_range(n) {
+                let w = &self.packed_weights[slot * self.dim..(slot + 1) * self.dim];
+                let tau = self.packed_thresholds[slot];
+                let hits: Vec<usize> = pts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (p, _))| dot(w, p.coords()) >= tau)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !hits.is_empty() {
+                    out.push((self.members[slot] as usize, hits));
                 }
             }
         }
@@ -466,35 +470,21 @@ impl ConeTree {
             stack.clear();
             stack.push(self.root);
             while let Some(n) = stack.pop() {
-                match &self.nodes[n] {
-                    Node::Internal {
-                        center,
-                        cos_half_angle,
-                        min_threshold,
-                        left,
-                        right,
-                        ..
-                    } => {
-                        if Self::cone_bound(center, *cos_half_angle, p, p_norm) >= *min_threshold {
-                            stack.push(*left);
-                            stack.push(*right);
-                        }
-                    }
-                    Node::Leaf {
-                        center,
-                        cos_half_angle,
-                        min_threshold,
-                        members,
-                        ..
-                    } => {
-                        if Self::cone_bound(center, *cos_half_angle, p, p_norm) < *min_threshold {
-                            continue;
-                        }
-                        for &m in members {
-                            if self.utilities[m].score(p) >= self.thresholds[m] {
-                                hits.entry(m).or_default().push(pi);
-                            }
-                        }
+                if self.node_bound(n, p, p_norm) < self.min_threshold[n] {
+                    continue;
+                }
+                if !self.is_leaf(n) {
+                    stack.push(self.left[n] as usize);
+                    stack.push(self.right[n] as usize);
+                    continue;
+                }
+                let coords = p.coords();
+                for slot in self.member_range(n) {
+                    let w = &self.packed_weights[slot * self.dim..(slot + 1) * self.dim];
+                    if dot(w, coords) >= self.packed_thresholds[slot] {
+                        hits.entry(self.members[slot] as usize)
+                            .or_default()
+                            .push(pi);
                     }
                 }
             }
@@ -628,34 +618,47 @@ mod tests {
 
     #[test]
     fn cone_bound_is_sound() {
-        // For every node the bound must dominate every member's score.
+        // For every node the bound must dominate every member's score
+        // (leaf member ranges are empty for internal nodes).
         let mut rng = StdRng::seed_from_u64(5);
         let us = sample_utilities(&mut rng, 5, 128);
         let tree = ConeTree::build(us.clone());
         for _ in 0..20 {
             let p = Point::new_unchecked(0, (0..5).map(|_| rng.gen()).collect());
             let p_norm = p.norm();
-            for node in &tree.nodes {
-                let (center, cos_half, members): (&[f64], f64, Vec<usize>) = match node {
-                    Node::Leaf {
-                        center,
-                        cos_half_angle,
-                        members,
-                        ..
-                    } => (center, *cos_half_angle, members.clone()),
-                    Node::Internal {
-                        center,
-                        cos_half_angle,
-                        ..
-                    } => (center, *cos_half_angle, Vec::new()),
-                };
-                let bound = ConeTree::cone_bound(center, cos_half, &p, p_norm);
-                for m in members {
+            for n in 0..tree.num_nodes() {
+                let bound = tree.node_bound(n, &p, p_norm);
+                for slot in tree.member_range(n) {
+                    let m = tree.members[slot] as usize;
                     assert!(
                         us[m].score(&p) <= bound + 1e-9,
                         "member {m} exceeds its cone bound"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_leaf_blocks_mirror_pool() {
+        // The flat layout invariants: every utility appears in exactly one
+        // leaf slot, its packed weights/threshold mirror the pool, and
+        // parents precede children.
+        let (tree, _) = tree_with_thresholds(21, 4, 300);
+        assert_eq!(tree.members.len(), tree.len());
+        for idx in 0..tree.len() {
+            let slot = tree.slot_of[idx];
+            assert_eq!(tree.members[slot] as usize, idx);
+            assert!(tree.member_range(tree.leaf_of[idx]).contains(&slot));
+            assert_eq!(
+                &tree.packed_weights[slot * tree.dim..(slot + 1) * tree.dim],
+                tree.utility(idx).weights()
+            );
+            assert_eq!(tree.packed_thresholds[slot], tree.threshold(idx));
+        }
+        for n in 0..tree.num_nodes() {
+            if !tree.is_leaf(n) {
+                assert!(tree.left[n] as usize > n && tree.right[n] as usize > n);
             }
         }
     }

@@ -1,5 +1,12 @@
 //! The tuple index TI: a dynamic k-d tree with branch-and-bound top-k.
+//!
+//! The tree is stored flat: nodes live in one contiguous `Vec` addressed
+//! by index, per-node bounding corners are packed into a single `f64`
+//! array, and every leaf owns a packed coordinate block scored by the
+//! straight-line kernels in [`crate::kernels`]. No per-node heap
+//! indirection survives on the query path.
 
+use crate::kernels::{dot, score_block_into};
 use rms_geom::{Point, PointId, RankedPoint, Utility};
 use std::cmp::Ordering;
 use std::collections::HashMap;
@@ -10,6 +17,9 @@ const LEAF_CAPACITY: usize = 24;
 /// Fraction of stale (deleted or box-loosening) operations that triggers a
 /// full rebuild. Swept by the `ablation_kd_rebuild` bench.
 const DEFAULT_REBUILD_FRACTION: f64 = 0.5;
+
+/// Child-index sentinel marking a node as a leaf.
+const NO_CHILD: u32 = u32::MAX;
 
 /// Errors from dynamic k-d tree updates.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,27 +51,26 @@ impl std::fmt::Display for KdTreeError {
 
 impl std::error::Error for KdTreeError {}
 
-#[derive(Debug, Clone)]
-enum Node {
-    Internal {
-        split_dim: usize,
-        split_val: f64,
-        /// Componentwise max over the subtree (upper-bound corner).
-        hi: Box<[f64]>,
-        left: usize,
-        right: usize,
-    },
-    Leaf {
-        hi: Box<[f64]>,
-        points: Vec<Point>,
-    },
+/// Flat node record. Internal nodes use `split_dim`/`split_val` and the
+/// two child indices; a leaf is marked by `left == NO_CHILD` and owns a
+/// packed block of point ids and coordinates (point `i` of the leaf lives
+/// at `coords[i·dim .. (i+1)·dim]`). The per-node upper corner `hi` lives
+/// in the tree-level `bounds` array at `node·dim`, so bound evaluation
+/// never touches the node record at all.
+#[derive(Debug, Clone, Default)]
+struct Node {
+    split_dim: u32,
+    split_val: f64,
+    left: u32,
+    right: u32,
+    ids: Vec<PointId>,
+    coords: Vec<f64>,
 }
 
 impl Node {
-    fn hi(&self) -> &[f64] {
-        match self {
-            Node::Internal { hi, .. } | Node::Leaf { hi, .. } => hi,
-        }
+    #[inline]
+    fn is_leaf(&self) -> bool {
+        self.left == NO_CHILD
     }
 }
 
@@ -71,6 +80,9 @@ impl Node {
 pub struct KdTree {
     dim: usize,
     nodes: Vec<Node>,
+    /// Componentwise max over each node's subtree (upper-bound corner),
+    /// packed at `node·dim .. (node+1)·dim`.
+    bounds: Vec<f64>,
     root: usize,
     len: usize,
     /// Leaf index per point id (for O(depth)-free deletion).
@@ -109,6 +121,7 @@ impl KdTree {
         let mut tree = Self {
             dim,
             nodes: Vec::new(),
+            bounds: Vec::new(),
             root: 0,
             len: 0,
             leaf_of: HashMap::new(),
@@ -160,8 +173,10 @@ impl KdTree {
     pub fn points(&self) -> Vec<Point> {
         let mut out = Vec::with_capacity(self.len);
         for node in &self.nodes {
-            if let Node::Leaf { points, .. } = node {
-                out.extend(points.iter().cloned());
+            if node.is_leaf() {
+                for (&id, row) in node.ids.iter().zip(node.coords.chunks_exact(self.dim)) {
+                    out.push(Point::new_unchecked(id, row.to_vec()));
+                }
             }
         }
         out
@@ -169,29 +184,18 @@ impl KdTree {
 
     fn rebuild_from(&mut self, points: Vec<Point>) {
         self.nodes.clear();
+        self.bounds.clear();
         self.leaf_of.clear();
         self.len = points.len();
         self.stale_ops = 0;
         let mut pts = points;
         self.root = self.build_rec(&mut pts, 0);
-        // `build_rec` consumed pts via split; register leaf membership.
-        for (idx, node) in self.nodes.iter().enumerate() {
-            if let Node::Leaf { points, .. } = node {
-                for p in points {
-                    self.leaf_of.insert(p.id(), idx);
-                }
-            }
-        }
     }
 
     fn build_rec(&mut self, points: &mut Vec<Point>, depth: usize) -> usize {
         let hi = self.compute_hi(points);
         if points.len() <= LEAF_CAPACITY {
-            self.nodes.push(Node::Leaf {
-                hi,
-                points: std::mem::take(points),
-            });
-            return self.nodes.len() - 1;
+            return self.push_leaf(points, &hi);
         }
         // Split on the widest dimension (more robust than depth cycling on
         // skewed data); median split.
@@ -209,17 +213,43 @@ impl KdTree {
         // to an arbitrary half split, which the code above already did.
         let left_idx = self.build_rec(points, depth + 1);
         let right_idx = self.build_rec(&mut right, depth + 1);
-        self.nodes.push(Node::Internal {
-            split_dim,
+        let idx = self.nodes.len();
+        self.bounds.extend_from_slice(&hi);
+        self.nodes.push(Node {
+            split_dim: split_dim as u32,
             split_val,
-            hi,
-            left: left_idx,
-            right: right_idx,
+            left: left_idx as u32,
+            right: right_idx as u32,
+            ids: Vec::new(),
+            coords: Vec::new(),
         });
-        self.nodes.len() - 1
+        idx
     }
 
-    fn compute_hi(&self, points: &[Point]) -> Box<[f64]> {
+    /// Appends a leaf node owning `points` as a packed block, registers
+    /// its members in `leaf_of`, and returns its index.
+    fn push_leaf(&mut self, points: &[Point], hi: &[f64]) -> usize {
+        let idx = self.nodes.len();
+        self.bounds.extend_from_slice(hi);
+        let mut ids = Vec::with_capacity(points.len());
+        let mut coords = Vec::with_capacity(points.len() * self.dim);
+        for p in points {
+            ids.push(p.id());
+            coords.extend_from_slice(p.coords());
+            self.leaf_of.insert(p.id(), idx);
+        }
+        self.nodes.push(Node {
+            split_dim: 0,
+            split_val: 0.0,
+            left: NO_CHILD,
+            right: NO_CHILD,
+            ids,
+            coords,
+        });
+        idx
+    }
+
+    fn compute_hi(&self, points: &[Point]) -> Vec<f64> {
         let mut hi = vec![0.0f64; self.dim];
         for p in points {
             for (h, &c) in hi.iter_mut().zip(p.coords()) {
@@ -228,7 +258,7 @@ impl KdTree {
                 }
             }
         }
-        hi.into_boxed_slice()
+        hi
     }
 
     fn widest_dim(&self, points: &[Point]) -> Option<usize> {
@@ -265,53 +295,54 @@ impl KdTree {
             self.rebuild_from(vec![p]);
             return Ok(());
         }
+        let dim = self.dim;
         let mut idx = self.root;
         loop {
-            // Expand this node's hi to cover p.
-            match &mut self.nodes[idx] {
-                Node::Internal {
-                    hi,
-                    split_dim,
-                    split_val,
-                    left,
-                    right,
-                } => {
-                    for (h, &c) in hi.iter_mut().zip(p.coords()) {
-                        if c > *h {
-                            *h = c;
-                        }
-                    }
-                    idx = if p.coord(*split_dim) < *split_val {
-                        *left
-                    } else {
-                        *right
-                    };
-                }
-                Node::Leaf { hi, points } => {
-                    for (h, &c) in hi.iter_mut().zip(p.coords()) {
-                        if c > *h {
-                            *h = c;
-                        }
-                    }
-                    self.leaf_of.insert(p.id(), idx);
-                    points.push(p);
-                    self.len += 1;
-                    if points.len() > 2 * LEAF_CAPACITY {
-                        self.split_leaf(idx);
-                    }
-                    return Ok(());
+            // Expand this node's hi row to cover p.
+            let row = &mut self.bounds[idx * dim..(idx + 1) * dim];
+            for (h, &c) in row.iter_mut().zip(p.coords()) {
+                if c > *h {
+                    *h = c;
                 }
             }
+            let node = &mut self.nodes[idx];
+            if node.is_leaf() {
+                node.ids.push(p.id());
+                node.coords.extend_from_slice(p.coords());
+                let grew_past = node.ids.len() > 2 * LEAF_CAPACITY;
+                self.leaf_of.insert(p.id(), idx);
+                self.len += 1;
+                if grew_past {
+                    self.split_leaf(idx);
+                }
+                return Ok(());
+            }
+            idx = if p.coord(node.split_dim as usize) < node.split_val {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
         }
     }
 
-    /// Splits an over-full leaf in place (the leaf node is replaced by an
-    /// internal node with two fresh leaves).
+    /// Splits an over-full leaf in place (the leaf node is rewritten into
+    /// an internal node pointing at two fresh leaves; its bounds row stays
+    /// valid because it already covered every member).
     fn split_leaf(&mut self, idx: usize) {
-        let Node::Leaf { points, .. } = &mut self.nodes[idx] else {
-            unreachable!("split_leaf on internal node")
+        let dim = self.dim;
+        let (ids, coords) = {
+            let node = &mut self.nodes[idx];
+            debug_assert!(node.is_leaf(), "split_leaf on internal node");
+            (
+                std::mem::take(&mut node.ids),
+                std::mem::take(&mut node.coords),
+            )
         };
-        let mut pts = std::mem::take(points);
+        let mut pts: Vec<Point> = ids
+            .iter()
+            .zip(coords.chunks_exact(dim))
+            .map(|(&id, row)| Point::new_unchecked(id, row.to_vec()))
+            .collect();
         let split_dim = self.widest_dim(&pts).unwrap_or(0);
         let mid = pts.len() / 2;
         pts.select_nth_unstable_by(mid, |a, b| {
@@ -326,33 +357,13 @@ impl KdTree {
 
         let left_hi = self.compute_hi(&left);
         let right_hi = self.compute_hi(&right);
-        let mut hi = vec![0.0f64; self.dim];
-        for i in 0..self.dim {
-            hi[i] = left_hi[i].max(right_hi[i]);
-        }
-        let left_idx = self.nodes.len();
-        for p in &left {
-            self.leaf_of.insert(p.id(), left_idx);
-        }
-        self.nodes.push(Node::Leaf {
-            hi: left_hi,
-            points: left,
-        });
-        let right_idx = self.nodes.len();
-        for p in &right {
-            self.leaf_of.insert(p.id(), right_idx);
-        }
-        self.nodes.push(Node::Leaf {
-            hi: right_hi,
-            points: right,
-        });
-        self.nodes[idx] = Node::Internal {
-            split_dim,
-            split_val,
-            hi: hi.into_boxed_slice(),
-            left: left_idx,
-            right: right_idx,
-        };
+        let left_idx = self.push_leaf(&left, &left_hi);
+        let right_idx = self.push_leaf(&right, &right_hi);
+        let node = &mut self.nodes[idx];
+        node.split_dim = split_dim as u32;
+        node.split_val = split_val;
+        node.left = left_idx as u32;
+        node.right = right_idx as u32;
     }
 
     /// Deletes a point by id. Bounding boxes are left conservative; once
@@ -375,14 +386,21 @@ impl KdTree {
         let Some(leaf_idx) = self.leaf_of.remove(&id) else {
             return Err(KdTreeError::UnknownId(id));
         };
-        let Node::Leaf { points, .. } = &mut self.nodes[leaf_idx] else {
-            unreachable!("leaf_of points at an internal node")
-        };
-        let pos = points
+        let dim = self.dim;
+        let node = &mut self.nodes[leaf_idx];
+        debug_assert!(node.is_leaf(), "leaf_of points at an internal node");
+        let pos = node
+            .ids
             .iter()
-            .position(|p| p.id() == id)
+            .position(|&x| x == id)
             .expect("leaf_of is consistent");
-        points.swap_remove(pos);
+        node.ids.swap_remove(pos);
+        // Mirror the swap_remove on the packed coordinate block: move the
+        // last dim-sized row into the vacated slot, then shrink.
+        let last = node.ids.len();
+        node.coords
+            .copy_within(last * dim..(last + 1) * dim, pos * dim);
+        node.coords.truncate(last * dim);
         self.len -= 1;
         self.stale_ops += 1;
         Ok(())
@@ -411,12 +429,10 @@ impl KdTree {
     /// `u ≥ 0`, so the box's upper corner maximises the inner product).
     #[inline]
     fn node_bound(&self, node: usize, u: &Utility) -> f64 {
-        self.nodes[node]
-            .hi()
-            .iter()
-            .zip(u.weights())
-            .map(|(h, w)| h * w)
-            .sum()
+        dot(
+            &self.bounds[node * self.dim..(node + 1) * self.dim],
+            u.weights(),
+        )
     }
 
     /// Exact top-k query via best-first branch-and-bound. Results are in
@@ -424,8 +440,9 @@ impl KdTree {
     /// ascending).
     pub fn top_k(&self, u: &Utility, k: usize) -> Vec<RankedPoint> {
         let mut frontier = std::collections::BinaryHeap::new();
+        let mut scores = Vec::new();
         let mut best = Vec::with_capacity(k + 1);
-        self.top_k_into(u, k, &mut frontier, &mut best);
+        self.top_k_into(u, k, &mut frontier, &mut scores, &mut best);
         best
     }
 
@@ -439,22 +456,25 @@ impl KdTree {
         I: IntoIterator<Item = &'a Utility>,
     {
         let mut frontier = std::collections::BinaryHeap::new();
+        let mut scores = Vec::new();
         let mut out = Vec::new();
         for u in utilities {
             let mut best = Vec::with_capacity(k + 1);
-            self.top_k_into(u, k, &mut frontier, &mut best);
+            self.top_k_into(u, k, &mut frontier, &mut scores, &mut best);
             out.push(best);
         }
         out
     }
 
     /// [`KdTree::top_k`] writing into caller-provided buffers so repeated
-    /// queries (the bulk paths) skip per-query allocation.
+    /// queries (the bulk paths) skip per-query allocation. `scores` is
+    /// scratch for the per-leaf scoring kernel.
     fn top_k_into(
         &self,
         u: &Utility,
         k: usize,
         frontier: &mut std::collections::BinaryHeap<HeapEntry>,
+        scores: &mut Vec<f64>,
         best: &mut Vec<RankedPoint>,
     ) {
         frontier.clear();
@@ -476,40 +496,40 @@ impl KdTree {
                     break;
                 }
             }
-            match &self.nodes[node] {
-                Node::Internal { left, right, .. } => {
-                    frontier.push(HeapEntry {
-                        bound: self.node_bound(*left, u),
-                        node: *left,
-                    });
-                    frontier.push(HeapEntry {
-                        bound: self.node_bound(*right, u),
-                        node: *right,
-                    });
-                }
-                Node::Leaf { points, .. } => {
-                    for p in points {
-                        let score = u.score(p);
-                        let candidate_better = best.len() < k || {
-                            let kth = &best[k - 1];
-                            better(score, p.id(), kth.score, kth.id)
-                        };
-                        if candidate_better {
-                            let rp = RankedPoint { id: p.id(), score };
-                            let pos = best
-                                .binary_search_by(|probe| {
-                                    if better(probe.score, probe.id, rp.score, rp.id) {
-                                        Ordering::Less
-                                    } else {
-                                        Ordering::Greater
-                                    }
-                                })
-                                .unwrap_err();
-                            best.insert(pos, rp);
-                            if best.len() > k {
-                                best.pop();
+            let n = &self.nodes[node];
+            if !n.is_leaf() {
+                frontier.push(HeapEntry {
+                    bound: self.node_bound(n.left as usize, u),
+                    node: n.left as usize,
+                });
+                frontier.push(HeapEntry {
+                    bound: self.node_bound(n.right as usize, u),
+                    node: n.right as usize,
+                });
+                continue;
+            }
+            // Score the whole packed leaf block in one kernel sweep, then
+            // run selection over the scalar results.
+            score_block_into(&n.coords, self.dim, u.weights(), scores);
+            for (&id, &score) in n.ids.iter().zip(scores.iter()) {
+                let candidate_better = best.len() < k || {
+                    let kth = &best[k - 1];
+                    better(score, id, kth.score, kth.id)
+                };
+                if candidate_better {
+                    let rp = RankedPoint { id, score };
+                    let pos = best
+                        .binary_search_by(|probe| {
+                            if better(probe.score, probe.id, rp.score, rp.id) {
+                                Ordering::Less
+                            } else {
+                                Ordering::Greater
                             }
-                        }
+                        })
+                        .unwrap_err();
+                    best.insert(pos, rp);
+                    if best.len() > k {
+                        best.pop();
                     }
                 }
             }
@@ -519,8 +539,9 @@ impl KdTree {
     /// All points with score `≥ threshold`, in descending score order.
     pub fn above_threshold(&self, u: &Utility, threshold: f64) -> Vec<RankedPoint> {
         let mut stack = Vec::new();
+        let mut scores = Vec::new();
         let mut out = Vec::new();
-        self.above_threshold_into(u, threshold, &mut stack, &mut out);
+        self.above_threshold_into(u, threshold, &mut stack, &mut scores, &mut out);
         out
     }
 
@@ -531,6 +552,7 @@ impl KdTree {
         u: &Utility,
         threshold: f64,
         stack: &mut Vec<usize>,
+        scores: &mut Vec<f64>,
         out: &mut Vec<RankedPoint>,
     ) {
         stack.clear();
@@ -543,18 +565,16 @@ impl KdTree {
             if self.node_bound(node, u) < threshold {
                 continue;
             }
-            match &self.nodes[node] {
-                Node::Internal { left, right, .. } => {
-                    stack.push(*left);
-                    stack.push(*right);
-                }
-                Node::Leaf { points, .. } => {
-                    for p in points {
-                        let score = u.score(p);
-                        if score >= threshold {
-                            out.push(RankedPoint { id: p.id(), score });
-                        }
-                    }
+            let n = &self.nodes[node];
+            if !n.is_leaf() {
+                stack.push(n.left as usize);
+                stack.push(n.right as usize);
+                continue;
+            }
+            score_block_into(&n.coords, self.dim, u.weights(), scores);
+            for (&id, &score) in n.ids.iter().zip(scores.iter()) {
+                if score >= threshold {
+                    out.push(RankedPoint { id, score });
                 }
             }
         }
@@ -592,17 +612,18 @@ impl KdTree {
     {
         let mut frontier = std::collections::BinaryHeap::new();
         let mut stack = Vec::new();
+        let mut scores = Vec::new();
         let mut exact = Vec::with_capacity(k + 1);
         let mut out = Vec::new();
         for u in utilities {
-            self.top_k_into(u, k, &mut frontier, &mut exact);
+            self.top_k_into(u, k, &mut frontier, &mut scores, &mut exact);
             if exact.len() < k {
                 out.push((exact.clone(), None));
                 continue;
             }
             let omega_k = exact[k - 1].score;
             let mut phi = Vec::new();
-            self.above_threshold_into(u, (1.0 - eps) * omega_k, &mut stack, &mut phi);
+            self.above_threshold_into(u, (1.0 - eps) * omega_k, &mut stack, &mut scores, &mut phi);
             out.push((phi, Some(omega_k)));
         }
         out

@@ -1,0 +1,37 @@
+//! Batched scoring kernels over packed coordinate blocks.
+//!
+//! Both trees keep their hot data in flat `f64` arrays (struct-of-arrays
+//! layout: leaf coordinates, node bounding corners, cone centres). The
+//! kernels here are the straight-line inner loops that sweep those
+//! arrays — no pointer chasing, no per-point branching — so the compiler
+//! can keep them in cache and autovectorize them.
+
+/// Inner product `⟨a, b⟩` over two equal-length slices.
+#[inline]
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Scores every row of a packed `rows × dim` coordinate block against
+/// `w`, rebuilding `scores`: `scores[i] = ⟨block[i·dim ..], w⟩`.
+#[inline]
+pub(crate) fn score_block_into(block: &[f64], dim: usize, w: &[f64], scores: &mut Vec<f64>) {
+    scores.clear();
+    scores.extend(block.chunks_exact(dim).map(|row| dot(row, w)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_block_scores_agree() {
+        let w = [0.25, 0.5, 0.25];
+        let block = [1.0, 2.0, 3.0, 0.0, 4.0, 0.0];
+        let mut scores = vec![9.9]; // stale content must be cleared
+        score_block_into(&block, 3, &w, &mut scores);
+        assert_eq!(scores, vec![dot(&block[0..3], &w), dot(&block[3..6], &w)]);
+        assert_eq!(scores, vec![2.0, 2.0]);
+    }
+}

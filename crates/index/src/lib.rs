@@ -24,6 +24,7 @@
 
 mod conetree;
 mod kdtree;
+mod kernels;
 
 pub use conetree::ConeTree;
 pub use kdtree::{KdTree, KdTreeError};

@@ -75,6 +75,52 @@ proptest! {
         prop_assert_eq!(tree.top_k(&u, 8), brute_top_k(&all, &u, 8));
     }
 
+    /// The bulk query paths (the ones the batch update engine drives)
+    /// stay exact across edit scripts that exercise the flat leaf blocks:
+    /// deferred deletes compact packed coordinate rows in place, the
+    /// single `maybe_rebuild` decision repacks everything, and
+    /// `top_k_many` / `top_k_approx_many` must agree with brute force
+    /// throughout.
+    #[test]
+    fn kdtree_bulk_queries_survive_edit_scripts(
+        pts in arb_points(3, 1..60),
+        script in prop::collection::vec((0.0f64..=1.0, 0.0f64..=1.0, 0.0f64..=1.0, any::<bool>()), 0..80),
+        us in prop::collection::vec(arb_utility(3), 1..6),
+        k in 1usize..10,
+    ) {
+        let mut all = pts.clone();
+        let mut tree = KdTree::build(3, pts).unwrap();
+        let mut next = 10_000u64;
+        for (x, y, z, insert) in script {
+            if insert || all.is_empty() {
+                let p = Point::new_unchecked(next, vec![x, y, z]);
+                next += 1;
+                all.push(p.clone());
+                tree.insert(p).unwrap();
+            } else {
+                let idx = (x * all.len() as f64) as usize % all.len();
+                let id = all.swap_remove(idx).id();
+                tree.delete_deferred(id).unwrap();
+            }
+        }
+        tree.maybe_rebuild();
+        prop_assert_eq!(tree.len(), all.len());
+        let many = tree.top_k_many(us.iter(), k);
+        for (u, got) in us.iter().zip(many) {
+            prop_assert_eq!(got, brute_top_k(&all, u, k));
+        }
+        let eps = 0.1;
+        for (u, (phi, omega)) in us.iter().zip(tree.top_k_approx_many(us.iter(), k, eps)) {
+            if let Some(omega_k) = omega {
+                let tau = (1.0 - eps) * omega_k;
+                let want: usize = all.iter().filter(|p| u.score(p) >= tau).count();
+                prop_assert_eq!(phi.len(), want);
+            } else {
+                prop_assert_eq!(phi.len(), all.len());
+            }
+        }
+    }
+
     #[test]
     fn conetree_affected_equals_scan(
         dirs in prop::collection::vec(prop::collection::vec(0.05f64..=1.0, 3), 1..100),
@@ -89,5 +135,30 @@ proptest! {
         }
         let p = Point::new_unchecked(0, probe);
         prop_assert_eq!(tree.affected_by(&p), tree.affected_by_scan(&p));
+    }
+
+    /// Batch traversal over the packed leaf blocks after a bulk
+    /// `set_thresholds` sweep agrees with the union of brute-force scans.
+    #[test]
+    fn conetree_batch_affected_equals_scan_after_bulk_thresholds(
+        dirs in prop::collection::vec(prop::collection::vec(0.05f64..=1.0, 3), 1..80),
+        taus in prop::collection::vec(0.0f64..=1.6, 80),
+        probes in prop::collection::vec(prop::collection::vec(0.0f64..=1.0, 3), 0..6),
+    ) {
+        let us: Vec<Utility> = dirs.into_iter().map(|w| Utility::new(w).unwrap()).collect();
+        let n = us.len();
+        let mut tree = ConeTree::build(us);
+        tree.set_thresholds(taus.into_iter().take(n).enumerate());
+        let pts: Vec<Point> = probes
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| Point::new_unchecked(i as u64, c))
+            .collect();
+        let mut want: Vec<usize> = pts.iter().flat_map(|p| tree.affected_by_scan(p)).collect();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(tree.affected_by_batch(pts.iter()), want.clone());
+        let many: Vec<usize> = tree.affected_hits_many(pts.iter()).into_iter().map(|(m, _)| m).collect();
+        prop_assert_eq!(many, want);
     }
 }

@@ -1,5 +1,6 @@
 //! The dynamic set-cover structure (Algorithm 1 of the paper).
 
+use crate::dynamicset::SpillSet;
 use crate::level::LevelBase;
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -10,6 +11,22 @@ pub type ElemId = u32;
 /// Identifier of a set in the collection `S`. In FD-RMS, sets are tuples:
 /// `S(p)` is identified by the tuple id of `p`.
 pub type SetId = u64;
+
+/// Inline capacity of element-id rows (`sets`, `cov`): a tuple's
+/// ε-approximate top-k membership is usually a handful of utilities.
+const ELEM_INLINE: usize = 16;
+
+/// Inline capacity of set-id rows (`elem_sets`): most utilities sit in
+/// few ε-bands.
+const SET_INLINE: usize = 8;
+
+/// A row of element ids — inline up to [`ELEM_INLINE`], hash-spilled
+/// beyond. Returned by [`DynamicSetCover::members`].
+pub type ElemRow = SpillSet<ElemId, ELEM_INLINE>;
+
+/// A row of set ids — inline up to [`SET_INLINE`], hash-spilled beyond.
+/// Returned by [`DynamicSetCover::sets_containing`].
+pub type SetRow = SpillSet<SetId, SET_INLINE>;
 
 /// Errors raised by [`DynamicSetCover`] operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,15 +69,15 @@ impl std::error::Error for CoverError {}
 pub struct DynamicSetCover {
     base: LevelBase,
     /// Membership `S`: set → elements it contains.
-    sets: HashMap<SetId, HashSet<ElemId>>,
+    sets: HashMap<SetId, ElemRow>,
     /// Inverse membership: element → sets containing it.
-    elem_sets: HashMap<ElemId, HashSet<SetId>>,
+    elem_sets: HashMap<ElemId, SetRow>,
     /// The universe `U` (elements that must be covered).
     universe: HashSet<ElemId>,
     /// Assignment `φ : U → C`.
     phi: HashMap<ElemId, SetId>,
     /// Cover sets `cov(S)` for `S ∈ C`.
-    cov: HashMap<SetId, HashSet<ElemId>>,
+    cov: HashMap<SetId, ElemRow>,
     /// Level of each `S ∈ C`.
     level_of: HashMap<SetId, u32>,
     /// Intersection counters `|S ∩ A_j|` for every set (solution member or
@@ -77,6 +94,25 @@ pub struct DynamicSetCover {
     /// [`DynamicSetCover::commit`]), mutations accumulate violation
     /// candidates on the worklist instead of stabilising immediately.
     batching: bool,
+    /// Reusable iteration buffers — hot maintenance paths snapshot rows
+    /// they mutate under iteration into these instead of allocating fresh
+    /// `Vec`s. Persist across `begin_batch()`/`commit()` transactions.
+    scratch: Scratch,
+}
+
+/// Reusable scratch buffers for the maintenance loops. Each buffer is
+/// owned by exactly one routine (taken with `mem::take`, cleared, and
+/// put back) so nested calls never observe each other's contents.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// `change_elem_level`: sets touching one element.
+    touching: Vec<SetId>,
+    /// `relevel`: snapshot of `cov(s)`.
+    cov_elems: Vec<ElemId>,
+    /// `stabilize`: the grabbed `S ∩ A_j`.
+    grabbed: Vec<ElemId>,
+    /// `stabilize`: former owners of grabbed elements (deduplicated).
+    losers: SetRow,
 }
 
 impl Default for DynamicSetCover {
@@ -101,6 +137,7 @@ impl DynamicSetCover {
             dirty_guard: HashSet::new(),
             stabilize_moves: 0,
             batching: false,
+            scratch: Scratch::default(),
         }
     }
 
@@ -189,13 +226,13 @@ impl DynamicSetCover {
     }
 
     /// Membership of a set, if it exists.
-    pub fn members(&self, s: SetId) -> Option<&HashSet<ElemId>> {
+    pub fn members(&self, s: SetId) -> Option<&ElemRow> {
         self.sets.get(&s)
     }
 
     /// All sets containing element `u` (its membership in the transposed
     /// system — in FD-RMS terms, the tuples whose `Φ_{k,ε}` contains `u`).
-    pub fn sets_containing(&self, u: ElemId) -> Option<&HashSet<SetId>> {
+    pub fn sets_containing(&self, u: ElemId) -> Option<&SetRow> {
         self.elem_sets.get(&u)
     }
 
@@ -226,7 +263,7 @@ impl DynamicSetCover {
         if self.sets.contains_key(&s) {
             return Err(CoverError::DuplicateSet(s));
         }
-        let members: HashSet<ElemId> = members.into_iter().collect();
+        let members: ElemRow = members.into_iter().collect();
         for &u in &members {
             self.elem_sets.entry(u).or_default().insert(s);
             if let Some(level) = self.assigned_level(u) {
@@ -258,7 +295,7 @@ impl DynamicSetCover {
         let orphans: Vec<ElemId> = match self.cov.remove(&s) {
             Some(cov) => {
                 let j = self.level_of.remove(&s).expect("solution sets have levels");
-                let orphans: Vec<ElemId> = cov.into_iter().collect();
+                let orphans: Vec<ElemId> = cov.iter().copied().collect();
                 for &u in &orphans {
                     self.phi.remove(&u);
                     self.change_elem_level(u, Some(j), None);
@@ -394,7 +431,7 @@ impl DynamicSetCover {
         self.dirty.clear();
         self.dirty_guard.clear();
 
-        let mut uncovered: HashSet<ElemId> = self.universe.clone();
+        let mut uncovered: ElemRow = self.universe.iter().copied().collect();
         // Lazy-decrement max-heap over |S ∩ I|: counts only ever shrink, so
         // a popped entry matching its recomputed count is globally maximal.
         let mut heap: std::collections::BinaryHeap<(usize, std::cmp::Reverse<SetId>)> = self
@@ -416,7 +453,7 @@ impl DynamicSetCover {
                 return Err(CoverError::UncoverableElement(u));
             }
             let members = &self.sets[&s];
-            let fresh: HashSet<ElemId> = members
+            let fresh: ElemRow = members
                 .iter()
                 .copied()
                 .filter(|u| uncovered.contains(u))
@@ -494,8 +531,12 @@ impl DynamicSetCover {
         let Some(es) = self.elem_sets.get(&u) else {
             return;
         };
-        let touching: Vec<SetId> = es.iter().copied().collect();
-        for t in touching {
+        // Reused scratch: `bump_cnt` needs `&mut self`, so the row is
+        // snapshotted — but into a persistent buffer, not a fresh Vec.
+        let mut touching = std::mem::take(&mut self.scratch.touching);
+        touching.clear();
+        touching.extend(es.iter().copied());
+        for &t in &touching {
             if let Some(j) = old {
                 self.bump_cnt(t, j, usize::MAX);
             }
@@ -503,6 +544,7 @@ impl DynamicSetCover {
                 self.bump_cnt(t, j, 1);
             }
         }
+        self.scratch.touching = touching;
     }
 
     /// Assigns `u` to a set containing it, preferring solution members
@@ -532,7 +574,7 @@ impl DynamicSetCover {
             self.change_elem_level(u, None, Some(level));
             self.relevel(target);
         } else {
-            self.cov.insert(target, HashSet::from([u]));
+            self.cov.insert(target, std::iter::once(u).collect());
             self.level_of.insert(target, self.base.level_for(1));
             self.phi.insert(u, target);
             self.change_elem_level(u, None, Some(self.base.level_for(1)));
@@ -569,10 +611,15 @@ impl DynamicSetCover {
             return;
         }
         self.level_of.insert(s, j_new);
-        let elems: Vec<ElemId> = self.cov[&s].iter().copied().collect();
-        for u in elems {
+        // Reused scratch, same pattern as `change_elem_level` (which runs
+        // inside the loop and takes a different buffer).
+        let mut elems = std::mem::take(&mut self.scratch.cov_elems);
+        elems.clear();
+        elems.extend(self.cov[&s].iter().copied());
+        for &u in &elems {
             self.change_elem_level(u, Some(j), Some(j_new));
         }
+        self.scratch.cov_elems = elems;
     }
 
     /// STABILIZE (Lines 28–32 of Algorithm 1): while some set intersects a
@@ -585,6 +632,9 @@ impl DynamicSetCover {
         // bookkeeping bug into a loud failure rather than a hang.
         let cap = 64 * (self.universe.len() as u64 + 2) * 64 + 4096;
         let mut guard = 0u64;
+        // Reused scratch across the whole drain (and across transactions).
+        let mut grabbed = std::mem::take(&mut self.scratch.grabbed);
+        let mut losers = std::mem::take(&mut self.scratch.losers);
         while let Some((s, j)) = self.dirty.pop_front() {
             self.dirty_guard.remove(&(s, j));
             guard += 1;
@@ -604,24 +654,26 @@ impl DynamicSetCover {
             }
             // Grab S ∩ A_j. Elements already assigned to s (possible when s
             // itself sits at level j) stay put.
-            let grabbed: Vec<ElemId> = self.sets[&s]
-                .iter()
-                .copied()
-                .filter(|u| self.assigned_level(*u) == Some(j) && self.phi.get(u) != Some(&s))
-                .collect();
+            grabbed.clear();
+            grabbed.extend(
+                self.sets[&s]
+                    .iter()
+                    .copied()
+                    .filter(|u| self.assigned_level(*u) == Some(j) && self.phi.get(u) != Some(&s)),
+            );
             if grabbed.is_empty() {
                 continue;
             }
             // Ensure s is in the solution.
             if let std::collections::hash_map::Entry::Vacant(e) = self.cov.entry(s) {
-                e.insert(HashSet::new());
+                e.insert(ElemRow::default());
                 // Provisional level; corrected by relevel below. Using j
                 // keeps the grabbed elements' level transition accurate.
                 self.level_of.insert(s, j);
             }
             let s_level = self.level_of[&s];
-            let mut losers: HashSet<SetId> = HashSet::new();
-            for u in grabbed {
+            losers.clear();
+            for &u in &grabbed {
                 let old = self
                     .phi
                     .insert(u, s)
@@ -633,10 +685,12 @@ impl DynamicSetCover {
                 self.stabilize_moves += 1;
             }
             self.relevel(s);
-            for t in losers {
+            for &t in &losers {
                 self.relevel(t);
             }
         }
+        self.scratch.grabbed = grabbed;
+        self.scratch.losers = losers;
     }
 
     // ------------------------------------------------------------------

@@ -1,0 +1,418 @@
+//! Small-set storage for cover rows.
+//!
+//! Most rows of the set system are tiny: a tuple's ε-approximate top-k
+//! membership `Φ_{k,ε}(p)` holds a handful of utilities, and most
+//! utilities sit in few bands. A general-purpose `HashSet` spends a heap
+//! allocation, hashing, and scattered cache lines on every such row. The
+//! types here keep small rows inline — a fixed array scanned linearly,
+//! which at these sizes beats hashing — and spill to a real hash set only
+//! once a row outgrows its inline capacity.
+//!
+//! [`DynamicSet`] is the pluggable interface (shape follows SurrealDB's
+//! `DynamicSet` trait), [`ArraySet`] the fixed-capacity inline
+//! implementation, and [`SpillSet`] the adaptive combination the cover
+//! structure stores.
+
+use std::collections::HashSet;
+
+/// Bound on the ids the small sets hold: plain copyable keys.
+pub trait SetElement: Copy + Eq + std::hash::Hash + Default {}
+impl<T: Copy + Eq + std::hash::Hash + Default> SetElement for T {}
+
+/// A set abstraction the cover rows are routed through, so the row
+/// representation stays swappable.
+pub trait DynamicSet<T: SetElement>: Default {
+    /// An empty set sized for roughly `capacity` elements.
+    fn with_capacity(capacity: usize) -> Self;
+    /// Inserts `v`; `true` when it was not already present.
+    fn insert(&mut self, v: T) -> bool;
+    /// Whether `v` is present.
+    fn contains(&self, v: &T) -> bool;
+    /// Removes `v`; `true` when it was present.
+    fn remove(&mut self, v: &T) -> bool;
+    /// Number of elements.
+    fn len(&self) -> usize;
+    /// Whether the set is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Removes every element, keeping allocations for reuse.
+    fn clear(&mut self);
+    /// Iterates the elements in unspecified order.
+    fn iter<'a>(&'a self) -> impl Iterator<Item = &'a T> + 'a
+    where
+        T: 'a;
+}
+
+/// Fixed-capacity inline set: up to `N` elements in a plain array,
+/// membership by linear scan. No heap allocation, one cache line for
+/// small `N`.
+#[derive(Debug, Clone)]
+pub struct ArraySet<T, const N: usize> {
+    items: [T; N],
+    len: usize,
+}
+
+impl<T: SetElement, const N: usize> Default for ArraySet<T, N> {
+    fn default() -> Self {
+        Self {
+            items: [T::default(); N],
+            len: 0,
+        }
+    }
+}
+
+impl<T: SetElement, const N: usize> ArraySet<T, N> {
+    /// Inserts `v`; `true` when it was not already present. The caller
+    /// must keep the set within capacity (see [`ArraySet::is_full`]);
+    /// overflow is a logic error.
+    pub fn insert(&mut self, v: T) -> bool {
+        if self.contains(&v) {
+            return false;
+        }
+        assert!(self.len < N, "ArraySet overflow: capacity {N}");
+        self.items[self.len] = v;
+        self.len += 1;
+        true
+    }
+
+    /// Whether `v` is present.
+    pub fn contains(&self, v: &T) -> bool {
+        self.items[..self.len].contains(v)
+    }
+
+    /// Removes `v`; `true` when it was present. Order is not preserved.
+    pub fn remove(&mut self, v: &T) -> bool {
+        match self.items[..self.len].iter().position(|x| x == v) {
+            Some(i) => {
+                self.len -= 1;
+                self.items.swap(i, self.len);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether another insert of a fresh element would overflow.
+    pub fn is_full(&self) -> bool {
+        self.len == N
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Iterates the elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items[..self.len].iter()
+    }
+}
+
+impl<T: SetElement, const N: usize> DynamicSet<T> for ArraySet<T, N> {
+    fn with_capacity(_capacity: usize) -> Self {
+        Self::default()
+    }
+    fn insert(&mut self, v: T) -> bool {
+        ArraySet::insert(self, v)
+    }
+    fn contains(&self, v: &T) -> bool {
+        ArraySet::contains(self, v)
+    }
+    fn remove(&mut self, v: &T) -> bool {
+        ArraySet::remove(self, v)
+    }
+    fn len(&self) -> usize {
+        ArraySet::len(self)
+    }
+    fn clear(&mut self) {
+        ArraySet::clear(self);
+    }
+    fn iter<'a>(&'a self) -> impl Iterator<Item = &'a T> + 'a
+    where
+        T: 'a,
+    {
+        ArraySet::iter(self)
+    }
+}
+
+impl<'a, T: SetElement, const N: usize> IntoIterator for &'a ArraySet<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// Adaptive small set: an inline [`ArraySet`] up to `N` elements, a
+/// spilled `HashSet` beyond. Spilling is one-way (no shrink hysteresis —
+/// a row that grew once tends to grow again), except that
+/// [`SpillSet::clear`] keeps the spilled table's allocation for reuse.
+#[derive(Debug, Clone)]
+pub struct SpillSet<T: SetElement, const N: usize>(Repr<T, N>);
+
+#[derive(Debug, Clone)]
+enum Repr<T: SetElement, const N: usize> {
+    Inline(ArraySet<T, N>),
+    Spilled(HashSet<T>),
+}
+
+impl<T: SetElement, const N: usize> Default for SpillSet<T, N> {
+    fn default() -> Self {
+        Self(Repr::Inline(ArraySet::default()))
+    }
+}
+
+impl<T: SetElement, const N: usize> SpillSet<T, N> {
+    /// An empty set; spilled from the start when `capacity` exceeds the
+    /// inline threshold.
+    pub fn with_capacity(capacity: usize) -> Self {
+        if capacity > N {
+            Self(Repr::Spilled(HashSet::with_capacity(capacity)))
+        } else {
+            Self::default()
+        }
+    }
+
+    /// Inserts `v`; `true` when it was not already present.
+    pub fn insert(&mut self, v: T) -> bool {
+        match &mut self.0 {
+            Repr::Inline(a) => {
+                if a.contains(&v) {
+                    false
+                } else if a.is_full() {
+                    let mut spilled: HashSet<T> = a.iter().copied().collect();
+                    spilled.insert(v);
+                    self.0 = Repr::Spilled(spilled);
+                    true
+                } else {
+                    a.insert(v)
+                }
+            }
+            Repr::Spilled(h) => h.insert(v),
+        }
+    }
+
+    /// Whether `v` is present.
+    pub fn contains(&self, v: &T) -> bool {
+        match &self.0 {
+            Repr::Inline(a) => a.contains(v),
+            Repr::Spilled(h) => h.contains(v),
+        }
+    }
+
+    /// Removes `v`; `true` when it was present.
+    pub fn remove(&mut self, v: &T) -> bool {
+        match &mut self.0 {
+            Repr::Inline(a) => a.remove(v),
+            Repr::Spilled(h) => h.remove(v),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match &self.0 {
+            Repr::Inline(a) => a.len(),
+            Repr::Spilled(h) => h.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every element; a spilled table keeps its allocation.
+    pub fn clear(&mut self) {
+        match &mut self.0 {
+            Repr::Inline(a) => a.clear(),
+            Repr::Spilled(h) => h.clear(),
+        }
+    }
+
+    /// Whether the set has spilled to the hash representation
+    /// (diagnostics and tests).
+    pub fn is_spilled(&self) -> bool {
+        matches!(self.0, Repr::Spilled(_))
+    }
+
+    /// Iterates the elements in unspecified order.
+    pub fn iter(&self) -> SpillIter<'_, T> {
+        match &self.0 {
+            Repr::Inline(a) => SpillIter(IterRepr::Inline(a.iter())),
+            Repr::Spilled(h) => SpillIter(IterRepr::Spilled(h.iter())),
+        }
+    }
+}
+
+impl<T: SetElement, const N: usize> DynamicSet<T> for SpillSet<T, N> {
+    fn with_capacity(capacity: usize) -> Self {
+        SpillSet::with_capacity(capacity)
+    }
+    fn insert(&mut self, v: T) -> bool {
+        SpillSet::insert(self, v)
+    }
+    fn contains(&self, v: &T) -> bool {
+        SpillSet::contains(self, v)
+    }
+    fn remove(&mut self, v: &T) -> bool {
+        SpillSet::remove(self, v)
+    }
+    fn len(&self) -> usize {
+        SpillSet::len(self)
+    }
+    fn clear(&mut self) {
+        SpillSet::clear(self);
+    }
+    fn iter<'a>(&'a self) -> impl Iterator<Item = &'a T> + 'a
+    where
+        T: 'a,
+    {
+        SpillSet::iter(self)
+    }
+}
+
+/// Iterator over a [`SpillSet`].
+pub struct SpillIter<'a, T>(IterRepr<'a, T>);
+
+enum IterRepr<'a, T> {
+    Inline(std::slice::Iter<'a, T>),
+    Spilled(std::collections::hash_set::Iter<'a, T>),
+}
+
+impl<'a, T> Iterator for SpillIter<'a, T> {
+    type Item = &'a T;
+    fn next(&mut self) -> Option<&'a T> {
+        match &mut self.0 {
+            IterRepr::Inline(it) => it.next(),
+            IterRepr::Spilled(it) => it.next(),
+        }
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.0 {
+            IterRepr::Inline(it) => it.size_hint(),
+            IterRepr::Spilled(it) => it.size_hint(),
+        }
+    }
+}
+
+impl<'a, T: SetElement, const N: usize> IntoIterator for &'a SpillSet<T, N> {
+    type Item = &'a T;
+    type IntoIter = SpillIter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<T: SetElement, const N: usize> FromIterator<T> for SpillSet<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = Self::default();
+        for v in iter {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl<T: SetElement, const N: usize> Extend<T> for SpillSet<T, N> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_set_basics() {
+        let mut a: ArraySet<u32, 4> = ArraySet::default();
+        assert!(a.is_empty());
+        assert!(a.insert(3));
+        assert!(!a.insert(3));
+        assert!(a.insert(1) && a.insert(2) && a.insert(9));
+        assert!(a.is_full());
+        assert_eq!(a.len(), 4);
+        assert!(a.contains(&9) && !a.contains(&7));
+        assert!(a.remove(&3));
+        assert!(!a.remove(&3));
+        assert_eq!(a.len(), 3);
+        let mut got: Vec<u32> = a.iter().copied().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ArraySet overflow")]
+    fn array_set_overflow_is_loud() {
+        let mut a: ArraySet<u32, 2> = ArraySet::default();
+        a.insert(1);
+        a.insert(2);
+        a.insert(3);
+    }
+
+    #[test]
+    fn spill_set_crosses_boundary_and_back() {
+        let mut s: SpillSet<u32, 4> = SpillSet::default();
+        for v in 0..4 {
+            assert!(s.insert(v));
+        }
+        assert!(!s.is_spilled());
+        assert!(!s.insert(2), "duplicate at full inline must not spill");
+        assert!(!s.is_spilled());
+        assert!(s.insert(4));
+        assert!(s.is_spilled());
+        assert_eq!(s.len(), 5);
+        for v in 0..5 {
+            assert!(s.contains(&v));
+        }
+        // Shrinking below N keeps the spilled representation (hysteresis).
+        assert!(s.remove(&0) && s.remove(&1));
+        assert_eq!(s.len(), 3);
+        assert!(s.is_spilled());
+        s.clear();
+        assert!(s.is_empty() && s.is_spilled());
+    }
+
+    #[test]
+    fn with_capacity_pre_spills() {
+        let s: SpillSet<u32, 4> = SpillSet::with_capacity(16);
+        assert!(s.is_spilled());
+        let s: SpillSet<u32, 4> = SpillSet::with_capacity(3);
+        assert!(!s.is_spilled());
+    }
+
+    #[test]
+    fn from_iterator_dedups() {
+        let s: SpillSet<u32, 4> = [1, 2, 2, 3, 1].into_iter().collect();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_spilled());
+    }
+
+    #[test]
+    fn trait_object_style_usage_is_generic() {
+        fn exercise<S: DynamicSet<u64>>() -> usize {
+            let mut s = S::with_capacity(8);
+            for v in 0..6 {
+                s.insert(v);
+            }
+            s.remove(&0);
+            assert!(!s.is_empty());
+            s.iter().count()
+        }
+        assert_eq!(exercise::<ArraySet<u64, 8>>(), 5);
+        assert_eq!(exercise::<SpillSet<u64, 2>>(), 5);
+    }
+}

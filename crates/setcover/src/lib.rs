@@ -27,7 +27,9 @@
 #![warn(missing_docs)]
 
 mod cover;
+mod dynamicset;
 mod level;
 
-pub use cover::{CoverError, DynamicSetCover, ElemId, SetId};
+pub use cover::{CoverError, DynamicSetCover, ElemId, ElemRow, SetId, SetRow};
+pub use dynamicset::{ArraySet, DynamicSet, SetElement, SpillIter, SpillSet};
 pub use level::LevelBase;

@@ -2,7 +2,7 @@
 //! sequences and stays within the Theorem-1 approximation bound.
 
 use proptest::prelude::*;
-use rms_setcover::{DynamicSetCover, ElemId, LevelBase, SetId};
+use rms_setcover::{DynamicSetCover, ElemId, LevelBase, SetId, SpillSet};
 use std::collections::HashSet;
 
 #[derive(Debug, Clone)]
@@ -163,5 +163,39 @@ proptest! {
         }
         c.greedy().unwrap();
         c.check_invariants().map_err(TestCaseError::fail)?;
+    }
+
+    /// The small-set row representation behaves exactly like a `HashSet`
+    /// across the inline→spill boundary: with inline capacity 4 and keys
+    /// drawn from a small domain, random insert/remove/clear scripts
+    /// repeatedly cross N in both directions.
+    #[test]
+    fn spill_set_matches_hashset_model(
+        ops in prop::collection::vec((0u8..3, 0u64..12), 0..200),
+    ) {
+        let mut fast: SpillSet<u64, 4> = SpillSet::default();
+        let mut model: HashSet<u64> = HashSet::new();
+        for (kind, key) in ops {
+            match kind {
+                0 => prop_assert_eq!(fast.insert(key), model.insert(key)),
+                1 => prop_assert_eq!(fast.remove(&key), model.remove(&key)),
+                _ => {
+                    // Clear rarely relative to insert/remove so the set
+                    // actually grows past the inline capacity.
+                    if key == 0 {
+                        fast.clear();
+                        model.clear();
+                    }
+                }
+            }
+            prop_assert_eq!(fast.contains(&key), model.contains(&key));
+            prop_assert_eq!(fast.len(), model.len());
+            prop_assert_eq!(fast.is_empty(), model.is_empty());
+        }
+        let mut got: Vec<u64> = fast.iter().copied().collect();
+        got.sort_unstable();
+        let mut want: Vec<u64> = model.into_iter().collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
     }
 }

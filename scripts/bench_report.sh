@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Runs the perf-gating benches (batch + serve) and assembles a
+# machine-readable report, one labelled run per invocation:
+#
+#   scripts/bench_report.sh --label before                  # smoke + default
+#   scripts/bench_report.sh --label after
+#   scripts/bench_report.sh --label ci --scales smoke --out /tmp/ci.json
+#
+# The report file is JSON of the shape
+#   { "<label>": { "scales": { "<scale>": { "batch": {...}, "serve": {...} } } } }
+# and an existing report is merged into, not clobbered — running with
+# --label before and then --label after yields the before/after document
+# perf PRs check in as BENCH_7.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+label="run"
+out="BENCH_7.json"
+scales="smoke,default"
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --label) label="$2"; shift 2 ;;
+        --out) out="$2"; shift 2 ;;
+        --scales) scales="$2"; shift 2 ;;
+        -h|--help)
+            sed -n '2,12p' "$0"; exit 0 ;;
+        *) echo "bench_report.sh: unknown argument $1" >&2; exit 2 ;;
+    esac
+done
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+cargo build --release -p rms-bench --bins >&2
+
+run_scale() {
+    scale="$1"
+    batch_json="$workdir/batch_$scale.json"
+    serve_json="$workdir/serve_$scale.json"
+    case "$scale" in
+        smoke)
+            # Sub-minute configuration: proves the report format and gives a
+            # quick relative signal. Serve uses its built-in smoke profile.
+            ./target/release/batch --n 400 --ops 200 --r 10 --max-m 256 \
+                --json "$batch_json" >&2
+            KRMS_BENCH_SMOKE=1 ./target/release/serve --json "$serve_json" >&2
+            ;;
+        default)
+            # The bench binaries' default scale: the numbers PRs gate on.
+            ./target/release/batch --json "$batch_json" >&2
+            ./target/release/serve --json "$serve_json" >&2
+            ;;
+        *)
+            echo "bench_report.sh: unknown scale $scale (smoke|default)" >&2
+            exit 2
+            ;;
+    esac
+    printf '{"batch":%s,"serve":%s}' "$(cat "$batch_json")" "$(cat "$serve_json")"
+}
+
+IFS=',' read -r -a scale_list <<< "$scales"
+scales_json="{"
+first=1
+for scale in "${scale_list[@]}"; do
+    echo "=== bench_report: scale=$scale ===" >&2
+    fragment="$(run_scale "$scale")"
+    [ "$first" = 1 ] || scales_json="$scales_json,"
+    scales_json="$scales_json\"$scale\":$fragment"
+    first=0
+done
+scales_json="$scales_json}"
+run_json="{\"scales\":$scales_json}"
+
+# Merge into the existing report (or create it) under the label key.
+merged="$workdir/merged.json"
+if command -v jq >/dev/null 2>&1; then
+    base="{}"
+    [ -s "$out" ] && base="$(cat "$out")"
+    printf '%s' "$base" | jq --arg lbl "$label" --argjson run "$run_json" \
+        '.[$lbl] = $run' > "$merged"
+elif command -v python3 >/dev/null 2>&1; then
+    RUN_JSON="$run_json" OUT="$out" LABEL="$label" python3 - > "$merged" <<'EOF'
+import json, os
+out, label = os.environ["OUT"], os.environ["LABEL"]
+doc = {}
+if os.path.exists(out) and os.path.getsize(out) > 0:
+    with open(out) as f:
+        doc = json.load(f)
+doc[label] = json.loads(os.environ["RUN_JSON"])
+print(json.dumps(doc, indent=2))
+EOF
+else
+    echo "bench_report.sh: need jq or python3 to merge reports" >&2
+    exit 2
+fi
+mv "$merged" "$out"
+echo "bench_report: wrote label '$label' to $out" >&2
