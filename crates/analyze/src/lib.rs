@@ -13,6 +13,7 @@
 //! | `wire-grammar` | the verb/`OK`/`ERR`/`DELTA` vocabulary of `crates/serve` protocol files and `rms-client` must match exactly |
 //! | `lock-poison-policy` | `lock()`/`read()`/`write()` results go through `recover_poisoned`, not ad-hoc unwraps |
 //! | `index-no-box-node` | no per-node `Box` allocations in `crates/index/src` — the trees stay flat struct-of-arrays |
+//! | `metric-name-discipline` | `rms-metrics` registrations use literal `snake_case` names with an `rms_<subsystem>_` prefix, each family registered from exactly one call site |
 //!
 //! Any finding can be suppressed in place with
 //! `// rms-analyze: allow(<rule-id>, "<reason>")` — on the offending
@@ -29,7 +30,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 pub use rules::{
-    ALL_RULES, RULE_BOXNODE, RULE_GUARD, RULE_POISON, RULE_PRAGMA, RULE_UNWRAP, RULE_WIRE,
+    ALL_RULES, RULE_BOXNODE, RULE_GUARD, RULE_METRIC, RULE_POISON, RULE_PRAGMA, RULE_UNWRAP,
+    RULE_WIRE,
 };
 
 /// The outcome of an analysis run.
@@ -144,8 +146,8 @@ fn rule_applies(rule: &'static str, rel: &Path) -> bool {
         rules::RULE_POISON => true,
         // The flat-layout guarantee is an index-crate invariant.
         rules::RULE_BOXNODE => rel.starts_with("crates/index/src"),
-        // R3 is cross-file; handled separately in `analyze`.
-        rules::RULE_WIRE => false,
+        // R3 and R6 are cross-file; handled separately in `analyze`.
+        rules::RULE_WIRE | rules::RULE_METRIC => false,
         _ => false,
     }
 }
@@ -229,7 +231,19 @@ fn analyze(sources: &[SourceFile], opts: &Options) -> Report {
             raw.extend(rules::wire_grammar(&server, &client));
         }
     }
+    if opts.rules.contains(&rules::RULE_METRIC) {
+        raw.extend(rules::metric_name_discipline(&borrow_all(sources)));
+    }
     apply_pragmas(sources, raw)
+}
+
+/// Borrows every source as the `(path, tokens)` pair the cross-file
+/// rules take.
+fn borrow_all(sources: &[SourceFile]) -> Vec<(&Path, &[Token])> {
+    sources
+        .iter()
+        .map(|sf| (sf.path.as_path(), sf.lex.tokens.as_slice()))
+        .collect()
 }
 
 fn analyze_adhoc(sources: &[SourceFile], opts: &Options) -> Report {
@@ -261,6 +275,9 @@ fn analyze_adhoc(sources: &[SourceFile], opts: &Options) -> Report {
         if !server.is_empty() && !client.is_empty() {
             raw.extend(rules::wire_grammar(&server, &client));
         }
+    }
+    if opts.rules.contains(&rules::RULE_METRIC) {
+        raw.extend(rules::metric_name_discipline(&borrow_all(sources)));
     }
     apply_pragmas(sources, raw)
 }

@@ -47,6 +47,8 @@ pub const RULE_WIRE: &str = "wire-grammar";
 pub const RULE_POISON: &str = "lock-poison-policy";
 /// Rule id for [`index_no_box_node`].
 pub const RULE_BOXNODE: &str = "index-no-box-node";
+/// Rule id for [`metric_name_discipline`].
+pub const RULE_METRIC: &str = "metric-name-discipline";
 /// Pseudo-rule id for pragma hygiene findings (malformed, unknown rule,
 /// unused) — not allowable by pragma, on purpose.
 pub const RULE_PRAGMA: &str = "pragma";
@@ -58,6 +60,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_WIRE,
     RULE_POISON,
     RULE_BOXNODE,
+    RULE_METRIC,
 ];
 
 /// Method/function names whose calls block (or may block arbitrarily
@@ -392,6 +395,106 @@ pub fn index_no_box_node(file: &Path, toks: &[Token]) -> Vec<Finding> {
                  `// rms-analyze: allow({RULE_BOXNODE}, \"…\")`)"
             ),
         });
+    }
+    findings
+}
+
+/// The `rms-metrics` registration methods R6 audits. Their first
+/// argument is the metric family name.
+const METRIC_REGISTER_CALLS: &[&str] = &[
+    "register_counter",
+    "register_gauge",
+    "register_histogram",
+    "register_histogram_values",
+];
+
+/// The naming discipline `rms_metrics::validate_metric_name` enforces at
+/// runtime, restated here so the analyzer catches violations at lint
+/// time: ASCII `snake_case` over `[a-z0-9_]`, no empty `_`-separated
+/// segment, and an `rms_<subsystem>_` prefix (≥ 3 segments).
+fn metric_name_ok(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        && name.split('_').all(|s| !s.is_empty())
+        && name.split('_').next() == Some("rms")
+        && name.split('_').count() >= 3
+}
+
+/// **R6 — `metric-name-discipline`.** Cross-file: every
+/// `register_counter`/`register_gauge`/`register_histogram`/
+/// `register_histogram_values` call must pass its metric name as a
+/// string literal (so the catalog is statically auditable) that is
+/// `snake_case` with an `rms_<subsystem>_` prefix, and each family name
+/// must be registered from exactly one source location — one site owns
+/// each family, so STATS/METRICS/README can never disagree about where
+/// a number comes from. (One site may execute many times: per-shard or
+/// per-verb loops register many series from their one call.)
+pub fn metric_name_discipline(files: &[(&Path, &[Token])]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    // family name → first registration site
+    let mut sites: BTreeMap<String, (PathBuf, u32)> = BTreeMap::new();
+    for (path, toks) in files {
+        for i in 0..toks.len() {
+            if toks[i].in_test {
+                continue;
+            }
+            let Some(method) = call_of(toks, i, METRIC_REGISTER_CALLS) else {
+                continue;
+            };
+            // `call_of` matched `.name(` or `::name(` starting at i;
+            // the first argument follows the open paren.
+            let arg_at = if punct(toks.get(i), '.') {
+                i + 3
+            } else {
+                i + 4
+            };
+            let line = toks[arg_at - 2].line;
+            let Some(Tok::Str(name)) = toks.get(arg_at).map(|t| &t.tok) else {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line,
+                    rule: RULE_METRIC,
+                    msg: format!(
+                        "`{method}(…)` takes a non-literal metric name; pass a string \
+                         literal so the metric catalog stays statically auditable"
+                    ),
+                });
+                continue;
+            };
+            if !metric_name_ok(name) {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line,
+                    rule: RULE_METRIC,
+                    msg: format!(
+                        "metric name `{name}` violates the naming discipline: snake_case \
+                         over [a-z0-9_] with an `rms_<subsystem>_` prefix"
+                    ),
+                });
+                continue;
+            }
+            match sites.get(name.as_str()) {
+                None => {
+                    sites.insert(name.clone(), (path.to_path_buf(), line));
+                }
+                Some((first_file, first_line)) => {
+                    findings.push(Finding {
+                        file: path.to_path_buf(),
+                        line,
+                        rule: RULE_METRIC,
+                        msg: format!(
+                            "metric `{name}` is registered more than once (first at {}:{}); \
+                             one call site owns each family — share the instrument handle \
+                             instead",
+                            first_file.display(),
+                            first_line
+                        ),
+                    });
+                }
+            }
+        }
     }
     findings
 }

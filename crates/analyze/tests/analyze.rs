@@ -95,11 +95,12 @@ fn r3_wire_grammar() {
     let text = stdout(&out);
     assert_eq!(
         count_rule(&out, "wire-grammar"),
-        2,
-        "expected ERR and NACK drift:\n{text}"
+        3,
+        "expected ERR, METRICS, and NACK drift:\n{text}"
     );
     assert!(text.contains("`ERR`"), "missing ERR drift:\n{text}");
     assert!(text.contains("`NACK`"), "missing NACK drift:\n{text}");
+    assert!(text.contains("`METRICS`"), "missing METRICS drift:\n{text}");
 
     let out = run(&[&fixture("r3_protocol_ok.rs"), &fixture("r3_client_ok.rs")]);
     assert!(
@@ -145,6 +146,54 @@ fn r5_index_no_box_node() {
         "clean fixture flagged:\n{}",
         stdout(&out)
     );
+}
+
+#[test]
+fn r6_metric_name_discipline() {
+    let out = run(&[&fixture("r6_violating.rs")]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert_eq!(
+        count_rule(&out, "metric-name-discipline"),
+        4,
+        "expected unprefixed + camelCase + duplicate + non-literal:\n{text}"
+    );
+    assert!(text.contains("`requests_total` violates"), "{text}");
+    assert!(
+        text.contains("`rms_tcp_activeSubscribers` violates"),
+        "{text}"
+    );
+    assert!(text.contains("registered more than once"), "{text}");
+    assert!(text.contains("non-literal metric name"), "{text}");
+
+    let out = run(&[&fixture("r6_clean.rs")]);
+    assert!(
+        out.status.success(),
+        "clean fixture flagged:\n{}",
+        stdout(&out)
+    );
+}
+
+/// The real wire implementations both speak the `METRICS` verb: the
+/// workspace pin above proves the two vocabularies *match*, this proves
+/// the verb this PR added is actually *in* them (matching-by-omission
+/// would pass the pin).
+#[test]
+fn wire_vocabulary_includes_metrics_verb() {
+    use rms_analyze::lexer::lex;
+    use rms_analyze::rules::wire_vocabulary;
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for rel in ["crates/serve/src/protocol.rs", "crates/client/src/lib.rs"] {
+        let path = root.join(rel);
+        let src = std::fs::read_to_string(&path).expect("read wire file");
+        let files = vec![(path.clone(), lex(&src).tokens)];
+        let vocab = wire_vocabulary(&files);
+        assert!(
+            vocab.contains_key("METRICS"),
+            "{rel} does not speak METRICS; vocabulary: {:?}",
+            vocab.keys().collect::<Vec<_>>()
+        );
+    }
 }
 
 #[test]

@@ -11,3 +11,7 @@ fn classify(line: &str) -> bool {
 fn greet() -> &'static str {
     "HELLO v1"
 }
+
+fn scrape_request() -> &'static str {
+    "METRICS"
+}

@@ -1,6 +1,7 @@
-// Fixture (server half of a drifted pair): speaks HELLO/OK/ERR. The
-// client half speaks HELLO/OK/NACK — expected findings: `ERR` has no
-// client-side occurrence, `NACK` has no server-side occurrence.
+// Fixture (server half of a drifted pair): speaks HELLO/OK/ERR/METRICS.
+// The client half speaks HELLO/OK/NACK — expected findings: `ERR` and
+// `METRICS` have no client-side occurrence, `NACK` has no server-side
+// occurrence.
 
 fn reply(ok: bool) -> String {
     if ok {
@@ -12,4 +13,8 @@ fn reply(ok: bool) -> String {
 
 fn greet() -> &'static str {
     "HELLO v1"
+}
+
+fn exposition_header() -> &'static str {
+    "METRICS"
 }

@@ -12,3 +12,8 @@ fn reply(ok: bool) -> String {
 fn greet() -> &'static str {
     "HELLO v1"
 }
+
+fn exposition_header(lines: usize) -> String {
+    let _ = lines;
+    "METRICS".to_string()
+}

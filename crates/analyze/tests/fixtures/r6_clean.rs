@@ -1,0 +1,45 @@
+// Fixture: disciplined metric registrations — literal snake_case names
+// with an `rms_<subsystem>_` prefix, each family owned by exactly one
+// call site (a loop may register many series from its one site).
+// Expected findings: none.
+
+struct Metrics {
+    applied: Counter,
+    depth: Gauge,
+    fsync: Histogram,
+    requests: Vec<Counter>,
+}
+
+impl Metrics {
+    fn register(registry: &Registry) -> Self {
+        Metrics {
+            applied: registry.register_counter(
+                "rms_applier_ops_applied_total",
+                "Operations the engine accepted.",
+                &[],
+            ),
+            depth: registry.register_gauge("rms_applier_queue_depth", "Queued ops.", &[]),
+            fsync: registry.register_histogram("rms_wal_fsync_seconds", "Fsync latency.", &[]),
+            requests: ["query", "stats"]
+                .iter()
+                .map(|verb| {
+                    registry.register_counter(
+                        "rms_tcp_requests_total",
+                        "Requests handled, by verb.",
+                        &[("verb", verb)],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_reregister_junk() {
+        let registry = Registry::new();
+        let _ = registry.register_counter("not_prefixed", "h", &[]);
+        let _ = registry.register_counter("rms_applier_ops_applied_total", "h", &[]);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: metric-name-discipline violations. Expected findings: 4 —
+// the unprefixed name, the camelCase name, the duplicate registration
+// of `rms_tcp_requests_total`, and the non-literal name.
+
+fn register_all(registry: &Registry, dynamic_name: &str) {
+    // Missing the `rms_<subsystem>_` prefix.
+    let _ = registry.register_counter("requests_total", "h", &[]);
+    // Not snake_case.
+    let _ = registry.register_gauge("rms_tcp_activeSubscribers", "h", &[]);
+    // First registration: fine on its own…
+    let _ = registry.register_counter("rms_tcp_requests_total", "h", &[("verb", "query")]);
+    // …but a second call site for the same family splits ownership.
+    let _ = registry.register_counter("rms_tcp_requests_total", "h", &[("verb", "stats")]);
+    // Non-literal names defeat the static catalog audit.
+    let _ = registry.register_histogram(dynamic_name, "h", &[]);
+}

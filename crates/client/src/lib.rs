@@ -1,7 +1,7 @@
 //! # rms-client — a typed, std-only client for the krms serving protocol
 //!
 //! Speaks the line protocol of `rms-serve`'s TCP front end (v1 verbs
-//! plus the v2 `HELLO`/`BATCH`/`SUBSCRIBE` extensions) over a plain
+//! plus the v2 `HELLO`/`BATCH`/`SUBSCRIBE`/`METRICS` extensions) over a plain
 //! `std::net::TcpStream`. The encoding and reply parsing are
 //! implemented here from the protocol specification, *not* shared with
 //! the server crate, so the wire format has two independent in-tree
@@ -347,6 +347,32 @@ impl RmsClient {
         Ok(ServerStats {
             fields: parse_fields(&reply),
         })
+    }
+
+    /// Reads the server's Prometheus text exposition (`METRICS`,
+    /// requires a v2 server, which [`RmsClient::connect`] negotiates):
+    /// the `OK metrics lines=N` header is followed by `N` raw exposition
+    /// lines, returned joined with `\n` (trailing newline included, as
+    /// a scrape endpoint would serve it; empty string when the server
+    /// exposes no metric families).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.roundtrip("METRICS")?;
+        let lines: usize = field(&reply, "lines")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("no lines= in metrics ack `{reply}`")))?;
+        let mut body = String::new();
+        let mut line = String::new();
+        for i in 0..lines {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(format!(
+                    "metrics body truncated: got {i} of {lines} lines"
+                )));
+            }
+            body.push_str(line.trim_end_matches(['\r', '\n']));
+            body.push('\n');
+        }
+        Ok(body)
     }
 
     /// Asks the server to drain and stop (`SHUTDOWN`).

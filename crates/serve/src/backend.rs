@@ -18,6 +18,7 @@ use crate::sharded::{AggregateSnapshot, ShardedHandle, ShardedRmsService};
 use crate::snapshot::{ResultSnapshot, ServiceStats, SnapshotDelta};
 use fdrms::{FdRms, Op};
 use rms_geom::{Point, PointId};
+use rms_metrics::Registry;
 use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, TryRecvError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -264,6 +265,13 @@ pub trait RmsBackend: Send + Sized + 'static {
     /// The number of shards (1 for a single service).
     fn shards(&self) -> usize;
 
+    /// The metrics registry every subsystem of this backend reports
+    /// into: applier and WAL families (labeled `shard="N"` for a shard
+    /// group), plus whatever the front end registers (the TCP server
+    /// adds its connection/request families here). Front ends encode it
+    /// for the `METRICS` verb and the `/metrics` endpoint.
+    fn registry(&self) -> &Arc<Registry>;
+
     /// Graceful shutdown: drains every acknowledged op, compacts
     /// write-ahead logs when configured, and returns the engines,
     /// indexed by shard (one element for a single service).
@@ -300,6 +308,10 @@ impl RmsBackend for RmsService {
         1
     }
 
+    fn registry(&self) -> &Arc<Registry> {
+        RmsService::registry(self)
+    }
+
     fn shutdown(self) -> Vec<FdRms> {
         vec![RmsService::shutdown(self)]
     }
@@ -326,6 +338,10 @@ impl RmsBackend for ShardedRmsService {
 
     fn shards(&self) -> usize {
         ShardedRmsService::shards(self)
+    }
+
+    fn registry(&self) -> &Arc<Registry> {
+        ShardedRmsService::registry(self)
     }
 
     fn shutdown(self) -> Vec<FdRms> {

@@ -25,10 +25,15 @@
 //!   out and keep it as long as they like.
 //! * A `std::net`-only [TCP front end](crate::tcp) speaks a small
 //!   [line protocol](crate::protocol) (`INSERT`/`DELETE`/`UPDATE`/
-//!   `QUERY`/`STATS`/`SHUTDOWN`, plus the v2 `HELLO`/`BATCH`/`SUBSCRIBE`
-//!   verbs) over the same handles, wired into the `krms serve` CLI
-//!   subcommand. The in-tree `rms-client` crate is a typed, std-only
-//!   client for it.
+//!   `QUERY`/`STATS`/`SHUTDOWN`, plus the v2 `HELLO`/`BATCH`/
+//!   `SUBSCRIBE`/`METRICS` verbs) over the same handles, wired into the
+//!   `krms serve` CLI subcommand. The in-tree `rms-client` crate is a
+//!   typed, std-only client for it.
+//! * Every subsystem reports into an `rms-metrics`
+//!   [`Registry`](rms_metrics::Registry) — applier latencies, WAL
+//!   activity, per-shard counters, TCP request families — reachable
+//!   through [`RmsBackend::registry`], the `METRICS` verb, and `krms
+//!   serve --metrics-addr`'s `GET /metrics` endpoint.
 //! * [`ShardedRmsService`] scales ingestion across cores: `S`
 //!   independent services, each owning the id partition `id % S`,
 //!   behind a router with the same submit/snapshot/shutdown surface.

@@ -21,11 +21,14 @@
 //!                       submitted with ONE ack for all of them  → OK queued n=<n>
 //! SUBSCRIBE [every=K]   switch the connection to push mode      → OK subscribed every=K epoch=E n=N ids=…
 //!                       then one line per published delta:        DELTA epoch=E from=F n=N +<ids> -<ids>
+//! METRICS               read the Prometheus text exposition     → OK metrics lines=N
+//!                                                                 then N raw exposition lines
 //! ```
 //!
-//! A connection starts at v1; `BATCH` and `SUBSCRIBE` require a prior
-//! `HELLO v2` (the server replies `ERR … requires protocol v2` until
-//! then), so v1 clients can never trip over framing they do not speak.
+//! A connection starts at v1; `BATCH`, `SUBSCRIBE`, and `METRICS`
+//! require a prior `HELLO v2` (the server replies `ERR … requires
+//! protocol v2` until then), so v1 clients can never trip over framing
+//! they do not speak.
 //! `BATCH` is all-or-nothing at the framing level: the server reads all
 //! `n` lines first and submits none of them if any line is malformed.
 //! `SUBSCRIBE every=K` coalesces deltas so at most one `DELTA` line is
@@ -87,6 +90,10 @@ pub enum Request {
         /// published epochs (≥ 1).
         every: u64,
     },
+    /// Read the backend's Prometheus text exposition (v2): the reply
+    /// header `OK metrics lines=N` is followed by `N` raw exposition
+    /// lines.
+    Metrics,
 }
 
 /// Encodes a request into its canonical wire line (no trailing newline).
@@ -110,6 +117,7 @@ pub fn encode_request(req: &Request) -> String {
         Request::Hello(v) => format!("HELLO v{v}"),
         Request::Batch(n) => format!("BATCH {n}"),
         Request::Subscribe { every } => format!("SUBSCRIBE every={every}"),
+        Request::Metrics => "METRICS".into(),
     }
 }
 
@@ -137,6 +145,7 @@ pub fn parse_request(line: &str, d: usize) -> Result<Request, String> {
         "QUERY" => no_args(Request::Query),
         "STATS" => no_args(Request::Stats),
         "SHUTDOWN" => no_args(Request::Shutdown),
+        "METRICS" => no_args(Request::Metrics),
         "HELLO" => {
             let [version] = rest.as_slice() else {
                 return Err("usage: HELLO v<version>".into());
@@ -179,7 +188,7 @@ pub fn parse_request(line: &str, d: usize) -> Result<Request, String> {
         },
         other => Err(format!(
             "unknown command `{other}` (expected INSERT/DELETE/UPDATE/QUERY/STATS/SHUTDOWN, \
-             or v2: HELLO/BATCH/SUBSCRIBE)"
+             or v2: HELLO/BATCH/SUBSCRIBE/METRICS)"
         )),
     }
 }
@@ -255,6 +264,8 @@ mod tests {
             parse_request("SUBSCRIBE every=8", 2),
             Ok(Request::Subscribe { every: 8 })
         );
+        assert_eq!(parse_request("metrics", 2), Ok(Request::Metrics));
+        assert!(parse_request("METRICS now", 2).is_err());
     }
 
     #[test]
@@ -301,6 +312,7 @@ mod tests {
             Request::Hello(2),
             Request::Batch(128),
             Request::Subscribe { every: 4 },
+            Request::Metrics,
         ];
         for req in reqs {
             let line = encode_request(&req);

@@ -9,6 +9,7 @@ use crate::wal::{Wal, WalSyncHandle};
 use fdrms::{FdRms, FdRmsBuilder, FdRmsError, Op};
 use rms_eval::RegretEstimator;
 use rms_geom::Point;
+use rms_metrics::{Counter, Gauge, Histogram, Registry};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender, TrySendError};
@@ -34,6 +35,105 @@ pub(crate) enum Watcher {
 /// applier swaps the cell and broadcasts under it too, so a watcher's
 /// base snapshot and its first delta always line up gap-free.
 type WatcherRegistry = Arc<Mutex<Vec<Watcher>>>;
+
+/// Instrument handles for one service instance, registered once at
+/// start against the backend's [`Registry`] (with a `shard="N"` label
+/// inside a shard group) and cloned wherever the hot paths run: the
+/// applier thread owns the batch/publish instruments, client handles
+/// carry the WAL append counter.
+#[derive(Debug, Clone)]
+pub(crate) struct ServiceMetrics {
+    /// `rms_applier_queue_depth` — refreshed at every publish.
+    queue_depth: Gauge,
+    /// `rms_applier_batch_ops` — coalesced ops per `apply_batch` call.
+    batch_ops: Histogram,
+    /// `rms_applier_apply_seconds` — wall clock per coalesced batch.
+    apply_seconds: Histogram,
+    /// `rms_applier_publish_seconds` — snapshot build + delta fan-out.
+    publish_seconds: Histogram,
+    /// `rms_applier_snapshot_publishes_total`.
+    publishes: Counter,
+    /// `rms_applier_ops_applied_total`.
+    ops_applied: Counter,
+    /// `rms_applier_ops_rejected_total`.
+    ops_rejected: Counter,
+    /// `rms_wal_appends_total` — op frames appended by submitters.
+    wal_appends: Counter,
+    /// `rms_wal_fsync_seconds` — its `_count` is the fsync count.
+    wal_fsync_seconds: Histogram,
+    /// `rms_wal_recovered_ops_total` — ops accepted during replay.
+    wal_recovered_ops: Counter,
+    /// `rms_wal_truncated_tail_bytes_total` — torn bytes dropped at open.
+    wal_truncated_bytes: Counter,
+}
+
+impl ServiceMetrics {
+    /// Registers the applier/WAL families, labeled `shard="N"` inside a
+    /// shard group (every shard shares one registry, so the families
+    /// gain one series per shard).
+    pub(crate) fn register(registry: &Registry, shard: Option<usize>) -> Self {
+        let shard_value = shard.map(|i| i.to_string());
+        let labels: Vec<(&str, &str)> = shard_value.iter().map(|v| ("shard", v.as_str())).collect();
+        let l = labels.as_slice();
+        ServiceMetrics {
+            queue_depth: registry.register_gauge(
+                "rms_applier_queue_depth",
+                "Operations queued behind the applier (sampled at publish).",
+                l,
+            ),
+            batch_ops: registry.register_histogram_values(
+                "rms_applier_batch_ops",
+                "Operations coalesced into one apply_batch call.",
+                l,
+            ),
+            apply_seconds: registry.register_histogram(
+                "rms_applier_apply_seconds",
+                "Wall-clock latency of one coalesced batch apply.",
+                l,
+            ),
+            publish_seconds: registry.register_histogram(
+                "rms_applier_publish_seconds",
+                "Wall-clock latency of one snapshot publish (build plus delta fan-out).",
+                l,
+            ),
+            publishes: registry.register_counter(
+                "rms_applier_snapshot_publishes_total",
+                "Snapshots published by the applier.",
+                l,
+            ),
+            ops_applied: registry.register_counter(
+                "rms_applier_ops_applied_total",
+                "Operations the engine accepted.",
+                l,
+            ),
+            ops_rejected: registry.register_counter(
+                "rms_applier_ops_rejected_total",
+                "Operations validation rejected.",
+                l,
+            ),
+            wal_appends: registry.register_counter(
+                "rms_wal_appends_total",
+                "Op frames appended to the write-ahead log.",
+                l,
+            ),
+            wal_fsync_seconds: registry.register_histogram(
+                "rms_wal_fsync_seconds",
+                "Write-ahead log group-commit fsync latency.",
+                l,
+            ),
+            wal_recovered_ops: registry.register_counter(
+                "rms_wal_recovered_ops_total",
+                "Logged operations accepted during crash replay.",
+                l,
+            ),
+            wal_truncated_bytes: registry.register_counter(
+                "rms_wal_truncated_tail_bytes_total",
+                "Torn-tail bytes truncated from the write-ahead log at open.",
+                l,
+            ),
+        }
+    }
+}
 
 /// Tuning knobs for [`RmsService`].
 #[derive(Debug, Clone, Copy)]
@@ -158,6 +258,7 @@ pub struct RmsHandle {
     cell: Arc<SnapshotCell>,
     wal: Option<Arc<Mutex<Wal>>>,
     watchers: WatcherRegistry,
+    metrics: ServiceMetrics,
 }
 
 impl RmsHandle {
@@ -217,6 +318,7 @@ impl RmsHandle {
             match self.tx.try_send(msg) {
                 Ok(()) => {
                     append_logged(&mut guard, &frame);
+                    self.metrics.wal_appends.inc();
                     return Ok(());
                 }
                 Err(TrySendError::Disconnected(m)) => {
@@ -257,6 +359,7 @@ impl RmsHandle {
             Ok(()) => {
                 if let (Some(guard), Some(frame)) = (guard.as_mut(), frame) {
                     append_logged(guard, &frame);
+                    self.metrics.wal_appends.inc();
                 }
                 Ok(())
             }
@@ -344,6 +447,7 @@ impl RmsHandle {
 pub struct RmsService {
     handle: RmsHandle,
     applier: Option<JoinHandle<FdRms>>,
+    registry: Arc<Registry>,
     dim: usize,
     k: usize,
     r: usize,
@@ -352,14 +456,38 @@ pub struct RmsService {
 impl RmsService {
     /// Builds the engine from `builder` + `initial` (synchronously, so
     /// configuration errors surface here), publishes the epoch-0
-    /// snapshot, and starts the applier thread.
+    /// snapshot, and starts the applier thread. Instruments register
+    /// into a fresh [`Registry::from_env`] (so `KRMS_METRICS_DISABLED`
+    /// is honored); read it back via [`RmsService::registry`].
     pub fn start(
         builder: FdRmsBuilder,
         initial: Vec<Point>,
         cfg: ServeConfig,
     ) -> Result<Self, FdRmsError> {
+        let registry = Arc::new(Registry::from_env());
+        Self::start_labeled(builder, initial, cfg, &registry, None)
+    }
+
+    /// [`RmsService::start`] registering into a caller-supplied registry,
+    /// optionally labeling every family `shard="N"` — how a shard group
+    /// aggregates all its members into one exposition.
+    pub(crate) fn start_labeled(
+        builder: FdRmsBuilder,
+        initial: Vec<Point>,
+        cfg: ServeConfig,
+        registry: &Arc<Registry>,
+        shard: Option<usize>,
+    ) -> Result<Self, FdRmsError> {
         let fd = builder.build(initial)?;
-        Ok(Self::spawn(fd, cfg, None, ServiceStats::default()))
+        let metrics = ServiceMetrics::register(registry, shard);
+        Ok(Self::spawn(
+            fd,
+            cfg,
+            None,
+            ServiceStats::default(),
+            Arc::clone(registry),
+            metrics,
+        ))
     }
 
     /// [`RmsService::start`] with crash durability: opens (or creates)
@@ -387,6 +515,21 @@ impl RmsService {
         initial: Vec<Point>,
         cfg: ServeConfig,
         wal_path: &Path,
+    ) -> Result<Self, ServeError> {
+        let registry = Arc::new(Registry::from_env());
+        Self::start_with_wal_labeled(builder, initial, cfg, wal_path, &registry, None)
+    }
+
+    /// [`RmsService::start_with_wal`] registering into a caller-supplied
+    /// registry, optionally labeled `shard="N"` (see
+    /// [`RmsService::start_labeled`]).
+    pub(crate) fn start_with_wal_labeled(
+        builder: FdRmsBuilder,
+        initial: Vec<Point>,
+        cfg: ServeConfig,
+        wal_path: &Path,
+        registry: &Arc<Registry>,
+        shard: Option<usize>,
     ) -> Result<Self, ServeError> {
         // A `<path>.meta` sidecar means these logs belong to a sharded
         // group (`ShardedRmsService` logs to `<path>.<i>`); opening the
@@ -431,7 +574,17 @@ impl RmsService {
                 }
             }
         }
-        Ok(Self::spawn(fd, cfg, Some(Arc::new(Mutex::new(wal))), stats))
+        let metrics = ServiceMetrics::register(registry, shard);
+        metrics.wal_recovered_ops.add(stats.wal_recovered_ops);
+        metrics.wal_truncated_bytes.add(replay.torn_bytes);
+        Ok(Self::spawn(
+            fd,
+            cfg,
+            Some(Arc::new(Mutex::new(wal))),
+            stats,
+            Arc::clone(registry),
+            metrics,
+        ))
     }
 
     fn spawn(
@@ -439,6 +592,8 @@ impl RmsService {
         cfg: ServeConfig,
         wal: Option<Arc<Mutex<Wal>>>,
         stats: ServiceStats,
+        registry: Arc<Registry>,
+        metrics: ServiceMetrics,
     ) -> Self {
         let dim = fd.dim();
         let k = fd.k();
@@ -459,6 +614,7 @@ impl RmsService {
             let state = Arc::clone(&state);
             let wal = wal.clone();
             let watchers = Arc::clone(&watchers);
+            let metrics = metrics.clone();
             std::thread::Builder::new()
                 .name("rms-applier".into())
                 .spawn(move || {
@@ -472,6 +628,7 @@ impl RmsService {
                         wal_sync.as_ref(),
                         &watchers,
                         stats,
+                        &metrics,
                     )
                 })
                 // rms-analyze: allow(unwrap-nontest, "thread-spawn failure at service construction is unrecoverable; fail fast")
@@ -484,12 +641,21 @@ impl RmsService {
                 cell,
                 wal,
                 watchers,
+                metrics,
             },
             applier: Some(applier),
+            registry,
             dim,
             k,
             r,
         }
+    }
+
+    /// The metrics registry every instrument of this service reports
+    /// into ([`Registry::from_env`]-fresh unless the service was started
+    /// inside a shard group, which shares one registry across shards).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// A new cloneable client handle.
@@ -601,21 +767,24 @@ fn make_snapshot(fd: &FdRms, epoch: u64, stats: ServiceStats, mrr: Option<f64>) 
 /// `replayed_batches`), so `batches` always equals the number of
 /// coalesced batches the applier issued and `avg_apply_ms` stays the
 /// mean wall-clock per coalesced batch.
-fn apply_batch(fd: &mut FdRms, batch: &[Op], stats: &mut ServiceStats) {
+fn apply_batch(fd: &mut FdRms, batch: &[Op], stats: &mut ServiceStats, m: &ServiceMetrics) {
     let n = batch.len();
     if n == 0 {
         return;
     }
     stats.last_batch_ops = n;
     stats.max_coalesced = stats.max_coalesced.max(n);
+    m.batch_ops.record_value(n as u64);
     let t = Instant::now();
     match fd.apply_batch_slice(batch) {
         Ok(report) => {
             stats.rollup.absorb(&report);
             stats.ops_applied += n as u64;
+            m.ops_applied.add(n as u64);
         }
         Err(_) if n == 1 => {
             stats.ops_rejected += 1;
+            m.ops_rejected.inc();
         }
         Err(_) => {
             // The engine rejects a batch atomically on the first invalid
@@ -625,18 +794,24 @@ fn apply_batch(fd: &mut FdRms, batch: &[Op], stats: &mut ServiceStats) {
                     Ok(report) => {
                         stats.rollup.absorb(&report);
                         stats.ops_applied += 1;
+                        m.ops_applied.inc();
                     }
-                    Err(_) => stats.ops_rejected += 1,
+                    Err(_) => {
+                        stats.ops_rejected += 1;
+                        m.ops_rejected.inc();
+                    }
                 }
             }
             stats.replayed_batches += 1;
         }
     }
-    record_apply(stats, t);
+    record_apply(stats, &m.apply_seconds, t);
 }
 
-fn record_apply(stats: &mut ServiceStats, since: Instant) {
-    let ms = since.elapsed().as_secs_f64() * 1e3;
+fn record_apply(stats: &mut ServiceStats, apply_seconds: &Histogram, since: Instant) {
+    let elapsed = since.elapsed();
+    apply_seconds.record(elapsed);
+    let ms = elapsed.as_secs_f64() * 1e3;
     stats.last_apply_ms = ms;
     stats.total_apply_ms += ms;
     stats.batches += 1;
@@ -653,12 +828,18 @@ fn append_logged(wal: &mut Wal, frame: &[u8]) {
 
 /// Group commit: one `fdatasync` per coalesced batch, preferring the
 /// duplicated descriptor (no mutex) and falling back to locking the log.
-fn group_commit(wal: Option<&Arc<Mutex<Wal>>>, sync: Option<&WalSyncHandle>) {
+fn group_commit(
+    wal: Option<&Arc<Mutex<Wal>>>,
+    sync: Option<&WalSyncHandle>,
+    fsync_seconds: &Histogram,
+) {
+    let t = Instant::now();
     let result = match (sync, wal) {
         (Some(sync), _) => sync.sync(),
         (None, Some(wal)) => recover_poisoned(wal.lock()).sync(),
         (None, None) => return,
     };
+    fsync_seconds.record(t.elapsed());
     if let Err(e) = result {
         eprintln!("rms-serve: WAL fsync failed: {e}");
     }
@@ -675,8 +856,11 @@ fn applier_loop(
     wal_sync: Option<&WalSyncHandle>,
     watchers: &WatcherRegistry,
     stats: ServiceStats,
+    metrics: &ServiceMetrics,
 ) -> FdRms {
-    let fd = applier_inner(fd, rx, cell, state, cfg, wal, wal_sync, watchers, stats);
+    let fd = applier_inner(
+        fd, rx, cell, state, cfg, wal, wal_sync, watchers, stats, metrics,
+    );
     // Dropping the senders closes every subscriber's delta stream; the
     // closed ingestion bit (set before any exit path reaches here, or
     // implied by every handle being gone) keeps late registrations
@@ -696,6 +880,7 @@ fn applier_inner(
     wal_sync: Option<&WalSyncHandle>,
     watchers: &WatcherRegistry,
     mut stats: ServiceStats,
+    metrics: &ServiceMetrics,
 ) -> FdRms {
     let max_batch = cfg.max_batch.max(1);
     let estimator = (cfg.mrr_directions > 0)
@@ -762,12 +947,12 @@ fn applier_inner(
             }
         }
         for chunk in ops.chunks(max_batch) {
-            apply_batch(&mut fd, chunk, &mut stats);
+            apply_batch(&mut fd, chunk, &mut stats, metrics);
             // Group commit: the submitters' appends for this batch (and
             // possibly later ones — strictly more durability) reach
             // stable storage with one fdatasync per coalesced batch.
             if cfg.wal_fsync {
-                group_commit(wal, wal_sync);
+                group_commit(wal, wal_sync, &metrics.wal_fsync_seconds);
             }
         }
         if !ops.is_empty() || shutting_down {
@@ -779,6 +964,8 @@ fn applier_inner(
                 }
             }
             stats.queue_depth = state.load(Ordering::Relaxed) & COUNT_MASK;
+            metrics.queue_depth.set(stats.queue_depth as i64);
+            let publish_start = Instant::now();
             let snap = Arc::new(make_snapshot(&fd, epoch, stats, last_mrr));
             // The cell swap and the delta broadcast happen under the
             // registry lock, atomically with any concurrent watcher
@@ -812,6 +999,8 @@ fn applier_inner(
                 });
             }
             drop(registry);
+            metrics.publish_seconds.record(publish_start.elapsed());
+            metrics.publishes.inc();
             prev = snap;
         }
         if shutting_down {
@@ -850,6 +1039,7 @@ mod tests {
             .build(initial)
             .unwrap();
         let mut stats = ServiceStats::default();
+        let metrics = ServiceMetrics::register(&Registry::new(), None);
 
         // 4 ops, one invalid (duplicate insert): atomic rejection, per-op
         // replay salvages 3.
@@ -859,7 +1049,7 @@ mod tests {
             Op::Delete(1),
             Op::Update(Point::new_unchecked(2, vec![0.5, 0.6])),
         ];
-        apply_batch(&mut fd, &batch, &mut stats);
+        apply_batch(&mut fd, &batch, &mut stats, &metrics);
         assert_eq!(stats.batches, 1, "salvage is one logical batch");
         assert_eq!(stats.replayed_batches, 1);
         assert_eq!(stats.ops_applied, 3);
@@ -871,11 +1061,20 @@ mod tests {
             &mut fd,
             &[Op::Insert(Point::new_unchecked(101, vec![0.7, 0.7]))],
             &mut stats,
+            &metrics,
         );
         assert_eq!(stats.batches, 2);
         assert_eq!(stats.replayed_batches, 1);
         assert_eq!(stats.ops_applied, 4);
         assert!(stats.avg_apply_ms() > 0.0);
+        // The registry counters mirror the stats, including through the
+        // per-op salvage path, and the batch-size histogram saw both
+        // coalesced sizes.
+        assert_eq!(metrics.ops_applied.value(), 4);
+        assert_eq!(metrics.ops_rejected.value(), 1);
+        assert_eq!(metrics.batch_ops.count(), 2);
+        assert_eq!(metrics.batch_ops.sum_ns(), 5);
+        assert_eq!(metrics.apply_seconds.count(), 2);
         fd.check_invariants().unwrap();
     }
 }

@@ -22,8 +22,8 @@ use crate::sync::recover_poisoned;
 use fdrms::{FdRms, FdRmsBuilder, Op};
 use rms_baselines::{GreedyStar, StaticRms};
 use rms_geom::Point;
+use rms_metrics::{Counter, Registry};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::channel;
 use std::sync::{Arc, Mutex};
 
@@ -159,12 +159,14 @@ struct Merger {
     k: usize,
     r: usize,
     cache: Mutex<Option<Arc<AggregateSnapshot>>>,
-    /// Reads served by the cached merge (an `Arc` clone).
-    hits: AtomicU64,
+    /// Reads served by the cached merge (an `Arc` clone). Lives in the
+    /// group's metrics registry as `rms_shard_merge_hits_total`, and is
+    /// exposed as `merge_hits=` in `STATS` so the epoch-vector cache's
+    /// effectiveness is observable from outside.
+    hits: Counter,
     /// Reads that had to re-merge because some shard published a new
-    /// epoch. Exposed as `merge_hits=`/`merge_misses=` in `STATS` so the
-    /// epoch-vector cache's effectiveness is observable from outside.
-    misses: AtomicU64,
+    /// epoch (`rms_shard_merge_misses_total` / `merge_misses=`).
+    misses: Counter,
 }
 
 impl Merger {
@@ -173,11 +175,11 @@ impl Merger {
         let snaps: Vec<Arc<ResultSnapshot>> = shards.iter().map(|h| h.snapshot()).collect();
         if let Some(cached) = guard.as_ref() {
             if snaps.iter().zip(&cached.epochs).all(|(s, &e)| s.epoch == e) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 return Arc::clone(cached);
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let merged = Arc::new(self.merge(&snaps));
         *guard = Some(Arc::clone(&merged));
         merged
@@ -267,10 +269,7 @@ impl ShardedHandle {
 
     /// Aggregate-merge cache counters `(hits, misses)` since start.
     pub fn merge_cache_stats(&self) -> (u64, u64) {
-        (
-            self.merger.hits.load(Ordering::Relaxed),
-            self.merger.misses.load(Ordering::Relaxed),
-        )
+        (self.merger.hits.value(), self.merger.misses.value())
     }
 
     /// Subscribes to the group's merged delta stream.
@@ -344,6 +343,7 @@ impl ShardedHandle {
 pub struct ShardedRmsService {
     services: Vec<RmsService>,
     handle: ShardedHandle,
+    registry: Arc<Registry>,
 }
 
 impl ShardedRmsService {
@@ -397,14 +397,24 @@ impl ShardedRmsService {
         for p in initial {
             partitions[(p.id() % shards as u64) as usize].push(p);
         }
+        // One registry for the whole group: every shard's families carry
+        // a `shard="N"` label, so one exposition covers the group.
+        let registry = Arc::new(Registry::from_env());
         let mut services = Vec::with_capacity(shards);
         for (i, part) in partitions.into_iter().enumerate() {
             let service = match wal_base {
-                None => RmsService::start(builder, part, cfg)?,
+                None => RmsService::start_labeled(builder, part, cfg, &registry, Some(i))?,
                 Some(base) => {
                     let mut path = base.as_os_str().to_os_string();
                     path.push(format!(".{i}"));
-                    RmsService::start_with_wal(builder, part, cfg, &PathBuf::from(path))?
+                    RmsService::start_with_wal_labeled(
+                        builder,
+                        part,
+                        cfg,
+                        &PathBuf::from(path),
+                        &registry,
+                        Some(i),
+                    )?
                 }
             };
             services.push(service);
@@ -419,19 +429,37 @@ impl ShardedRmsService {
             k: services[0].k(),
             r: services[0].r(),
             cache: Mutex::new(None),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: registry.register_counter(
+                "rms_shard_merge_hits_total",
+                "Merged-snapshot reads served from the epoch-vector cache.",
+                &[],
+            ),
+            misses: registry.register_counter(
+                "rms_shard_merge_misses_total",
+                "Merged-snapshot reads that re-merged after a shard published.",
+                &[],
+            ),
         });
         let handle = ShardedHandle {
             shards: services.iter().map(RmsService::handle).collect(),
             merger,
         };
-        Ok(Self { services, handle })
+        Ok(Self {
+            services,
+            handle,
+            registry,
+        })
     }
 
     /// A new cloneable client handle.
     pub fn handle(&self) -> ShardedHandle {
         self.handle.clone()
+    }
+
+    /// The group-wide metrics registry: per-shard applier/WAL families
+    /// (labeled `shard="N"`) plus the merge-cache counters.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// See [`ShardedHandle::snapshot`].

@@ -7,15 +7,100 @@ use crate::backend::{BackendView, RmsBackend, RmsBackendHandle};
 use crate::protocol::{parse_request, Request, MAX_BATCH_LINES, PROTOCOL_VERSION};
 use crate::snapshot::SnapshotDelta;
 use fdrms::{FdRms, Op};
+use rms_metrics::{Counter, Gauge, Histogram, Registry};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long an idle `SUBSCRIBE` stream waits before flushing a pending
 /// coalesced delta that has not yet spanned `every` epochs.
 const SUBSCRIBE_IDLE_FLUSH: Duration = Duration::from_millis(200);
+
+/// Label values for the per-verb request families. The last entry,
+/// `invalid`, buckets lines whose leading token is no verb at all;
+/// recognizable-but-malformed requests count under their verb.
+const VERBS: [&str; 11] = [
+    "insert",
+    "delete",
+    "update",
+    "query",
+    "stats",
+    "shutdown",
+    "hello",
+    "batch",
+    "subscribe",
+    "metrics",
+    "invalid",
+];
+
+/// Maps a raw request line to its [`VERBS`] slot.
+fn verb_index(line: &str) -> usize {
+    line.split_whitespace()
+        .next()
+        .and_then(|verb| VERBS.iter().position(|v| verb.eq_ignore_ascii_case(v)))
+        .unwrap_or(VERBS.len() - 1)
+}
+
+/// Front-end instruments, registered once at [`RmsServer::run`] into the
+/// backend's registry and cloned into every connection thread.
+#[derive(Debug, Clone)]
+struct TcpMetrics {
+    /// The backend registry, kept for the `METRICS` verb's exposition.
+    registry: Arc<Registry>,
+    /// `rms_tcp_connections_total`.
+    connections: Counter,
+    /// `rms_tcp_subscribers` — connections currently in push mode.
+    subscribers: Gauge,
+    /// `rms_tcp_delta_bytes_total` — pushed `DELTA` line bytes.
+    delta_bytes: Counter,
+    /// Per-verb `rms_tcp_requests_total` / `rms_tcp_request_seconds`,
+    /// indexed like [`VERBS`].
+    requests: Vec<(Counter, Histogram)>,
+}
+
+impl TcpMetrics {
+    fn register(registry: &Arc<Registry>) -> Self {
+        let requests = VERBS
+            .iter()
+            .map(|verb| {
+                (
+                    registry.register_counter(
+                        "rms_tcp_requests_total",
+                        "Requests handled, by verb (`invalid` buckets unrecognized lines).",
+                        &[("verb", verb)],
+                    ),
+                    registry.register_histogram(
+                        "rms_tcp_request_seconds",
+                        "Request handling latency, by verb: parse through reply-ready \
+                         (includes submit backpressure and BATCH body reads).",
+                        &[("verb", verb)],
+                    ),
+                )
+            })
+            .collect();
+        TcpMetrics {
+            registry: Arc::clone(registry),
+            connections: registry.register_counter(
+                "rms_tcp_connections_total",
+                "Connections accepted by the TCP front end.",
+                &[],
+            ),
+            subscribers: registry.register_gauge(
+                "rms_tcp_subscribers",
+                "Connections currently streaming deltas in push mode.",
+                &[],
+            ),
+            delta_bytes: registry.register_counter(
+                "rms_tcp_delta_bytes_total",
+                "Bytes of DELTA lines pushed to subscribers.",
+                &[],
+            ),
+            requests,
+        }
+    }
+}
 
 /// Static backend parameters every connection needs (for `HELLO`
 /// replies and op parsing), captured once at bind time.
@@ -69,6 +154,7 @@ impl<B: RmsBackend> RmsServer<B> {
             r: self.backend.r(),
             shards: self.backend.shards(),
         };
+        let metrics = TcpMetrics::register(self.backend.registry());
         for stream in self.listener.incoming() {
             if shutdown.load(Ordering::Acquire) {
                 break;
@@ -90,12 +176,13 @@ impl<B: RmsBackend> RmsServer<B> {
             };
             let handle = self.backend.handle();
             let flag = Arc::clone(&shutdown);
+            let metrics = metrics.clone();
             // Connection threads are detached: they die with the process
             // (CLI) or when their client hangs up (tests), and after
             // shutdown every submit they attempt fails cleanly.
             let _ = std::thread::Builder::new()
                 .name("rms-conn".into())
-                .spawn(move || handle_connection(stream, &handle, info, &flag, addr));
+                .spawn(move || handle_connection(stream, &handle, info, &flag, addr, &metrics));
         }
         Ok(self.backend.shutdown())
     }
@@ -122,7 +209,9 @@ fn handle_connection<H: RmsBackendHandle>(
     info: ServerInfo,
     shutdown: &AtomicBool,
     addr: SocketAddr,
+    metrics: &TcpMetrics,
 ) {
+    metrics.connections.inc();
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -142,6 +231,7 @@ fn handle_connection<H: RmsBackendHandle>(
         if line.trim().is_empty() {
             continue;
         }
+        let started = Instant::now();
         let step = match parse_request(&line, info.dim) {
             // In a v2 session a BATCH header is *framing*: if it cannot
             // be parsed (e.g. a count that overflows), the announced op
@@ -188,7 +278,14 @@ fn handle_connection<H: RmsBackendHandle>(
                 Step::Reply("ERR SUBSCRIBE requires protocol v2 (send HELLO v2 first)".into())
             }
             Ok(Request::Subscribe { every }) => Step::Subscribe { every },
+            Ok(Request::Metrics) if version < 2 => {
+                Step::Reply("ERR METRICS requires protocol v2 (send HELLO v2 first)".into())
+            }
+            Ok(Request::Metrics) => Step::Reply(format_metrics(&metrics.registry)),
         };
+        let (requests_total, request_seconds) = &metrics.requests[verb_index(&line)];
+        requests_total.inc();
+        request_seconds.record(started.elapsed());
         match step {
             Step::Reply(reply) => {
                 if writeln!(writer, "{reply}").is_err() {
@@ -216,7 +313,9 @@ fn handle_connection<H: RmsBackendHandle>(
                 return;
             }
             Step::Subscribe { every } => {
-                run_subscription(&mut writer, handle, every);
+                metrics.subscribers.inc();
+                run_subscription(&mut writer, handle, every, metrics);
+                metrics.subscribers.dec();
                 return;
             }
         }
@@ -281,7 +380,12 @@ fn read_batch<H: RmsBackendHandle>(
 /// line goes out per `every` epochs (an idle stream flushes whatever is
 /// pending after a short beat). Ends when the backend shuts down (final
 /// pending delta flushed) or the client hangs up.
-fn run_subscription<H: RmsBackendHandle>(writer: &mut impl Write, handle: &H, every: u64) {
+fn run_subscription<H: RmsBackendHandle>(
+    writer: &mut impl Write,
+    handle: &H,
+    every: u64,
+    metrics: &TcpMetrics,
+) {
     let rx = handle.watch();
     let base = rx.base();
     let sharded = base.is_merged();
@@ -294,6 +398,16 @@ fn run_subscription<H: RmsBackendHandle>(writer: &mut impl Write, handle: &H, ev
     if writeln!(writer, "{ack}").is_err() {
         return;
     }
+    // Counts the DELTA line plus its newline toward the fan-out bytes —
+    // *before* the write, so a client that reacts to the pushed line by
+    // scraping immediately can never observe a count behind the bytes
+    // it just received (the pushing thread may be descheduled between
+    // the write syscall and a post-write increment).
+    let push = |writer: &mut dyn Write, delta: &SnapshotDelta| {
+        let line = format_delta(delta, sharded);
+        metrics.delta_bytes.add(line.len() as u64 + 1);
+        writeln!(writer, "{line}").is_ok()
+    };
     let mut pending: Option<SnapshotDelta> = None;
     loop {
         match rx.recv_timeout(SUBSCRIBE_IDLE_FLUSH) {
@@ -306,7 +420,7 @@ fn run_subscription<H: RmsBackendHandle>(writer: &mut impl Write, handle: &H, ev
                     }
                 };
                 if coalesced.version - coalesced.from_version >= every {
-                    if writeln!(writer, "{}", format_delta(&coalesced, sharded)).is_err() {
+                    if !push(writer, &coalesced) {
                         return;
                     }
                 } else {
@@ -315,14 +429,14 @@ fn run_subscription<H: RmsBackendHandle>(writer: &mut impl Write, handle: &H, ev
             }
             Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
                 if let Some(delta) = pending.take() {
-                    if writeln!(writer, "{}", format_delta(&delta, sharded)).is_err() {
+                    if !push(writer, &delta) {
                         return;
                     }
                 }
             }
             Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
                 if let Some(delta) = pending.take() {
-                    let _ = writeln!(writer, "{}", format_delta(&delta, sharded));
+                    let _ = push(writer, &delta);
                 }
                 return;
             }
@@ -411,6 +525,18 @@ fn format_stats<H: RmsBackendHandle>(handle: &H) -> String {
         out.push_str(&format!(" merge_hits={hits} merge_misses={misses}"));
     }
     out
+}
+
+/// The `METRICS` reply: a counted header so line-oriented clients know
+/// how many raw exposition lines follow, then the Prometheus text
+/// exposition itself (which is multi-line by nature).
+fn format_metrics(registry: &Registry) -> String {
+    let encoded = registry.encode();
+    let body = encoded.trim_end_matches('\n');
+    if body.is_empty() {
+        return "OK metrics lines=0".to_string();
+    }
+    format!("OK metrics lines={}\n{body}", body.lines().count())
 }
 
 fn join_ids(points: &[rms_geom::Point]) -> String {

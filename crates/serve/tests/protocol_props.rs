@@ -28,9 +28,11 @@ fn arb_near_miss_line() -> impl Strategy<Value = String> {
         "HELLO",
         "BATCH",
         "SUBSCRIBE",
+        "METRICS",
         "insert",
         "Batch",
         "subscribe",
+        "metrics",
         "",
     ];
     let args = [
@@ -76,6 +78,7 @@ fn arb_request(d: usize) -> impl Strategy<Value = Request> {
         (1u32..100).prop_map(Request::Hello),
         (0usize..1_000_000).prop_map(Request::Batch),
         (1u64..1_000_000).prop_map(|every| Request::Subscribe { every }),
+        (0u64..1).prop_map(|_| Request::Metrics),
     ]
 }
 

@@ -4,8 +4,8 @@
 //! The first two tests speak raw v1 byte sequences (no `HELLO`) against
 //! the v2 server — they *are* the back-compat pin: every v1 verb and
 //! reply must stay byte-identical. The later tests cover the v2 verbs
-//! (`HELLO`/`BATCH`/`SUBSCRIBE`), both raw and through the typed
-//! `rms-client`.
+//! (`HELLO`/`BATCH`/`SUBSCRIBE`/`METRICS`), both raw and through the
+//! typed `rms-client`.
 
 use fdrms::FdRms;
 use rms_client::{ClientOp, RmsClient};
@@ -45,6 +45,43 @@ fn field<'a>(reply: &'a str, key: &str) -> Option<&'a str> {
     reply
         .split_whitespace()
         .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+}
+
+/// Reads a full `METRICS` reply — the `OK metrics lines=N` header plus
+/// exactly N raw exposition lines — and returns the exposition body.
+fn fetch_metrics(client: &mut Client) -> String {
+    let header = client.roundtrip("METRICS");
+    assert!(header.starts_with("OK metrics lines="), "{header}");
+    let n: usize = field(&header, "lines").unwrap().parse().unwrap();
+    let mut body = String::new();
+    for _ in 0..n {
+        let mut line = String::new();
+        assert!(client.reader.read_line(&mut line).unwrap() > 0, "body EOF");
+        body.push_str(&line);
+    }
+    body
+}
+
+/// Distinct metric family names, read off the `# TYPE` comment lines.
+fn families(body: &str) -> std::collections::BTreeSet<String> {
+    body.lines()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|rest| rest.split_whitespace().next())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Sums every sample of `name` across all label sets. Histogram series
+/// (`_bucket`/`_sum`/`_count`) are distinct names to this helper.
+fn family_total(body: &str, name: &str) -> f64 {
+    body.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (series, value) = l.rsplit_once(' ')?;
+            let base = series.split('{').next().unwrap();
+            (base == name).then(|| value.parse::<f64>().unwrap())
+        })
+        .sum()
 }
 
 #[test]
@@ -478,4 +515,148 @@ fn rms_client_end_to_end_single_and_sharded() {
             fd.check_invariants().unwrap();
         }
     }
+}
+
+/// METRICS over raw lines: gated behind HELLO v2 exactly like the other
+/// v2 verbs, framed as `OK metrics lines=N` + N exposition lines, and
+/// the exported counters agree with the STATS reply taken in the same
+/// quiesced state.
+#[test]
+fn v2_metrics_exposition_agrees_with_stats() {
+    let (addr, server) = spawn_single(50);
+    let mut client = Client::connect(addr);
+
+    let reply = client.roundtrip("METRICS");
+    assert!(
+        reply.starts_with("ERR METRICS requires protocol v2"),
+        "{reply}"
+    );
+    assert!(client.roundtrip("HELLO v2").starts_with("OK v2"));
+
+    // 3 ops the engine accepts plus 1 it rejects (unknown id), then
+    // quiesce on STATS so the applier-side counters have settled.
+    assert_eq!(client.roundtrip("INSERT 900 0.9 0.9"), "OK queued");
+    assert_eq!(client.roundtrip("DELETE 0"), "OK queued");
+    assert_eq!(client.roundtrip("UPDATE 1 0.5 0.6"), "OK queued");
+    assert_eq!(client.roundtrip("DELETE 77777"), "OK queued");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let reply = client.roundtrip("STATS");
+        if field(&reply, "ops_applied") == Some("3") && field(&reply, "ops_rejected") == Some("1") {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ops never became visible: {reply}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let body = fetch_metrics(&mut client);
+    let fams = families(&body);
+    assert!(
+        fams.len() >= 12,
+        "expected ≥12 metric families, got {}: {fams:?}",
+        fams.len()
+    );
+    for name in [
+        "rms_applier_queue_depth",
+        "rms_applier_batch_ops",
+        "rms_applier_apply_seconds",
+        "rms_applier_publish_seconds",
+        "rms_applier_snapshot_publishes_total",
+        "rms_applier_ops_applied_total",
+        "rms_applier_ops_rejected_total",
+        "rms_wal_appends_total",
+        "rms_wal_fsync_seconds",
+        "rms_wal_recovered_ops_total",
+        "rms_wal_truncated_tail_bytes_total",
+        "rms_tcp_connections_total",
+        "rms_tcp_requests_total",
+        "rms_tcp_request_seconds",
+        "rms_tcp_subscribers",
+        "rms_tcp_delta_bytes_total",
+    ] {
+        assert!(fams.contains(name), "family {name} missing: {fams:?}");
+    }
+
+    // Counter agreement with the STATS fields above.
+    assert_eq!(family_total(&body, "rms_applier_ops_applied_total"), 3.0);
+    assert_eq!(family_total(&body, "rms_applier_ops_rejected_total"), 1.0);
+    assert!(family_total(&body, "rms_applier_snapshot_publishes_total") >= 1.0);
+    // This connection alone issued ≥ 6 requests before the scrape.
+    assert!(family_total(&body, "rms_tcp_requests_total") >= 6.0);
+    assert!(family_total(&body, "rms_tcp_connections_total") >= 1.0);
+    // No WAL configured: the families exist, the counters stay zero.
+    assert_eq!(family_total(&body, "rms_wal_appends_total"), 0.0);
+    assert_eq!(family_total(&body, "rms_wal_recovered_ops_total"), 0.0);
+    // Histogram shape: cumulative buckets terminate at +Inf and the
+    // apply histogram observed at least one batch.
+    assert!(body.contains("rms_applier_apply_seconds_bucket{le=\"+Inf\"}"));
+    assert!(family_total(&body, "rms_applier_apply_seconds_count") >= 1.0);
+
+    // The verb counter for METRICS ticks after the reply is framed, so
+    // a second scrape sees the first one.
+    let body2 = fetch_metrics(&mut client);
+    let metrics_verb = body2
+        .lines()
+        .find_map(|l| l.strip_prefix("rms_tcp_requests_total{verb=\"metrics\"} "))
+        .expect("metrics verb series");
+    assert!(metrics_verb.trim().parse::<u64>().unwrap() >= 1);
+
+    let mut other = Client::connect(addr);
+    assert_eq!(other.roundtrip("SHUTDOWN"), "OK shutting down");
+    server.join().expect("server thread");
+}
+
+/// Sharded METRICS through the typed client: per-shard `shard="N"`
+/// labels on the applier families, shard-merge cache counters in the
+/// same registry, and the per-shard applied counts summing to the
+/// aggregate STATS view.
+#[test]
+fn metrics_sharded_labels_via_typed_client() {
+    let initial: Vec<Point> = (0..60)
+        .map(|i| Point::new_unchecked(i, vec![(i as f64) / 60.0, 1.0 - (i as f64) / 60.0]))
+        .collect();
+    let service = ShardedRmsService::start(
+        FdRms::builder(2).r(4).max_utilities(64).seed(3),
+        initial,
+        ServeConfig::default(),
+        2,
+    )
+    .unwrap();
+    let server = RmsServer::bind("127.0.0.1:0", service).expect("bind ephemeral port");
+    let addr = server.local_addr().unwrap();
+    let server = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = RmsClient::connect(addr).expect("client connect");
+    assert_eq!(client.hello().shards, 2);
+    // Ids 200 and 201 land on distinct shards (id % 2 routing).
+    client.insert(200, &[0.9, 0.9]).expect("insert");
+    client.insert(201, &[0.85, 0.95]).expect("insert");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let stats = client.stats().expect("stats");
+        if stats.ops_applied() == Some(2) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "ops never became visible");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let body = client.metrics().expect("metrics");
+    assert!(body.contains("shard=\"0\""), "{body}");
+    assert!(body.contains("shard=\"1\""), "{body}");
+    assert_eq!(family_total(&body, "rms_applier_ops_applied_total"), 2.0);
+    let fams = families(&body);
+    assert!(fams.contains("rms_shard_merge_hits_total"), "{fams:?}");
+    assert!(fams.contains("rms_shard_merge_misses_total"), "{fams:?}");
+    // Every STATS above went through the merged-snapshot path, so the
+    // cache counters have moved.
+    let merges = family_total(&body, "rms_shard_merge_hits_total")
+        + family_total(&body, "rms_shard_merge_misses_total");
+    assert!(merges >= 1.0, "{body}");
+
+    client.shutdown().expect("shutdown");
+    server.join().expect("server thread");
 }

@@ -69,6 +69,58 @@ fn sequential(d: usize, initial: &[Point], ops: &[Op]) -> FdRms {
     fd
 }
 
+/// Reads the single (unlabeled) sample of `name` from an exposition body.
+fn counter(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("series {name} missing:\n{body}"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// The WAL metrics exported through the service registry stay consistent
+/// with the replay stats: the writer side counts one append per
+/// acknowledged op, and after a crash (plus a torn tail) the restarted
+/// service's `rms_wal_recovered_ops_total` equals the `wal_recovered_ops`
+/// stat while the dropped bytes show up in
+/// `rms_wal_truncated_tail_bytes_total`.
+#[test]
+fn recovery_metrics_match_replay_stats() {
+    let d = 2;
+    let path = temp_wal("metrics-recovery");
+    let _ = std::fs::remove_file(&path);
+    let initial = random_points(31, 60, d);
+    let ops = random_ops(32, &initial, 80, d);
+
+    let service =
+        RmsService::start_with_wal(builder(d), initial.clone(), ServeConfig::default(), &path)
+            .unwrap();
+    for op in ops {
+        service.submit(op).unwrap();
+    }
+    let body = service.registry().encode();
+    assert_eq!(counter(&body, "rms_wal_appends_total"), 80);
+    assert_eq!(counter(&body, "rms_wal_recovered_ops_total"), 0);
+    service.crash();
+
+    // Tear the tail: the last record loses its final bytes, exactly as a
+    // mid-write power cut would leave the file.
+    let raw = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &raw[..raw.len() - 5]).unwrap();
+
+    let restarted =
+        RmsService::start_with_wal(builder(d), initial, ServeConfig::default(), &path).unwrap();
+    let recovered = restarted.snapshot().stats.wal_recovered_ops;
+    assert_eq!(recovered, 79, "the torn record is dropped, the rest replay");
+    let body = restarted.registry().encode();
+    assert_eq!(counter(&body, "rms_wal_recovered_ops_total"), recovered);
+    assert!(counter(&body, "rms_wal_truncated_tail_bytes_total") > 0);
+    assert_eq!(counter(&body, "rms_wal_appends_total"), 0, "fresh registry");
+    restarted.shutdown().check_invariants().unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
 #[test]
 fn crash_after_ack_loses_no_acknowledged_op() {
     let d = 3;

@@ -6,28 +6,43 @@
 #   scripts/bench_report.sh --label after
 #   scripts/bench_report.sh --label ci --scales smoke --out /tmp/ci.json
 #
+# The metrics-overhead comparison prices the rms-metrics instrumentation
+# by running the same benches with the registry in its disabled (no-op
+# instruments) mode:
+#
+#   scripts/bench_report.sh --label instrumented
+#   scripts/bench_report.sh --label registry_disabled --metrics-disabled
+#
 # The report file is JSON of the shape
 #   { "<label>": { "scales": { "<scale>": { "batch": {...}, "serve": {...} } } } }
 # and an existing report is merged into, not clobbered — running with
-# --label before and then --label after yields the before/after document
-# perf PRs check in as BENCH_7.json.
+# two labels yields the comparison document perf PRs check in as
+# BENCH_<n>.json (BENCH_8.json pairs instrumented/registry_disabled).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 label="run"
-out="BENCH_7.json"
+out="BENCH_8.json"
 scales="smoke,default"
+metrics_disabled=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --label) label="$2"; shift 2 ;;
         --out) out="$2"; shift 2 ;;
         --scales) scales="$2"; shift 2 ;;
+        --metrics-disabled) metrics_disabled=1; shift ;;
         -h|--help)
-            sed -n '2,12p' "$0"; exit 0 ;;
+            sed -n '2,19p' "$0"; exit 0 ;;
         *) echo "bench_report.sh: unknown argument $1" >&2; exit 2 ;;
     esac
 done
+
+if [ -n "$metrics_disabled" ]; then
+    # rms-metrics registries constructed via Registry::from_env become
+    # no-ops: registration still validates, every record is one branch.
+    export KRMS_METRICS_DISABLED=1
+fi
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT

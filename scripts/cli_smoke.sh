@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the `krms` CLI: generate → run → skyline →
 # flag-parser regressions → sharded WAL-backed serve round-trip over
-# loopback (INSERT/QUERY/STATS and a SHUTDOWN drain), plus a protocol-v2
-# session (HELLO negotiation, one-ack BATCH ingest, SUBSCRIBE delta
-# push), using only bash built-ins (/dev/tcp) for the client side.
+# loopback (INSERT/QUERY/STATS, a Prometheus scrape of the
+# --metrics-addr endpoint with per-shard labels, and a SHUTDOWN drain),
+# plus a protocol-v2 session (HELLO negotiation, one-ack BATCH ingest,
+# SUBSCRIBE delta push, METRICS exposition), using only bash built-ins
+# (/dev/tcp) for the client side.
 #
 # Usage: bash scripts/cli_smoke.sh   (expects target/release/krms to exist,
 # or set KRMS_BIN)
@@ -11,6 +13,7 @@ set -euo pipefail
 
 BIN=${KRMS_BIN:-target/release/krms}
 PORT=${KRMS_SMOKE_PORT:-17878}
+MPORT=${KRMS_SMOKE_METRICS_PORT:-$((PORT + 1))}
 TMP=$(mktemp -d)
 SERVE_PID=""
 cleanup() {
@@ -62,21 +65,65 @@ fi
 
 # --- sharded WAL-backed serve round-trip -------------------------------
 "$BIN" serve --in "$TMP/ds.krms" --r 8 --addr "127.0.0.1:$PORT" \
-    --shards 2 --wal "$TMP/ops.wal" >"$TMP/serve.log" 2>&1 &
+    --shards 2 --wal "$TMP/ops.wal" \
+    --metrics-addr "127.0.0.1:$MPORT" >"$TMP/serve.log" 2>&1 &
 SERVE_PID=$!
 
 connect 2>/dev/null || { cat "$TMP/serve.log" >&2; fail "server never came up"; }
 
-printf 'INSERT 100000 0.9 0.9 0.9\nINSERT 100001 0.8 0.8 0.8\nQUERY\nSTATS\nSHUTDOWN\n' >&3
-mapfile -t replies <&3
-exec 3<&- 3>&-
+printf 'INSERT 100000 0.9 0.9 0.9\nINSERT 100001 0.8 0.8 0.8\nQUERY\nSTATS\n' >&3
+for i in 0 1 2 3; do
+    read -r -t 30 -u 3 "replies[$i]" || fail "missing reply $i"
+done
 
-[ "${#replies[@]}" -eq 5 ] || fail "expected 5 replies, got ${#replies[@]}: ${replies[*]}"
 [[ "${replies[0]}" == "OK queued" ]] || fail "INSERT reply: ${replies[0]}"
 [[ "${replies[1]}" == "OK queued" ]] || fail "INSERT reply: ${replies[1]}"
 [[ "${replies[2]}" == OK\ epochs=* ]] || fail "QUERY reply: ${replies[2]}"
 [[ "${replies[3]}" == *"shards=2"* ]] || fail "STATS reply: ${replies[3]}"
-[[ "${replies[4]}" == "OK shutting down" ]] || fail "SHUTDOWN reply: ${replies[4]}"
+
+# --- Prometheus scrape of the --metrics-addr endpoint ------------------
+# Stock HTTP over bash /dev/tcp: the reply must be a 200 with a
+# well-formed text exposition carrying per-shard labels (--shards 2) and
+# families from every instrumented subsystem.
+exec 5<>"/dev/tcp/127.0.0.1/$MPORT" || fail "metrics endpoint connect"
+printf 'GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' >&5
+http=$(cat <&5)
+exec 5<&- 5>&-
+[[ "$http" == "HTTP/1.1 200 OK"* ]] || fail "metrics scrape status: ${http%%$'\r'*}"
+# Body = everything after the blank header/body separator line.
+exposition=${http#*$'\r\n\r\n'}
+for fam in rms_applier_queue_depth rms_applier_batch_ops rms_applier_apply_seconds \
+           rms_applier_publish_seconds rms_applier_ops_applied_total \
+           rms_applier_snapshot_publishes_total rms_wal_appends_total \
+           rms_wal_fsync_seconds rms_wal_recovered_ops_total rms_shard_merge_hits_total \
+           rms_tcp_connections_total rms_tcp_requests_total rms_tcp_request_seconds \
+           rms_tcp_subscribers; do
+    grep -q "^# TYPE $fam " <<<"$exposition" || fail "metric family $fam missing from scrape"
+done
+fam_count=$(grep -c '^# TYPE ' <<<"$exposition")
+[ "$fam_count" -ge 12 ] || fail "expected >= 12 metric families, got $fam_count"
+grep -q 'shard="0"' <<<"$exposition" || fail "shard=\"0\" label missing"
+grep -q 'shard="1"' <<<"$exposition" || fail "shard=\"1\" label missing"
+# Both acknowledged inserts reached the per-shard WALs.
+grep -q '^rms_wal_appends_total{shard="0"} 1$' <<<"$exposition" \
+    || fail "shard 0 WAL append count wrong"
+grep -q '^rms_wal_appends_total{shard="1"} 1$' <<<"$exposition" \
+    || fail "shard 1 WAL append count wrong"
+# Well-formed: every non-comment line is `name[{labels}] value`.
+if grep -vE '^(#.*|[a-z0-9_]+(\{[^}]*\})? -?[0-9+][^ ]*)$' <<<"$exposition" | grep -q .; then
+    fail "malformed exposition line: $(grep -vE '^(#.*|[a-z0-9_]+(\{[^}]*\})? -?[0-9+][^ ]*)$' <<<"$exposition" | head -1)"
+fi
+# Anything but GET /metrics is a 404.
+exec 5<>"/dev/tcp/127.0.0.1/$MPORT" || fail "metrics endpoint reconnect"
+printf 'GET /other HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n' >&5
+notfound=$(cat <&5)
+exec 5<&- 5>&-
+[[ "$notfound" == "HTTP/1.1 404 Not Found"* ]] || fail "non-/metrics target not a 404"
+
+printf 'SHUTDOWN\n' >&3
+read -r -t 30 -u 3 bye_sharded || fail "no SHUTDOWN reply"
+[[ "$bye_sharded" == "OK shutting down" ]] || fail "SHUTDOWN reply: $bye_sharded"
+exec 3<&- 3>&-
 
 # The SHUTDOWN drain must let the process exit cleanly...
 drained=""
@@ -135,6 +182,24 @@ read -r -u 4 batch_ack || fail "no BATCH ack"
 # The subscriber must receive a pushed DELTA line without ever polling.
 read -r -t 30 -u 3 delta || fail "no DELTA pushed within 30s"
 [[ "$delta" == DELTA\ epoch=* ]] || fail "DELTA line: $delta"
+
+# METRICS over the line protocol: a counted header frames the same
+# exposition the HTTP endpoint serves. The fd-3 subscriber is live, so
+# the subscriber gauge reads 1 and its DELTA bytes have been counted.
+printf 'METRICS\n' >&4
+read -r -t 30 -u 4 mhdr || fail "no METRICS reply"
+[[ "$mhdr" == "OK metrics lines="* ]] || fail "METRICS header: $mhdr"
+mlines=${mhdr##*lines=}
+[ "$mlines" -gt 0 ] || fail "empty METRICS exposition"
+mbody=""
+for ((i = 0; i < mlines; i++)); do
+    read -r -t 30 -u 4 mline || fail "METRICS body truncated at line $i of $mlines"
+    mbody+="$mline"$'\n'
+done
+grep -q '^# TYPE rms_tcp_requests_total counter' <<<"$mbody" \
+    || fail "METRICS verb exposition missing request family"
+grep -q '^rms_tcp_subscribers 1$' <<<"$mbody" || fail "live subscriber gauge != 1"
+grep -Eq '^rms_tcp_delta_bytes_total [1-9]' <<<"$mbody" || fail "DELTA bytes not counted"
 
 printf 'SHUTDOWN\n' >&4
 read -r -u 4 bye || fail "no SHUTDOWN reply"

@@ -74,11 +74,15 @@ USAGE:
                                  (Monte-Carlo max-regret-ratio estimate in
                                   STATS: N test directions, refreshed
                                   every E epochs, sampled from seed S)
+                [--metrics-addr HOST:PORT]  (HTTP scrape endpoint: GET
+                                  /metrics answers the same Prometheus
+                                  text exposition as the METRICS verb)
                                  (TCP front end over the serving backend;
                                   line protocol v1: INSERT/DELETE/UPDATE/
                                   QUERY/STATS/SHUTDOWN, one reply per line;
-                                  v2 after HELLO v2: BATCH <n> pipelining
-                                  and SUBSCRIBE [every=K] delta push)
+                                  v2 after HELLO v2: BATCH <n> pipelining,
+                                  SUBSCRIBE [every=K] delta push, and
+                                  METRICS Prometheus exposition)
   krms skyline  --in FILE
 
 ALGO: FD-RMS | Greedy | GeoGreedy | Greedy* | DMM-RRMS | DMM-Greedy |
@@ -393,10 +397,22 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<(), String> {
 fn serve_backend<B: krms::serve::RmsBackend>(
     backend: B,
     addr: &str,
+    metrics_addr: Option<&str>,
     banner: &str,
 ) -> Result<(), String> {
     use krms::serve::RmsServer;
 
+    if let Some(maddr) = metrics_addr {
+        let registry = std::sync::Arc::clone(backend.registry());
+        let listener =
+            std::net::TcpListener::bind(maddr).map_err(|e| format!("bind metrics {maddr}: {e}"))?;
+        let bound = listener.local_addr().map_err(|e| e.to_string())?;
+        std::thread::Builder::new()
+            .name("rms-metrics-http".into())
+            .spawn(move || serve_metrics_http(&listener, &registry))
+            .map_err(|e| format!("spawn metrics listener: {e}"))?;
+        println!("metrics: http://{bound}/metrics");
+    }
     let server = RmsServer::bind(addr, backend).map_err(|e| format!("bind {addr}: {e}"))?;
     println!(
         "{banner} on {}",
@@ -404,7 +420,7 @@ fn serve_backend<B: krms::serve::RmsBackend>(
     );
     println!("protocol: INSERT <id> <v1..vd> | DELETE <id> | UPDATE <id> <v1..vd> | QUERY | STATS | SHUTDOWN");
     println!(
-        "       v2: HELLO v2 | BATCH <n> (one ack for n ops) | SUBSCRIBE [every=K] (DELTA push)"
+        "       v2: HELLO v2 | BATCH <n> (one ack for n ops) | SUBSCRIBE [every=K] (DELTA push) | METRICS"
     );
     let fds = server.run().map_err(|e| e.to_string())?;
     let ops: u64 = fds.iter().map(FdRms::operations).sum();
@@ -415,6 +431,54 @@ fn serve_backend<B: krms::serve::RmsBackend>(
         fds.len()
     );
     Ok(())
+}
+
+/// Minimal HTTP scrape endpoint for the `--metrics-addr` listener:
+/// answers `GET /metrics` with the registry's Prometheus text
+/// exposition, 404 for any other target; one request per connection
+/// (`Connection: close`), which is all a Prometheus scraper needs.
+fn serve_metrics_http(listener: &std::net::TcpListener, registry: &krms::metrics::Registry) {
+    use std::io::{BufRead, BufReader, Write};
+
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            continue;
+        };
+        let mut reader = BufReader::new(&stream);
+        let mut request = String::new();
+        if reader.read_line(&mut request).is_err() {
+            continue;
+        }
+        // Drain the request headers up to the blank line; nothing in
+        // them changes the response.
+        let mut header = String::new();
+        loop {
+            header.clear();
+            match reader.read_line(&mut header) {
+                Ok(0) | Err(_) => break,
+                Ok(_) if header.trim().is_empty() => break,
+                Ok(_) => {}
+            }
+        }
+        let scrape = {
+            let mut parts = request.split_whitespace();
+            parts.next() == Some("GET")
+                && matches!(parts.next(), Some("/metrics") | Some("/metrics/"))
+        };
+        let (status, body) = if scrape {
+            ("200 OK", registry.encode())
+        } else {
+            ("404 Not Found", "not found\n".to_string())
+        };
+        let mut writer = &stream;
+        let _ = write!(
+            writer,
+            "HTTP/1.1 {status}\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+    }
 }
 
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -436,6 +500,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let metrics_addr = flags.get("metrics-addr").cloned();
     let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         queue_capacity: get(flags, "queue", 1024usize)?,
@@ -473,7 +538,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 ShardedRmsService::start(builder, points, cfg, shards).map_err(|e| e.to_string())?
             }
         };
-        serve_backend(service, &addr, &banner)
+        serve_backend(service, &addr, metrics_addr.as_deref(), &banner)
     } else {
         let service = match &wal {
             Some(path) => {
@@ -481,7 +546,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             }
             None => RmsService::start(builder, points, cfg).map_err(|e| e.to_string())?,
         };
-        serve_backend(service, &addr, &banner)
+        serve_backend(service, &addr, metrics_addr.as_deref(), &banner)
     }
 }
 

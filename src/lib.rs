@@ -39,6 +39,7 @@ pub use rms_eval as eval;
 pub use rms_geom as geom;
 pub use rms_index as index;
 pub use rms_lp as lp;
+pub use rms_metrics as metrics;
 pub use rms_serve as serve;
 pub use rms_setcover as setcover;
 pub use rms_skyline as skyline;
