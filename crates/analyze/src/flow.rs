@@ -1,0 +1,862 @@
+//! Intraprocedural dataflow over the block tree: guard-lifetime
+//! tracking through nested scopes, `drop()` and shadowing; channel-type
+//! classification (so an unbounded `Sender::send` is not a blocking
+//! call); a one-level call graph per file with a fixpoint-computed
+//! may-block set; and, across files, a fixpoint may-acquire set feeding
+//! the global lock-acquisition-order graph behind the `lock-order`
+//! rule.
+//!
+//! Precision posture, in line with the rest of the analyzer: token- and
+//! scope-level reasoning, no types beyond name matching. The call graph
+//! is by simple function name (all same-named functions merge), guard
+//! liveness is tracked only for `let`-bound guards, and lock identity
+//! is the field/path name the guard call is invoked on (`self.slot
+//! .read()` and `cell.slot.read()` are the same lock `slot`). Each
+//! approximation trades false negatives it cannot afford into false
+//! positives a pragma can absorb — except self-edges (`a` → `a`),
+//! which are dropped: same-name locks on *different* instances (shard
+//! loops) are routine, and flagging them would drown the signal.
+
+use crate::lexer::{Tok, Token};
+use crate::parse::{self, BlockTree};
+use crate::rules::{
+    call_of, guard_acquisition, ident, punct, Finding, BLOCKING_CALLS, GUARD_CALLS, RULE_GUARD,
+    RULE_LOCKORDER,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// How a channel endpoint behaves on `.send(…)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Chan {
+    /// `std::sync::mpsc::Sender` — send enqueues without blocking.
+    Unbounded,
+    /// `SyncSender` (or unknown) — send may block on a full queue.
+    Bounded,
+}
+
+/// File-level channel typing: names with a `Sender`/`SyncSender` type
+/// ascription anywhere (struct fields, parameters, `let` ascriptions),
+/// plus tuple-variant/tuple-struct names wrapping an unbounded sender
+/// (destructuring such a variant binds an unbounded sender).
+struct FileSenders {
+    names: BTreeMap<String, Chan>,
+    variants: BTreeSet<String>,
+}
+
+/// Scans `name: …type…` ascriptions and `Variant(Sender<…>)`
+/// declarations. A name typed both ways in one file degrades to
+/// `Bounded` (conservative: its sends count as blocking).
+fn classify_senders(toks: &[Token]) -> FileSenders {
+    let mut names: BTreeMap<String, Chan> = BTreeMap::new();
+    let mut variants = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let Some(name) = ident(toks.get(i)) else {
+            i += 1;
+            continue;
+        };
+        // `name : Type` (not `::`): classify the type region up to the
+        // next `,`/`;`/`)`/`}`/`{`/`=` at zero paren/bracket nesting.
+        if punct(toks.get(i + 1), ':')
+            && !punct(toks.get(i + 2), ':')
+            && !punct(toks.get(i.wrapping_sub(1)), ':')
+        {
+            let mut j = i + 2;
+            let mut nest = 0i32;
+            let mut kind: Option<Chan> = None;
+            while j < toks.len() {
+                match &toks[j].tok {
+                    Tok::Punct('(' | '[') => nest += 1,
+                    Tok::Punct(')' | ']') if nest == 0 => break,
+                    Tok::Punct(')' | ']') => nest -= 1,
+                    Tok::Punct(',' | ';' | '{' | '}' | '=') if nest == 0 => break,
+                    Tok::Ident(t) if t == "SyncSender" => kind = Some(Chan::Bounded),
+                    Tok::Ident(t) if t == "Sender" && kind.is_none() => {
+                        kind = Some(Chan::Unbounded);
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if let Some(k) = kind {
+                names
+                    .entry(name.to_string())
+                    .and_modify(|old| {
+                        if *old != k {
+                            *old = Chan::Bounded;
+                        }
+                    })
+                    .or_insert(k);
+            }
+        }
+        // `Variant(…Sender<…>…)` declaration (tuple variant or tuple
+        // struct): destructuring `Variant(tx)` binds an unbounded `tx`.
+        if name.starts_with(char::is_uppercase) && punct(toks.get(i + 1), '(') {
+            let mut j = i + 2;
+            let mut nest = 1i32;
+            let mut saw_sender = false;
+            let mut saw_sync = false;
+            while j < toks.len() && nest > 0 {
+                match &toks[j].tok {
+                    Tok::Punct('(') => nest += 1,
+                    Tok::Punct(')') => nest -= 1,
+                    Tok::Ident(t) if t == "Sender" => saw_sender = true,
+                    Tok::Ident(t) if t == "SyncSender" => saw_sync = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_sender && !saw_sync {
+                variants.insert(name.to_string());
+            }
+        }
+        i += 1;
+    }
+    FileSenders { names, variants }
+}
+
+/// A live `let`-bound lock guard.
+struct Guard {
+    name: String,
+    lock: String,
+    depth: u32,
+    line: u32,
+}
+
+/// A scoped channel binding introduced by a pattern or `let`.
+struct Bind {
+    name: String,
+    depth: u32,
+    chan: Chan,
+}
+
+/// One lock-order edge: a guard of `from` was live while `to` was
+/// acquired (directly, or inside a called function `via`).
+#[derive(Debug, Clone)]
+pub(crate) struct Edge {
+    pub from: String,
+    pub from_line: u32,
+    pub to: String,
+    pub to_line: u32,
+    pub via: Option<String>,
+    pub file: PathBuf,
+}
+
+/// Everything one pass over a function body produces. The summary
+/// fields (`blocked`, `acquires`, `calls`) feed the fixpoints; findings
+/// and edges are only meaningful once the fixpoint context is supplied.
+#[derive(Default)]
+struct WalkOut {
+    findings: Vec<Finding>,
+    edges: Vec<Edge>,
+    blocked: bool,
+    acquires: Vec<(String, u32)>,
+    calls: Vec<(String, u32)>,
+}
+
+/// Per-lock acquisition provenance inside the may-acquire fixpoint.
+type AcquireSet = BTreeMap<String, u32>;
+
+/// The function list [`file_ctx`] returns: `(index into
+/// tree.functions, body token span)` per analyzable function.
+type FnBodies = Vec<(usize, (usize, usize))>;
+
+/// One function's first-pass summary: `(name, blocks directly, calls)`.
+type CallSummary = (String, bool, Vec<(String, u32)>);
+
+/// Context shared by every walk over one file.
+struct FileCtx<'a> {
+    file: &'a Path,
+    toks: &'a [Token],
+    senders: &'a FileSenders,
+    /// `fn`-keyword token index → body-end token index, for skipping
+    /// nested function items while walking an enclosing body.
+    fn_spans: BTreeMap<usize, usize>,
+    /// Names of functions defined in this file (the r1 call graph) —
+    /// or, for lock-order, in the whole file set.
+    local_fns: BTreeSet<String>,
+}
+
+/// Walks one function body. `may_block` names local functions whose
+/// call counts as a blocking site; `may_acquire` maps function names to
+/// the locks they (transitively) acquire.
+#[allow(clippy::too_many_lines)]
+fn walk_function(
+    ctx: &FileCtx<'_>,
+    f: &parse::Function,
+    body: (usize, usize),
+    may_block: &BTreeSet<String>,
+    may_acquire: &BTreeMap<String, AcquireSet>,
+) -> WalkOut {
+    let toks = ctx.toks;
+    let mut out = WalkOut::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut binds: Vec<Bind> = Vec::new();
+    let mut depth = 0u32;
+
+    // Parameters bind at depth 0 of the body.
+    let mut p = f.params.0;
+    while p < f.params.1 {
+        if let Some(name) = ident(toks.get(p)) {
+            if punct(toks.get(p + 1), ':') && !punct(toks.get(p + 2), ':') {
+                let mut j = p + 2;
+                let mut nest = 0i32;
+                let mut kind = None;
+                while j < f.params.1 {
+                    match &toks[j].tok {
+                        Tok::Punct('(' | '[' | '<') => nest += 1,
+                        Tok::Punct(')' | ']' | '>') => nest -= 1,
+                        Tok::Punct(',') if nest <= 0 => break,
+                        Tok::Ident(t) if t == "SyncSender" => kind = Some(Chan::Bounded),
+                        Tok::Ident(t) if t == "Sender" && kind.is_none() => {
+                            kind = Some(Chan::Unbounded);
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if let Some(chan) = kind {
+                    binds.push(Bind {
+                        name: name.to_string(),
+                        depth: 0,
+                        chan,
+                    });
+                }
+                p = j;
+                continue;
+            }
+        }
+        p += 1;
+    }
+
+    let mut i = body.0;
+    while i < body.1.min(toks.len()) {
+        if toks[i].in_test {
+            i += 1;
+            continue;
+        }
+        match &toks[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                binds.retain(|b| b.depth <= depth);
+            }
+            Tok::Ident(kw) if kw == "fn" && ident(toks.get(i + 1)).is_some() => {
+                // A nested `fn` item: analyzed on its own, skip it here.
+                if let Some(&end) = ctx.fn_spans.get(&i) {
+                    i = end + 1;
+                    continue;
+                }
+            }
+            Tok::Ident(kw) if kw == "drop" && punct(toks.get(i + 1), '(') => {
+                if let Some(name) = ident(toks.get(i + 2)) {
+                    if punct(toks.get(i + 3), ')') {
+                        guards.retain(|g| g.name != name);
+                    }
+                }
+            }
+            Tok::Ident(kw) if kw == "let" => {
+                i = walk_let(
+                    ctx,
+                    i,
+                    depth,
+                    &mut guards,
+                    &mut binds,
+                    may_block,
+                    may_acquire,
+                    &mut out,
+                );
+                continue;
+            }
+            Tok::Ident(v) if ctx.senders.variants.contains(v) && punct(toks.get(i + 1), '(') => {
+                // `Variant(tx)` — constructing or destructuring an
+                // unbounded-sender wrapper; either way `tx` is one.
+                let mut j = i + 2;
+                let mut nest = 1i32;
+                while j < toks.len() && nest > 0 {
+                    match &toks[j].tok {
+                        Tok::Punct('(') => nest += 1,
+                        Tok::Punct(')') => nest -= 1,
+                        Tok::Ident(name) if nest == 1 => binds.push(Bind {
+                            name: name.clone(),
+                            depth,
+                            chan: Chan::Unbounded,
+                        }),
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            _ => {
+                visit_site(ctx, i, &guards, &binds, may_block, may_acquire, &mut out);
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Handles one `let` statement: binds guards and channel endpoints,
+/// visits the initializer's call sites, and returns the resume index.
+#[allow(clippy::too_many_arguments)]
+fn walk_let(
+    ctx: &FileCtx<'_>,
+    start: usize,
+    depth: u32,
+    guards: &mut Vec<Guard>,
+    binds: &mut Vec<Bind>,
+    may_block: &BTreeSet<String>,
+    may_acquire: &BTreeMap<String, AcquireSet>,
+    out: &mut WalkOut,
+) -> usize {
+    let toks = ctx.toks;
+    // Pattern: up to `=` at zero nesting. The bound name is the last
+    // identifier before any type ascription (`let mut g`, `let Ok(g)`,
+    // `let g: T`); tuple patterns additionally record their first
+    // element (the sender half of a `channel()` destructure).
+    let mut i = start + 1;
+    let mut nest = 0i32;
+    let mut name: Option<(String, u32)> = None;
+    let mut tuple_first: Option<String> = None;
+    let is_tuple = punct(toks.get(i), '(');
+    let mut saw_colon = false;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('(' | '[') => nest += 1,
+            Tok::Punct(')' | ']') => nest -= 1,
+            Tok::Punct(':') if nest == 0 => saw_colon = true,
+            Tok::Punct('=') if nest == 0 => break,
+            Tok::Punct(';') if nest == 0 => return i,
+            Tok::Punct('{') => return i,
+            Tok::Ident(id) if !saw_colon && id != "mut" && id != "ref" => {
+                name = Some((id.clone(), toks[i].line));
+                if is_tuple && tuple_first.is_none() {
+                    tuple_first = Some(id.clone());
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // A `let x: Sender<…> = …` ascription classifies the binding.
+    if saw_colon {
+        let mut j = start + 1;
+        let mut kind = None;
+        while j < i {
+            match &toks[j].tok {
+                Tok::Ident(t) if t == "SyncSender" => kind = Some(Chan::Bounded),
+                Tok::Ident(t) if t == "Sender" && kind.is_none() => kind = Some(Chan::Unbounded),
+                _ => {}
+            }
+            j += 1;
+        }
+        if let (Some(chan), Some((n, _))) = (kind, &name) {
+            binds.push(Bind {
+                name: n.clone(),
+                depth,
+                chan,
+            });
+        }
+    }
+    // Initializer: to `;` or `{` at zero nesting, visiting call sites
+    // under the guards live *before* this statement completes.
+    let mut acquired: Option<(String, u32)> = None;
+    let mut acq_nest = 0i32;
+    let mut consumed = false;
+    let mut made_channel: Option<Chan> = None;
+    let mut j = i + 1;
+    let mut inest = 0i32;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('(' | '[') => inest += 1,
+            Tok::Punct(')' | ']') => inest -= 1,
+            Tok::Punct(';') if inest == 0 => break,
+            Tok::Punct('{') if inest == 0 => break,
+            Tok::Ident(c)
+                if c == "channel" && punct(toks.get(j + 1), '(') && punct(toks.get(j + 2), ')') =>
+            {
+                made_channel = Some(Chan::Unbounded);
+            }
+            Tok::Ident(c) if c == "sync_channel" && punct(toks.get(j + 1), '(') => {
+                made_channel = Some(Chan::Bounded);
+            }
+            _ => {}
+        }
+        if guard_acquisition(toks, j) && acquired.is_none() {
+            if let Some((lock, line)) = lock_receiver(toks, j) {
+                acquired = Some((lock, line));
+                acq_nest = inest;
+            }
+        } else if acquired.is_some()
+            && !consumed
+            && inest <= acq_nest
+            && punct(toks.get(j), '.')
+            && punct(toks.get(j + 2), '(')
+        {
+            // A postfix method call on the acquisition chain at (or
+            // outside) the acquisition's nesting level: the guard is a
+            // temporary consumed inside this statement
+            // (`….lock()).sync_handle().ok()` binds a file, not a
+            // guard). The poison-unwrap family is exempt — those return
+            // the guard itself.
+            if let Some(m) = ident(toks.get(j + 1)) {
+                if !matches!(m, "unwrap" | "expect" | "unwrap_or_else") {
+                    consumed = true;
+                }
+            }
+        }
+        visit_site(ctx, j, guards, binds, may_block, may_acquire, out);
+        j += 1;
+    }
+    if let (Some(chan), Some(first)) = (made_channel, tuple_first) {
+        binds.push(Bind {
+            name: first,
+            depth,
+            chan,
+        });
+    }
+    if let Some((lock, line)) = acquired {
+        if let (Some((name, _)), false) = (name, consumed) {
+            guards.push(Guard {
+                name,
+                lock,
+                depth,
+                line,
+            });
+        }
+    }
+    j
+}
+
+/// Visits one token position for call-shaped events: blocking calls
+/// (r1 findings + may-block summary), direct guard acquisitions
+/// (lock-order edges + may-acquire summary), and local-function calls
+/// (both fixpoints).
+fn visit_site(
+    ctx: &FileCtx<'_>,
+    i: usize,
+    guards: &[Guard],
+    binds: &[Bind],
+    may_block: &BTreeSet<String>,
+    may_acquire: &BTreeMap<String, AcquireSet>,
+    out: &mut WalkOut,
+) {
+    let toks = ctx.toks;
+    // Direct guard acquisition: records the summary entry and, under a
+    // live guard, a lock-order edge. (Binding bookkeeping for `let`
+    // guards happens in `walk_let`; here the acquisition site itself is
+    // the event.)
+    if guard_acquisition(toks, i) {
+        if let Some((lock, line)) = lock_receiver(toks, i) {
+            out.acquires.push((lock.clone(), line));
+            for g in guards.iter() {
+                if g.lock != lock {
+                    out.edges.push(Edge {
+                        from: g.lock.clone(),
+                        from_line: g.line,
+                        to: lock.clone(),
+                        to_line: line,
+                        via: None,
+                        file: ctx.file.to_path_buf(),
+                    });
+                }
+            }
+        }
+        return;
+    }
+    if let Some(name) = call_of(toks, i, BLOCKING_CALLS) {
+        let blocks = if name == "send" {
+            send_blocks(ctx, binds, i)
+        } else {
+            true
+        };
+        if blocks {
+            out.blocked = true;
+            if let Some(g) = guards.last() {
+                out.findings.push(Finding::new(
+                    ctx.file,
+                    toks[i + 1].line,
+                    RULE_GUARD,
+                    format!(
+                        "lock guard `{}` (acquired line {}) is alive across blocking \
+                         call `{name}(…)`; drop the guard first, or justify with \
+                         `// rms-analyze: allow({RULE_GUARD}, \"…\")`",
+                        g.name, g.line
+                    ),
+                ));
+            }
+        }
+        return;
+    }
+    // Local function call: `f(`, `.f(`, or `::f(` where `f` is defined
+    // in the analysis set. Calls whose argument list mentions
+    // `Ordering` are atomic accesses (`x.store(v, Ordering::…)`), not
+    // calls into same-named local helpers.
+    let Some(fname) = ident(toks.get(i)) else {
+        return;
+    };
+    if !punct(toks.get(i + 1), '(')
+        || !ctx.local_fns.contains(fname)
+        || BLOCKING_CALLS.contains(&fname)
+        || GUARD_CALLS.contains(&fname)
+        || ident(toks.get(i.wrapping_sub(1))) == Some("fn")
+        || args_mention_ordering(toks, i + 1)
+    {
+        return;
+    }
+    let line = toks[i].line;
+    out.calls.push((fname.to_string(), line));
+    if may_block.contains(fname) {
+        if let Some(g) = guards.last() {
+            out.findings.push(Finding::new(
+                ctx.file,
+                line,
+                RULE_GUARD,
+                format!(
+                    "lock guard `{}` (acquired line {}) is alive across a call to \
+                     `{fname}(…)`, which may block; drop the guard first, or justify \
+                     with `// rms-analyze: allow({RULE_GUARD}, \"…\")`",
+                    g.name, g.line
+                ),
+            ));
+        }
+    }
+    if let Some(acq) = may_acquire.get(fname) {
+        for lock in acq.keys() {
+            for g in guards.iter() {
+                if &g.lock != lock {
+                    out.edges.push(Edge {
+                        from: g.lock.clone(),
+                        from_line: g.line,
+                        to: lock.clone(),
+                        to_line: line,
+                        via: Some(fname.to_string()),
+                        file: ctx.file.to_path_buf(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Does the `.send(` at token `i` block? Resolves the receiver against
+/// the scoped channel bindings, then the file-level name typing. A
+/// field access (`self.tx.send`) consults only the file-level typing —
+/// the field's declaration, not a local that happens to share the name.
+fn send_blocks(ctx: &FileCtx<'_>, binds: &[Bind], i: usize) -> bool {
+    let Some(recv) = ident(ctx.toks.get(i.wrapping_sub(1))) else {
+        return true;
+    };
+    let is_field = punct(ctx.toks.get(i.wrapping_sub(2)), '.');
+    if !is_field {
+        if let Some(b) = binds.iter().rev().find(|b| b.name == recv) {
+            return b.chan == Chan::Bounded;
+        }
+    }
+    match ctx.senders.names.get(recv) {
+        Some(chan) => *chan == Chan::Bounded,
+        None => true,
+    }
+}
+
+/// The lock identity of the guard call at token `i` (the `.` of
+/// `.lock()`/`.read()`/`.write()`): the last path identifier before it,
+/// reaching back over one index expression (`shards[i].lock()` →
+/// `shards`).
+fn lock_receiver(toks: &[Token], i: usize) -> Option<(String, u32)> {
+    let mut j = i.checked_sub(1)?;
+    if punct(toks.get(j), ']') {
+        let mut nest = 1i32;
+        while j > 0 && nest > 0 {
+            j -= 1;
+            match toks[j].tok {
+                Tok::Punct(']') => nest += 1,
+                Tok::Punct('[') => nest -= 1,
+                _ => {}
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+    ident(toks.get(j)).map(|name| (name.to_string(), toks[j].line))
+}
+
+/// Does the argument list opening at token `open` (a `(`) mention the
+/// identifier `Ordering`?
+fn args_mention_ordering(toks: &[Token], open: usize) -> bool {
+    let mut nest = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        match &toks[j].tok {
+            Tok::Punct('(') => nest += 1,
+            Tok::Punct(')') => {
+                nest -= 1;
+                if nest == 0 {
+                    return false;
+                }
+            }
+            Tok::Ident(id) if id == "Ordering" => return true,
+            _ => {}
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Builds the per-file walking context and the function list to
+/// analyze: `(index into tree.functions, body span)` for every non-test
+/// function with a body.
+fn file_ctx<'a>(
+    file: &'a Path,
+    toks: &'a [Token],
+    senders: &'a FileSenders,
+    tree: &BlockTree,
+    local_fns: BTreeSet<String>,
+) -> (FileCtx<'a>, FnBodies) {
+    let mut fn_spans = BTreeMap::new();
+    let mut bodies = Vec::new();
+    for (fi, f) in tree.functions.iter().enumerate() {
+        let Some(body) = f.body else { continue };
+        let scope = &tree.scopes[body];
+        fn_spans.insert(f.kw, scope.end);
+        if !f.in_test {
+            bodies.push((fi, (scope.start, scope.end.saturating_add(1))));
+        }
+    }
+    (
+        FileCtx {
+            file,
+            toks,
+            senders,
+            fn_spans,
+            local_fns,
+        },
+        bodies,
+    )
+}
+
+/// **R1 — `guard-across-blocking`**, dataflow edition: a `let`-bound
+/// `Mutex`/`RwLock` guard must not stay alive across a blocking call —
+/// directly, or through a call to a same-file function the fixpoint
+/// marked may-block. Unbounded `Sender::send` is not blocking. The
+/// guard dies at its scope's end or at an explicit `drop(name)`.
+pub fn guard_across_blocking(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    let tree = parse::parse(toks);
+    let senders = classify_senders(toks);
+    let local_fns: BTreeSet<String> = tree.functions.iter().map(|f| f.name.clone()).collect();
+    let (ctx, bodies) = file_ctx(file, toks, &senders, &tree, local_fns);
+
+    // Fixpoint: which local functions may block?
+    let empty_block = BTreeSet::new();
+    let empty_acquire = BTreeMap::new();
+    let mut summaries: Vec<CallSummary> = Vec::new();
+    for &(fi, span) in &bodies {
+        let f = &tree.functions[fi];
+        let out = walk_function(&ctx, f, span, &empty_block, &empty_acquire);
+        summaries.push((f.name.clone(), out.blocked, out.calls));
+    }
+    let mut may_block: BTreeSet<String> = summaries
+        .iter()
+        .filter(|(_, blocked, _)| *blocked)
+        .map(|(n, _, _)| n.clone())
+        .collect();
+    loop {
+        let before = may_block.len();
+        for (name, _, calls) in &summaries {
+            if !may_block.contains(name) && calls.iter().any(|(c, _)| may_block.contains(c)) {
+                may_block.insert(name.clone());
+            }
+        }
+        if may_block.len() == before {
+            break;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for &(fi, span) in &bodies {
+        let f = &tree.functions[fi];
+        findings.extend(walk_function(&ctx, f, span, &may_block, &empty_acquire).findings);
+    }
+    findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// **R7 — `lock-order`.** Builds the global lock-acquisition-order
+/// graph over the given files: an edge `A → B` when a guard of lock `A`
+/// is live while lock `B` is acquired — directly, or inside a called
+/// function whose fixpoint may-acquire set contains `B`. Any cycle is a
+/// potential deadlock, reported once with every edge's witness site.
+pub fn lock_order(files: &[(&Path, &[Token])]) -> Vec<Finding> {
+    // Phase 1: per-file parse + per-function summaries, merged by
+    // simple function name across the whole file set.
+    let mut direct: BTreeMap<String, AcquireSet> = BTreeMap::new();
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut all_fns: BTreeSet<String> = BTreeSet::new();
+    let mut parsed = Vec::new();
+    for (file, toks) in files {
+        let tree = parse::parse(toks);
+        let senders = classify_senders(toks);
+        all_fns.extend(tree.functions.iter().map(|f| f.name.clone()));
+        parsed.push((*file, *toks, tree, senders));
+    }
+    let empty_block = BTreeSet::new();
+    let empty_acquire = BTreeMap::new();
+    for (file, toks, tree, senders) in &parsed {
+        let (ctx, bodies) = file_ctx(file, toks, senders, tree, all_fns.clone());
+        for &(fi, span) in &bodies {
+            let f = &tree.functions[fi];
+            let out = walk_function(&ctx, f, span, &empty_block, &empty_acquire);
+            let entry = direct.entry(f.name.clone()).or_default();
+            for (lock, line) in out.acquires {
+                entry.entry(lock).or_insert(line);
+            }
+            calls
+                .entry(f.name.clone())
+                .or_default()
+                .extend(out.calls.into_iter().map(|(c, _)| c));
+        }
+    }
+    // Phase 2: fixpoint may-acquire over the name-merged call graph.
+    let mut may_acquire: BTreeMap<String, AcquireSet> = direct;
+    loop {
+        let mut grew = false;
+        for (name, callees) in &calls {
+            let mut add: AcquireSet = AcquireSet::new();
+            for callee in callees {
+                if let Some(acq) = may_acquire.get(callee) {
+                    for (lock, line) in acq {
+                        add.entry(lock.clone()).or_insert(*line);
+                    }
+                }
+            }
+            let entry = may_acquire.entry(name.clone()).or_default();
+            for (lock, line) in add {
+                if entry.insert(lock, line).is_none() {
+                    grew = true;
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    // Phase 3: re-walk with the fixpoint context, collecting edges.
+    let mut edges: Vec<Edge> = Vec::new();
+    for (file, toks, tree, senders) in &parsed {
+        let (ctx, bodies) = file_ctx(file, toks, senders, tree, all_fns.clone());
+        for &(fi, span) in &bodies {
+            let f = &tree.functions[fi];
+            edges.extend(walk_function(&ctx, f, span, &empty_block, &may_acquire).edges);
+        }
+    }
+    cycle_findings(edges)
+}
+
+/// Detects cycles in the lock-order graph and renders one finding per
+/// distinct cycle (by participating lock set), naming every hop's
+/// witness site.
+fn cycle_findings(mut edges: Vec<Edge>) -> Vec<Finding> {
+    edges.sort_by(|a, b| {
+        (&a.from, &a.to, &a.file, a.to_line).cmp(&(&b.from, &b.to, &b.file, b.to_line))
+    });
+    edges.dedup_by(|a, b| a.from == b.from && a.to == b.to && a.file == b.file);
+    // Adjacency with one representative edge per (from, to).
+    let mut adj: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in &edges {
+        let list = adj.entry(e.from.as_str()).or_default();
+        if !list.iter().any(|x| x.to == e.to) {
+            list.push(e);
+        }
+    }
+    let mut findings = Vec::new();
+    let mut seen: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for e in &edges {
+        // A cycle through `e` exists iff `e.to` reaches `e.from`.
+        let Some(path) = shortest_path(&adj, &e.to, &e.from) else {
+            continue;
+        };
+        let mut nodes: BTreeSet<String> = path.iter().map(|p| p.from.clone()).collect();
+        nodes.insert(e.to.clone());
+        nodes.insert(e.from.clone());
+        if !seen.insert(nodes) {
+            continue;
+        }
+        let mut chain = format!(
+            "`{}` → `{}` (guard of `{}` taken line {}, `{}` acquired at {}:{}{})",
+            e.from,
+            e.to,
+            e.from,
+            e.from_line,
+            e.to,
+            e.file.display(),
+            e.to_line,
+            e.via
+                .as_ref()
+                .map(|v| format!(" via `{v}(…)`"))
+                .unwrap_or_default(),
+        );
+        for hop in &path {
+            chain.push_str(&format!(
+                "; `{}` → `{}` (guard of `{}` taken line {}, `{}` acquired at {}:{}{})",
+                hop.from,
+                hop.to,
+                hop.from,
+                hop.from_line,
+                hop.to,
+                hop.file.display(),
+                hop.to_line,
+                hop.via
+                    .as_ref()
+                    .map(|v| format!(" via `{v}(…)`"))
+                    .unwrap_or_default(),
+            ));
+        }
+        findings.push(Finding::new(
+            &e.file,
+            e.to_line,
+            RULE_LOCKORDER,
+            format!(
+                "potential deadlock: lock acquisition order forms a cycle — {chain}; \
+                 pick one global order for these locks"
+            ),
+        ));
+    }
+    findings
+}
+
+/// BFS shortest edge-path from `from` to `to` in the lock graph.
+fn shortest_path<'e>(
+    adj: &BTreeMap<&str, Vec<&'e Edge>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<&'e Edge>> {
+    let mut prev: BTreeMap<&str, &'e Edge> = BTreeMap::new();
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(from.to_string());
+    let mut visited: BTreeSet<String> = BTreeSet::new();
+    visited.insert(from.to_string());
+    while let Some(node) = queue.pop_front() {
+        if node == to {
+            // Reconstruct.
+            let mut path = Vec::new();
+            let mut cur = to;
+            while cur != from {
+                let e = prev.get(cur)?;
+                path.push(*e);
+                cur = e.from.as_str();
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(nexts) = adj.get(node.as_str()) {
+            for e in nexts {
+                if visited.insert(e.to.clone()) {
+                    prev.insert(e.to.as_str(), e);
+                    queue.push_back(e.to.clone());
+                }
+            }
+        }
+    }
+    None
+}

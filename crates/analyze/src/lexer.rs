@@ -54,6 +54,22 @@ pub struct Pragma {
     pub own_line: bool,
 }
 
+/// One entry of a `// rms-analyze: atomic-policy(name: A|B, …)`
+/// declaration: the atomic's field/binding name and the memory
+/// orderings its accesses are allowed to use.
+#[derive(Debug, Clone)]
+pub struct AtomicPolicy {
+    /// 1-based line of the declaring comment.
+    pub line: u32,
+    /// The atomic's receiver name (`state`, `shutdown`, …).
+    pub name: String,
+    /// The sanctioned `Ordering::` variants.
+    pub orderings: Vec<String>,
+}
+
+/// The `std::sync::atomic::Ordering` variant names a policy may grant.
+pub const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
 /// Everything the lexer extracted from one source file.
 #[derive(Debug, Default)]
 pub struct LexOutput {
@@ -63,6 +79,8 @@ pub struct LexOutput {
     pub pragmas: Vec<Pragma>,
     /// Malformed pragma comments: `(line, what is wrong)`.
     pub pragma_errors: Vec<(u32, String)>,
+    /// Per-file atomic ordering policy entries, in declaration order.
+    pub atomic_policies: Vec<AtomicPolicy>,
 }
 
 const PRAGMA_MARKER: &str = "rms-analyze:";
@@ -343,9 +361,19 @@ impl Lexer {
         let malformed = |why: &str| {
             (
                 line,
-                format!("{why} — expected `rms-analyze: allow(<rule>, \"<reason>\")`"),
+                format!(
+                    "{why} — expected `rms-analyze: allow(<rule>, \"<reason>\")` or \
+                     `rms-analyze: atomic-policy(<name>: <Ordering>|…, …)`"
+                ),
             )
         };
+        if let Some(args) = rest
+            .strip_prefix("atomic-policy(")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            self.scan_atomic_policy(line, args);
+            return;
+        }
         let Some(args) = rest
             .strip_prefix("allow(")
             .and_then(|r| r.strip_suffix(')'))
@@ -376,6 +404,59 @@ impl Lexer {
             reason: reason.to_string(),
             own_line,
         });
+    }
+
+    /// Parses the argument list of one
+    /// `rms-analyze: atomic-policy(name: A|B, …)` declaration. Each
+    /// comma-separated entry grants one atomic's accesses a `|`-joined
+    /// set of `Ordering::` variants; anything else is a pragma error.
+    fn scan_atomic_policy(&mut self, line: u32, args: &str) {
+        let malformed = |why: String| {
+            (
+                line,
+                format!("{why} — expected `rms-analyze: atomic-policy(<name>: <Ordering>|…, …)`"),
+            )
+        };
+        for entry in args.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, orders)) = entry.split_once(':') else {
+                self.out.pragma_errors.push(malformed(format!(
+                    "atomic-policy entry `{entry}` has no `:`"
+                )));
+                continue;
+            };
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(is_ident_char) {
+                self.out.pragma_errors.push(malformed(format!(
+                    "atomic-policy entry has a malformed atomic name `{name}`"
+                )));
+                continue;
+            }
+            let mut orderings = Vec::new();
+            let mut bad = false;
+            for o in orders.split('|') {
+                let o = o.trim();
+                if ATOMIC_ORDERINGS.contains(&o) {
+                    orderings.push(o.to_string());
+                } else {
+                    self.out.pragma_errors.push(malformed(format!(
+                        "`{o}` is not a memory ordering (known: {})",
+                        ATOMIC_ORDERINGS.join(", ")
+                    )));
+                    bad = true;
+                }
+            }
+            if !bad && !orderings.is_empty() {
+                self.out.atomic_policies.push(AtomicPolicy {
+                    line,
+                    name: name.to_string(),
+                    orderings,
+                });
+            }
+        }
     }
 }
 

@@ -1,37 +1,52 @@
 //! `rms-analyze` — project-specific static analysis for the krms
-//! workspace: a hand-rolled lexer (no full AST, no dependencies) plus
-//! five lint rules encoding the concurrency, wire-protocol, and memory-
-//! layout invariants this codebase has historically broken in
-//! review-invisible ways.
+//! workspace: a hand-rolled lexer, a lightweight block-tree parser, and
+//! an intraprocedural dataflow layer (no full AST, no dependencies)
+//! behind ten lint rules encoding the concurrency, durability,
+//! wire-protocol, and memory-layout invariants this codebase has
+//! historically broken in review-invisible ways.
 //!
-//! Rules:
+//! Rules (see [`rules::RULE_DESCRIPTIONS`] / `--list-rules` for the
+//! authoritative catalog):
 //!
 //! | id | checks |
 //! |----|--------|
-//! | `guard-across-blocking` | no `Mutex`/`RwLock` guard alive across a blocking call (`send`, `recv`, `sync_data`, `write_all`, `accept`, …) in `crates/serve` |
-//! | `unwrap-nontest` | no `.unwrap()`/`.expect(…)`/`panic!`-family in non-test serve/client code |
-//! | `wire-grammar` | the verb/`OK`/`ERR`/`DELTA` vocabulary of `crates/serve` protocol files and `rms-client` must match exactly |
-//! | `lock-poison-policy` | `lock()`/`read()`/`write()` results go through `recover_poisoned`, not ad-hoc unwraps |
-//! | `index-no-box-node` | no per-node `Box` allocations in `crates/index/src` — the trees stay flat struct-of-arrays |
-//! | `metric-name-discipline` | `rms-metrics` registrations use literal `snake_case` names with an `rms_<subsystem>_` prefix, each family registered from exactly one call site |
+//! | `guard-across-blocking` | no lock guard alive across a blocking call, through scopes/`drop()`/may-block local calls; unbounded `Sender::send` exempt |
+//! | `unwrap-nontest` | no `.unwrap()`/`.expect(…)`/`panic!`-family in non-test serve/client/metrics code |
+//! | `wire-grammar` | server and client wire vocabularies must match exactly |
+//! | `lock-poison-policy` | lock results go through `recover_poisoned`, not ad-hoc unwraps |
+//! | `index-no-box-node` | no per-node `Box` allocations in `crates/index/src` |
+//! | `metric-name-discipline` | literal `rms_<subsystem>_` snake_case names, one owning call site per family |
+//! | `lock-order` | the serve-layer lock-acquisition-order graph stays acyclic |
+//! | `wal-tag-coverage` | every WAL tag has encode + replay arms; every `Op::` variant has a tag |
+//! | `epoch-monotonic-publish` | `*… .write() … = …` only inside sanctioned publish helpers |
+//! | `atomic-ordering-discipline` | every `Ordering::` use matches the file's declared atomic-policy table |
 //!
 //! Any finding can be suppressed in place with
 //! `// rms-analyze: allow(<rule-id>, "<reason>")` — on the offending
 //! line, or on its own line covering the next line. The reason is
 //! mandatory; unused or malformed pragmas are findings themselves
-//! (rule id `pragma`).
+//! (rule id `pragma`). Atomic policies are declared per file with
+//! `// rms-analyze: atomic-policy(<name>: <Ordering>|…, …)`.
+//!
+//! Every finding carries a stable fingerprint (FNV-1a over rule +
+//! workspace-relative path + trimmed source-line text + occurrence
+//! index), exposed by `--format json` and consumed by `--baseline` —
+//! fingerprints survive unrelated line-number churn, so a rule can land
+//! before its burn-down completes.
 
+pub mod flow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
 
 use lexer::{LexOutput, Token};
 use rules::Finding;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 pub use rules::{
-    ALL_RULES, RULE_BOXNODE, RULE_GUARD, RULE_METRIC, RULE_POISON, RULE_PRAGMA, RULE_UNWRAP,
-    RULE_WIRE,
+    ALL_RULES, RULE_ATOMIC, RULE_BOXNODE, RULE_DESCRIPTIONS, RULE_EPOCH, RULE_GUARD,
+    RULE_LOCKORDER, RULE_METRIC, RULE_POISON, RULE_PRAGMA, RULE_UNWRAP, RULE_WALTAG, RULE_WIRE,
 };
 
 /// The outcome of an analysis run.
@@ -52,16 +67,19 @@ pub struct Report {
 struct SourceFile {
     path: PathBuf,
     rel: PathBuf,
+    src: String,
     lex: LexOutput,
 }
 
 fn read_and_lex(root: &Path, rel: PathBuf) -> std::io::Result<SourceFile> {
     let path = root.join(&rel);
     let src = std::fs::read_to_string(&path)?;
+    let lex = lexer::lex(&src);
     Ok(SourceFile {
         path,
         rel,
-        lex: lexer::lex(&src),
+        src,
+        lex,
     })
 }
 
@@ -136,18 +154,25 @@ fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
 fn rule_applies(rule: &'static str, rel: &Path) -> bool {
     let in_serve_src = rel.starts_with("crates/serve/src");
     let in_client_src = rel.starts_with("crates/client/src");
+    let in_metrics_src = rel.starts_with("crates/metrics/src");
     match rule {
         // The PR-4/PR-5 bug class lives in the serving layer.
         rules::RULE_GUARD => in_serve_src,
-        // Burn-down scope: the hot serving path and the client library.
-        // CLI/bench/example code may still unwrap.
-        rules::RULE_UNWRAP => in_serve_src || in_client_src,
+        // Burn-down scope: the hot serving path, the client library,
+        // and (since PR 9) the metrics registry the serving path calls
+        // into. CLI/bench/example code may still unwrap.
+        rules::RULE_UNWRAP => in_serve_src || in_client_src || in_metrics_src,
         // Everything scanned must follow the one poison policy.
         rules::RULE_POISON => true,
         // The flat-layout guarantee is an index-crate invariant.
         rules::RULE_BOXNODE => rel.starts_with("crates/index/src"),
-        // R3 and R6 are cross-file; handled separately in `analyze`.
-        rules::RULE_WIRE | rules::RULE_METRIC => false,
+        // Snapshot publication sites live in the serving layer.
+        rules::RULE_EPOCH => in_serve_src,
+        // Atomics policy covers the serving layer and the metrics
+        // hot-path counters.
+        rules::RULE_ATOMIC => in_serve_src || in_metrics_src,
+        // R3, R6, R7, R8 are cross-file; handled separately in `analyze`.
+        rules::RULE_WIRE | rules::RULE_METRIC | rules::RULE_LOCKORDER | rules::RULE_WALTAG => false,
         _ => false,
     }
 }
@@ -156,6 +181,8 @@ fn rule_applies(rule: &'static str, rel: &Path) -> bool {
 /// and the client re-implementation.
 const WIRE_SERVER_FILES: &[&str] = &["crates/serve/src/protocol.rs", "crates/serve/src/tcp.rs"];
 const WIRE_CLIENT_FILES: &[&str] = &["crates/client/src/lib.rs"];
+/// The WAL implementation R8 audits against the wire files.
+const WAL_FILES: &[&str] = &["crates/serve/src/wal.rs"];
 
 /// Options for an analysis run.
 pub struct Options {
@@ -189,9 +216,11 @@ pub fn analyze_workspace(root: &Path, opts: &Options) -> std::io::Result<Report>
 }
 
 /// Analyzes an explicit list of files (paths used verbatim in output).
-/// Scoping is disabled: every requested rule runs on every file, and R3
-/// runs only if the set contains both a `protocol`-named and a
-/// `client`-named file (fixture convention).
+/// Scoping is disabled: every requested per-file rule runs on every
+/// file; the cross-file rules pair files by name fragments (fixture
+/// convention): R3 needs a `protocol`/`server` and a `client` file, R8
+/// a `wal` file (plus optionally `protocol`/`server` ones), and R7 runs
+/// over the whole set.
 ///
 /// # Errors
 /// Propagates I/O errors from reading the files.
@@ -199,10 +228,12 @@ pub fn analyze_files(paths: &[PathBuf], opts: &Options) -> std::io::Result<Repor
     let mut sources = Vec::with_capacity(paths.len());
     for p in paths {
         let src = std::fs::read_to_string(p)?;
+        let lex = lexer::lex(&src);
         sources.push(SourceFile {
             path: p.clone(),
             rel: p.clone(),
-            lex: lexer::lex(&src),
+            src,
+            lex,
         });
     }
     Ok(analyze_adhoc(&sources, opts))
@@ -213,28 +244,43 @@ fn analyze(sources: &[SourceFile], opts: &Options) -> Report {
     for sf in sources {
         for rule in &opts.rules {
             if rule_applies(rule, &sf.rel) {
-                raw.extend(run_rule(rule, &sf.path, &sf.lex.tokens));
+                raw.extend(run_rule(rule, &sf.path, &sf.lex));
             }
         }
     }
+    let pick = |names: &[&str]| -> Vec<(PathBuf, Vec<Token>)> {
+        sources
+            .iter()
+            .filter(|sf| names.iter().any(|n| sf.rel == Path::new(n)))
+            .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
+            .collect()
+    };
     if opts.wire && opts.rules.contains(&rules::RULE_WIRE) {
-        let pick = |names: &[&str]| -> Vec<(PathBuf, Vec<Token>)> {
-            sources
-                .iter()
-                .filter(|sf| names.iter().any(|n| sf.rel == Path::new(n)))
-                .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
-                .collect()
-        };
         let server = pick(WIRE_SERVER_FILES);
         let client = pick(WIRE_CLIENT_FILES);
         if !server.is_empty() && !client.is_empty() {
             raw.extend(rules::wire_grammar(&server, &client));
         }
     }
+    if opts.rules.contains(&rules::RULE_WALTAG) {
+        let wal = pick(WAL_FILES);
+        let wire = pick(WIRE_SERVER_FILES);
+        if !wal.is_empty() {
+            raw.extend(rules::wal_tag_coverage(&wal, &wire));
+        }
+    }
+    if opts.rules.contains(&rules::RULE_LOCKORDER) {
+        let serve: Vec<(&Path, &[Token])> = sources
+            .iter()
+            .filter(|sf| sf.rel.starts_with("crates/serve/src"))
+            .map(|sf| (sf.path.as_path(), sf.lex.tokens.as_slice()))
+            .collect();
+        raw.extend(flow::lock_order(&serve));
+    }
     if opts.rules.contains(&rules::RULE_METRIC) {
         raw.extend(rules::metric_name_discipline(&borrow_all(sources)));
     }
-    apply_pragmas(sources, raw)
+    apply_pragmas(sources, raw, &opts.rules)
 }
 
 /// Borrows every source as the `(path, tokens)` pair the cross-file
@@ -250,44 +296,61 @@ fn analyze_adhoc(sources: &[SourceFile], opts: &Options) -> Report {
     let mut raw: Vec<Finding> = Vec::new();
     for sf in sources {
         for rule in &opts.rules {
-            if *rule != rules::RULE_WIRE {
-                raw.extend(run_rule(rule, &sf.path, &sf.lex.tokens));
+            let cross_file = matches!(
+                *rule,
+                rules::RULE_WIRE | rules::RULE_LOCKORDER | rules::RULE_WALTAG
+            );
+            if !cross_file {
+                raw.extend(run_rule(rule, &sf.path, &sf.lex));
             }
         }
     }
+    let name_has = |sf: &&SourceFile, frag: &str| {
+        sf.rel
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(frag))
+    };
+    let pick_frag = |frags: &[&str]| -> Vec<(PathBuf, Vec<Token>)> {
+        sources
+            .iter()
+            .filter(|sf| frags.iter().any(|f| name_has(sf, f)))
+            .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
+            .collect()
+    };
     if opts.wire && opts.rules.contains(&rules::RULE_WIRE) {
-        let name_has = |sf: &&SourceFile, frag: &str| {
-            sf.rel
-                .file_name()
-                .and_then(|n| n.to_str())
-                .is_some_and(|n| n.contains(frag))
-        };
-        let server: Vec<_> = sources
-            .iter()
-            .filter(|sf| name_has(sf, "protocol") || name_has(sf, "server"))
-            .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
-            .collect();
-        let client: Vec<_> = sources
-            .iter()
-            .filter(|sf| name_has(sf, "client"))
-            .map(|sf| (sf.path.clone(), sf.lex.tokens.clone()))
-            .collect();
+        let server = pick_frag(&["protocol", "server"]);
+        let client = pick_frag(&["client"]);
         if !server.is_empty() && !client.is_empty() {
             raw.extend(rules::wire_grammar(&server, &client));
         }
     }
+    if opts.rules.contains(&rules::RULE_WALTAG) {
+        let wal = pick_frag(&["wal"]);
+        let wire = pick_frag(&["protocol", "server"]);
+        if !wal.is_empty() {
+            raw.extend(rules::wal_tag_coverage(&wal, &wire));
+        }
+    }
+    if opts.rules.contains(&rules::RULE_LOCKORDER) {
+        raw.extend(flow::lock_order(&borrow_all(sources)));
+    }
     if opts.rules.contains(&rules::RULE_METRIC) {
         raw.extend(rules::metric_name_discipline(&borrow_all(sources)));
     }
-    apply_pragmas(sources, raw)
+    apply_pragmas(sources, raw, &opts.rules)
 }
 
-fn run_rule(rule: &'static str, path: &Path, toks: &[Token]) -> Vec<Finding> {
+fn run_rule(rule: &'static str, path: &Path, lex: &LexOutput) -> Vec<Finding> {
     match rule {
-        rules::RULE_GUARD => rules::guard_across_blocking(path, toks),
-        rules::RULE_UNWRAP => rules::unwrap_nontest(path, toks),
-        rules::RULE_POISON => rules::lock_poison_policy(path, toks),
-        rules::RULE_BOXNODE => rules::index_no_box_node(path, toks),
+        rules::RULE_GUARD => rules::guard_across_blocking(path, &lex.tokens),
+        rules::RULE_UNWRAP => rules::unwrap_nontest(path, &lex.tokens),
+        rules::RULE_POISON => rules::lock_poison_policy(path, &lex.tokens),
+        rules::RULE_BOXNODE => rules::index_no_box_node(path, &lex.tokens),
+        rules::RULE_EPOCH => rules::epoch_monotonic_publish(path, &lex.tokens),
+        rules::RULE_ATOMIC => {
+            rules::atomic_ordering_discipline(path, &lex.tokens, &lex.atomic_policies)
+        }
         _ => Vec::new(),
     }
 }
@@ -296,7 +359,11 @@ fn run_rule(rule: &'static str, path: &Path, toks: &[Token]) -> Vec<Finding> {
 /// line (or an own-line pragma covering the next line) with a matching
 /// rule id suppresses the finding. Unknown-rule and unused pragmas,
 /// plus the lexer's malformed-pragma notes, become `pragma` findings.
-fn apply_pragmas(sources: &[SourceFile], raw: Vec<Finding>) -> Report {
+/// A pragma for a known rule that is not in `active` (e.g. under
+/// `--rules lock-order`) is left alone: its rule never ran, so whether
+/// it suppresses anything cannot be judged on this pass.
+/// Surviving findings leave with their fingerprints filled in.
+fn apply_pragmas(sources: &[SourceFile], raw: Vec<Finding>, active: &[&str]) -> Report {
     let mut report = Report {
         files_scanned: sources.len(),
         ..Report::default()
@@ -308,16 +375,19 @@ fn apply_pragmas(sources: &[SourceFile], raw: Vec<Finding>) -> Report {
         for (idx, p) in sf.lex.pragmas.iter().enumerate() {
             report.pragma_count += 1;
             if !ALL_RULES.contains(&p.rule.as_str()) {
-                report.findings.push(Finding {
-                    file: sf.path.clone(),
-                    line: p.line,
-                    rule: rules::RULE_PRAGMA,
-                    msg: format!(
+                report.findings.push(Finding::new(
+                    &sf.path,
+                    p.line,
+                    rules::RULE_PRAGMA,
+                    format!(
                         "pragma names unknown rule `{}` (known: {})",
                         p.rule,
                         ALL_RULES.join(", ")
                     ),
-                });
+                ));
+                continue;
+            }
+            if !active.contains(&p.rule.as_str()) {
                 continue;
             }
             used.insert((sf.path.clone(), idx), false);
@@ -328,12 +398,12 @@ fn apply_pragmas(sources: &[SourceFile], raw: Vec<Finding>) -> Report {
             );
         }
         for (line, msg) in &sf.lex.pragma_errors {
-            report.findings.push(Finding {
-                file: sf.path.clone(),
-                line: *line,
-                rule: rules::RULE_PRAGMA,
-                msg: msg.clone(),
-            });
+            report.findings.push(Finding::new(
+                &sf.path,
+                *line,
+                rules::RULE_PRAGMA,
+                msg.clone(),
+            ));
         }
     }
     for f in raw {
@@ -350,20 +420,104 @@ fn apply_pragmas(sources: &[SourceFile], raw: Vec<Finding>) -> Report {
             // Recover the pragma for its line/rule.
             if let Some(sf) = sources.iter().find(|s| &s.path == path) {
                 let p = &sf.lex.pragmas[*idx];
-                report.findings.push(Finding {
-                    file: path.clone(),
-                    line: p.line,
-                    rule: rules::RULE_PRAGMA,
-                    msg: format!(
+                report.findings.push(Finding::new(
+                    path,
+                    p.line,
+                    rules::RULE_PRAGMA,
+                    format!(
                         "unused pragma: allow({}) suppresses nothing on its line — remove it",
                         p.rule
                     ),
-                });
+                ));
             }
         }
     }
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    fingerprint_findings(sources, &mut report.findings);
     report
+}
+
+/// FNV-1a 64 over a sequence of parts, with a separator fold between
+/// parts so `("ab","c")` and `("a","bc")` hash differently.
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for &b in *part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xff;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Fills each finding's stable fingerprint: FNV-1a over the rule id,
+/// the workspace-relative path, the *trimmed text* of the offending
+/// source line, and an occurrence index (disambiguating identical lines
+/// under the same rule). Line *numbers* are deliberately not hashed —
+/// unrelated churn above a finding must not change its identity, or
+/// `--baseline` files would rot instantly.
+fn fingerprint_findings(sources: &[SourceFile], findings: &mut [Finding]) {
+    let by_path: BTreeMap<&Path, &SourceFile> =
+        sources.iter().map(|sf| (sf.path.as_path(), sf)).collect();
+    let mut seen: BTreeMap<(&'static str, String, String), u32> = BTreeMap::new();
+    for f in findings.iter_mut() {
+        let (rel, text) = match by_path.get(f.file.as_path()) {
+            Some(sf) => (
+                sf.rel.display().to_string(),
+                sf.src
+                    .lines()
+                    .nth(f.line.saturating_sub(1) as usize)
+                    .unwrap_or("")
+                    .trim()
+                    .to_string(),
+            ),
+            None => (f.file.display().to_string(), String::new()),
+        };
+        let idx = seen.entry((f.rule, rel.clone(), text.clone())).or_insert(0);
+        let n = *idx;
+        *idx += 1;
+        f.fingerprint = format!(
+            "{:016x}",
+            fnv1a(&[
+                f.rule.as_bytes(),
+                rel.as_bytes(),
+                text.as_bytes(),
+                &n.to_le_bytes(),
+            ])
+        );
+    }
+}
+
+/// Parses a baseline file into the fingerprint set it suppresses.
+/// Accepts two shapes, freely mixed: the `--format json` output itself
+/// (every `"fingerprint":"…"` value is taken), and plain text with one
+/// bare 16-hex-digit fingerprint per line (`#` comments and blank lines
+/// ignored) — so `rms-analyze --workspace --format json > baseline.json`
+/// round-trips directly.
+pub fn parse_baseline(text: &str) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"fingerprint\"") {
+        rest = &rest[pos + "\"fingerprint\"".len()..];
+        let Some(q1) = rest.find('"') else { break };
+        let after = &rest[q1 + 1..];
+        let Some(q2) = after.find('"') else { break };
+        let fp = &after[..q2];
+        if fp.len() == 16 && fp.chars().all(|c| c.is_ascii_hexdigit()) {
+            set.insert(fp.to_string());
+        }
+        rest = &after[q2..];
+    }
+    for line in text.lines() {
+        let line = line.trim();
+        if line.len() == 16 && line.chars().all(|c| c.is_ascii_hexdigit()) {
+            set.insert(line.to_string());
+        }
+    }
+    set
 }

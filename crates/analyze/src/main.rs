@@ -3,18 +3,32 @@
 //! ```text
 //! rms-analyze --workspace [ROOT]       # scan the whole workspace tree
 //! rms-analyze [--rules r1,r2] FILE...  # scan explicit files (all rules, no scoping)
+//! rms-analyze --list-rules             # print the rule catalog and exit
 //! ```
 //!
-//! Findings go to stdout as `file:line rule-id message`; the summary
-//! (counts, suppressions) goes to stderr. Exit 0 ⇔ no findings.
+//! Options:
+//!
+//! * `--format text|json` — `text` (default) prints findings to stdout
+//!   as `file:line rule-id message`; `json` prints one machine-readable
+//!   object with stable per-finding fingerprints.
+//! * `--baseline FILE` — suppress findings whose fingerprint appears in
+//!   `FILE` (either a previous `--format json` output or bare
+//!   fingerprint lines). Baselined findings are reported to stderr and
+//!   are not fatal.
+//!
+//! The summary (counts, suppressions) goes to stderr. Exit 0 ⇔ no
+//! surviving findings.
 
-use rms_analyze::{analyze_files, analyze_workspace, Options, Report, ALL_RULES};
+use rms_analyze::{
+    analyze_files, analyze_workspace, parse_baseline, Options, Report, ALL_RULES, RULE_DESCRIPTIONS,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: rms-analyze --workspace [ROOT]\n       rms-analyze [--rules LIST] FILE...\n\n\
+        "usage: rms-analyze --workspace [ROOT]\n       rms-analyze [--rules LIST] FILE...\n       \
+         rms-analyze --list-rules\n\noptions: --format text|json, --baseline FILE\n\n\
          rules: {}",
         ALL_RULES.join(", ")
     );
@@ -39,12 +53,59 @@ fn parse_rules(list: &str) -> Vec<&'static str> {
     out
 }
 
+/// Escapes a string for a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the report as one JSON object on stdout. Shape:
+/// `{"findings":[{"file","line","rule","message","fingerprint"}…],
+///   "files_scanned":N,"suppressed":N,"baselined":N}`.
+fn print_json(report: &Report, baselined: usize) {
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\",\
+             \"fingerprint\":\"{}\"}}",
+            json_escape(&f.file.display().to_string()),
+            f.line,
+            json_escape(f.rule),
+            json_escape(&f.msg),
+            json_escape(&f.fingerprint),
+        ));
+    }
+    out.push_str(&format!(
+        "],\"files_scanned\":{},\"suppressed\":{},\"baselined\":{}}}",
+        report.files_scanned,
+        report.suppressed.len(),
+        baselined,
+    ));
+    println!("{out}");
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut workspace = false;
     let mut root: Option<PathBuf> = None;
     let mut rules: Vec<&'static str> = ALL_RULES.to_vec();
     let mut files: Vec<PathBuf> = Vec::new();
+    let mut json = false;
+    let mut baseline: Option<PathBuf> = None;
     while let Some(a) = args.next() {
         match a.as_str() {
             "--workspace" => workspace = true,
@@ -52,6 +113,21 @@ fn main() -> ExitCode {
                 Some(list) => rules = parse_rules(&list),
                 None => usage(),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                _ => usage(),
+            },
+            "--baseline" => match args.next() {
+                Some(f) => baseline = Some(PathBuf::from(f)),
+                None => usage(),
+            },
+            "--list-rules" => {
+                for (rule, desc) in RULE_DESCRIPTIONS {
+                    println!("{rule}\t{desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
             "--help" | "-h" => usage(),
             _ if a.starts_with("--") => usage(),
             _ => {
@@ -91,7 +167,7 @@ fn main() -> ExitCode {
         analyze_files(&files, &opts)
     };
 
-    let report: Report = match result {
+    let mut report: Report = match result {
         Ok(r) => r,
         Err(e) => {
             eprintln!("rms-analyze: {e}");
@@ -99,8 +175,33 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &report.findings {
-        println!("{f}");
+    let mut baselined: Vec<_> = Vec::new();
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rms-analyze: baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let set = parse_baseline(&text);
+        let (kept, skipped): (Vec<_>, Vec<_>) = report
+            .findings
+            .drain(..)
+            .partition(|f| !set.contains(&f.fingerprint));
+        report.findings = kept;
+        baselined = skipped;
+    }
+
+    if json {
+        print_json(&report, baselined.len());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+    }
+    for f in &baselined {
+        eprintln!("rms-analyze: baselined {f}");
     }
     for (f, reason) in &report.suppressed {
         eprintln!("rms-analyze: suppressed {f} (allowed: {reason})");

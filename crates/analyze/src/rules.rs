@@ -5,8 +5,8 @@
 //! All rules skip tokens marked `in_test` — test code may unwrap, hold
 //! guards across asserts, and spell malformed wire lines on purpose.
 
-use crate::lexer::{Tok, Token};
-use std::collections::BTreeMap;
+use crate::lexer::{AtomicPolicy, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
 /// One rule violation (or pragma-hygiene problem), printable as
@@ -17,11 +17,27 @@ pub struct Finding {
     pub file: PathBuf,
     /// 1-based line of the offending token.
     pub line: u32,
-    /// Rule id (`guard-across-blocking`, `unwrap-nontest`,
-    /// `wire-grammar`, `lock-poison-policy`, or `pragma`).
+    /// Rule id (`guard-across-blocking`, `lock-order`, …, or `pragma`).
     pub rule: &'static str,
     /// What is wrong and what to do about it.
     pub msg: String,
+    /// Stable identity for `--format json` / `--baseline`: FNV-1a over
+    /// rule + workspace-relative path + trimmed line text + occurrence
+    /// index. Filled in by the driver after rules run; empty until then.
+    pub fingerprint: String,
+}
+
+impl Finding {
+    /// A finding with an (as yet) empty fingerprint.
+    pub fn new(file: &Path, line: u32, rule: &'static str, msg: String) -> Self {
+        Finding {
+            file: file.to_path_buf(),
+            line,
+            rule,
+            msg,
+            fingerprint: String::new(),
+        }
+    }
 }
 
 impl std::fmt::Display for Finding {
@@ -37,7 +53,7 @@ impl std::fmt::Display for Finding {
     }
 }
 
-/// Rule id for [`guard_across_blocking`].
+/// Rule id for [`crate::flow::guard_across_blocking`].
 pub const RULE_GUARD: &str = "guard-across-blocking";
 /// Rule id for [`unwrap_nontest`].
 pub const RULE_UNWRAP: &str = "unwrap-nontest";
@@ -49,6 +65,14 @@ pub const RULE_POISON: &str = "lock-poison-policy";
 pub const RULE_BOXNODE: &str = "index-no-box-node";
 /// Rule id for [`metric_name_discipline`].
 pub const RULE_METRIC: &str = "metric-name-discipline";
+/// Rule id for [`crate::flow::lock_order`].
+pub const RULE_LOCKORDER: &str = "lock-order";
+/// Rule id for [`wal_tag_coverage`].
+pub const RULE_WALTAG: &str = "wal-tag-coverage";
+/// Rule id for [`epoch_monotonic_publish`].
+pub const RULE_EPOCH: &str = "epoch-monotonic-publish";
+/// Rule id for [`atomic_ordering_discipline`].
+pub const RULE_ATOMIC: &str = "atomic-ordering-discipline";
 /// Pseudo-rule id for pragma hygiene findings (malformed, unknown rule,
 /// unused) — not allowable by pragma, on purpose.
 pub const RULE_PRAGMA: &str = "pragma";
@@ -61,6 +85,71 @@ pub const ALL_RULES: &[&str] = &[
     RULE_POISON,
     RULE_BOXNODE,
     RULE_METRIC,
+    RULE_LOCKORDER,
+    RULE_WALTAG,
+    RULE_EPOCH,
+    RULE_ATOMIC,
+];
+
+/// One-line description per rule, in [`ALL_RULES`] order — the source
+/// of truth behind `--list-rules` and the README rule table (a
+/// doc-drift test pins the two together). Keep these single-line and
+/// free of `|` so they can sit in a Markdown table cell.
+pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    (
+        RULE_GUARD,
+        "a `let`-bound lock guard must not stay alive across a blocking call — directly, \
+         or through a local function the may-block fixpoint marks blocking; unbounded \
+         `Sender::send` is exempt",
+    ),
+    (
+        RULE_UNWRAP,
+        "no `.unwrap()` / `.expect(…)` / `panic!`-family macros in non-test code; the \
+         serving layer degrades, it does not die",
+    ),
+    (
+        RULE_WIRE,
+        "the server and client wire vocabularies (ALL-CAPS verbs and reply heads in \
+         string literals) must match exactly",
+    ),
+    (
+        RULE_POISON,
+        "lock-acquisition results go through `recover_poisoned`, never ad-hoc \
+         `.unwrap()`-style poison handling",
+    ),
+    (
+        RULE_BOXNODE,
+        "no `Box<…>` / `Box::new(…)` in index code; the trees are flat struct-of-arrays \
+         layouts",
+    ),
+    (
+        RULE_METRIC,
+        "metric names are string literals, `rms_<subsystem>_` snake_case, each family \
+         registered from exactly one site",
+    ),
+    (
+        RULE_LOCKORDER,
+        "the global lock-acquisition-order graph over `crates/serve/src` must stay \
+         acyclic; a cycle is a potential deadlock, reported with each edge's witness \
+         sites",
+    ),
+    (
+        RULE_WALTAG,
+        "every WAL record tag has an encode use and a replay arm, and every `Op::` \
+         variant has a WAL tag — an op cannot silently skip durability",
+    ),
+    (
+        RULE_EPOCH,
+        "deref-writes through a fresh `.write()` guard happen only inside sanctioned \
+         publish helpers (`store` / `publish*`), pinning epoch-monotone snapshot \
+         publication",
+    ),
+    (
+        RULE_ATOMIC,
+        "every `Ordering::` use in serve and metrics code must match the file's declared \
+         `atomic-policy(…)` table; undeclared atomics and undeclared `SeqCst` are \
+         findings",
+    ),
 ];
 
 /// Method/function names whose calls block (or may block arbitrarily
@@ -68,7 +157,7 @@ pub const ALL_RULES: &[&str] = &[
 /// thread joins/sleeps. Holding a lock guard across any of these is the
 /// PR-4/PR-5 bug class. `try_send`/`try_recv` are deliberately absent —
 /// the serve layer's enqueue+append critical section is built on them.
-const BLOCKING_CALLS: &[&str] = &[
+pub(crate) const BLOCKING_CALLS: &[&str] = &[
     "send",
     "recv",
     "recv_timeout",
@@ -91,22 +180,22 @@ const BLOCKING_CALLS: &[&str] = &[
 /// Guard-acquiring method names: `.lock()`, `.read()`, `.write()` called
 /// with no arguments (the empty-parens requirement is what keeps
 /// `io::Read::read(&mut buf)` and `io::Write::write(&buf)` out).
-const GUARD_CALLS: &[&str] = &["lock", "read", "write"];
+pub(crate) const GUARD_CALLS: &[&str] = &["lock", "read", "write"];
 
-fn ident(t: Option<&Token>) -> Option<&str> {
+pub(crate) fn ident(t: Option<&Token>) -> Option<&str> {
     match t.map(|t| &t.tok) {
         Some(Tok::Ident(s)) => Some(s.as_str()),
         _ => None,
     }
 }
 
-fn punct(t: Option<&Token>, ch: char) -> bool {
+pub(crate) fn punct(t: Option<&Token>, ch: char) -> bool {
     matches!(t.map(|t| &t.tok), Some(Tok::Punct(c)) if *c == ch)
 }
 
 /// Does `toks[i..]` start with `.name(` or `::name(` for some `name`
 /// in `set`? Returns the matched name.
-fn call_of<'a>(toks: &'a [Token], i: usize, set: &[&'static str]) -> Option<&'a str> {
+pub(crate) fn call_of<'a>(toks: &'a [Token], i: usize, set: &[&'static str]) -> Option<&'a str> {
     let name_at = if punct(toks.get(i), '.') {
         i + 1
     } else if punct(toks.get(i), ':') && punct(toks.get(i + 1), ':') {
@@ -128,7 +217,7 @@ fn call_of<'a>(toks: &'a [Token], i: usize, set: &[&'static str]) -> Option<&'a 
 
 /// Is `toks[i..]` the sequence `.name()` (empty parens) for `name` in
 /// `GUARD_CALLS`?
-fn guard_acquisition(toks: &[Token], i: usize) -> bool {
+pub(crate) fn guard_acquisition(toks: &[Token], i: usize) -> bool {
     punct(toks.get(i), '.')
         && ident(toks.get(i + 1)).is_some_and(|n| GUARD_CALLS.contains(&n))
         && punct(toks.get(i + 2), '(')
@@ -137,142 +226,12 @@ fn guard_acquisition(toks: &[Token], i: usize) -> bool {
 
 /// **R1 — `guard-across-blocking`.** A `let` binding whose initializer
 /// acquires a `Mutex`/`RwLock` guard must not stay alive across a
-/// blocking call (`.send(`, `.recv(`, `sync_data`, `write_all`,
-/// `accept(`, …). The guard dies at the end of its block or at an
-/// explicit `drop(name)`. Heuristic, not flow-sensitive: `drop` in any
-/// branch ends tracking (false negatives over false positives).
+/// blocking call. Since PR 9 this is the dataflow analysis in
+/// [`crate::flow`]: guard lifetimes follow nested scopes, `drop()` and
+/// shadowing; calls into same-file functions that (transitively) block
+/// count as blocking sites; and an unbounded `Sender::send` does not.
 pub fn guard_across_blocking(file: &Path, toks: &[Token]) -> Vec<Finding> {
-    let mut findings = Vec::new();
-    let mut guards: Vec<Guard> = Vec::new();
-    let mut depth = 0u32;
-    let mut i = 0;
-    while i < toks.len() {
-        if toks[i].in_test {
-            i += 1;
-            continue;
-        }
-        match &toks[i].tok {
-            Tok::Punct('{') => depth += 1,
-            Tok::Punct('}') => {
-                depth = depth.saturating_sub(1);
-                guards.retain(|g| g.depth <= depth);
-            }
-            Tok::Ident(kw) if kw == "drop" && punct(toks.get(i + 1), '(') => {
-                if let Some(name) = ident(toks.get(i + 2)) {
-                    if punct(toks.get(i + 3), ')') {
-                        guards.retain(|g| g.name != name);
-                    }
-                }
-            }
-            Tok::Ident(kw) if kw == "let" => {
-                i = track_let_binding(file, toks, i, depth, &mut guards, &mut findings);
-                continue;
-            }
-            _ => {
-                if let Some(name) = call_of(toks, i, BLOCKING_CALLS) {
-                    if let Some(g) = guards.last() {
-                        findings.push(Finding {
-                            file: file.to_path_buf(),
-                            line: toks[i + 1].line,
-                            rule: RULE_GUARD,
-                            msg: format!(
-                                "lock guard `{}` (acquired line {}) is alive across blocking \
-                                 call `{name}(…)`; drop the guard first, or justify with \
-                                 `// rms-analyze: allow({RULE_GUARD}, \"…\")`",
-                                g.name, g.line
-                            ),
-                        });
-                    }
-                }
-            }
-        }
-        i += 1;
-    }
-    findings
-}
-
-/// Parses one `let` statement starting at `toks[start]` (the `let`
-/// keyword): records a guard if the initializer acquires one, checks the
-/// initializer for blocking calls under already-live guards, and returns
-/// the index to resume scanning from (the statement's terminator).
-fn track_let_binding(
-    file: &Path,
-    toks: &[Token],
-    start: usize,
-    depth: u32,
-    guards: &mut Vec<Guard>,
-    findings: &mut Vec<Finding>,
-) -> usize {
-    // Pattern: tokens up to `=` at zero bracket nesting. The bound name
-    // is the last identifier before a `:` (type ascription) — handles
-    // `let mut g`, `let Ok(g)`, `let g: Type`.
-    let mut i = start + 1;
-    let mut nest = 0i32;
-    let mut name: Option<(String, u32)> = None;
-    let mut saw_colon = false;
-    while i < toks.len() {
-        match &toks[i].tok {
-            Tok::Punct('(' | '[') => nest += 1,
-            Tok::Punct(')' | ']') => nest -= 1,
-            Tok::Punct(':') if nest == 0 => saw_colon = true,
-            Tok::Punct('=') if nest == 0 => break,
-            Tok::Punct(';') if nest == 0 => return i, // `let x;`
-            Tok::Punct('{') => return i,              // not a binding form we track
-            Tok::Ident(id) if !saw_colon && id != "mut" && id != "ref" => {
-                name = Some((id.clone(), toks[i].line));
-                // Tuple-struct patterns like `Ok(g)`: the inner ident
-                // overwrites the constructor, which is what we want.
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    // Initializer: to `;` or `{` at zero nesting. A struct-literal or
-    // match initializer ends the scan early — acceptable imprecision.
-    let mut acquires = false;
-    let mut j = i + 1;
-    let mut inest = 0i32;
-    while j < toks.len() {
-        match &toks[j].tok {
-            Tok::Punct('(' | '[') => inest += 1,
-            Tok::Punct(')' | ']') => inest -= 1,
-            Tok::Punct(';') if inest == 0 => break,
-            Tok::Punct('{') if inest == 0 => break,
-            _ => {}
-        }
-        if guard_acquisition(toks, j) {
-            acquires = true;
-        }
-        if let Some(bname) = call_of(toks, j, BLOCKING_CALLS) {
-            if let Some(g) = guards.last() {
-                findings.push(Finding {
-                    file: file.to_path_buf(),
-                    line: toks[j + 1].line,
-                    rule: RULE_GUARD,
-                    msg: format!(
-                        "lock guard `{}` (acquired line {}) is alive across blocking \
-                         call `{bname}(…)`; drop the guard first, or justify with \
-                         `// rms-analyze: allow({RULE_GUARD}, \"…\")`",
-                        g.name, g.line
-                    ),
-                });
-            }
-        }
-        j += 1;
-    }
-    if acquires {
-        if let Some((name, line)) = name {
-            guards.push(Guard { name, depth, line });
-        }
-    }
-    j
-}
-
-/// A live lock-guard binding tracked by [`guard_across_blocking`].
-struct Guard {
-    name: String,
-    depth: u32,
-    line: u32,
+    crate::flow::guard_across_blocking(file, toks)
 }
 
 /// **R2 — `unwrap-nontest`.** `.unwrap()` / `.expect(…)` (and their
@@ -301,15 +260,15 @@ pub fn unwrap_nontest(file: &Path, toks: &[Token]) -> Vec<Finding> {
             } else {
                 format!(".{name}()")
             };
-            findings.push(Finding {
-                file: file.to_path_buf(),
-                line: t.line,
-                rule: RULE_UNWRAP,
-                msg: format!(
+            findings.push(Finding::new(
+                file,
+                t.line,
+                RULE_UNWRAP,
+                format!(
                     "`{call}` in non-test code; propagate the error (or justify with \
                      `// rms-analyze: allow({RULE_UNWRAP}, \"…\")`)"
                 ),
-            });
+            ));
         }
     }
     findings
@@ -343,16 +302,16 @@ pub fn lock_poison_policy(file: &Path, toks: &[Token]) -> Vec<Finding> {
                     let Some(Tok::Ident(which)) = toks.get(i + 1).map(|t| &t.tok) else {
                         continue;
                     };
-                    findings.push(Finding {
-                        file: file.to_path_buf(),
-                        line: toks[i + 1].line,
-                        rule: RULE_POISON,
-                        msg: format!(
+                    findings.push(Finding::new(
+                        file,
+                        toks[i + 1].line,
+                        RULE_POISON,
+                        format!(
                             "`.{which}().{next}(…)` handles lock poisoning ad hoc; route the \
                              result through `recover_poisoned(…)` (crates/serve/src/sync.rs), \
                              the project's one audited poison-recovery point"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -385,16 +344,16 @@ pub fn index_no_box_node(file: &Path, toks: &[Token]) -> Vec<Finding> {
         } else {
             continue;
         };
-        findings.push(Finding {
-            file: file.to_path_buf(),
-            line: t.line,
-            rule: RULE_BOXNODE,
-            msg: format!(
+        findings.push(Finding::new(
+            file,
+            t.line,
+            RULE_BOXNODE,
+            format!(
                 "`{usage}` in index code; the trees are flat struct-of-arrays layouts — \
                  store nodes in contiguous `Vec`s addressed by index (or justify with \
                  `// rms-analyze: allow({RULE_BOXNODE}, \"…\")`)"
             ),
-        });
+        ));
     }
     findings
 }
@@ -452,27 +411,27 @@ pub fn metric_name_discipline(files: &[(&Path, &[Token])]) -> Vec<Finding> {
             };
             let line = toks[arg_at - 2].line;
             let Some(Tok::Str(name)) = toks.get(arg_at).map(|t| &t.tok) else {
-                findings.push(Finding {
-                    file: path.to_path_buf(),
+                findings.push(Finding::new(
+                    path,
                     line,
-                    rule: RULE_METRIC,
-                    msg: format!(
+                    RULE_METRIC,
+                    format!(
                         "`{method}(…)` takes a non-literal metric name; pass a string \
                          literal so the metric catalog stays statically auditable"
                     ),
-                });
+                ));
                 continue;
             };
             if !metric_name_ok(name) {
-                findings.push(Finding {
-                    file: path.to_path_buf(),
+                findings.push(Finding::new(
+                    path,
                     line,
-                    rule: RULE_METRIC,
-                    msg: format!(
+                    RULE_METRIC,
+                    format!(
                         "metric name `{name}` violates the naming discipline: snake_case \
                          over [a-z0-9_] with an `rms_<subsystem>_` prefix"
                     ),
-                });
+                ));
                 continue;
             }
             match sites.get(name.as_str()) {
@@ -480,18 +439,18 @@ pub fn metric_name_discipline(files: &[(&Path, &[Token])]) -> Vec<Finding> {
                     sites.insert(name.clone(), (path.to_path_buf(), line));
                 }
                 Some((first_file, first_line)) => {
-                    findings.push(Finding {
-                        file: path.to_path_buf(),
+                    findings.push(Finding::new(
+                        path,
                         line,
-                        rule: RULE_METRIC,
-                        msg: format!(
+                        RULE_METRIC,
+                        format!(
                             "metric `{name}` is registered more than once (first at {}:{}); \
                              one call site owns each family — share the instrument handle \
                              instead",
                             first_file.display(),
                             first_line
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -549,17 +508,17 @@ pub fn wire_grammar(
         let Some((absent_file, _)) = absent_side.first() else {
             return;
         };
-        findings.push(Finding {
-            file: absent_file.clone(),
-            line: 1,
-            rule: RULE_WIRE,
-            msg: format!(
+        findings.push(Finding::new(
+            absent_file,
+            1,
+            RULE_WIRE,
+            format!(
                 "wire word `{word}` (spoken at {}:{}) has no {side} occurrence — the two \
                  protocol implementations have drifted",
                 present.0.display(),
                 present.1
             ),
-        });
+        ));
     };
     for (word, at) in &sv {
         if !cv.contains_key(word) {
@@ -569,6 +528,362 @@ pub fn wire_grammar(
     for (word, at) in &cv {
         if !sv.contains_key(word) {
             drift(word, at, server, "server-side");
+        }
+    }
+    findings
+}
+
+/// **R8 — `wal-tag-coverage`.** Cross-file, in the spirit of
+/// `wire-grammar`: the WAL record tags (`const TAG_*` in `wal.rs`) and
+/// the op vocabulary must stay symmetric. Concretely:
+///
+/// * every declared tag must be *encoded* somewhere (a use that is not a
+///   match arm — frames with it are actually written), and
+/// * every declared tag must have a *replay* match arm (`TAG_X =>` or
+///   `TAG_X | …` — recovery understands it), and
+/// * every `Op::Variant` referenced in non-test wal/wire code must have
+///   a `TAG_<VARIANT>` declaration — a new op cannot silently skip
+///   durability.
+///
+/// Tag-from-variant derivation is `TAG_` + the variant name uppercased
+/// (`Op::Insert` → `TAG_INSERT`); multi-word variants must pick tag
+/// names accordingly.
+pub fn wal_tag_coverage(
+    wal: &[(PathBuf, Vec<Token>)],
+    wire: &[(PathBuf, Vec<Token>)],
+) -> Vec<Finding> {
+    struct TagInfo {
+        file: PathBuf,
+        line: u32,
+        encode: bool,
+        replay: bool,
+    }
+    let mut tags: BTreeMap<String, TagInfo> = BTreeMap::new();
+    // Declarations: `const TAG_X`.
+    for (path, toks) in wal {
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            let Tok::Ident(name) = &t.tok else { continue };
+            if name.starts_with("TAG_") && ident(toks.get(i.wrapping_sub(1))) == Some("const") {
+                tags.entry(name.clone()).or_insert(TagInfo {
+                    file: path.clone(),
+                    line: t.line,
+                    encode: false,
+                    replay: false,
+                });
+            }
+        }
+    }
+    // Uses: `TAG_X =>` / `TAG_X | …` is a replay match arm; any other
+    // non-declaration mention encodes (frame construction, equality
+    // guards fold in here too — over-approximation on the safe side:
+    // a tag that is *only* compared still has no real encode arm only
+    // if nothing constructs it, which the fixture pins).
+    for (_, toks) in wal {
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test {
+                continue;
+            }
+            let Tok::Ident(name) = &t.tok else { continue };
+            let Some(info) = tags.get_mut(name.as_str()) else {
+                continue;
+            };
+            if ident(toks.get(i.wrapping_sub(1))) == Some("const") {
+                continue;
+            }
+            if (punct(toks.get(i + 1), '=') && punct(toks.get(i + 2), '>'))
+                || punct(toks.get(i + 1), '|')
+            {
+                info.replay = true;
+            } else {
+                info.encode = true;
+            }
+        }
+    }
+    // Op vocabulary: `Op::Variant` path references across wal + wire.
+    let mut ops: BTreeMap<String, (PathBuf, u32)> = BTreeMap::new();
+    for (path, toks) in wal.iter().chain(wire) {
+        for i in 0..toks.len() {
+            if toks[i].in_test {
+                continue;
+            }
+            if ident(toks.get(i)) != Some("Op")
+                || !punct(toks.get(i + 1), ':')
+                || !punct(toks.get(i + 2), ':')
+            {
+                continue;
+            }
+            if let Some(v) = ident(toks.get(i + 3)) {
+                if v.starts_with(char::is_uppercase) {
+                    ops.entry(v.to_string())
+                        .or_insert((path.clone(), toks[i].line));
+                }
+            }
+        }
+    }
+    let mut findings = Vec::new();
+    for (name, info) in &tags {
+        if !info.encode {
+            findings.push(Finding::new(
+                &info.file,
+                info.line,
+                RULE_WALTAG,
+                format!(
+                    "WAL tag `{name}` is declared but never encoded — no frame with this \
+                     tag is ever written; wire it into the encode path or delete it"
+                ),
+            ));
+        }
+        if !info.replay {
+            findings.push(Finding::new(
+                &info.file,
+                info.line,
+                RULE_WALTAG,
+                format!(
+                    "WAL tag `{name}` has no replay match arm — frames with this tag \
+                     would be rejected on recovery; add its arm to the replay dispatch"
+                ),
+            ));
+        }
+    }
+    for (variant, (path, line)) in &ops {
+        let expect = format!("TAG_{}", variant.to_uppercase());
+        if !tags.contains_key(&expect) {
+            findings.push(Finding::new(
+                path,
+                *line,
+                RULE_WALTAG,
+                format!(
+                    "`Op::{variant}` has no WAL record tag `{expect}` — every op must \
+                     carry a WAL tag with encode and replay arms so it cannot silently \
+                     skip durability"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// **R9 — `epoch-monotonic-publish`.** A statement of the shape
+/// `*… .write() … = …;` — a deref-write through a freshly acquired
+/// `RwLock` write guard — is how the snapshot cell publishes. Publishing
+/// anywhere except the sanctioned helpers (`fn store`, `fn publish*`)
+/// bypasses the epoch-monotonicity bookkeeping those helpers pin, so any
+/// other site is a finding.
+pub fn epoch_monotonic_publish(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    let tree = crate::parse::parse(toks);
+    let mut findings = Vec::new();
+    for scope in &tree.scopes {
+        for &(lo, hi) in &scope.stmts {
+            if toks.get(lo).is_none_or(|t| t.in_test) || !punct(toks.get(lo), '*') {
+                continue;
+            }
+            let mut has_write = false;
+            let mut assign = false;
+            let mut nest = 0i32;
+            for i in lo..hi.min(toks.len()) {
+                match toks[i].tok {
+                    Tok::Punct('(' | '[') => nest += 1,
+                    Tok::Punct(')' | ']') => nest -= 1,
+                    _ => {}
+                }
+                if guard_acquisition(toks, i) && ident(toks.get(i + 1)) == Some("write") {
+                    has_write = true;
+                }
+                // A bare `=` (not `==`, `=>`, or a compound assign) at
+                // the statement's top nesting level.
+                if nest == 0
+                    && punct(toks.get(i), '=')
+                    && !punct(toks.get(i + 1), '=')
+                    && !punct(toks.get(i + 1), '>')
+                    && !matches!(
+                        toks.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                        Some(Tok::Punct(
+                            '=' | '!' | '<' | '>' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^'
+                        ))
+                    )
+                {
+                    assign = true;
+                }
+            }
+            if !(has_write && assign) {
+                continue;
+            }
+            let sanctioned = tree
+                .enclosing_function(lo)
+                .is_some_and(|f| f.name == "store" || f.name.starts_with("publish"));
+            if sanctioned {
+                continue;
+            }
+            findings.push(Finding::new(
+                file,
+                toks[lo].line,
+                RULE_EPOCH,
+                format!(
+                    "deref-write through a fresh `.write()` guard outside a sanctioned \
+                     publish helper; snapshot publication must go through \
+                     `SnapshotCell::store` or a `publish*` helper so epoch monotonicity \
+                     is enforced in one place (or justify with \
+                     `// rms-analyze: allow({RULE_EPOCH}, \"…\")`)"
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+/// The receiver of the atomic access whose argument list contains the
+/// `Ordering` ident at `i`: walks back to the enclosing `(`, expects
+/// `recv.method(`, and resolves `recv` over one index expression and
+/// tuple-field hops (`self.cells[i].0.fetch_add(…)` → `cells`).
+fn atomic_receiver(toks: &[Token], i: usize) -> Option<&str> {
+    let mut j = i;
+    let mut nest = 0i32;
+    loop {
+        j = j.checked_sub(1)?;
+        match toks[j].tok {
+            Tok::Punct(')' | ']') => nest += 1,
+            Tok::Punct('(' | '[') => {
+                nest -= 1;
+                if nest < 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    ident(toks.get(j.checked_sub(1)?))?; // the method name
+    if !punct(toks.get(j.checked_sub(2)?), '.') {
+        return None;
+    }
+    let mut k = j.checked_sub(3)?;
+    loop {
+        if punct(toks.get(k), ']') {
+            let mut bn = 1i32;
+            while k > 0 && bn > 0 {
+                k -= 1;
+                match toks[k].tok {
+                    Tok::Punct(']') => bn += 1,
+                    Tok::Punct('[') => bn -= 1,
+                    _ => {}
+                }
+            }
+            k = k.checked_sub(1)?;
+            continue;
+        }
+        let name = ident(toks.get(k))?;
+        // Tuple-field hop: `pair.0.store(…)` — the receiver is `pair`.
+        if name.bytes().all(|b| b.is_ascii_digit()) && punct(toks.get(k.wrapping_sub(1)), '.') {
+            k = k.checked_sub(2)?;
+            continue;
+        }
+        return Some(name);
+    }
+}
+
+/// **R10 — `atomic-ordering-discipline`.** Every `Ordering::<variant>`
+/// use in non-test code must be covered by the file's declared policy
+/// table (`// rms-analyze: atomic-policy(name: Ordering|…, …)` comments,
+/// one entry per atomic receiver). Undeclared atomics are findings —
+/// including `SeqCst`, which is never grandfathered in: paying for the
+/// strongest ordering must be a written-down decision. Unused policy
+/// entries are findings too (same hygiene as unused pragmas).
+pub fn atomic_ordering_discipline(
+    file: &Path,
+    toks: &[Token],
+    policies: &[AtomicPolicy],
+) -> Vec<Finding> {
+    let mut table: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for p in policies {
+        table
+            .entry(p.name.as_str())
+            .or_default()
+            .extend(p.orderings.iter().map(String::as_str));
+    }
+    let mut used: BTreeSet<&str> = BTreeSet::new();
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        if ident(toks.get(i)) != Some("Ordering")
+            || !punct(toks.get(i + 1), ':')
+            || !punct(toks.get(i + 2), ':')
+        {
+            continue;
+        }
+        let Some(variant) = ident(toks.get(i + 3)) else {
+            continue;
+        };
+        if !crate::lexer::ATOMIC_ORDERINGS.contains(&variant) {
+            continue; // `std::cmp::Ordering::Less` and friends
+        }
+        let line = toks[i].line;
+        let Some(recv) = atomic_receiver(toks, i) else {
+            findings.push(Finding::new(
+                file,
+                line,
+                RULE_ATOMIC,
+                format!(
+                    "`Ordering::{variant}` here cannot be attributed to an atomic \
+                     receiver (fence or free-function form); rewrite as a method call \
+                     on a declared atomic, or justify with \
+                     `// rms-analyze: allow({RULE_ATOMIC}, \"…\")`"
+                ),
+            ));
+            continue;
+        };
+        match table.get(recv) {
+            None => {
+                let seqcst_hint = if variant == "SeqCst" {
+                    " (`SeqCst` is the strongest, most expensive ordering — paying for \
+                     it must be a declared decision)"
+                } else {
+                    ""
+                };
+                findings.push(Finding::new(
+                    file,
+                    line,
+                    RULE_ATOMIC,
+                    format!(
+                        "atomic `{recv}` uses `Ordering::{variant}` but has no \
+                         atomic-policy entry{seqcst_hint}; declare it with \
+                         `// rms-analyze: atomic-policy({recv}: {variant}|…)`"
+                    ),
+                ));
+            }
+            Some(allowed) => {
+                used.insert(table.get_key_value(recv).map(|(k, _)| *k).unwrap_or(recv));
+                if !allowed.contains(variant) {
+                    let list = allowed.iter().copied().collect::<Vec<_>>().join("|");
+                    findings.push(Finding::new(
+                        file,
+                        line,
+                        RULE_ATOMIC,
+                        format!(
+                            "atomic `{recv}` uses `Ordering::{variant}` but its declared \
+                             policy allows only `{list}`; use a declared ordering or \
+                             widen the `atomic-policy({recv}: …)` entry deliberately"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for p in policies {
+        if !used.contains(p.name.as_str()) {
+            findings.push(Finding::new(
+                file,
+                p.line,
+                RULE_ATOMIC,
+                format!(
+                    "atomic-policy entry `{}` matches no atomic use in this file; \
+                     delete the stale entry",
+                    p.name
+                ),
+            ));
         }
     }
     findings

@@ -6,7 +6,7 @@ fn parses(s: &str) -> u32 {
     s.parse().unwrap() // rms-analyze: allow(unwrap-nontest, "fixture: demonstrates same-line suppression")
 }
 
-fn held_across_send(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+fn held_across_send(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::SyncSender<u32>) {
     let guard = recover_poisoned(m.lock());
     // rms-analyze: allow(guard-across-blocking, "fixture: demonstrates own-line suppression")
     tx.send(*guard).ok();

@@ -1,0 +1,16 @@
+// Fixture: every atomic access matches its declared per-file policy,
+// and every policy entry is exercised. Expected findings: none.
+
+// rms-analyze: atomic-policy(count: Relaxed, flag: Acquire|Release)
+
+fn bump(count: &std::sync::atomic::AtomicU64) {
+    count.fetch_add(1, Ordering::Relaxed);
+}
+
+fn raise(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, Ordering::Release);
+}
+
+fn observe(flag: &std::sync::atomic::AtomicBool) -> bool {
+    flag.load(Ordering::Acquire)
+}

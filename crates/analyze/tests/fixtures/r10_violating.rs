@@ -1,0 +1,13 @@
+// Fixture: atomic-ordering-discipline violations. Expected findings:
+// the undeclared `flag` store, the `count` access outside its declared
+// ordering set, and the stale `ghost` policy entry.
+
+// rms-analyze: atomic-policy(count: Relaxed, ghost: Acquire)
+
+fn bump(count: &std::sync::atomic::AtomicU64) {
+    count.fetch_add(1, Ordering::SeqCst);
+}
+
+fn raise(flag: &std::sync::atomic::AtomicBool) {
+    flag.store(true, Ordering::Release);
+}

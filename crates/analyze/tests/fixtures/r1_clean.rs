@@ -22,3 +22,10 @@ fn nonblocking_under_guard(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sync
     let guard = recover_poisoned(m.lock());
     tx.try_send(*guard).ok();
 }
+
+fn unbounded_send_under_guard(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+    // An unbounded `Sender::send` enqueues without blocking, so the
+    // channel classifier lets the guard stay alive across it.
+    let guard = recover_poisoned(m.lock());
+    tx.send(*guard).ok();
+}

@@ -1,9 +1,9 @@
 // Fixture: a Mutex guard held across blocking calls — the PR-4/PR-5
 // bug class rule `guard-across-blocking` exists to catch. Expected
-// findings: the send on the channel and the fsync, both while `guard`
-// is alive.
+// findings: the sync-channel send, the fsync, and the call into the
+// local helper the may-block fixpoint marks blocking.
 
-fn held_across_send(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::Sender<u32>) {
+fn held_across_send(m: &std::sync::Mutex<u32>, tx: &std::sync::mpsc::SyncSender<u32>) {
     let guard = recover_poisoned(m.lock());
     tx.send(*guard).ok();
 }
@@ -13,13 +13,23 @@ fn held_across_fsync(m: &std::sync::Mutex<std::fs::File>) -> std::io::Result<()>
     file.sync_data()
 }
 
+fn held_across_helper(m: &std::sync::Mutex<std::fs::File>) {
+    let file = recover_poisoned(m.lock());
+    persist(&file);
+}
+
+// The fixpoint marks this may-block: it fsyncs.
+fn persist(file: &std::fs::File) {
+    file.sync_data().ok();
+}
+
 #[cfg(test)]
 mod tests {
     // Test code may hold guards across whatever it likes.
     #[test]
     fn in_tests_this_is_fine() {
         let m = std::sync::Mutex::new(0u32);
-        let (tx, _rx) = std::sync::mpsc::channel();
+        let (tx, _rx) = std::sync::mpsc::sync_channel(1);
         let guard = m.lock().unwrap();
         tx.send(*guard).ok();
     }

@@ -1,0 +1,23 @@
+// Fixture: both paths take the locks in the same global order
+// (`alpha` before `beta`), including one where the second hop happens
+// through a helper call. Expected findings: none.
+
+struct Shared {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+fn forward(s: &Shared) -> u32 {
+    let a = recover_poisoned(s.alpha.lock());
+    let b = recover_poisoned(s.beta.lock());
+    *a + *b
+}
+
+fn also_forward(s: &Shared) -> u32 {
+    let a = recover_poisoned(s.alpha.lock());
+    *a + read_beta(s)
+}
+
+fn read_beta(s: &Shared) -> u32 {
+    *recover_poisoned(s.beta.lock())
+}

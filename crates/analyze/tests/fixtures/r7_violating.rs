@@ -1,0 +1,20 @@
+// Fixture: a two-lock acquisition-order inversion — `alpha` before
+// `beta` on one path, `beta` before `alpha` on the other. Expected
+// findings: one `lock-order` cycle naming both witness sites.
+
+struct Shared {
+    alpha: std::sync::Mutex<u32>,
+    beta: std::sync::Mutex<u32>,
+}
+
+fn forward(s: &Shared) -> u32 {
+    let a = recover_poisoned(s.alpha.lock());
+    let b = recover_poisoned(s.beta.lock());
+    *a + *b
+}
+
+fn backward(s: &Shared) -> u32 {
+    let b = recover_poisoned(s.beta.lock());
+    let a = recover_poisoned(s.alpha.lock());
+    *a + *b
+}

@@ -1,0 +1,12 @@
+// Fixture (wire side): the protocol speaks INSERT, DELETE, and UPDATE
+// ops. Paired with r8_wal_ok.rs this is fully covered; paired with
+// r8_wal_drift.rs the `Op::Update` reference has no WAL tag.
+
+fn parse_verb(verb: &str) -> Option<Op> {
+    match verb {
+        "INSERT" => Some(Op::Insert),
+        "DELETE" => Some(Op::Delete),
+        "UPDATE" => Some(Op::Update),
+        _ => None,
+    }
+}

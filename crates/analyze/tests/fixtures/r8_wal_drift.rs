@@ -1,0 +1,27 @@
+// Fixture (WAL side): three coverage drifts for `wal-tag-coverage`.
+// Expected findings: `TAG_STALE` is declared (and replayed) but never
+// encoded, `TAG_DELETE` is encoded but has no replay match arm, and —
+// paired with r8_protocol_ok.rs — `Op::Update` has no `TAG_UPDATE`.
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_STALE: u8 = 3;
+
+fn encode_insert(buf: &mut Vec<u8>, key: u64) {
+    buf.push(TAG_INSERT);
+    buf.extend_from_slice(&key.to_le_bytes());
+}
+
+fn encode_delete(buf: &mut Vec<u8>, key: u64) {
+    buf.push(TAG_DELETE);
+    buf.extend_from_slice(&key.to_le_bytes());
+}
+
+fn replay(tag: u8) -> Option<Op> {
+    match tag {
+        TAG_INSERT => Some(Op::Insert),
+        // Replay still knows the legacy tag, but nothing writes it.
+        TAG_STALE => None,
+        _ => None,
+    }
+}

@@ -1,0 +1,24 @@
+// Fixture (WAL side, clean): every tag has an encode site and a
+// replay match arm, and every `Op` variant spoken on the wire has a
+// matching tag. Expected findings: none.
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_UPDATE: u8 = 3;
+
+fn encode(buf: &mut Vec<u8>, op: &Op) {
+    match op {
+        Op::Insert => buf.push(TAG_INSERT),
+        Op::Delete => buf.push(TAG_DELETE),
+        Op::Update => buf.push(TAG_UPDATE),
+    }
+}
+
+fn replay(tag: u8) -> Option<&'static str> {
+    match tag {
+        TAG_INSERT => Some("insert"),
+        TAG_DELETE => Some("delete"),
+        TAG_UPDATE => Some("update"),
+        _ => None,
+    }
+}

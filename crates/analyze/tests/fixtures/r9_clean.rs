@@ -1,0 +1,15 @@
+// Fixture: the sanctioned publish helpers — `fn store` and `publish*`
+// — plus a read-guard deref that is not a publication at all.
+// Expected findings: none.
+
+fn store(cell: &std::sync::RwLock<u64>, epoch: u64) {
+    *recover_poisoned(cell.write()) = epoch;
+}
+
+fn publish_epoch(cell: &std::sync::RwLock<u64>, epoch: u64) {
+    *recover_poisoned(cell.write()) = epoch;
+}
+
+fn current(cell: &std::sync::RwLock<u64>) -> u64 {
+    *recover_poisoned(cell.read())
+}

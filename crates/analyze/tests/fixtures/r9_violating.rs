@@ -1,0 +1,7 @@
+// Fixture: a deref-write through a fresh `.write()` guard outside the
+// sanctioned publish helpers — snapshot publication bypassing the
+// epoch-monotonicity bookkeeping. Expected findings: one.
+
+fn swap_in(cell: &std::sync::RwLock<u64>, epoch: u64) {
+    *recover_poisoned(cell.write()) = epoch;
+}

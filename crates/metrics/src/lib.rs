@@ -59,6 +59,13 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Duration;
 
+// Every atomic in this crate is an independent statistics cell —
+// counters, gauges, histogram buckets, and sums carry no cross-cell
+// ordering contract (a scrape racing a `record` may be off by the
+// in-flight observation, which Prometheus tolerates by design) — so
+// every access, through whichever handle name it flows, is Relaxed.
+// rms-analyze: atomic-policy(c: Relaxed, g: Relaxed, cell: Relaxed, bucket: Relaxed, buckets: Relaxed, b: Relaxed, sum_raw: Relaxed)
+
 /// Number of log₂ latency buckets per histogram: bucket `i` counts
 /// observations in `[2^i, 2^(i+1))` nanoseconds, so 64 buckets span
 /// the full `u64` nanosecond range (~584 years).
@@ -236,6 +243,7 @@ impl Registry {
         });
         match cell {
             SeriesCell::Counter(cell) => Counter { cell, on: self.on },
+            // rms-analyze: allow(unwrap-nontest, "register_cell asserts the family kind matches, so the cell variant is Counter")
             _ => unreachable!("kind checked by register_cell"),
         }
     }
@@ -251,6 +259,7 @@ impl Registry {
         });
         match cell {
             SeriesCell::Gauge(cell) => Gauge { cell, on: self.on },
+            // rms-analyze: allow(unwrap-nontest, "register_cell asserts the family kind matches, so the cell variant is Gauge")
             _ => unreachable!("kind checked by register_cell"),
         }
     }
@@ -268,6 +277,7 @@ impl Registry {
         });
         match cell {
             SeriesCell::Histogram(core) => Histogram { core, on: self.on },
+            // rms-analyze: allow(unwrap-nontest, "register_cell asserts the family kind matches, so the cell variant is Histogram")
             _ => unreachable!("kind checked by register_cell"),
         }
     }
@@ -293,6 +303,7 @@ impl Registry {
         });
         match cell {
             SeriesCell::Histogram(core) => Histogram { core, on: self.on },
+            // rms-analyze: allow(unwrap-nontest, "register_cell asserts the family kind matches, so the cell variant is Histogram")
             _ => unreachable!("kind checked by register_cell"),
         }
     }
@@ -306,6 +317,7 @@ impl Registry {
         make: impl FnOnce() -> SeriesCell,
     ) -> SeriesCell {
         if let Err(e) = validate_metric_name(name) {
+            // rms-analyze: allow(unwrap-nontest, "registration-time name validation is a programmer error; fail fast at startup")
             panic!("rms-metrics: {e}");
         }
         let mut key: Vec<(String, String)> = labels
@@ -314,11 +326,13 @@ impl Registry {
             .collect();
         for (k, _) in &key {
             if let Err(e) = validate_label_name(k) {
+                // rms-analyze: allow(unwrap-nontest, "registration-time label validation is a programmer error; fail fast at startup")
                 panic!("rms-metrics: metric `{name}`: {e}");
             }
         }
         key.sort();
         if key.windows(2).any(|w| w[0].0 == w[1].0) {
+            // rms-analyze: allow(unwrap-nontest, "registration-time label validation is a programmer error; fail fast at startup")
             panic!("rms-metrics: metric `{name}` has a duplicate label name");
         }
         let mut families = recover(self.families.lock());

@@ -147,6 +147,10 @@ impl<B: RmsBackend> RmsServer<B> {
     /// end.
     pub fn run(self) -> std::io::Result<Vec<FdRms>> {
         let addr = self.listener.local_addr()?;
+        // The shutdown flag is a classic release/acquire handshake: the
+        // connection thread that handles SHUTDOWN stores with Release,
+        // the accept loop observes with Acquire.
+        // rms-analyze: atomic-policy(shutdown: Acquire|Release)
         let shutdown = Arc::new(AtomicBool::new(false));
         let info = ServerInfo {
             dim: self.backend.dim(),

@@ -41,6 +41,16 @@ connect() {
 
 [ -x "$BIN" ] || fail "$BIN not built (run cargo build --release first)"
 
+# --- static analysis one-shot ------------------------------------------
+# One clean `rms-analyze --workspace` run rides along with the smoke
+# path, so a finding (or an analyzer crash) surfaces even when the
+# dedicated CI job is skipped. Skipped when cargo is unavailable (the
+# smoke script also runs against prebuilt release binaries).
+if command -v cargo >/dev/null 2>&1; then
+    cargo run -q --release -p rms-analyze -- --workspace \
+        || fail "rms-analyze --workspace found findings"
+fi
+
 # --- generate → run → skyline ------------------------------------------
 "$BIN" generate --dataset Indep --n 400 --d 3 --seed 7 --out "$TMP/ds.krms" \
     || fail "generate"
