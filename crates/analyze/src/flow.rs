@@ -21,7 +21,7 @@ use crate::lexer::{Tok, Token};
 use crate::parse::{self, BlockTree};
 use crate::rules::{
     call_of, guard_acquisition, ident, punct, Finding, BLOCKING_CALLS, GUARD_CALLS, RULE_GUARD,
-    RULE_LOCKORDER,
+    RULE_LOCKORDER, RULE_REACTOR,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
@@ -679,6 +679,57 @@ pub fn guard_across_blocking(file: &Path, toks: &[Token]) -> Vec<Finding> {
         findings.extend(walk_function(&ctx, f, span, &may_block, &empty_acquire).findings);
     }
     findings.sort_by_key(|f| f.line);
+    findings
+}
+
+/// **R11 — `reactor-no-block`.** Files on the reactor dispatch path
+/// (the `rms-net` event loop and the serve-side protocol handler it
+/// drives) must not call blocking functions *at all* — with or without
+/// a guard held. A parked reactor thread stalls every connection it
+/// multiplexes, so the only tolerated sites are unbounded
+/// `Sender::send` (an enqueue, classified by the same channel typing
+/// R1 uses) and sites justified by a pragma naming why the call cannot
+/// park the loop (the poller's own readiness wait, a nonblocking
+/// listener's accept).
+pub fn reactor_no_block(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    let senders = classify_senders(toks);
+    let mut findings = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].in_test {
+            continue;
+        }
+        let Some(name) = call_of(toks, i, BLOCKING_CALLS) else {
+            continue;
+        };
+        if name == "send" {
+            // The receiver sits right before the `.`; a field access
+            // (`self.tx.send`) and a local alike resolve through the
+            // file-level `Sender`/`SyncSender` typing — only a
+            // provably unbounded sender is exempt.
+            let unbounded = ident(toks.get(i.wrapping_sub(1)))
+                .and_then(|recv| senders.names.get(recv))
+                .is_some_and(|chan| *chan == Chan::Unbounded);
+            if unbounded {
+                continue;
+            }
+        }
+        let name_at = if punct(toks.get(i), '.') {
+            i + 1
+        } else {
+            i + 2
+        };
+        findings.push(Finding::new(
+            file,
+            toks[name_at].line,
+            RULE_REACTOR,
+            format!(
+                "`{name}(…)` can park a reactor thread, stalling every connection it \
+                 multiplexes; stage output via `Ctx::push` / hand the work to an \
+                 orchestration thread, or justify with \
+                 `// rms-analyze: allow({RULE_REACTOR}, \"…\")`"
+            ),
+        ));
+    }
     findings
 }
 

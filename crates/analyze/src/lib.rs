@@ -155,9 +155,15 @@ fn rule_applies(rule: &'static str, rel: &Path) -> bool {
     let in_serve_src = rel.starts_with("crates/serve/src");
     let in_client_src = rel.starts_with("crates/client/src");
     let in_metrics_src = rel.starts_with("crates/metrics/src");
+    let in_net_src = rel.starts_with("crates/net/src");
     match rule {
-        // The PR-4/PR-5 bug class lives in the serving layer.
-        rules::RULE_GUARD => in_serve_src,
+        // The PR-4/PR-5 bug class lives in the serving layer — and,
+        // since PR 10, in the evented network layer under it.
+        rules::RULE_GUARD => in_serve_src || in_net_src,
+        // The reactor dispatch path: the event loop itself plus the
+        // serve-side handler its callbacks drive. The orchestration
+        // half (tcp.rs) legitimately blocks and stays out of scope.
+        rules::RULE_REACTOR => in_net_src || rel == Path::new("crates/serve/src/net.rs"),
         // Burn-down scope: the hot serving path, the client library,
         // and (since PR 9) the metrics registry the serving path calls
         // into. CLI/bench/example code may still unwrap.
@@ -179,7 +185,11 @@ fn rule_applies(rule: &'static str, rel: &Path) -> bool {
 
 /// The two file sets R3 diffs: the serve-side protocol implementation
 /// and the client re-implementation.
-const WIRE_SERVER_FILES: &[&str] = &["crates/serve/src/protocol.rs", "crates/serve/src/tcp.rs"];
+const WIRE_SERVER_FILES: &[&str] = &[
+    "crates/serve/src/protocol.rs",
+    "crates/serve/src/tcp.rs",
+    "crates/serve/src/net.rs",
+];
 const WIRE_CLIENT_FILES: &[&str] = &["crates/client/src/lib.rs"];
 /// The WAL implementation R8 audits against the wire files.
 const WAL_FILES: &[&str] = &["crates/serve/src/wal.rs"];
@@ -293,6 +303,12 @@ fn borrow_all(sources: &[SourceFile]) -> Vec<(&Path, &[Token])> {
 }
 
 fn analyze_adhoc(sources: &[SourceFile], opts: &Options) -> Report {
+    let name_has = |sf: &&SourceFile, frag: &str| {
+        sf.rel
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.contains(frag))
+    };
     let mut raw: Vec<Finding> = Vec::new();
     for sf in sources {
         for rule in &opts.rules {
@@ -300,17 +316,17 @@ fn analyze_adhoc(sources: &[SourceFile], opts: &Options) -> Report {
                 *rule,
                 rules::RULE_WIRE | rules::RULE_LOCKORDER | rules::RULE_WALTAG
             );
+            // R11 bans calls that are perfectly ordinary outside the
+            // reactor dispatch path, so even ad hoc it only runs on
+            // files that opt in by name.
+            if *rule == rules::RULE_REACTOR && !name_has(&sf, "reactor") {
+                continue;
+            }
             if !cross_file {
                 raw.extend(run_rule(rule, &sf.path, &sf.lex));
             }
         }
     }
-    let name_has = |sf: &&SourceFile, frag: &str| {
-        sf.rel
-            .file_name()
-            .and_then(|n| n.to_str())
-            .is_some_and(|n| n.contains(frag))
-    };
     let pick_frag = |frags: &[&str]| -> Vec<(PathBuf, Vec<Token>)> {
         sources
             .iter()
@@ -351,6 +367,7 @@ fn run_rule(rule: &'static str, path: &Path, lex: &LexOutput) -> Vec<Finding> {
         rules::RULE_ATOMIC => {
             rules::atomic_ordering_discipline(path, &lex.tokens, &lex.atomic_policies)
         }
+        rules::RULE_REACTOR => rules::reactor_no_block(path, &lex.tokens),
         _ => Vec::new(),
     }
 }

@@ -73,6 +73,8 @@ pub const RULE_WALTAG: &str = "wal-tag-coverage";
 pub const RULE_EPOCH: &str = "epoch-monotonic-publish";
 /// Rule id for [`atomic_ordering_discipline`].
 pub const RULE_ATOMIC: &str = "atomic-ordering-discipline";
+/// Rule id for [`crate::flow::reactor_no_block`].
+pub const RULE_REACTOR: &str = "reactor-no-block";
 /// Pseudo-rule id for pragma hygiene findings (malformed, unknown rule,
 /// unused) — not allowable by pragma, on purpose.
 pub const RULE_PRAGMA: &str = "pragma";
@@ -89,6 +91,7 @@ pub const ALL_RULES: &[&str] = &[
     RULE_WALTAG,
     RULE_EPOCH,
     RULE_ATOMIC,
+    RULE_REACTOR,
 ];
 
 /// One-line description per rule, in [`ALL_RULES`] order — the source
@@ -149,6 +152,12 @@ pub const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
         "every `Ordering::` use in serve and metrics code must match the file's declared \
          `atomic-policy(…)` table; undeclared atomics and undeclared `SeqCst` are \
          findings",
+    ),
+    (
+        RULE_REACTOR,
+        "reactor dispatch code (the `rms-net` event loop and the serve-side handler) \
+         must not call blocking functions at all; unbounded `Sender::send` is exempt, \
+         anything else needs a pragma naming why it cannot park the loop",
     ),
 ];
 
@@ -232,6 +241,15 @@ pub(crate) fn guard_acquisition(toks: &[Token], i: usize) -> bool {
 /// count as blocking sites; and an unbounded `Sender::send` does not.
 pub fn guard_across_blocking(file: &Path, toks: &[Token]) -> Vec<Finding> {
     crate::flow::guard_across_blocking(file, toks)
+}
+
+/// **R11 — `reactor-no-block`.** Reactor dispatch code must not call
+/// blocking functions at all, guard held or not: a parked reactor
+/// thread stalls every connection it multiplexes. Implemented in
+/// [`crate::flow`], sharing R1's channel classifier so an unbounded
+/// `Sender::send` stays exempt.
+pub fn reactor_no_block(file: &Path, toks: &[Token]) -> Vec<Finding> {
+    crate::flow::reactor_no_block(file, toks)
 }
 
 /// **R2 — `unwrap-nontest`.** `.unwrap()` / `.expect(…)` (and their

@@ -47,9 +47,10 @@ fn workspace_is_finding_free() {
     assert!(stdout(&out).is_empty(), "stdout: {}", stdout(&out));
 }
 
-/// The four PR-9 rules, pinned individually against the checked-in
-/// workspace: a regression in any one of them surfaces under its own
-/// name instead of hiding inside the all-rules pin above.
+/// The four PR-9 rules plus PR-10's reactor rule, pinned individually
+/// against the checked-in workspace: a regression in any one of them
+/// surfaces under its own name instead of hiding inside the all-rules
+/// pin above.
 #[test]
 fn new_rules_are_workspace_clean() {
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -61,6 +62,7 @@ fn new_rules_are_workspace_clean() {
         "wal-tag-coverage",
         "epoch-monotonic-publish",
         "atomic-ordering-discipline",
+        "reactor-no-block",
     ] {
         let out = run(&["--rules", rule, "--workspace", &root.display().to_string()]);
         assert!(
@@ -308,6 +310,31 @@ fn r10_atomic_ordering_discipline() {
     );
 }
 
+#[test]
+fn r11_reactor_no_block() {
+    let out = run(&[&fixture("r11_reactor_violating.rs")]);
+    assert!(!out.status.success());
+    let text = stdout(&out);
+    assert_eq!(
+        count_rule(&out, "reactor-no-block"),
+        3,
+        "expected the bounded send, the recv, and the sleep (the \
+         unbounded send is exempt):\n{text}"
+    );
+    assert!(
+        text.contains("`recv(…)` can park a reactor thread"),
+        "{text}"
+    );
+
+    let out = run(&[&fixture("r11_reactor_clean.rs")]);
+    assert!(
+        out.status.success(),
+        "clean fixture flagged (unbounded send misclassified, or the \
+         pragma on the sanctioned wait misread?):\n{}",
+        stdout(&out)
+    );
+}
+
 /// The real wire implementations both speak the `METRICS` verb: the
 /// workspace pin above proves the two vocabularies *match*, this proves
 /// the verb this PR added is actually *in* them (matching-by-omission
@@ -444,7 +471,7 @@ fn list_rules_matches_readme_table() {
         .lines()
         .map(|l| l.split_once('\t').expect("rule\\tdescription"))
         .collect();
-    assert_eq!(rules.len(), 10, "rule catalog size changed:\n{listing}");
+    assert_eq!(rules.len(), 11, "rule catalog size changed:\n{listing}");
 
     let readme = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../README.md");
     let readme = std::fs::read_to_string(readme).expect("read README.md");

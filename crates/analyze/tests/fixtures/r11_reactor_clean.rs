@@ -1,0 +1,17 @@
+// Fixture: the clean counterparts — nonblocking primitives, an exempt
+// unbounded send, and the loop's one sanctioned blocking point behind
+// a pragma. Expected findings: none (one suppression on stderr).
+
+fn dispatch_try(sync_tx: &std::sync::mpsc::SyncSender<u32>, rx: &std::sync::mpsc::Receiver<u32>) {
+    sync_tx.try_send(7).ok();
+    let _ = rx.try_recv();
+}
+
+fn dispatch_unbounded(tx: &std::sync::mpsc::Sender<u32>) {
+    tx.send(7).ok();
+}
+
+fn sanctioned_wait(poller: &mut Poller, events: &mut Vec<Event>) {
+    // rms-analyze: allow(reactor-no-block, "fixture: the event loop's single sanctioned blocking point")
+    poller.wait(events).ok();
+}

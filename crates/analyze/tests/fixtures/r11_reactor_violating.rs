@@ -1,0 +1,20 @@
+// Fixture: blocking calls in reactor dispatch code — no guard needs to
+// be held; parking the thread at all is the violation. Expected
+// findings: three reactor-no-block (the bounded send, the recv, the
+// sleep). The unbounded send at the bottom is exempt.
+
+fn dispatch_bounded_send(sync_tx: &std::sync::mpsc::SyncSender<u32>) {
+    sync_tx.send(7).ok();
+}
+
+fn dispatch_recv(rx: &std::sync::mpsc::Receiver<u32>) {
+    let _ = rx.recv();
+}
+
+fn dispatch_sleep() {
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}
+
+fn dispatch_unbounded_send(tx: &std::sync::mpsc::Sender<u32>) {
+    tx.send(7).ok();
+}

@@ -25,6 +25,15 @@
 //!   pushed delta — at the end its reconstructed solution must equal the
 //!   server's final `QUERY`, so the bench doubles as an end-to-end
 //!   protocol check.
+//! * **fanout** — the publish path under subscriber pressure: a child
+//!   process (re-exec of this binary, so server and subscriber fds stay
+//!   under separate per-process limits) holds `--fanout-subs`
+//!   subscriptions — half with a server-side `ids=` filter — while the
+//!   parent pulses single-op publishes and measures end-to-end delta
+//!   delivery latency on its own probe subscription. The server's
+//!   metrics then prove the encode-once contract: exactly one
+//!   unfiltered encode per publish regardless of subscriber count, plus
+//!   one per distinct filter.
 //!
 //! The interesting read is reader QPS and worst-case read latency during
 //! ingestion: the service keeps reads at near-constant nanosecond-scale
@@ -39,6 +48,8 @@
 //!     [--shards S]                              (0 disables the sharded phase)
 //!     [--wire-batch B]                          (tcp phase batch size; 0 disables
 //!                                                the tcp phase)
+//!     [--fanout-subs N] [--fanout-pubs P]       (fanout phase scale; N=0 disables
+//!                                                the fanout phase)
 //!     [--json PATH]                             (emit a machine-readable
 //!                                                per-phase report)
 //! ```
@@ -58,6 +69,10 @@ use rms_serve::{
     RmsBackend, RmsBackendHandle, RmsServer, RmsService, ServeConfig, ShardedRmsService,
 };
 use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::process::{Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -528,7 +543,280 @@ fn run_tcp(
     }
 }
 
+/// The fanout phase's measurements. `delivery` is the probe
+/// subscription's submit→delta round trip, which rides the same
+/// encode-once publish as the swarm.
+struct FanoutOutcome {
+    subscribers: usize,
+    filtered: usize,
+    publishes: u64,
+    unfiltered_encodes: u64,
+    filtered_encodes: u64,
+    delivered_lines: u64,
+    delivery: ReadTally,
+}
+
+/// Pulls one counter series out of Prometheus exposition text: the
+/// first sample line starting with `name` whose label set contains
+/// `label`.
+fn metric_value(text: &str, name: &str, label: &str) -> u64 {
+    text.lines()
+        .find(|l| l.starts_with(name) && l.contains(label))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse::<f64>().ok())
+        .map_or(0, |v| v as u64)
+}
+
+/// The churn stream's insert ids start at 10 000 000, so this bound
+/// puts the initial database inside the filter and fresh inserts
+/// outside it — filtered subscribers see real slicing, not a no-op.
+const FANOUT_FILTER_HI: u64 = 9_999_999;
+
+/// `--fanout-child` mode: the subscriber swarm, run as a separate
+/// process so the parent's server sockets and the swarm's client
+/// sockets each stay under their own per-process fd limit. Connects
+/// `--subs` subscribers (the first `--filtered` of them with a
+/// server-side `ids=0..FILTER_HI` filter), prints `READY`, then drains
+/// every pushed line through one `rms_net::Poller` until the server
+/// closes the streams, and reports `DELIVERED <lines>`.
+fn fanout_child() {
+    rms_net::raise_nofile_limit(1 << 20).expect("raise child fd limit");
+    let addr: String = flag("--addr", String::new());
+    let subs: usize = flag("--subs", 0usize);
+    let filtered: usize = flag("--filtered", 0usize);
+    let filter_hi: u64 = flag("--filter-hi", FANOUT_FILTER_HI);
+
+    let mut socks: Vec<TcpStream> = Vec::with_capacity(subs);
+    for i in 0..subs {
+        let stream = TcpStream::connect(&addr).expect("fanout subscriber connect");
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.get_mut().write_all(b"HELLO v2\n").expect("hello");
+        reader.read_line(&mut line).expect("hello ack");
+        assert!(line.starts_with("OK v2"), "unexpected HELLO ack: {line}");
+        line.clear();
+        let request = if i < filtered {
+            format!("SUBSCRIBE every=1 ids=0..{filter_hi}\n")
+        } else {
+            "SUBSCRIBE every=1\n".to_owned()
+        };
+        reader
+            .get_mut()
+            .write_all(request.as_bytes())
+            .expect("subscribe");
+        reader.read_line(&mut line).expect("subscribe ack");
+        assert!(
+            line.starts_with("OK subscribed"),
+            "unexpected SUBSCRIBE ack: {line}"
+        );
+        // Nothing else arrives until the parent sees READY and starts
+        // publishing, so unwrapping the (drained) BufReader loses no
+        // buffered bytes.
+        let stream = reader.into_inner();
+        stream
+            .set_nonblocking(true)
+            .expect("nonblocking subscriber");
+        socks.push(stream);
+    }
+    // Rust's stdout is line-buffered even into a pipe, so the parent
+    // sees this immediately.
+    println!("READY");
+
+    let mut poller = rms_net::Poller::new().expect("child poller");
+    for (i, s) in socks.iter().enumerate() {
+        poller
+            .register(s.as_raw_fd(), rms_net::Token(i), rms_net::Interest::READ)
+            .expect("register subscriber");
+    }
+    let mut events: Vec<rms_net::Event> = Vec::new();
+    let mut closed = vec![false; socks.len()];
+    let mut open = socks.len();
+    let mut lines = 0u64;
+    let mut buf = [0u8; 16 * 1024];
+    while open > 0 {
+        poller.wait(&mut events, None).expect("child poll");
+        for ev in &events {
+            let i = ev.token.0;
+            if closed[i] {
+                continue;
+            }
+            loop {
+                match socks[i].read(&mut buf) {
+                    Ok(0) => {
+                        closed[i] = true;
+                        open -= 1;
+                        let _ = poller.deregister(socks[i].as_raw_fd());
+                        break;
+                    }
+                    Ok(n) => lines += buf[..n].iter().filter(|&&b| b == b'\n').count() as u64,
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        closed[i] = true;
+                        open -= 1;
+                        let _ = poller.deregister(socks[i].as_raw_fd());
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    println!("DELIVERED {lines}");
+}
+
+/// Fanout discipline: see the module docs. Asserts the encode-once
+/// contract from the server's own metrics and that every subscriber
+/// received every publish, so the phase doubles as the ≥N-subscriber
+/// acceptance check.
+fn run_fanout(initial: &[Point], sc: Scenario, subs: usize, publishes: u64) -> FanoutOutcome {
+    rms_net::raise_nofile_limit(1 << 20).expect("raise fd limit");
+    let service = RmsService::start(sc.builder(), initial.to_vec(), sc.serve_config())
+        .expect("valid bench configuration");
+    let server = RmsServer::bind("127.0.0.1:0", service).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || server.run().expect("server run"));
+
+    let filtered = subs / 2;
+    let mut child = Command::new(std::env::current_exe().expect("current exe"))
+        .arg("--fanout-child")
+        .args(["--addr", &addr.to_string()])
+        .args(["--subs", &subs.to_string()])
+        .args(["--filtered", &filtered.to_string()])
+        .args(["--filter-hi", &FANOUT_FILTER_HI.to_string()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn fanout child");
+    let mut child_out = BufReader::new(child.stdout.take().expect("child stdout"));
+    let mut line = String::new();
+    child_out.read_line(&mut line).expect("child READY");
+    assert_eq!(line.trim(), "READY", "fanout child failed to subscribe");
+
+    let mut probe = RmsClient::connect(addr)
+        .expect("probe connect")
+        .subscribe(1)
+        .expect("probe subscribe");
+    let mut writer = RmsClient::connect(addr).expect("writer connect");
+    assert_eq!(writer.hello().version, 2, "server must negotiate v2");
+    let mut stream = OpStream::new(initial, sc.d, 99);
+    let mut delivery = ReadTally::default();
+    for _ in 0..publishes {
+        let op = stream.next_client_op();
+        let t = Instant::now();
+        writer.submit(&op).expect("pulse op");
+        probe
+            .next_delta()
+            .expect("probe delta")
+            .expect("stream open before shutdown");
+        delivery.record(t.elapsed());
+    }
+
+    // The encode-once pin, from the server's own counters: one
+    // unfiltered encode per publish no matter how many subscribers,
+    // one filtered encode per publish for the swarm's single distinct
+    // filter. With KRMS_METRICS_DISABLED=1 the registry's counters are
+    // no-ops, so the pin can only be asserted when they're live.
+    let metrics_text = writer.metrics().expect("metrics");
+    let unfiltered_encodes = metric_value(
+        &metrics_text,
+        "rms_net_delta_encodes_total",
+        "kind=\"unfiltered\"",
+    );
+    let filtered_encodes = metric_value(
+        &metrics_text,
+        "rms_net_delta_encodes_total",
+        "kind=\"filtered\"",
+    );
+    if std::env::var_os("KRMS_METRICS_DISABLED").is_none() {
+        assert_eq!(
+            unfiltered_encodes, publishes,
+            "encode-once violated: {unfiltered_encodes} unfiltered encodes over {publishes} \
+             publishes"
+        );
+        if filtered > 0 {
+            assert_eq!(
+                filtered_encodes, publishes,
+                "filter cache missed: {filtered_encodes} filtered encodes over {publishes} \
+                 publishes of one distinct filter"
+            );
+        }
+    }
+
+    writer.shutdown().expect("shutdown ack");
+    // The backend's graceful drain can publish trailing deltas after the
+    // pulse loop's last submit (a final rebuild epoch, for instance). The
+    // probe rides the same stream as the swarm, so draining it to EOF
+    // gives the exact total publish count every subscriber saw.
+    let mut total_publishes = publishes;
+    while probe.next_delta().expect("probe drain").is_some() {
+        total_publishes += 1;
+    }
+    server.join().expect("server thread");
+    line.clear();
+    child_out.read_line(&mut line).expect("child DELIVERED");
+    let delivered_lines: u64 = line
+        .trim()
+        .strip_prefix("DELIVERED ")
+        .expect("child report")
+        .parse()
+        .expect("child line count");
+    child.wait().expect("child exit");
+    assert_eq!(
+        delivered_lines,
+        subs as u64 * total_publishes,
+        "delta lines lost in fanout ({total_publishes} total publishes)"
+    );
+    FanoutOutcome {
+        subscribers: subs,
+        filtered,
+        publishes,
+        unfiltered_encodes,
+        filtered_encodes,
+        delivered_lines,
+        delivery,
+    }
+}
+
+fn report_fanout(o: &FanoutOutcome) {
+    println!(
+        "\nfanout     subs={} ({} filtered)   publishes={}   encodes/publish: \
+         {:.2} unfiltered + {:.2} filtered   delivery p50={:.0}us p99={:.0}us   \
+         delivered_lines={}",
+        o.subscribers,
+        o.filtered,
+        o.publishes,
+        o.unfiltered_encodes as f64 / o.publishes.max(1) as f64,
+        o.filtered_encodes as f64 / o.publishes.max(1) as f64,
+        o.delivery.quantile_us(0.50),
+        o.delivery.quantile_us(0.99),
+        o.delivered_lines,
+    );
+}
+
+/// The fanout row for `--json`.
+fn fanout_json(o: &FanoutOutcome) -> String {
+    JsonObject::new()
+        .str("phase", "fanout")
+        .int("subscribers", o.subscribers as u64)
+        .int("filtered_subscribers", o.filtered as u64)
+        .int("publishes", o.publishes)
+        .int("unfiltered_encodes", o.unfiltered_encodes)
+        .int("filtered_encodes", o.filtered_encodes)
+        .num(
+            "encodes_per_publish",
+            o.unfiltered_encodes as f64 / o.publishes.max(1) as f64,
+        )
+        .int("delivered_lines", o.delivered_lines)
+        .num("delivery_p50_us", o.delivery.quantile_us(0.50))
+        .num("delivery_p99_us", o.delivery.quantile_us(0.99))
+        .num("delivery_p999_us", o.delivery.quantile_us(0.999))
+        .finish()
+}
+
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--fanout-child") {
+        fanout_child();
+        return;
+    }
     let smoke = std::env::var_os("KRMS_BENCH_SMOKE").is_some();
     let (n_def, max_m_def, secs_def, readers_def, shards_def) = if smoke {
         (400usize, 256usize, 0.25f64, 2usize, 2usize)
@@ -545,6 +833,13 @@ fn main() {
     let secs: f64 = flag("--secs", secs_def);
     let shards: usize = flag("--shards", shards_def);
     let wire_batch: usize = flag("--wire-batch", 128usize);
+    let (fanout_subs_def, fanout_pubs_def) = if smoke {
+        (200usize, 50u64)
+    } else {
+        (10_000, 200)
+    };
+    let fanout_subs: usize = flag("--fanout-subs", fanout_subs_def);
+    let fanout_pubs: u64 = flag("--fanout-pubs", fanout_pubs_def);
     // Per-reader pacing: by default each reader issues ~2 000 queries/s
     // (a steady serving load) so reader CPU pressure does not drown the
     // applier on small hosts; `--read-qps 0` makes readers spin flat out
@@ -613,6 +908,11 @@ fn main() {
         report("tcp", &tcp);
         phases.push(&phase_json("tcp", &tcp));
     }
+    if fanout_subs > 0 {
+        let fanout = run_fanout(&initial, scenario, fanout_subs, fanout_pubs);
+        report_fanout(&fanout);
+        phases.push(&fanout_json(&fanout));
+    }
 
     if !json_path.is_empty() {
         let params = JsonObject::new()
@@ -625,6 +925,8 @@ fn main() {
             .int("readers", readers as u64)
             .int("shards", shards as u64)
             .int("wire_batch", wire_batch as u64)
+            .int("fanout_subs", fanout_subs as u64)
+            .int("fanout_pubs", fanout_pubs)
             .int("read_qps", read_qps)
             .num("secs", secs)
             .raw("smoke", if smoke { "true" } else { "false" })

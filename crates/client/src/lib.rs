@@ -384,8 +384,28 @@ impl RmsClient {
     /// with the starting solution and then streams one `DELTA` line per
     /// `every` published epochs. The returned [`Subscription`] applies
     /// each delta to its mirror of the solution as it yields it.
-    pub fn subscribe(mut self, every: u64) -> Result<Subscription, ClientError> {
-        let reply = self.roundtrip(&format!("SUBSCRIBE every={every}"))?;
+    pub fn subscribe(self, every: u64) -> Result<Subscription, ClientError> {
+        self.subscribe_line(&format!("SUBSCRIBE every={every}"))
+    }
+
+    /// Like [`RmsClient::subscribe`], but with a server-side id-range
+    /// filter (`SUBSCRIBE every=K ids=LO..HI`, bounds inclusive): the
+    /// ack's starting ids and every streamed delta's `+`/`-` lists are
+    /// sliced to the range before they cross the wire, so the
+    /// subscription mirrors only the `[lo, hi]` slice of the solution.
+    /// Header-only `DELTA` lines still arrive for versions whose slice
+    /// is empty, so [`Subscription::epochs`] tracks every version.
+    pub fn subscribe_filtered(
+        self,
+        every: u64,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Subscription, ClientError> {
+        self.subscribe_line(&format!("SUBSCRIBE every={every} ids={lo}..{hi}"))
+    }
+
+    fn subscribe_line(mut self, request: &str) -> Result<Subscription, ClientError> {
+        let reply = self.roundtrip(request)?;
         let fields = parse_fields(&reply);
         let epochs = parse_epoch_fields(&fields);
         if epochs.is_empty() {

@@ -86,6 +86,7 @@
 #![warn(missing_docs)]
 
 mod backend;
+mod net;
 pub mod protocol;
 mod service;
 mod sharded;

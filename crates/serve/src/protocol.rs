@@ -19,7 +19,8 @@
 //! HELLO v<N>            negotiate the session version           → OK v<min(N,2)> dim=D k=K r=R shards=S
 //! BATCH <n>             the next n lines are mutation verbs,
 //!                       submitted with ONE ack for all of them  → OK queued n=<n>
-//! SUBSCRIBE [every=K]   switch the connection to push mode      → OK subscribed every=K epoch=E n=N ids=…
+//! SUBSCRIBE [every=K] [ids=LO..HI]
+//!                       switch the connection to push mode      → OK subscribed every=K [filter=LO..HI] epoch=E n=N ids=…
 //!                       then one line per published delta:        DELTA epoch=E from=F n=N +<ids> -<ids>
 //! METRICS               read the Prometheus text exposition     → OK metrics lines=N
 //!                                                                 then N raw exposition lines
@@ -33,7 +34,13 @@
 //! `n` lines first and submits none of them if any line is malformed.
 //! `SUBSCRIBE every=K` coalesces deltas so at most one `DELTA` line is
 //! pushed per K published epochs while the stream is active (an idle
-//! stream flushes the remainder after a short beat). Against a sharded
+//! stream flushes the remainder after a short beat). `SUBSCRIBE
+//! ids=LO..HI` filters server-side: the ack's `ids=` and every pushed
+//! `+`/`-` list are sliced to the inclusive id range (the `DELTA`
+//! header still arrives for versions whose slice is empty, so a
+//! filtered stream observes every version); the ack echoes the range
+//! as `filter=LO..HI` and its `n=` stays the *full* solution size.
+//! Against a sharded
 //! backend the pushed lines carry the epoch vector —
 //! `DELTA epochs=e0,e1,… version=V from=F …` — mirroring `QUERY`'s
 //! `epochs=` form; `+`/`-` id lists are omitted when empty.
@@ -89,6 +96,9 @@ pub enum Request {
         /// Coalescing factor: at most one `DELTA` line per this many
         /// published epochs (≥ 1).
         every: u64,
+        /// Optional server-side id-range filter (inclusive): the ack's
+        /// `ids=` and every pushed `+`/`-` list are sliced to the range.
+        filter: Option<(PointId, PointId)>,
     },
     /// Read the backend's Prometheus text exposition (v2): the reply
     /// header `OK metrics lines=N` is followed by `N` raw exposition
@@ -116,7 +126,10 @@ pub fn encode_request(req: &Request) -> String {
         Request::Shutdown => "SHUTDOWN".into(),
         Request::Hello(v) => format!("HELLO v{v}"),
         Request::Batch(n) => format!("BATCH {n}"),
-        Request::Subscribe { every } => format!("SUBSCRIBE every={every}"),
+        Request::Subscribe { every, filter } => match filter {
+            None => format!("SUBSCRIBE every={every}"),
+            Some((lo, hi)) => format!("SUBSCRIBE every={every} ids={lo}..{hi}"),
+        },
         Request::Metrics => "METRICS".into(),
     }
 }
@@ -170,22 +183,44 @@ pub fn parse_request(line: &str, d: usize) -> Result<Request, String> {
                 .map_err(|_| format!("invalid batch size `{count}`"))?;
             Ok(Request::Batch(count))
         }
-        "SUBSCRIBE" => match rest.as_slice() {
-            [] => Ok(Request::Subscribe { every: 1 }),
-            [arg] => {
-                let value = arg
-                    .strip_prefix("every=")
-                    .ok_or("usage: SUBSCRIBE [every=K]")?;
-                let every: u64 = value
-                    .parse()
-                    .map_err(|_| format!("invalid every value `{value}`"))?;
-                if every == 0 {
-                    return Err("every must be at least 1".into());
+        "SUBSCRIBE" => {
+            const USAGE: &str = "usage: SUBSCRIBE [every=K] [ids=LO..HI]";
+            let mut every: Option<u64> = None;
+            let mut filter: Option<(PointId, PointId)> = None;
+            for arg in &rest {
+                if let Some(value) = arg.strip_prefix("every=") {
+                    if every.is_some() {
+                        return Err("duplicate every= argument".into());
+                    }
+                    let k: u64 = value
+                        .parse()
+                        .map_err(|_| format!("invalid every value `{value}`"))?;
+                    if k == 0 {
+                        return Err("every must be at least 1".into());
+                    }
+                    every = Some(k);
+                } else if let Some(value) = arg.strip_prefix("ids=") {
+                    if filter.is_some() {
+                        return Err("duplicate ids= argument".into());
+                    }
+                    let Some((lo, hi)) = value.split_once("..") else {
+                        return Err(format!("invalid ids range `{value}` (expected LO..HI)"));
+                    };
+                    let lo = parse_id(lo)?;
+                    let hi = parse_id(hi)?;
+                    if lo > hi {
+                        return Err(format!("empty ids range `{value}` (LO must be ≤ HI)"));
+                    }
+                    filter = Some((lo, hi));
+                } else {
+                    return Err(USAGE.into());
                 }
-                Ok(Request::Subscribe { every })
             }
-            _ => Err("usage: SUBSCRIBE [every=K]".into()),
-        },
+            Ok(Request::Subscribe {
+                every: every.unwrap_or(1),
+                filter,
+            })
+        }
         other => Err(format!(
             "unknown command `{other}` (expected INSERT/DELETE/UPDATE/QUERY/STATS/SHUTDOWN, \
              or v2: HELLO/BATCH/SUBSCRIBE/METRICS)"
@@ -258,11 +293,32 @@ mod tests {
         assert_eq!(parse_request("BATCH 0", 2), Ok(Request::Batch(0)));
         assert_eq!(
             parse_request("SUBSCRIBE", 2),
-            Ok(Request::Subscribe { every: 1 })
+            Ok(Request::Subscribe {
+                every: 1,
+                filter: None
+            })
         );
         assert_eq!(
             parse_request("SUBSCRIBE every=8", 2),
-            Ok(Request::Subscribe { every: 8 })
+            Ok(Request::Subscribe {
+                every: 8,
+                filter: None
+            })
+        );
+        assert_eq!(
+            parse_request("SUBSCRIBE ids=10..20", 2),
+            Ok(Request::Subscribe {
+                every: 1,
+                filter: Some((10, 20))
+            })
+        );
+        assert_eq!(
+            parse_request("SUBSCRIBE ids=5..5 every=3", 2),
+            Ok(Request::Subscribe {
+                every: 3,
+                filter: Some((5, 5))
+            }),
+            "arguments compose in either order"
         );
         assert_eq!(parse_request("metrics", 2), Ok(Request::Metrics));
         assert!(parse_request("METRICS now", 2).is_err());
@@ -298,6 +354,11 @@ mod tests {
         assert!(parse_request("SUBSCRIBE every=x", 2).is_err());
         assert!(parse_request("SUBSCRIBE now", 2).is_err());
         assert!(parse_request("SUBSCRIBE every=1 x", 2).is_err());
+        assert!(parse_request("SUBSCRIBE every=1 every=2", 2).is_err());
+        assert!(parse_request("SUBSCRIBE ids=1..2 ids=3..4", 2).is_err());
+        assert!(parse_request("SUBSCRIBE ids=9..3", 2).is_err(), "inverted");
+        assert!(parse_request("SUBSCRIBE ids=7", 2).is_err(), "no range");
+        assert!(parse_request("SUBSCRIBE ids=a..b", 2).is_err());
     }
 
     #[test]
@@ -311,7 +372,14 @@ mod tests {
             Request::Shutdown,
             Request::Hello(2),
             Request::Batch(128),
-            Request::Subscribe { every: 4 },
+            Request::Subscribe {
+                every: 4,
+                filter: None,
+            },
+            Request::Subscribe {
+                every: 1,
+                filter: Some((100, 250)),
+            },
             Request::Metrics,
         ];
         for req in reqs {

@@ -2,123 +2,47 @@
 //! [`RmsService`](crate::RmsService) and the sharded
 //! [`ShardedRmsService`](crate::ShardedRmsService) behind one generic
 //! code path — speaking the [line protocol](crate::protocol), v1 and v2.
+//!
+//! Connections are served by a small group of [`rms_net`] reactor
+//! threads (default one; see [`RmsServer::with_net_threads`]) instead
+//! of a thread per connection: reactor 0 owns the listener and deals
+//! accepted sockets round-robin across the group through each
+//! reactor's command injector. Protocol logic lives in
+//! [`net`](crate::net); this module is the *orchestration* layer — the
+//! pieces that legitimately block (the delta pump's channel receive,
+//! backend shutdown, thread joins) and therefore stay off the reactor
+//! threads.
+//!
+//! The pump thread is where the encode-once fan-out contract is
+//! enforced: each [`SnapshotDelta`](crate::SnapshotDelta) from the
+//! backend's watch stream is rendered to its wire line exactly once,
+//! wrapped in an `Arc<[u8]>`, and injected into every reactor, which
+//! fan it out to unfiltered subscribers by reference.
 
-use crate::backend::{BackendView, RmsBackend, RmsBackendHandle};
-use crate::protocol::{parse_request, Request, MAX_BATCH_LINES, PROTOCOL_VERSION};
-use crate::snapshot::SnapshotDelta;
-use fdrms::{FdRms, Op};
-use rms_metrics::{Counter, Gauge, Histogram, Registry};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::backend::{RmsBackend, RmsBackendHandle};
+use crate::net::{
+    encode_delta_line, Mirror, NetCmd, NetHandler, ServeNetMetrics, ServerInfo, TcpMetrics,
+};
+use fdrms::FdRms;
+use rms_net::{Injector, Reactor, ReactorConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::mpsc;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// How long an idle `SUBSCRIBE` stream waits before flushing a pending
-/// coalesced delta that has not yet spanned `every` epochs.
-const SUBSCRIBE_IDLE_FLUSH: Duration = Duration::from_millis(200);
-
-/// Label values for the per-verb request families. The last entry,
-/// `invalid`, buckets lines whose leading token is no verb at all;
-/// recognizable-but-malformed requests count under their verb.
-const VERBS: [&str; 11] = [
-    "insert",
-    "delete",
-    "update",
-    "query",
-    "stats",
-    "shutdown",
-    "hello",
-    "batch",
-    "subscribe",
-    "metrics",
-    "invalid",
-];
-
-/// Maps a raw request line to its [`VERBS`] slot.
-fn verb_index(line: &str) -> usize {
-    line.split_whitespace()
-        .next()
-        .and_then(|verb| VERBS.iter().position(|v| verb.eq_ignore_ascii_case(v)))
-        .unwrap_or(VERBS.len() - 1)
-}
-
-/// Front-end instruments, registered once at [`RmsServer::run`] into the
-/// backend's registry and cloned into every connection thread.
-#[derive(Debug, Clone)]
-struct TcpMetrics {
-    /// The backend registry, kept for the `METRICS` verb's exposition.
-    registry: Arc<Registry>,
-    /// `rms_tcp_connections_total`.
-    connections: Counter,
-    /// `rms_tcp_subscribers` — connections currently in push mode.
-    subscribers: Gauge,
-    /// `rms_tcp_delta_bytes_total` — pushed `DELTA` line bytes.
-    delta_bytes: Counter,
-    /// Per-verb `rms_tcp_requests_total` / `rms_tcp_request_seconds`,
-    /// indexed like [`VERBS`].
-    requests: Vec<(Counter, Histogram)>,
-}
-
-impl TcpMetrics {
-    fn register(registry: &Arc<Registry>) -> Self {
-        let requests = VERBS
-            .iter()
-            .map(|verb| {
-                (
-                    registry.register_counter(
-                        "rms_tcp_requests_total",
-                        "Requests handled, by verb (`invalid` buckets unrecognized lines).",
-                        &[("verb", verb)],
-                    ),
-                    registry.register_histogram(
-                        "rms_tcp_request_seconds",
-                        "Request handling latency, by verb: parse through reply-ready \
-                         (includes submit backpressure and BATCH body reads).",
-                        &[("verb", verb)],
-                    ),
-                )
-            })
-            .collect();
-        TcpMetrics {
-            registry: Arc::clone(registry),
-            connections: registry.register_counter(
-                "rms_tcp_connections_total",
-                "Connections accepted by the TCP front end.",
-                &[],
-            ),
-            subscribers: registry.register_gauge(
-                "rms_tcp_subscribers",
-                "Connections currently streaming deltas in push mode.",
-                &[],
-            ),
-            delta_bytes: registry.register_counter(
-                "rms_tcp_delta_bytes_total",
-                "Bytes of DELTA lines pushed to subscribers.",
-                &[],
-            ),
-            requests,
-        }
-    }
-}
-
-/// Static backend parameters every connection needs (for `HELLO`
-/// replies and op parsing), captured once at bind time.
-#[derive(Clone, Copy)]
-struct ServerInfo {
-    dim: usize,
-    k: usize,
-    r: usize,
-    shards: usize,
-}
-
-/// A TCP server wrapping a running backend: one thread per connection,
-/// all of them feeding the ingestion queue(s) and reading the shared
-/// snapshot state through the backend's cloneable handle.
+/// A TCP server wrapping a running backend: a group of reactor threads
+/// multiplexing every connection, all feeding the ingestion queue(s)
+/// and reading the shared snapshot state through the backend's
+/// cloneable handle.
 #[derive(Debug)]
 pub struct RmsServer<B: RmsBackend> {
     listener: TcpListener,
     backend: B,
+    net_threads: usize,
+    write_queue_cap: usize,
+    evict_linger: Duration,
+    send_buffer: Option<usize>,
 }
 
 impl<B: RmsBackend> RmsServer<B> {
@@ -127,434 +51,179 @@ impl<B: RmsBackend> RmsServer<B> {
     /// a single service or a shard group, behind the same protocol
     /// surface (a sharded backend reports `epochs=e0,e1,…` instead of
     /// `epoch=E` in `QUERY`/`STATS` and in pushed `DELTA` lines).
-    pub fn bind(addr: impl ToSocketAddrs, backend: B) -> std::io::Result<Self> {
+    pub fn bind(addr: impl ToSocketAddrs, backend: B) -> io::Result<Self> {
+        let defaults = ReactorConfig::default();
         Ok(Self {
             listener: TcpListener::bind(addr)?,
             backend,
+            net_threads: 1,
+            write_queue_cap: defaults.write_queue_cap,
+            evict_linger: defaults.evict_linger,
+            send_buffer: None,
         })
     }
 
+    /// Number of reactor threads serving connections (min 1). Reactor 0
+    /// owns the listener and hands accepted sockets round-robin to the
+    /// group.
+    #[must_use]
+    pub fn with_net_threads(mut self, n: usize) -> Self {
+        self.net_threads = n.max(1);
+        self
+    }
+
+    /// Per-connection cap on queued unwritten bytes; a subscriber that
+    /// falls further behind is evicted with a final `ERR` line.
+    #[must_use]
+    pub fn with_write_queue_cap(mut self, bytes: usize) -> Self {
+        self.write_queue_cap = bytes.max(1);
+        self
+    }
+
+    /// How long an evicted or closing connection may linger while its
+    /// final bytes flush.
+    #[must_use]
+    pub fn with_evict_linger(mut self, linger: Duration) -> Self {
+        self.evict_linger = linger;
+        self
+    }
+
+    /// `SO_SNDBUF` applied to every accepted socket (tests shrink it to
+    /// exercise backpressure without megabytes of traffic).
+    #[must_use]
+    pub fn with_send_buffer(mut self, bytes: usize) -> Self {
+        self.send_buffer = Some(bytes);
+        self
+    }
+
     /// The bound address.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
     /// Serves connections until a client issues `SHUTDOWN`, then drains
     /// the ingestion queue(s) gracefully and returns the final engine
     /// state, indexed by shard (one engine for a single-service
-    /// backend). Connections still open at shutdown see `ERR service has
-    /// shut down` for further mutations, and open `SUBSCRIBE` streams
-    /// end.
-    pub fn run(self) -> std::io::Result<Vec<FdRms>> {
-        let addr = self.listener.local_addr()?;
-        // The shutdown flag is a classic release/acquire handshake: the
-        // connection thread that handles SHUTDOWN stores with Release,
-        // the accept loop observes with Acquire.
-        // rms-analyze: atomic-policy(shutdown: Acquire|Release)
-        let shutdown = Arc::new(AtomicBool::new(false));
+    /// backend). Connections still open at shutdown see their pending
+    /// replies flushed, open `SUBSCRIBE` streams end after a final
+    /// coalesced flush, and the reactors exit once every socket drains.
+    pub fn run(self) -> io::Result<Vec<FdRms>> {
+        let RmsServer {
+            listener,
+            backend,
+            net_threads,
+            write_queue_cap,
+            evict_linger,
+            send_buffer,
+        } = self;
+
         let info = ServerInfo {
-            dim: self.backend.dim(),
-            k: self.backend.k(),
-            r: self.backend.r(),
-            shards: self.backend.shards(),
+            dim: backend.dim(),
+            k: backend.k(),
+            r: backend.r(),
+            shards: backend.shards(),
         };
-        let metrics = TcpMetrics::register(self.backend.registry());
-        for stream in self.listener.incoming() {
-            if shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            let stream = match stream {
-                Ok(stream) => stream,
-                Err(_) => {
-                    // Transient (ECONNABORTED) and persistent (EMFILE)
-                    // accept failures alike: back off instead of spinning
-                    // the accept loop at 100% CPU — but re-check the
-                    // shutdown flag first, since the failed accept may
-                    // have been the SHUTDOWN handler's nudge connection.
-                    if shutdown.load(Ordering::Acquire) {
-                        break;
-                    }
-                    std::thread::sleep(Duration::from_millis(20));
-                    continue;
-                }
-            };
-            let handle = self.backend.handle();
-            let flag = Arc::clone(&shutdown);
-            let metrics = metrics.clone();
-            // Connection threads are detached: they die with the process
-            // (CLI) or when their client hangs up (tests), and after
-            // shutdown every submit they attempt fails cleanly.
-            let _ = std::thread::Builder::new()
-                .name("rms-conn".into())
-                .spawn(move || handle_connection(stream, &handle, info, &flag, addr, &metrics));
-        }
-        Ok(self.backend.shutdown())
-    }
-}
+        let registry = Arc::clone(backend.registry());
+        let metrics = TcpMetrics::register(&registry);
+        let net_metrics = ServeNetMetrics::register(&registry);
+        let handle = backend.handle();
+        let rx = handle.watch();
+        let sharded = rx.base().is_merged();
+        let mirror = Mirror::from_view(rx.base());
 
-/// What one parsed request asks the connection loop to do next.
-enum Step {
-    Reply(String),
-    /// `SHUTDOWN`: acknowledge, nudge the accept loop, close.
-    Shutdown,
-    /// `SUBSCRIBE`: acknowledge, then switch to push mode until the
-    /// client hangs up or the backend shuts down.
-    Subscribe {
-        every: u64,
-    },
-    /// Protocol violation that cannot preserve framing (oversized
-    /// `BATCH`): report and close.
-    Fatal(String),
-}
-
-fn handle_connection<H: RmsBackendHandle>(
-    stream: TcpStream,
-    handle: &H,
-    info: ServerInfo,
-    shutdown: &AtomicBool,
-    addr: SocketAddr,
-    metrics: &TcpMetrics,
-) {
-    metrics.connections.inc();
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    // Sessions start at v1; `HELLO v2` upgrades, unlocking BATCH and
-    // SUBSCRIBE. Every v1 verb behaves identically at either version.
-    let mut version = 1u32;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return,
-            Ok(_) => {}
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let started = Instant::now();
-        let step = match parse_request(&line, info.dim) {
-            // In a v2 session a BATCH header is *framing*: if it cannot
-            // be parsed (e.g. a count that overflows), the announced op
-            // lines cannot be consumed, and replying ERR while keeping
-            // the connection would reinterpret them as requests. Closing
-            // is the only framing-safe refusal — same as the oversized
-            // case in `read_batch`. (In a v1 session there is no batch
-            // framing — every line gets its own reply — so the plain ERR
-            // below is correct there.)
-            Err(msg)
-                if version >= 2
-                    && line
-                        .split_whitespace()
-                        .next()
-                        .is_some_and(|verb| verb.eq_ignore_ascii_case("BATCH")) =>
-            {
-                Step::Fatal(format!(
-                    "ERR {msg}; closing connection (unusable BATCH framing)"
-                ))
-            }
-            Err(msg) => Step::Reply(format!("ERR {msg}")),
-            Ok(Request::Hello(requested)) => {
-                version = requested.min(PROTOCOL_VERSION);
-                Step::Reply(format!(
-                    "OK v{version} dim={} k={} r={} shards={}",
-                    info.dim, info.k, info.r, info.shards
-                ))
-            }
-            Ok(Request::Shutdown) => Step::Shutdown,
-            // `submit` blocks on a full queue (backpressure propagates to
-            // the client as a delayed reply); the only error it returns
-            // is a shut-down service.
-            Ok(Request::Submit(op)) => Step::Reply(match handle.submit(op) {
-                Ok(()) => "OK queued".to_string(),
-                Err(e) => format!("ERR {e}"),
-            }),
-            Ok(Request::Query) => Step::Reply(format_query(&handle.view())),
-            Ok(Request::Stats) => Step::Reply(format_stats(handle)),
-            Ok(Request::Batch(_)) if version < 2 => {
-                Step::Reply("ERR BATCH requires protocol v2 (send HELLO v2 first)".into())
-            }
-            Ok(Request::Batch(n)) => read_batch(&mut reader, handle, info.dim, n),
-            Ok(Request::Subscribe { .. }) if version < 2 => {
-                Step::Reply("ERR SUBSCRIBE requires protocol v2 (send HELLO v2 first)".into())
-            }
-            Ok(Request::Subscribe { every }) => Step::Subscribe { every },
-            Ok(Request::Metrics) if version < 2 => {
-                Step::Reply("ERR METRICS requires protocol v2 (send HELLO v2 first)".into())
-            }
-            Ok(Request::Metrics) => Step::Reply(format_metrics(&metrics.registry)),
+        let cfg = ReactorConfig {
+            write_queue_cap,
+            evict_linger,
+            send_buffer,
+            ..ReactorConfig::default()
         };
-        let (requests_total, request_seconds) = &metrics.requests[verb_index(&line)];
-        requests_total.inc();
-        request_seconds.record(started.elapsed());
-        match step {
-            Step::Reply(reply) => {
-                if writeln!(writer, "{reply}").is_err() {
-                    return;
-                }
-            }
-            Step::Fatal(reply) => {
-                let _ = writeln!(writer, "{reply}");
-                return;
-            }
-            Step::Shutdown => {
-                shutdown.store(true, Ordering::Release);
-                let _ = writeln!(writer, "OK shutting down");
-                // Nudge the accept loop so it observes the flag. A
-                // wildcard bind reports the unspecified address, which
-                // is not connectable everywhere — nudge via loopback.
-                let mut nudge = addr;
-                if nudge.ip().is_unspecified() {
-                    nudge.set_ip(match nudge {
-                        SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
-                        SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
-                    });
-                }
-                let _ = TcpStream::connect(nudge);
-                return;
-            }
-            Step::Subscribe { every } => {
-                metrics.subscribers.inc();
-                run_subscription(&mut writer, handle, every, metrics);
-                metrics.subscribers.dec();
-                return;
-            }
+        let mut reactors: Vec<Reactor<NetCmd>> = Vec::with_capacity(net_threads);
+        for _ in 0..net_threads {
+            reactors.push(Reactor::new(cfg.clone(), &registry)?);
         }
-    }
-}
+        reactors[0].set_listener(listener)?;
+        let injectors: Vec<Injector<NetCmd>> = reactors.iter().map(Reactor::injector).collect();
 
-/// Consumes the `n` op lines a `BATCH` header announced and submits them
-/// with one acknowledgement. All-or-nothing at the framing level: every
-/// line is read and parsed first, and a single malformed line drops the
-/// whole batch (nothing submitted) — pipelined clients must never wonder
-/// which prefix was accepted.
-fn read_batch<H: RmsBackendHandle>(
-    reader: &mut impl BufRead,
-    handle: &H,
-    dim: usize,
-    n: usize,
-) -> Step {
-    if n > MAX_BATCH_LINES {
-        // Refusing without consuming would reinterpret the announced op
-        // lines as requests; closing is the only framing-safe refusal.
-        return Step::Fatal(format!(
-            "ERR BATCH size {n} exceeds {MAX_BATCH_LINES}; closing connection"
-        ));
-    }
-    let mut ops: Vec<Op> = Vec::with_capacity(n);
-    let mut bad: Option<(usize, String)> = None;
-    let mut line = String::new();
-    for i in 1..=n {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => {
-                return Step::Fatal(format!(
-                    "ERR BATCH truncated: got {} of {n} operation lines",
-                    i - 1
-                ))
-            }
-            Ok(_) => {}
-        }
-        if bad.is_some() {
-            continue; // keep consuming to preserve framing
-        }
-        match parse_request(&line, dim) {
-            Ok(Request::Submit(op)) => ops.push(op),
-            Ok(_) => bad = Some((i, "only INSERT/DELETE/UPDATE allowed in a batch".into())),
-            Err(msg) => bad = Some((i, msg)),
-        }
-    }
-    if let Some((i, msg)) = bad {
-        return Step::Reply(format!("ERR line {i}: {msg} (batch dropped)"));
-    }
-    let total = ops.len();
-    for (i, op) in ops.into_iter().enumerate() {
-        if let Err(e) = handle.submit(op) {
-            return Step::Reply(format!("ERR {e} ({i} of {total} queued)"));
-        }
-    }
-    Step::Reply(format!("OK queued n={total}"))
-}
+        // The SHUTDOWN handshake: every reactor handler holds a sender;
+        // recv() returns Ok on the first SHUTDOWN verb, or Err if every
+        // reactor thread dies without one (so a crashed loop still
+        // unblocks the orchestrator instead of hanging it).
+        let (shutdown_tx, shutdown_rx) = mpsc::channel::<()>();
 
-/// Push mode: acknowledge with the starting solution, then stream
-/// `DELTA` lines — one per published delta, coalesced so at most one
-/// line goes out per `every` epochs (an idle stream flushes whatever is
-/// pending after a short beat). Ends when the backend shuts down (final
-/// pending delta flushed) or the client hangs up.
-fn run_subscription<H: RmsBackendHandle>(
-    writer: &mut impl Write,
-    handle: &H,
-    every: u64,
-    metrics: &TcpMetrics,
-) {
-    let rx = handle.watch();
-    let base = rx.base();
-    let sharded = base.is_merged();
-    let ack = format!(
-        "OK subscribed every={every} {} n={} ids={}",
-        version_fields(sharded, &base.epochs()),
-        base.len(),
-        join_ids(base.result()),
-    );
-    if writeln!(writer, "{ack}").is_err() {
-        return;
-    }
-    // Counts the DELTA line plus its newline toward the fan-out bytes —
-    // *before* the write, so a client that reacts to the pushed line by
-    // scraping immediately can never observe a count behind the bytes
-    // it just received (the pushing thread may be descheduled between
-    // the write syscall and a post-write increment).
-    let push = |writer: &mut dyn Write, delta: &SnapshotDelta| {
-        let line = format_delta(delta, sharded);
-        metrics.delta_bytes.add(line.len() as u64 + 1);
-        writeln!(writer, "{line}").is_ok()
-    };
-    let mut pending: Option<SnapshotDelta> = None;
-    loop {
-        match rx.recv_timeout(SUBSCRIBE_IDLE_FLUSH) {
-            Ok(delta) => {
-                let coalesced = match pending.take() {
-                    None => delta,
-                    Some(mut acc) => {
-                        acc.merge(&delta);
-                        acc
+        let mut threads = Vec::with_capacity(net_threads);
+        for (i, reactor) in reactors.into_iter().enumerate() {
+            let handler = NetHandler::new(
+                handle.clone(),
+                info,
+                metrics.clone(),
+                net_metrics.clone(),
+                mirror.clone(),
+                injectors.clone(),
+                i,
+                shutdown_tx.clone(),
+            );
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("rms-net-{i}"))
+                    .spawn(move || reactor.run(handler))?,
+            );
+        }
+        drop(shutdown_tx);
+
+        // The delta pump: the one consumer of the backend's watch
+        // stream. Encodes each published delta exactly once and fans
+        // the shared buffer out to every reactor; reactors slice it
+        // per-filter from the parsed form riding alongside.
+        let pump_injectors = injectors;
+        let pump_metrics = net_metrics;
+        let pump = std::thread::Builder::new()
+            .name("rms-net-pump".to_owned())
+            .spawn(move || loop {
+                match rx.recv() {
+                    Ok(delta) => {
+                        pump_metrics.encodes_unfiltered.inc();
+                        let line = encode_delta_line(&delta, sharded, None);
+                        let delta = Arc::new(delta);
+                        for injector in &pump_injectors {
+                            injector.inject(NetCmd::Publish {
+                                delta: Arc::clone(&delta),
+                                line: Arc::clone(&line),
+                            });
+                        }
                     }
-                };
-                if coalesced.version - coalesced.from_version >= every {
-                    if !push(writer, &coalesced) {
-                        return;
-                    }
-                } else {
-                    pending = Some(coalesced);
-                }
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
-                if let Some(delta) = pending.take() {
-                    if !push(writer, &delta) {
+                    Err(_) => {
+                        // Publisher gone: the backend shut down. Tell the
+                        // reactors to flush pending subscriptions and drain.
+                        for injector in &pump_injectors {
+                            injector.inject(NetCmd::StreamEnd);
+                        }
                         return;
                     }
                 }
-            }
-            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
-                if let Some(delta) = pending.take() {
-                    let _ = push(writer, &delta);
-                }
-                return;
+            })?;
+
+        // Park until a SHUTDOWN verb arrives (Ok) or every reactor died
+        // (Err — all senders dropped).
+        let _ = shutdown_rx.recv();
+
+        // Stop the backend first: its watch senders drop, the pump sees
+        // the closed channel and broadcasts StreamEnd, and the reactors
+        // drain and exit.
+        let engines = backend.shutdown();
+        // rms-analyze: allow(unwrap-nontest, "a Err from join means the worker panicked and already tore the serving invariants; re-raising that panic at shutdown is the only honest report")
+        pump.join().expect("delta pump panicked");
+        let mut first_err = None;
+        for t in threads {
+            // rms-analyze: allow(unwrap-nontest, "a Err from join means the worker panicked and already tore the serving invariants; re-raising that panic at shutdown is the only honest report")
+            match t.join().expect("reactor thread panicked") {
+                Ok(()) => {}
+                Err(e) if first_err.is_none() => first_err = Some(e),
+                Err(_) => {}
             }
         }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(engines),
+        }
     }
-}
-
-/// The `epoch=E` / `epochs=e0,e1,… version=V` field pair, matching the
-/// single/sharded dichotomy of `QUERY` replies.
-fn version_fields(merged: bool, epochs: &[u64]) -> String {
-    if merged {
-        format!(
-            "epochs={} version={}",
-            join_u64(epochs),
-            epochs.iter().sum::<u64>()
-        )
-    } else {
-        format!("epoch={}", epochs.first().copied().unwrap_or(0))
-    }
-}
-
-fn format_delta(delta: &SnapshotDelta, sharded: bool) -> String {
-    let mut out = format!(
-        "DELTA {} from={} n={}",
-        version_fields(sharded, &delta.epochs),
-        delta.from_version,
-        delta.len,
-    );
-    if !delta.added.is_empty() {
-        out.push_str(" +");
-        out.push_str(&join_ids(&delta.added));
-    }
-    if !delta.removed.is_empty() {
-        out.push_str(" -");
-        out.push_str(&join_u64(&delta.removed));
-    }
-    out
-}
-
-fn format_query(view: &BackendView) -> String {
-    let epochs = view.epochs();
-    let head = if view.is_merged() {
-        format!("OK epochs={}", join_u64(&epochs))
-    } else {
-        format!("OK epoch={}", epochs[0])
-    };
-    format!(
-        "{head} n={} r={} ids={}",
-        view.len(),
-        view.result().len(),
-        join_ids(view.result()),
-    )
-}
-
-fn format_stats<H: RmsBackendHandle>(handle: &H) -> String {
-    let view = handle.view();
-    let epochs = view.epochs();
-    let s = view.stats();
-    let mut out = if view.is_merged() {
-        format!("OK epochs={} shards={}", join_u64(&epochs), epochs.len())
-    } else {
-        format!("OK epoch={}", epochs[0])
-    };
-    out.push_str(&format!(
-        " n={} m={} r={} queue_depth={} batches={} replayed_batches={} \
-         ops_applied={} ops_rejected={} wal_recovered={} last_batch={} max_coalesced={} \
-         avg_apply_ms={:.4} last_apply_ms={:.4}",
-        view.len(),
-        view.m(),
-        view.result().len(),
-        handle.queue_depth(),
-        s.batches,
-        s.replayed_batches,
-        s.ops_applied,
-        s.ops_rejected,
-        s.wal_recovered_ops,
-        s.last_batch_ops,
-        s.max_coalesced,
-        s.avg_apply_ms(),
-        s.last_apply_ms,
-    ));
-    if let Some(mrr) = view.mrr() {
-        out.push_str(&format!(" mrr={mrr:.5}"));
-    }
-    if let Some((hits, misses)) = handle.merge_cache_stats() {
-        out.push_str(&format!(" merge_hits={hits} merge_misses={misses}"));
-    }
-    out
-}
-
-/// The `METRICS` reply: a counted header so line-oriented clients know
-/// how many raw exposition lines follow, then the Prometheus text
-/// exposition itself (which is multi-line by nature).
-fn format_metrics(registry: &Registry) -> String {
-    let encoded = registry.encode();
-    let body = encoded.trim_end_matches('\n');
-    if body.is_empty() {
-        return "OK metrics lines=0".to_string();
-    }
-    format!("OK metrics lines={}\n{body}", body.lines().count())
-}
-
-fn join_ids(points: &[rms_geom::Point]) -> String {
-    points
-        .iter()
-        .map(|p| p.id().to_string())
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-fn join_u64(values: &[u64]) -> String {
-    values
-        .iter()
-        .map(u64::to_string)
-        .collect::<Vec<_>>()
-        .join(",")
 }

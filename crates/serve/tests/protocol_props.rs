@@ -50,6 +50,12 @@ fn arb_near_miss_line() -> impl Strategy<Value = String> {
         " every=0",
         " every=-1",
         " every=99999999999999999999",
+        " ids=",
+        " ids=1..0",
+        " ids=3..9",
+        " ids=..",
+        " ids=1..2 ids=3..4",
+        " every=2 ids=1..5",
         " NaN inf -inf",
         " 0.5 .5 5e-1",
         " 1 0.5 0.5 0.5 0.5 0.5 0.5 0.5",
@@ -77,7 +83,16 @@ fn arb_request(d: usize) -> impl Strategy<Value = Request> {
         (0u64..1).prop_map(|_| Request::Shutdown),
         (1u32..100).prop_map(Request::Hello),
         (0usize..1_000_000).prop_map(Request::Batch),
-        (1u64..1_000_000).prop_map(|every| Request::Subscribe { every }),
+        (1u64..1_000_000).prop_map(|every| Request::Subscribe {
+            every,
+            filter: None
+        }),
+        (1u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000).prop_map(|(every, a, b)| {
+            Request::Subscribe {
+                every,
+                filter: Some((a.min(b), a.max(b))),
+            }
+        }),
         (0u64..1).prop_map(|_| Request::Metrics),
     ]
 }

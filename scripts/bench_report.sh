@@ -17,7 +17,10 @@
 #   { "<label>": { "scales": { "<scale>": { "batch": {...}, "serve": {...} } } } }
 # and an existing report is merged into, not clobbered — running with
 # two labels yields the comparison document perf PRs check in as
-# BENCH_<n>.json (BENCH_8.json pairs instrumented/registry_disabled).
+# BENCH_<n>.json (BENCH_8.json pairs instrumented/registry_disabled;
+# BENCH_10.json pairs before/after the evented network subsystem, whose
+# serve run adds the `fanout` phase — encode-once delta fan-out under a
+# subscriber swarm).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

@@ -178,6 +178,16 @@ read -r -u 3 hello_reply || fail "no HELLO reply"
 read -r -u 3 sub_reply || fail "no SUBSCRIBE reply"
 [[ "$sub_reply" == "OK subscribed every=1 epoch="* ]] || fail "SUBSCRIBE reply: $sub_reply"
 
+# fd 6: a server-side *filtered* subscriber. Its ack echoes the range,
+# and the deltas it receives are sliced before they cross the wire.
+exec 6<>"/dev/tcp/127.0.0.1/$PORT" || fail "filtered subscriber connect"
+printf 'HELLO v2\nSUBSCRIBE every=1 ids=0..100000\n' >&6
+read -r -u 6 fhello || fail "no filtered HELLO reply"
+[[ "$fhello" == OK\ v2\ * ]] || fail "filtered HELLO reply: $fhello"
+read -r -u 6 fsub || fail "no filtered SUBSCRIBE reply"
+[[ "$fsub" == "OK subscribed every=1 filter=0..100000 epoch="* ]] \
+    || fail "filtered SUBSCRIBE reply: $fsub"
+
 # fd 4: the writer. BATCH gating before HELLO, then a one-ack batch.
 exec 4<>"/dev/tcp/127.0.0.1/$PORT" || fail "writer connect"
 printf 'BATCH 1\n' >&4
@@ -193,9 +203,18 @@ read -r -u 4 batch_ack || fail "no BATCH ack"
 read -r -t 30 -u 3 delta || fail "no DELTA pushed within 30s"
 [[ "$delta" == DELTA\ epoch=* ]] || fail "DELTA line: $delta"
 
+# The filtered subscriber gets the same version as a header-only line:
+# the batch's surviving insert (id 200001) is outside 0..100000, so the
+# slice must not carry it.
+read -r -t 30 -u 6 fdelta || fail "no filtered DELTA pushed within 30s"
+[[ "$fdelta" == DELTA\ epoch=* ]] || fail "filtered DELTA line: $fdelta"
+[[ "$fdelta" != *"200001"* ]] || fail "filter leaked out-of-range id: $fdelta"
+
 # METRICS over the line protocol: a counted header frames the same
-# exposition the HTTP endpoint serves. The fd-3 subscriber is live, so
-# the subscriber gauge reads 1 and its DELTA bytes have been counted.
+# exposition the HTTP endpoint serves. The fd-3 and fd-6 subscribers
+# are live, so the subscriber gauge reads 2, DELTA bytes have been
+# counted, and the reactor's encode counters show the encode-once
+# split: one unfiltered + one filtered render per publish.
 printf 'METRICS\n' >&4
 read -r -t 30 -u 4 mhdr || fail "no METRICS reply"
 [[ "$mhdr" == "OK metrics lines="* ]] || fail "METRICS header: $mhdr"
@@ -208,13 +227,17 @@ for ((i = 0; i < mlines; i++)); do
 done
 grep -q '^# TYPE rms_tcp_requests_total counter' <<<"$mbody" \
     || fail "METRICS verb exposition missing request family"
-grep -q '^rms_tcp_subscribers 1$' <<<"$mbody" || fail "live subscriber gauge != 1"
+grep -q '^rms_tcp_subscribers 2$' <<<"$mbody" || fail "live subscriber gauge != 2"
 grep -Eq '^rms_tcp_delta_bytes_total [1-9]' <<<"$mbody" || fail "DELTA bytes not counted"
+grep -Eq '^rms_net_delta_encodes_total\{kind="unfiltered"\} [1-9]' <<<"$mbody" \
+    || fail "unfiltered encode counter not moving"
+grep -Eq '^rms_net_delta_encodes_total\{kind="filtered"\} [1-9]' <<<"$mbody" \
+    || fail "filtered encode counter not moving"
 
 printf 'SHUTDOWN\n' >&4
 read -r -u 4 bye || fail "no SHUTDOWN reply"
 [[ "$bye" == "OK shutting down" ]] || fail "SHUTDOWN reply: $bye"
-exec 3<&- 3>&- 4<&- 4>&-
+exec 3<&- 3>&- 4<&- 4>&- 6<&- 6>&-
 wait "$SERVE_PID" || { cat "$TMP/serve3.log" >&2; fail "v2 server exited non-zero"; }
 SERVE_PID=""
 

@@ -77,12 +77,16 @@ USAGE:
                 [--metrics-addr HOST:PORT]  (HTTP scrape endpoint: GET
                                   /metrics answers the same Prometheus
                                   text exposition as the METRICS verb)
+                [--net-threads N]  (reactor threads serving connections;
+                                  accepted sockets are dealt round-robin
+                                  across the group; default 1)
                                  (TCP front end over the serving backend;
                                   line protocol v1: INSERT/DELETE/UPDATE/
                                   QUERY/STATS/SHUTDOWN, one reply per line;
                                   v2 after HELLO v2: BATCH <n> pipelining,
-                                  SUBSCRIBE [every=K] delta push, and
-                                  METRICS Prometheus exposition)
+                                  SUBSCRIBE [every=K] [ids=LO..HI] delta
+                                  push — server-side id-range filtering —
+                                  and METRICS Prometheus exposition)
   krms skyline  --in FILE
 
 ALGO: FD-RMS | Greedy | GeoGreedy | Greedy* | DMM-RRMS | DMM-Greedy |
@@ -398,6 +402,7 @@ fn serve_backend<B: krms::serve::RmsBackend>(
     backend: B,
     addr: &str,
     metrics_addr: Option<&str>,
+    net_threads: usize,
     banner: &str,
 ) -> Result<(), String> {
     use krms::serve::RmsServer;
@@ -413,14 +418,16 @@ fn serve_backend<B: krms::serve::RmsBackend>(
             .map_err(|e| format!("spawn metrics listener: {e}"))?;
         println!("metrics: http://{bound}/metrics");
     }
-    let server = RmsServer::bind(addr, backend).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = RmsServer::bind(addr, backend)
+        .map_err(|e| format!("bind {addr}: {e}"))?
+        .with_net_threads(net_threads);
     println!(
         "{banner} on {}",
         server.local_addr().map_err(|e| e.to_string())?
     );
     println!("protocol: INSERT <id> <v1..vd> | DELETE <id> | UPDATE <id> <v1..vd> | QUERY | STATS | SHUTDOWN");
     println!(
-        "       v2: HELLO v2 | BATCH <n> (one ack for n ops) | SUBSCRIBE [every=K] (DELTA push) | METRICS"
+        "       v2: HELLO v2 | BATCH <n> (one ack for n ops) | SUBSCRIBE [every=K] [ids=LO..HI] (DELTA push) | METRICS"
     );
     let fds = server.run().map_err(|e| e.to_string())?;
     let ops: u64 = fds.iter().map(FdRms::operations).sum();
@@ -501,6 +508,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:7878".to_string());
     let metrics_addr = flags.get("metrics-addr").cloned();
+    let net_threads: usize = get(flags, "net-threads", 1usize)?;
+    if net_threads == 0 {
+        return Err("--net-threads must be at least 1".into());
+    }
     let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         queue_capacity: get(flags, "queue", 1024usize)?,
@@ -538,7 +549,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
                 ShardedRmsService::start(builder, points, cfg, shards).map_err(|e| e.to_string())?
             }
         };
-        serve_backend(service, &addr, metrics_addr.as_deref(), &banner)
+        serve_backend(
+            service,
+            &addr,
+            metrics_addr.as_deref(),
+            net_threads,
+            &banner,
+        )
     } else {
         let service = match &wal {
             Some(path) => {
@@ -546,7 +563,13 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             }
             None => RmsService::start(builder, points, cfg).map_err(|e| e.to_string())?,
         };
-        serve_backend(service, &addr, metrics_addr.as_deref(), &banner)
+        serve_backend(
+            service,
+            &addr,
+            metrics_addr.as_deref(),
+            net_threads,
+            &banner,
+        )
     }
 }
 
